@@ -1,0 +1,126 @@
+//! Separating violations from informal practice.
+//!
+//! Section 4.2: "There may be data on attempts to break into the system,
+//! i.e. possible violations or data breaches, or information that represents
+//! undocumented, informal clinical practice. We need to differentiate
+//! between violations and informal practice entries in the refinement
+//! process." The paper leaves the mechanism open ("may require more
+//! sophisticated algorithms and even further research"); this module
+//! provides the hook and two concrete classifiers:
+//!
+//! * [`NoViolations`] — the paper's Section 5 assumption ("none of the
+//!   exceptions reported in the logs are violations");
+//! * [`DenyPairClassifier`] — an explicit denylist of `(data, authorized)`
+//!   combinations that are *never* legitimate (e.g. clerks reading
+//!   psychiatric notes), which the refinement loop uses to keep injected
+//!   "violation noise" from being proposed as policy.
+
+use crate::entry::AuditEntry;
+use prima_vocab::normalize;
+use std::collections::HashSet;
+
+/// Decides whether an exception-based entry is a suspected violation (to be
+/// investigated) rather than informal practice (a refinement candidate).
+pub trait AccessClassifier {
+    /// True iff the entry should be treated as a suspected violation.
+    fn is_violation(&self, entry: &AuditEntry) -> bool;
+}
+
+/// Treats every exception as informal practice (the paper's use-case
+/// assumption).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoViolations;
+
+impl AccessClassifier for NoViolations {
+    fn is_violation(&self, _entry: &AuditEntry) -> bool {
+        false
+    }
+}
+
+/// Flags entries whose `(data, authorized)` pair appears on a denylist.
+#[derive(Debug, Clone, Default)]
+pub struct DenyPairClassifier {
+    denied: HashSet<(String, String)>,
+}
+
+impl DenyPairClassifier {
+    /// Creates an empty denylist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Denies a `(data, authorized)` combination (normalized).
+    pub fn deny(&mut self, data: &str, authorized: &str) -> &mut Self {
+        self.denied.insert((normalize(data), normalize(authorized)));
+        self
+    }
+
+    /// Number of denied pairs.
+    pub fn len(&self) -> usize {
+        self.denied.len()
+    }
+
+    /// True iff no pairs are denied.
+    pub fn is_empty(&self) -> bool {
+        self.denied.is_empty()
+    }
+}
+
+impl AccessClassifier for DenyPairClassifier {
+    fn is_violation(&self, entry: &AuditEntry) -> bool {
+        self.denied
+            .contains(&(normalize(&entry.data), normalize(&entry.authorized)))
+    }
+}
+
+/// Splits entries into (informal practice, suspected violations).
+pub fn partition_violations<C: AccessClassifier>(
+    entries: Vec<AuditEntry>,
+    classifier: &C,
+) -> (Vec<AuditEntry>, Vec<AuditEntry>) {
+    entries
+        .into_iter()
+        .partition(|e| !classifier.is_violation(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<AuditEntry> {
+        vec![
+            AuditEntry::exception(1, "mark", "referral", "registration", "nurse"),
+            AuditEntry::exception(2, "eve", "psychiatry", "billing", "clerk"),
+            AuditEntry::exception(3, "tim", "referral", "registration", "nurse"),
+        ]
+    }
+
+    #[test]
+    fn no_violations_keeps_everything() {
+        let (practice, violations) = partition_violations(entries(), &NoViolations);
+        assert_eq!(practice.len(), 3);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn deny_pairs_are_flagged() {
+        let mut c = DenyPairClassifier::new();
+        c.deny("Psychiatry", "Clerk");
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        let (practice, violations) = partition_violations(entries(), &c);
+        assert_eq!(practice.len(), 2);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].user, "eve");
+    }
+
+    #[test]
+    fn deny_matching_is_normalized() {
+        let mut c = DenyPairClassifier::new();
+        c.deny("PSYCHIATRY", "clerk");
+        let e = AuditEntry::exception(1, "eve", "psychiatry", "billing", "Clerk");
+        assert!(c.is_violation(&e));
+        let ok = AuditEntry::exception(1, "eve", "psychiatry", "billing", "physician");
+        assert!(!c.is_violation(&ok));
+    }
+}

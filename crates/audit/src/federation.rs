@@ -1,0 +1,202 @@
+//! Federation of audit trails — the paper's Audit Management component.
+//!
+//! "In the first instantiation, we use DB2 Information Integrator as the
+//! federation technology in the PRIMA Audit Management component to create a
+//! virtual view of all the audit trails." This module plays that role: it
+//! registers any number of per-site [`AuditStore`]s and materializes a
+//! consolidated view — either as entries (for the refinement pipeline) or as
+//! a relational table with a provenance column (for ad-hoc analytics).
+
+use crate::entry::AuditEntry;
+use crate::schema::{audit_schema, COL_STATUS};
+use crate::store::AuditStore;
+use prima_model::{GroundRule, Policy, StoreTag};
+use prima_store::{Column, DataType, Row, Schema, StoreError, Table, Value};
+
+/// Name of the provenance column added by [`AuditFederation::consolidated_table`].
+pub const COL_SITE: &str = "site";
+
+/// A consolidated view over multiple audit stores.
+#[derive(Debug, Default, Clone)]
+pub struct AuditFederation {
+    sources: Vec<AuditStore>,
+}
+
+impl AuditFederation {
+    /// Creates an empty federation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a log source. Sources are iterated in registration order,
+    /// and entries within a source in append order, so the consolidated
+    /// view is deterministic.
+    pub fn register(&mut self, store: AuditStore) {
+        self.sources.push(store);
+    }
+
+    /// The registered sources.
+    pub fn sources(&self) -> &[AuditStore] {
+        &self.sources
+    }
+
+    /// Total entries across all sources.
+    pub fn total_len(&self) -> usize {
+        self.sources.iter().map(AuditStore::len).sum()
+    }
+
+    /// All entries, tagged with their source name.
+    pub fn entries_with_provenance(&self) -> Vec<(String, AuditEntry)> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for s in &self.sources {
+            for e in s.entries() {
+                out.push((s.name().to_string(), e));
+            }
+        }
+        out
+    }
+
+    /// All entries, merged and sorted by timestamp (stable: ties keep
+    /// source order). This is the "consistent consolidated view" the
+    /// refinement pipeline consumes.
+    pub fn consolidated_entries(&self) -> Vec<AuditEntry> {
+        let mut out: Vec<AuditEntry> = self.sources.iter().flat_map(|s| s.entries()).collect();
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    /// The consolidated trail as a relational table named
+    /// `audit_consolidated`, with a leading provenance column `site`.
+    pub fn consolidated_table(&self) -> Result<Table, StoreError> {
+        let base = audit_schema();
+        let mut columns = vec![Column::required(COL_SITE, DataType::Str)];
+        columns.extend(base.columns().iter().cloned());
+        let schema = Schema::new(columns)?;
+        let mut table = Table::new("audit_consolidated", schema);
+        for s in &self.sources {
+            for e in s.entries() {
+                let mut values = vec![Value::str(s.name())];
+                values.extend(e.to_row().into_values());
+                table.insert(Row::new(values))?;
+            }
+        }
+        Ok(table)
+    }
+
+    /// The federation-wide audit-log policy `P_AL` (one ground rule per
+    /// entry across all sources).
+    pub fn to_policy(&self) -> Policy {
+        Policy::from_ground_rules(StoreTag::AuditLog, self.ground_rules())
+    }
+
+    /// One ground rule per entry across all sources, in consolidated
+    /// (timestamp) order.
+    pub fn ground_rules(&self) -> Vec<GroundRule> {
+        self.consolidated_entries()
+            .iter()
+            .map(|e| {
+                e.to_ground_rule()
+                    .expect("audit entries carry non-empty attributes")
+            })
+            .collect()
+    }
+
+    /// Exception-based entries across all sources, in timestamp order.
+    pub fn exception_entries(&self) -> Vec<AuditEntry> {
+        self.consolidated_entries()
+            .into_iter()
+            .filter(AuditEntry::is_exception)
+            .collect()
+    }
+
+    /// Sanity check: the consolidated table's status column agrees with the
+    /// entry view (exercised by tests; cheap invariant for callers too).
+    pub fn exception_count(&self) -> usize {
+        let mut n = 0;
+        for s in &self.sources {
+            let t = s.snapshot_table();
+            let idx = t
+                .schema()
+                .index_of(COL_STATUS)
+                .expect("audit schema has status");
+            n += t
+                .scan()
+                .filter(|r| r.get(idx) == &Value::Int(0))
+                .count();
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn federation() -> AuditFederation {
+        let a = AuditStore::new("icu");
+        a.append(&AuditEntry::regular(5, "tim", "referral", "treatment", "nurse"))
+            .unwrap();
+        a.append(&AuditEntry::exception(1, "mark", "referral", "registration", "nurse"))
+            .unwrap();
+        let b = AuditStore::new("billing-office");
+        b.append(&AuditEntry::exception(3, "jason", "prescription", "billing", "clerk"))
+            .unwrap();
+        let mut f = AuditFederation::new();
+        f.register(a);
+        f.register(b);
+        f
+    }
+
+    #[test]
+    fn consolidated_entries_are_time_sorted() {
+        let f = federation();
+        let entries = f.consolidated_entries();
+        assert_eq!(entries.len(), 3);
+        let times: Vec<i64> = entries.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+        assert_eq!(f.total_len(), 3);
+    }
+
+    #[test]
+    fn provenance_is_preserved() {
+        let f = federation();
+        let tagged = f.entries_with_provenance();
+        assert_eq!(tagged.len(), 3);
+        assert!(tagged.iter().any(|(s, _)| s == "icu"));
+        assert!(tagged.iter().any(|(s, _)| s == "billing-office"));
+    }
+
+    #[test]
+    fn consolidated_table_has_site_column() {
+        let f = federation();
+        let t = f.consolidated_table().unwrap();
+        assert_eq!(t.name(), "audit_consolidated");
+        assert_eq!(t.schema().index_of(COL_SITE), Some(0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().arity(), 8);
+    }
+
+    #[test]
+    fn federation_policy_spans_sources() {
+        let f = federation();
+        let p = f.to_policy();
+        assert_eq!(p.cardinality(), 3);
+        assert_eq!(p.tag(), &StoreTag::AuditLog);
+    }
+
+    #[test]
+    fn exception_views_agree() {
+        let f = federation();
+        assert_eq!(f.exception_entries().len(), 2);
+        assert_eq!(f.exception_count(), 2);
+    }
+
+    #[test]
+    fn empty_federation_is_well_behaved() {
+        let f = AuditFederation::new();
+        assert_eq!(f.total_len(), 0);
+        assert!(f.consolidated_entries().is_empty());
+        assert_eq!(f.consolidated_table().unwrap().len(), 0);
+        assert!(f.sources().is_empty());
+    }
+}

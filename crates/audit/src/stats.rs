@@ -1,0 +1,181 @@
+//! Descriptive statistics over audit trails.
+//!
+//! The paper's evidence base (Rostad & Edsburg's ACSAC'06 study) is this
+//! kind of analysis: how much of the trail is exception-based, who breaks
+//! the glass, against which data, for which purposes. The privacy officer
+//! reads these numbers *before* deciding refinement thresholds, and the
+//! experiments use them to sanity-check simulated workloads.
+
+use crate::entry::{AuditEntry, Op};
+use std::collections::HashMap;
+
+/// Summary statistics for one trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrailStats {
+    /// Total entries.
+    pub total: usize,
+    /// Served, regular accesses.
+    pub regular: usize,
+    /// Served, exception-based accesses.
+    pub exceptions: usize,
+    /// Refused requests (`op = disallow`).
+    pub denials: usize,
+    /// Distinct users seen.
+    pub distinct_users: usize,
+    /// Time span `[first, last]`, if non-empty.
+    pub time_span: Option<(i64, i64)>,
+}
+
+impl TrailStats {
+    /// Share of served accesses that went through the exception mechanism
+    /// — the headline number of the motivating studies. 0 for an empty
+    /// trail.
+    pub fn exception_share(&self) -> f64 {
+        let served = self.regular + self.exceptions;
+        if served == 0 {
+            0.0
+        } else {
+            self.exceptions as f64 / served as f64
+        }
+    }
+}
+
+/// Computes [`TrailStats`].
+pub fn trail_stats(entries: &[AuditEntry]) -> TrailStats {
+    let mut regular = 0;
+    let mut exceptions = 0;
+    let mut denials = 0;
+    let mut users = std::collections::HashSet::new();
+    let mut min_t = i64::MAX;
+    let mut max_t = i64::MIN;
+    for e in entries {
+        if e.op == Op::Disallow {
+            denials += 1;
+        } else if e.is_exception() {
+            exceptions += 1;
+        } else {
+            regular += 1;
+        }
+        users.insert(e.user.as_str());
+        min_t = min_t.min(e.time);
+        max_t = max_t.max(e.time);
+    }
+    TrailStats {
+        total: entries.len(),
+        regular,
+        exceptions,
+        denials,
+        distinct_users: users.len(),
+        time_span: if entries.is_empty() {
+            None
+        } else {
+            Some((min_t, max_t))
+        },
+    }
+}
+
+/// Top-`k` values of an entry attribute among exception entries, with
+/// counts, sorted by descending count then name. The selector picks the
+/// attribute (`|e| &e.user`, `|e| &e.authorized`, …).
+pub fn top_exception_attribute<'a, F>(
+    entries: &'a [AuditEntry],
+    k: usize,
+    selector: F,
+) -> Vec<(String, usize)>
+where
+    F: Fn(&'a AuditEntry) -> &'a str,
+{
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for e in entries.iter().filter(|e| e.is_exception() && e.op == Op::Allow) {
+        *counts.entry(selector(e)).or_default() += 1;
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(name, n)| (name.to_string(), n))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+/// Per-user exception counts ("who breaks the glass"), descending.
+pub fn glass_breakers(entries: &[AuditEntry], k: usize) -> Vec<(String, usize)> {
+    top_exception_attribute(entries, k, |e| &e.user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::AccessStatus;
+
+    fn trail() -> Vec<AuditEntry> {
+        vec![
+            AuditEntry::regular(1, "tim", "referral", "treatment", "nurse"),
+            AuditEntry::exception(2, "mark", "referral", "registration", "nurse"),
+            AuditEntry::exception(3, "mark", "referral", "registration", "nurse"),
+            AuditEntry::exception(4, "bob", "psychiatry", "treatment", "nurse"),
+            AuditEntry {
+                time: 5,
+                op: Op::Disallow,
+                user: "eve".into(),
+                data: "ssn".into(),
+                purpose: "telemarketing".into(),
+                authorized: "clerk".into(),
+                status: AccessStatus::Regular,
+            },
+        ]
+    }
+
+    #[test]
+    fn stats_count_categories() {
+        let s = trail_stats(&trail());
+        assert_eq!(s.total, 5);
+        assert_eq!(s.regular, 1);
+        assert_eq!(s.exceptions, 3);
+        assert_eq!(s.denials, 1);
+        assert_eq!(s.distinct_users, 4);
+        assert_eq!(s.time_span, Some((1, 5)));
+        assert!((s.exception_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trail_is_zeroed() {
+        let s = trail_stats(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.time_span, None);
+        assert_eq!(s.exception_share(), 0.0);
+    }
+
+    #[test]
+    fn glass_breakers_ranked() {
+        let top = glass_breakers(&trail(), 2);
+        assert_eq!(
+            top,
+            vec![("mark".to_string(), 2), ("bob".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn top_attribute_skips_denials_and_regular() {
+        let by_data = top_exception_attribute(&trail(), 10, |e| &e.data);
+        assert_eq!(
+            by_data,
+            vec![
+                ("referral".to_string(), 2),
+                ("psychiatry".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_name() {
+        let entries = vec![
+            AuditEntry::exception(1, "b", "x", "p", "r"),
+            AuditEntry::exception(2, "a", "x", "p", "r"),
+        ];
+        assert_eq!(
+            glass_breakers(&entries, 5),
+            vec![("a".to_string(), 1), ("b".to_string(), 1)]
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! The append-only audit store.
+
+use crate::entry::AuditEntry;
+use crate::schema::{audit_schema, COL_STATUS};
+use parking_lot::RwLock;
+use prima_model::{GroundRule, Policy, StoreTag};
+use prima_store::predicate::CmpOp;
+use prima_store::{Predicate, Row, StoreError, Table, Value};
+use std::sync::Arc;
+
+/// A thread-safe, append-only audit trail (one per site/log source).
+///
+/// HDB Compliance Auditing appends while Policy Refinement reads, so the
+/// underlying table sits behind a `parking_lot::RwLock`. Reads hand out
+/// snapshots (cloned tables or materialized entry vectors) so analysis runs
+/// on a consistent view without holding the lock.
+#[derive(Debug, Clone)]
+pub struct AuditStore {
+    name: String,
+    table: Arc<RwLock<Table>>,
+}
+
+impl AuditStore {
+    /// Creates an empty store; `name` identifies the log source (e.g. a
+    /// department system) and becomes the table name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            table: Arc::new(RwLock::new(Table::new(name, audit_schema()))),
+        }
+    }
+
+    /// The log source's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one entry.
+    pub fn append(&self, entry: &AuditEntry) -> Result<(), StoreError> {
+        self.table.write().insert(entry.to_row()).map(|_| ())
+    }
+
+    /// Appends many entries (one lock acquisition).
+    pub fn append_all<'a, I: IntoIterator<Item = &'a AuditEntry>>(
+        &self,
+        entries: I,
+    ) -> Result<usize, StoreError> {
+        let rows: Vec<Row> = entries.into_iter().map(AuditEntry::to_row).collect();
+        self.table.write().insert_all(rows)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// True iff no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the underlying table (for the query engine).
+    pub fn snapshot_table(&self) -> Table {
+        self.table.read().clone()
+    }
+
+    /// All entries, in append order.
+    pub fn entries(&self) -> Vec<AuditEntry> {
+        self.table
+            .read()
+            .scan()
+            .map(|r| AuditEntry::from_row(r).expect("audit rows round-trip by construction"))
+            .collect()
+    }
+
+    /// Entries with `status = exception` — what Algorithm 3 keeps.
+    pub fn exception_entries(&self) -> Vec<AuditEntry> {
+        let pred = Predicate::Compare {
+            column: COL_STATUS.into(),
+            op: CmpOp::Eq,
+            value: Value::Int(0),
+        };
+        let table = self.table.read();
+        table
+            .scan_where(&pred)
+            .expect("status column exists in the audit schema")
+            .map(|r| AuditEntry::from_row(r).expect("audit rows round-trip by construction"))
+            .collect()
+    }
+
+    /// The trail as the formal model's audit-log policy `P_AL` — one ground
+    /// rule per entry (Section 3.3: "By default, this policy is a ground
+    /// policy"). Duplicate accesses produce duplicate rules; the range set
+    /// dedups them, while entry-weighted coverage counts them individually.
+    pub fn to_policy(&self) -> Policy {
+        Policy::from_ground_rules(StoreTag::AuditLog, self.ground_rules())
+    }
+
+    /// One `(data, purpose, authorized)` ground rule per entry, in append
+    /// order (the multiset view used by entry-weighted coverage).
+    pub fn ground_rules(&self) -> Vec<GroundRule> {
+        self.table
+            .read()
+            .scan()
+            .map(|r| {
+                AuditEntry::from_row(r)
+                    .expect("audit rows round-trip by construction")
+                    .to_ground_rule()
+                    .expect("audit entries carry non-empty attributes")
+            })
+            .collect()
+    }
+
+    /// Approximate storage footprint in bytes (experiment E6 reports
+    /// bytes/entry).
+    pub fn approx_bytes(&self) -> usize {
+        self.table.read().approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> AuditStore {
+        let s = AuditStore::new("ward-a");
+        s.append(&AuditEntry::regular(1, "tim", "referral", "treatment", "nurse"))
+            .unwrap();
+        s.append(&AuditEntry::exception(
+            2,
+            "mark",
+            "referral",
+            "registration",
+            "nurse",
+        ))
+        .unwrap();
+        s.append(&AuditEntry::exception(
+            3,
+            "mark",
+            "referral",
+            "registration",
+            "nurse",
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let entries = s.entries();
+        assert_eq!(entries[0].user, "tim");
+        assert_eq!(entries[2].time, 3);
+    }
+
+    #[test]
+    fn exception_filtering() {
+        let s = store();
+        let ex = s.exception_entries();
+        assert_eq!(ex.len(), 2);
+        assert!(ex.iter().all(AuditEntry::is_exception));
+    }
+
+    #[test]
+    fn policy_keeps_per_entry_rules_but_range_dedups() {
+        let s = store();
+        let p = s.to_policy();
+        assert_eq!(p.cardinality(), 3, "one rule per entry");
+        assert_eq!(p.tag(), &StoreTag::AuditLog);
+        let rules = s.ground_rules();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[1], rules[2], "duplicate accesses stay duplicated");
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_appends() {
+        let s = store();
+        let snap = s.snapshot_table();
+        s.append(&AuditEntry::regular(4, "x", "d", "p", "a")).unwrap();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn append_all_batches() {
+        let s = AuditStore::new("batch");
+        let entries: Vec<AuditEntry> = (0..10)
+            .map(|i| AuditEntry::regular(i, "u", "d", "p", "a"))
+            .collect();
+        assert_eq!(s.append_all(&entries).unwrap(), 10);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let s = AuditStore::new("busy");
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    s.append(&AuditEntry::regular(
+                        (w * 1000 + i) as i64,
+                        "u",
+                        "d",
+                        "p",
+                        "a",
+                    ))
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -1,0 +1,136 @@
+//! E2/E9 — coverage computation benchmarks and ablations.
+//!
+//! * `figure3` — Algorithm 1 on the paper's worked example (a floor for
+//!   the machinery's constant factors);
+//! * `strategy/*` — materialize-hash vs materialize-sort-merge vs lazy on
+//!   simulated trails (DESIGN.md §6 ablation 1 and 2);
+//! * `explosion/*` — range materialization vs lazy membership as the
+//!   synthetic vocabulary's fan-out grows (the blow-up that motivates the
+//!   lazy engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_model::samples::{figure_3_audit_policy, figure_3_policy_store};
+use prima_model::{CoverageEngine, Policy, Rule, StoreTag, Strategy};
+use prima_vocab::synthetic::{synthetic_vocabulary, SyntheticSpec};
+use prima_workload::sim::SimConfig;
+use prima_workload::Scenario;
+
+fn bench_figure3(c: &mut Criterion) {
+    let v = prima_vocab::samples::figure_1();
+    let ps = figure_3_policy_store();
+    let al = figure_3_audit_policy();
+    c.bench_function("coverage/figure3/materialize", |b| {
+        let engine = CoverageEngine::new(Strategy::MaterializeHash);
+        b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+    });
+    c.bench_function("coverage/figure3/lazy", |b| {
+        let engine = CoverageEngine::new(Strategy::Lazy);
+        b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+    });
+}
+
+fn bench_strategies_on_trails(c: &mut Criterion) {
+    let scenario = Scenario::community_hospital();
+    let sim = scenario.simulator();
+    let mut group = c.benchmark_group("coverage/strategy");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let trail = sim.generate(&SimConfig {
+            seed: 5,
+            n_entries: n,
+            ..SimConfig::default()
+        });
+        let al = Policy::from_ground_rules(
+            StoreTag::AuditLog,
+            trail
+                .iter()
+                .map(|l| l.entry.to_ground_rule().expect("well-formed")),
+        );
+        for (name, strategy) in [
+            ("hash", Strategy::MaterializeHash),
+            ("sort-merge", Strategy::MaterializeSortMerge),
+            ("lazy", Strategy::Lazy),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &al, |b, al| {
+                let engine = CoverageEngine::new(strategy);
+                b.iter(|| engine.coverage(&scenario.policy, al, &scenario.vocab).unwrap())
+            });
+        }
+        // Entry-weighted variant (always lazy).
+        let rules: Vec<_> = trail
+            .iter()
+            .map(|l| l.entry.to_ground_rule().expect("well-formed"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("entry-weighted", n), &rules, |b, rules| {
+            let engine = CoverageEngine::default();
+            b.iter(|| engine.entry_coverage(&scenario.policy, rules, &scenario.vocab))
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_explosion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage/explosion");
+    group.sample_size(10);
+    for fan_out in [2usize, 4, 6] {
+        let spec = SyntheticSpec {
+            attributes: 3,
+            fan_out,
+            depth: 3,
+            roots: 1,
+        };
+        let v = synthetic_vocabulary(spec);
+        // One maximally-broad composite rule per attribute root: the range
+        // is fan_out^depth per attribute, cubed.
+        let ps = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[
+                ("attr0", "a0-r0"),
+                ("attr1", "a1-r0"),
+                ("attr2", "a2-r0"),
+            ])],
+        );
+        // A small ground audit policy to cover.
+        let leaf = |a: usize| format!("a{a}-r0-c0-c0-c0");
+        let al = Policy::with_rules(
+            StoreTag::AuditLog,
+            vec![Rule::of(&[
+                ("attr0", &leaf(0)),
+                ("attr1", &leaf(1)),
+                ("attr2", &leaf(2)),
+            ])],
+        );
+        // At fan-out 6 the policy-store range is (6^3)^3 ≈ 10.1M ground
+        // rules — beyond the default budget. That *is* the finding: the
+        // materializing engine stops being runnable while the lazy one is
+        // unaffected. Bench it only where it fits.
+        if ps.expansion_size(&v) <= prima_model::range::DEFAULT_RANGE_BUDGET as u128 {
+            group.bench_with_input(
+                BenchmarkId::new("materialize", fan_out),
+                &(),
+                |b, _| {
+                    let engine = CoverageEngine::new(Strategy::MaterializeHash);
+                    b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+                },
+            );
+        } else {
+            let err = CoverageEngine::new(Strategy::MaterializeHash)
+                .coverage(&ps, &al, &v)
+                .unwrap_err();
+            println!("coverage/explosion/materialize/{fan_out}: skipped ({err})");
+        }
+        group.bench_with_input(BenchmarkId::new("lazy", fan_out), &(), |b, _| {
+            let engine = CoverageEngine::new(Strategy::Lazy);
+            b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure3,
+    bench_strategies_on_trails,
+    bench_range_explosion
+);
+criterion_main!(benches);

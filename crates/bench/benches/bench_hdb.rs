@@ -1,0 +1,66 @@
+//! E6 — HDB middleware overhead: raw projection vs enforced, audited
+//! query (Active Enforcement + Compliance Auditing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_hdb::clinical::generate_encounters;
+use prima_hdb::{AccessRequest, ControlCenter};
+use prima_vocab::samples::figure_1;
+
+fn bench_enforcement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdb");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let (table, mappings) = generate_encounters(n);
+        let raw = table.clone();
+
+        let mut cc = ControlCenter::new(figure_1(), "patient");
+        let maps: Vec<(&str, &str)> = mappings
+            .iter()
+            .map(|(col, cat)| (col.as_str(), cat.as_str()))
+            .collect();
+        cc.register_table(table, &maps).expect("fresh catalog");
+        cc.define_rule("general-care", "treatment", "nurse")
+            .expect("valid rule");
+        cc.opt_out("p2", "treatment", Some("general-care"));
+
+        group.bench_with_input(BenchmarkId::new("raw-projection", n), &raw, |b, t| {
+            b.iter(|| t.project(&["referral", "prescription"]).unwrap().len())
+        });
+
+        group.bench_with_input(BenchmarkId::new("enforced-query", n), &cc, |b, cc| {
+            let mut tick = 0i64;
+            b.iter(|| {
+                tick += 1;
+                let req = AccessRequest::chosen(
+                    tick,
+                    "tim",
+                    "nurse",
+                    "treatment",
+                    "encounters",
+                    &["referral", "prescription"],
+                );
+                cc.query(&req).unwrap().rows.len()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("break-the-glass", n), &cc, |b, cc| {
+            let mut tick = 1_000_000i64;
+            b.iter(|| {
+                tick += 1;
+                let req = AccessRequest::break_the_glass(
+                    tick,
+                    "mark",
+                    "nurse",
+                    "registration",
+                    "encounters",
+                    &["referral"],
+                );
+                cc.query(&req).unwrap().rows.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcement);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Tree-records benchmarks: XML parsing, redaction, and the
+//! generalization pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_hier::enforce::TreeAccessMode;
+use prima_hier::{Document, PathCategoryMap, TreeEnforcement};
+use prima_mining::Pattern;
+use prima_model::{GroundRule, Policy, Rule, StoreTag};
+use prima_refine::generalize;
+use prima_vocab::samples::figure_1;
+
+fn big_document(regions: usize) -> Document {
+    let mut d = Document::new("patient");
+    for i in 0..regions {
+        let rec = d.add_child(d.root(), &format!("record-{i}"));
+        for l in 0..8 {
+            d.add_text_child(rec, &format!("referral-{l}"), "lorem ipsum dolor sit amet");
+        }
+        let mh = d.add_child(rec, "mental-health");
+        d.add_text_child(mh, "psychiatry", "session notes, long-form");
+    }
+    d
+}
+
+fn enforcement(regions: usize) -> TreeEnforcement {
+    let mut m = PathCategoryMap::new();
+    for i in 0..regions {
+        m.map(&format!("/patient/record-{i}/mental-health/**"), "psychiatry")
+            .unwrap();
+        m.map(&format!("/patient/record-{i}/**"), "general-care")
+            .unwrap();
+    }
+    let policy = Policy::with_rules(
+        StoreTag::PolicyStore,
+        vec![Rule::of(&[
+            ("data", "general-care"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])],
+    );
+    TreeEnforcement::new(policy, figure_1(), m)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier");
+    for regions in [10usize, 100] {
+        let doc = big_document(regions);
+        let xml = doc.to_xml();
+        group.bench_with_input(BenchmarkId::new("parse-xml", regions), &xml, |b, xml| {
+            b.iter(|| Document::parse_xml(xml).unwrap())
+        });
+        let e = enforcement(regions);
+        group.bench_with_input(BenchmarkId::new("redact", regions), &doc, |b, doc| {
+            b.iter(|| e.enforce(doc, 1, "tim", "nurse", "treatment", TreeAccessMode::Chosen))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generalize(c: &mut Criterion) {
+    let v = figure_1();
+    // The 9-way sibling-complete lattice of the generalize tests, plus
+    // noise candidates that never fold.
+    let mut patterns = Vec::new();
+    for d in ["prescription", "referral", "lab-result"] {
+        for p in ["treatment", "registration", "billing"] {
+            patterns.push(Pattern::new(
+                GroundRule::of(&[("data", d), ("purpose", p), ("authorized", "nurse")]),
+                3,
+                2,
+            ));
+        }
+    }
+    for i in 0..20 {
+        patterns.push(Pattern::new(
+            GroundRule::of(&[
+                ("data", "insurance"),
+                ("purpose", "telemarketing"),
+                ("authorized", &format!("contractor-{i}")),
+            ]),
+            2,
+            2,
+        ));
+    }
+    c.bench_function("hier/generalize-lattice", |b| {
+        b.iter(|| generalize(&patterns, &v))
+    });
+}
+
+criterion_group!(benches, bench_tree, bench_generalize);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 — miner benchmarks: the SQL group-by miner (Algorithms 4–5) vs
+//! Apriori (reference [18]) as the practice pool grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_mining::{AprioriConfig, AprioriMiner, Miner, MinerConfig, SqlMiner};
+use prima_refine::extract::practice_table;
+use prima_refine::filter::filter;
+use prima_workload::sim::{entries, SimConfig};
+use prima_workload::Scenario;
+
+fn bench_miners(c: &mut Criterion) {
+    let scenario = Scenario::community_hospital();
+    let sim = scenario.simulator();
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    for n in [2_000usize, 10_000, 50_000] {
+        let trail = entries(&sim.generate(&SimConfig {
+            seed: 13,
+            n_entries: n,
+            ..SimConfig::default()
+        }));
+        let practice = filter(&trail);
+        let table = practice_table(&practice);
+        let f = (practice.len() / 100).max(5);
+
+        let sql = SqlMiner::new(MinerConfig {
+            min_frequency: f,
+            ..MinerConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("sql-groupby", n), &table, |b, t| {
+            b.iter(|| sql.mine(t).unwrap())
+        });
+
+        let apriori = AprioriMiner::new(AprioriConfig {
+            min_support: f,
+            ..AprioriConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("apriori-full", n), &table, |b, t| {
+            b.iter(|| apriori.mine(t).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("apriori-lattice", n), &table, |b, t| {
+            b.iter(|| apriori.frequent_itemsets(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3 — the Refinement pipeline (Algorithm 2), from the paper's Table 1
+//! micro-fixture up to realistic trail sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_model::samples::figure_3_policy_store;
+use prima_refine::refinement;
+use prima_vocab::samples::figure_1;
+use prima_workload::fixtures::table_1;
+use prima_workload::sim::{entries, SimConfig};
+use prima_workload::Scenario;
+
+fn bench_table1(c: &mut Criterion) {
+    let v = figure_1();
+    let ps = figure_3_policy_store();
+    let trail = table_1();
+    c.bench_function("refinement/table1", |b| {
+        b.iter(|| refinement(&ps, &trail, &v).unwrap())
+    });
+}
+
+fn bench_simulated(c: &mut Criterion) {
+    let scenario = Scenario::community_hospital();
+    let sim = scenario.simulator();
+    let mut group = c.benchmark_group("refinement/simulated");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 50_000] {
+        let trail = entries(&sim.generate(&SimConfig {
+            seed: 17,
+            n_entries: n,
+            ..SimConfig::default()
+        }));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trail, |b, trail| {
+            b.iter(|| refinement(&scenario.policy, trail, &scenario.vocab).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_simulated);
+criterion_main!(benches);

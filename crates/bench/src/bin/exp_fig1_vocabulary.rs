@@ -1,0 +1,62 @@
+//! E1 — Figure 1: the sample privacy policy vocabulary.
+//!
+//! Regenerates the figure's content: the per-attribute concept trees, the
+//! ground/composite classification of the paper's `RT1`–`RT3` examples,
+//! and the derivable ground set `RT1'` (four ground terms).
+
+use prima_bench::{banner, render_table};
+use prima_model::RuleTerm;
+use prima_vocab::parse::render_vocabulary;
+use prima_vocab::samples::figure_1;
+
+fn main() {
+    let v = figure_1();
+
+    banner("Figure 1: sample privacy policy vocabulary");
+    print!("{}", render_vocabulary(&v));
+
+    banner("Definition 2 examples (ground vs composite)");
+    let examples = [
+        ("RT1", "data", "demographic"),
+        ("RT2", "data", "address"),
+        ("RT3", "data", "gender"),
+    ];
+    let rows: Vec<Vec<String>> = examples
+        .iter()
+        .map(|(name, attr, value)| {
+            let rt = RuleTerm::of(attr, value);
+            vec![
+                name.to_string(),
+                rt.to_string(),
+                if rt.is_ground(&v) { "ground" } else { "composite" }.to_string(),
+                rt.ground_term_count(&v).to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["term", "(attr, value)", "kind", "#RT'"], &rows));
+
+    banner("RT1' — ground terms derivable from (data, demographic)");
+    let rt1 = RuleTerm::of("data", "demographic");
+    for g in rt1.ground_terms(&v) {
+        println!("  {g}");
+    }
+
+    banner("Definition 4 equivalences from the paper");
+    let rt1 = RuleTerm::of("data", "demographic");
+    let rt2 = RuleTerm::of("data", "address");
+    let rt3 = RuleTerm::of("data", "gender");
+    println!("  RT2 ≈ RT1: {}", rt2.equivalent(&rt1, &v));
+    println!("  RT3 ≈ RT1: {}", rt3.equivalent(&rt1, &v));
+    println!("  RT2 ≈ RT3: {} (equivalence is not transitive)", rt2.equivalent(&rt3, &v));
+
+    banner("Vocabulary statistics");
+    for attr in v.attribute_names() {
+        let t = v.attribute(attr).expect("registered");
+        println!(
+            "  {attr}: {} concepts, {} ground, max depth {}",
+            t.len(),
+            t.all_leaves().len(),
+            t.max_depth()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! E6 — Figure 5: the HDB Active Enforcement + Compliance Auditing
+//! middleware, measured.
+//!
+//! Three claims of the paper are checked: AE returns only
+//! policy/consent-consistent data (correctness); the middleware creates
+//! "minimal impact" (query latency with vs without enforcement); and CA's
+//! logs are "storage and performance efficient" (bytes per audit entry).
+
+use prima_bench::{banner, render_table, timed};
+use prima_hdb::clinical::generate_encounters;
+use prima_hdb::{AccessRequest, ControlCenter};
+use prima_vocab::samples::figure_1;
+
+fn main() {
+    banner("Figure 5 (measured): AE + CA overhead");
+
+    let mut rows = Vec::new();
+    for n in [10_000usize, 50_000, 100_000] {
+        let (table, mappings) = generate_encounters(n);
+        let raw_table = table.clone();
+
+        let mut cc = ControlCenter::new(figure_1(), "patient");
+        let maps: Vec<(&str, &str)> = mappings
+            .iter()
+            .map(|(c, k)| (c.as_str(), k.as_str()))
+            .collect();
+        cc.register_table(table, &maps).expect("fresh catalog");
+        cc.define_rule("general-care", "treatment", "nurse")
+            .expect("valid rule");
+        cc.opt_out("p2", "treatment", Some("general-care"));
+
+        // Baseline: raw scan + projection, no middleware.
+        let (baseline_rows, t_raw) = timed(|| {
+            raw_table
+                .project(&["referral", "prescription"])
+                .expect("columns exist")
+                .len()
+        });
+
+        // Enforced: policy decision + consent cell suppression + audit.
+        let queries = 50usize;
+        let (served, t_enforced_total) = timed(|| {
+            let mut total = 0usize;
+            for q in 0..queries {
+                let req = AccessRequest::chosen(
+                    q as i64,
+                    "tim",
+                    "nurse",
+                    "treatment",
+                    "encounters",
+                    &["referral", "prescription"],
+                );
+                total += cc.query(&req).expect("policy allows").rows.len();
+            }
+            total
+        });
+        let t_enforced = t_enforced_total / queries as f64;
+
+        let audit_bytes = cc.audit_store().approx_bytes();
+        let audit_entries = cc.audit_store().len();
+
+        rows.push(vec![
+            n.to_string(),
+            baseline_rows.to_string(),
+            (served / queries).to_string(),
+            format!("{t_raw:.2}"),
+            format!("{t_enforced:.2}"),
+            format!("{:.2}x", t_enforced / t_raw.max(1e-9)),
+            format!("{}", audit_bytes / audit_entries.max(1)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "rows",
+                "raw rows",
+                "enforced rows",
+                "raw scan (ms)",
+                "enforced query (ms)",
+                "overhead",
+                "audit bytes/entry"
+            ],
+            &rows
+        )
+    );
+
+    banner("Correctness spot-checks");
+    let (table, mappings) = generate_encounters(1_000);
+    let mut cc = ControlCenter::new(figure_1(), "patient");
+    let maps: Vec<(&str, &str)> = mappings
+        .iter()
+        .map(|(c, k)| (c.as_str(), k.as_str()))
+        .collect();
+    cc.register_table(table, &maps).expect("fresh catalog");
+    cc.define_rule("general-care", "treatment", "nurse")
+        .expect("valid rule");
+    cc.opt_out("p2", "treatment", Some("general-care"));
+
+    let req = AccessRequest::chosen(1, "tim", "nurse", "treatment", "encounters", &["referral", "psychiatry"]);
+    let res = cc.query(&req).expect("partially allowed");
+    println!("  psychiatry column suppressed by policy: {}", res.suppressed_columns == vec!["psychiatry"]);
+    println!("  consent-nulled cells for p2: {}", res.consent_suppressed_cells);
+
+    let denied = AccessRequest::chosen(2, "bill", "clerk", "billing", "encounters", &["referral"]);
+    println!("  clerk/billing fully denied: {}", cc.query(&denied).is_err());
+
+    let btg = AccessRequest::break_the_glass(3, "mark", "nurse", "registration", "encounters", &["referral"]);
+    let r = cc.query(&btg).expect("break-the-glass always serves");
+    println!("  break-the-glass served {} rows, audited as exception", r.rows.len());
+    let last = cc.audit_store().entries().pop().expect("logged");
+    assert!(last.is_exception(), "BTG must be audited as exception");
+    println!("\nshape: enforcement overhead stays a small constant factor; audit entries are fixed-size.");
+}

@@ -1,0 +1,164 @@
+//! Saving and restoring the PRIMA system's long-lived state.
+//!
+//! The refinement loop runs for months; what persists between runs is the
+//! policy store, the review queue (pending candidates and, crucially, the
+//! accept/reject history that suppresses re-proposals), and the per-round
+//! records. Audit trails persist separately through their own stores
+//! (`prima-audit::export`) — they are data, not system state.
+
+use crate::system::{PrimaSystem, RoundRecord};
+use prima_model::Policy;
+use prima_refine::ReviewQueue;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of the system's mutable state.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// Snapshot format version (for forward compatibility).
+    pub version: u32,
+    /// The current policy store.
+    pub policy: Policy,
+    /// The review queue, including decided candidates.
+    pub review: ReviewQueue,
+    /// Per-round history.
+    pub history: Vec<RoundRecord>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Snapshot restore error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl PrimaSystem {
+    /// Captures the system's mutable state (policy, review queue, round
+    /// history). Audit sources are not captured; re-attach them after
+    /// [`PrimaSystem::restore`].
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot {
+            version: SNAPSHOT_VERSION,
+            policy: self.policy().clone(),
+            review: self.review().clone(),
+            history: self.history().to_vec(),
+        }
+    }
+
+    /// Serializes the snapshot to pretty JSON.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("snapshots serialize infallibly")
+    }
+
+    /// Rebuilds a system from a snapshot over the given vocabulary. The
+    /// review queue's decided-rule cache is rebuilt so rejected patterns
+    /// stay suppressed across restarts.
+    pub fn restore(
+        vocab: prima_vocab::Vocabulary,
+        snapshot: SystemSnapshot,
+    ) -> Result<PrimaSystem, SnapshotError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError {
+                message: format!(
+                    "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                    snapshot.version
+                ),
+            });
+        }
+        let mut review = snapshot.review;
+        review.rebuild_cache();
+        let mut system = PrimaSystem::new(vocab, snapshot.policy);
+        system.restore_state(review, snapshot.history);
+        Ok(system)
+    }
+
+    /// Parses and restores from JSON produced by
+    /// [`PrimaSystem::snapshot_json`].
+    pub fn restore_json(
+        vocab: prima_vocab::Vocabulary,
+        json: &str,
+    ) -> Result<PrimaSystem, SnapshotError> {
+        let snapshot: SystemSnapshot =
+            serde_json::from_str(json).map_err(|e| SnapshotError {
+                message: e.to_string(),
+            })?;
+        Self::restore(vocab, snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::ReviewMode;
+    use prima_audit::AuditStore;
+    use prima_model::samples::figure_3_policy_store;
+    use prima_refine::CandidateState;
+    use prima_vocab::samples::figure_1;
+    use prima_workload::fixtures::table_1;
+
+    fn worked_system() -> PrimaSystem {
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        let store = AuditStore::new("main");
+        store.append_all(&table_1()).unwrap();
+        sys.attach_store(store);
+        sys.run_round(ReviewMode::Manual).unwrap();
+        sys
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state() {
+        let mut sys = worked_system();
+        let id = sys.review().pending().next().unwrap().id;
+        sys.review_mut()
+            .decide(id, CandidateState::Rejected, Some("bad practice"));
+
+        let json = sys.snapshot_json();
+        let restored = PrimaSystem::restore_json(figure_1(), &json).unwrap();
+        assert_eq!(restored.policy(), sys.policy());
+        assert_eq!(restored.history().len(), 1);
+        assert_eq!(restored.review().candidates().len(), 1);
+    }
+
+    #[test]
+    fn rejections_survive_restart() {
+        let mut sys = worked_system();
+        let id = sys.review().pending().next().unwrap().id;
+        sys.review_mut()
+            .decide(id, CandidateState::Rejected, Some("should stop"));
+
+        let json = sys.snapshot_json();
+        let mut restored = PrimaSystem::restore_json(figure_1(), &json).unwrap();
+        // Re-attach the trail and run another round: the rejected pattern
+        // must not be re-proposed.
+        let store = AuditStore::new("main");
+        store.append_all(&table_1()).unwrap();
+        restored.attach_store(store);
+        let record = restored.run_round(ReviewMode::Manual).unwrap();
+        assert_eq!(record.patterns_useful, 1, "still mined");
+        assert_eq!(record.candidates_enqueued, 0, "but suppressed");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let sys = worked_system();
+        let mut snapshot = sys.snapshot();
+        snapshot.version = 999;
+        let json = serde_json::to_string(&snapshot).unwrap();
+        assert!(PrimaSystem::restore_json(figure_1(), &json).is_err());
+    }
+
+    #[test]
+    fn garbage_json_is_rejected() {
+        assert!(PrimaSystem::restore_json(figure_1(), "{nope").is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! The long-lived PRIMA system object.
+
+use prima_audit::{AuditEntry, AuditFederation, AuditStore};
+use prima_mining::{Miner, MiningError, SqlMiner};
+use prima_model::{
+    CoverageEngine, CoverageReport, EntryCoverageReport, ModelError, Policy, Strategy,
+};
+use prima_refine::{refinement_with_miner, ReviewQueue};
+use prima_vocab::Vocabulary;
+
+/// How refinement candidates are decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReviewMode {
+    /// Every useful pattern is accepted immediately (closed-loop
+    /// experiments; Figure 2's idealized trajectory).
+    AutoAccept,
+    /// Candidates wait in the review queue for stakeholder decisions (the
+    /// deployment mode the paper insists on).
+    Manual,
+}
+
+/// What one refinement round did.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// Entries visible to this round (federation-wide).
+    pub audit_entries: usize,
+    /// Entries surviving the Filter stage.
+    pub practice_entries: usize,
+    /// Patterns the miner surfaced.
+    pub patterns_found: usize,
+    /// Patterns surviving Prune (proposed to the review queue).
+    pub patterns_useful: usize,
+    /// Candidates newly enqueued (after dedup against prior decisions).
+    pub candidates_enqueued: usize,
+    /// Rules folded into the policy this round (auto-accept mode only).
+    pub rules_added: usize,
+    /// Entry-weighted coverage before the round's policy change.
+    pub entry_coverage_before: f64,
+    /// Entry-weighted coverage after (same trail, updated policy).
+    pub entry_coverage_after: f64,
+    /// Policy cardinality after the round.
+    pub policy_cardinality: usize,
+}
+
+/// The PRIMA system: Figure 4 as an object.
+pub struct PrimaSystem {
+    vocab: Vocabulary,
+    policy: Policy,
+    federation: AuditFederation,
+    review: ReviewQueue,
+    history: Vec<RoundRecord>,
+    miner: Box<dyn Miner + Send + Sync>,
+}
+
+impl PrimaSystem {
+    /// Creates a system with the paper's default miner (SQL group-by with
+    /// `f = 5`, `COUNT(DISTINCT user) > 1`).
+    pub fn new(vocab: Vocabulary, policy: Policy) -> Self {
+        Self {
+            vocab,
+            policy,
+            federation: AuditFederation::new(),
+            review: ReviewQueue::new(),
+            history: Vec::new(),
+            miner: Box::new(SqlMiner::default()),
+        }
+    }
+
+    /// Replaces the miner (e.g. with the Apriori miner of experiment E8).
+    pub fn with_miner(mut self, miner: Box<dyn Miner + Send + Sync>) -> Self {
+        self.miner = miner;
+        self
+    }
+
+    /// Registers an audit source — e.g. the store an HDB Compliance
+    /// Auditing instance writes to, or a per-site trail.
+    pub fn attach_store(&mut self, store: AuditStore) {
+        self.federation.register(store);
+    }
+
+    /// The audit federation (Audit Management component).
+    pub fn federation(&self) -> &AuditFederation {
+        &self.federation
+    }
+
+    /// The current policy store.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The review queue (manual mode drives decisions through this).
+    pub fn review_mut(&mut self) -> &mut ReviewQueue {
+        &mut self.review
+    }
+
+    /// Read access to the review queue.
+    pub fn review(&self) -> &ReviewQueue {
+        &self.review
+    }
+
+    /// Refinement-round history.
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// Set-based coverage (Definition 9) of the current policy with
+    /// respect to the consolidated audit trail, using the lazy engine.
+    pub fn coverage(&self) -> Result<CoverageReport, ModelError> {
+        CoverageEngine::new(Strategy::Lazy).coverage(
+            &self.policy,
+            &self.federation.to_policy(),
+            &self.vocab,
+        )
+    }
+
+    /// Entry-weighted coverage (the Section 5 computation) over the
+    /// consolidated trail.
+    pub fn entry_coverage(&self) -> EntryCoverageReport {
+        CoverageEngine::default().entry_coverage(
+            &self.policy,
+            &self.federation.ground_rules(),
+            &self.vocab,
+        )
+    }
+
+    /// Runs one refinement round over the consolidated trail.
+    pub fn run_round(&mut self, mode: ReviewMode) -> Result<RoundRecord, MiningError> {
+        let entries = self.federation.consolidated_entries();
+        self.run_round_over(entries, mode)
+    }
+
+    /// Runs one refinement round over only the entries inside the training
+    /// window (Section 4.3's training period) — the deployment shape where
+    /// refinement runs "at regular intervals" over the latest period.
+    pub fn run_round_windowed(
+        &mut self,
+        window: prima_audit::TrainingWindow,
+        mode: ReviewMode,
+    ) -> Result<RoundRecord, MiningError> {
+        let entries: Vec<AuditEntry> = self
+            .federation
+            .consolidated_entries()
+            .into_iter()
+            .filter(|e| window.contains(e.time))
+            .collect();
+        self.run_round_over(entries, mode)
+    }
+
+    fn run_round_over(
+        &mut self,
+        entries: Vec<AuditEntry>,
+        mode: ReviewMode,
+    ) -> Result<RoundRecord, MiningError> {
+        let round = self.history.len() + 1;
+        let rules: Vec<prima_model::GroundRule> = entries
+            .iter()
+            .map(|e| {
+                e.to_ground_rule()
+                    .expect("audit entries carry non-empty attributes")
+            })
+            .collect();
+        let before = CoverageEngine::default()
+            .entry_coverage(&self.policy, &rules, &self.vocab)
+            .ratio();
+
+        let report = refinement_with_miner(&self.policy, &entries, &self.vocab, &*self.miner)?;
+        let candidates_enqueued = self
+            .review
+            .propose(report.useful_patterns.clone(), round);
+
+        let rules_added = match mode {
+            ReviewMode::AutoAccept => {
+                self.review.accept_all_pending();
+                self.review.apply_accepted(&mut self.policy)
+            }
+            ReviewMode::Manual => 0,
+        };
+
+        let after = CoverageEngine::default()
+            .entry_coverage(&self.policy, &rules, &self.vocab)
+            .ratio();
+
+        let record = RoundRecord {
+            round,
+            audit_entries: entries.len(),
+            practice_entries: report.practice_entries,
+            patterns_found: report.raw_patterns.len(),
+            patterns_useful: report.useful_patterns.len(),
+            candidates_enqueued,
+            rules_added,
+            entry_coverage_before: before,
+            entry_coverage_after: after,
+            policy_cardinality: self.policy.cardinality(),
+        };
+        self.history.push(record.clone());
+        Ok(record)
+    }
+
+    /// Applies accepted manual-review decisions to the policy, returning
+    /// the number of rules added.
+    pub fn apply_review_decisions(&mut self) -> usize {
+        self.review.apply_accepted(&mut self.policy)
+    }
+
+    /// Installs restored review/history state (used by
+    /// [`crate::snapshot`]).
+    pub(crate) fn restore_state(
+        &mut self,
+        review: ReviewQueue,
+        history: Vec<RoundRecord>,
+    ) {
+        self.review = review;
+        self.history = history;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::samples::figure_3_policy_store;
+    use prima_refine::CandidateState;
+    use prima_vocab::samples::figure_1;
+    use prima_workload::fixtures::table_1;
+
+    fn system_with_table_1() -> PrimaSystem {
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        let store = AuditStore::new("main");
+        store.append_all(&table_1()).unwrap();
+        sys.attach_store(store);
+        sys
+    }
+
+    #[test]
+    fn section_5_auto_accept_round() {
+        let mut sys = system_with_table_1();
+        let before = sys.entry_coverage();
+        assert!((before.percent() - 30.0).abs() < 1e-9, "paper's 30%");
+
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.audit_entries, 10);
+        assert_eq!(record.practice_entries, 7);
+        assert_eq!(record.patterns_found, 1);
+        assert_eq!(record.patterns_useful, 1);
+        assert_eq!(record.rules_added, 1);
+        assert_eq!(record.policy_cardinality, 4);
+        // Accepting Referral:Registration:Nurse covers t3, t7-t10: 8/10.
+        assert!((record.entry_coverage_after - 0.8).abs() < 1e-9);
+        assert!(record.entry_coverage_after > record.entry_coverage_before);
+        assert_eq!(sys.history().len(), 1);
+    }
+
+    #[test]
+    fn manual_mode_waits_for_decisions() {
+        let mut sys = system_with_table_1();
+        let record = sys.run_round(ReviewMode::Manual).unwrap();
+        assert_eq!(record.rules_added, 0);
+        assert_eq!(record.candidates_enqueued, 1);
+        assert_eq!(sys.policy().cardinality(), 3, "policy unchanged");
+
+        let id = sys.review().pending().next().unwrap().id;
+        sys.review_mut()
+            .decide(id, CandidateState::Accepted, Some("ward workflow"));
+        assert_eq!(sys.apply_review_decisions(), 1);
+        assert_eq!(sys.policy().cardinality(), 4);
+        assert!((sys.entry_coverage().ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_patterns_are_not_reproposed() {
+        let mut sys = system_with_table_1();
+        sys.run_round(ReviewMode::Manual).unwrap();
+        let id = sys.review().pending().next().unwrap().id;
+        sys.review_mut()
+            .decide(id, CandidateState::Rejected, Some("should stop"));
+        let second = sys.run_round(ReviewMode::Manual).unwrap();
+        assert_eq!(second.patterns_useful, 1, "still mined");
+        assert_eq!(second.candidates_enqueued, 0, "but not re-proposed");
+    }
+
+    #[test]
+    fn set_coverage_also_available() {
+        let sys = system_with_table_1();
+        let report = sys.coverage().unwrap();
+        // Set view: 6 distinct ground rules, 3 covered (paper's Fig 3).
+        assert_eq!(report.target_cardinality, 6);
+        assert_eq!(report.overlap, 3);
+    }
+
+    #[test]
+    fn windowed_round_ignores_entries_outside_the_training_period() {
+        let mut sys = system_with_table_1();
+        // Window covering only t1..t5: the frequent pattern (t3, t7-t10)
+        // has just one occurrence inside, so nothing is mined.
+        let early = prima_audit::TrainingWindow::new(1, 6);
+        let record = sys.run_round_windowed(early, ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.audit_entries, 5);
+        assert_eq!(record.patterns_found, 0);
+        // The full-trail window reproduces the Section 5 outcome.
+        let full = prima_audit::TrainingWindow::new(1, 11);
+        let record = sys.run_round_windowed(full, ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.audit_entries, 10);
+        assert_eq!(record.rules_added, 1);
+    }
+
+    #[test]
+    fn empty_federation_round_is_graceful() {
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.audit_entries, 0);
+        assert_eq!(record.patterns_found, 0);
+        assert!((record.entry_coverage_before - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,110 @@
+//! Structured access requests — the interface between the end-user query
+//! layer and Active Enforcement.
+
+use prima_store::Predicate;
+
+/// How the purpose of access was established (Section 4.2): choosing a
+/// purpose from the system's list is a *regular* access; manually entering
+/// one — the break-the-glass path — is an *exception-based* access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Purpose chosen from the policy-backed list; the request is served
+    /// only if policy allows it.
+    Chosen,
+    /// Break-the-glass override: the request is served even when policy
+    /// denies it, and audited with `status = exception`.
+    BreakTheGlass,
+}
+
+/// A structured data-access request.
+///
+/// The paper's AE rewrites *queries*; operationally every clinical query is
+/// "columns of one table, filtered". Keeping the request structured (rather
+/// than raw SQL) keeps the rewriting auditable: enforcement returns exactly
+/// which columns were served, suppressed, and which rows were excluded for
+/// consent.
+#[derive(Debug, Clone)]
+pub struct AccessRequest {
+    /// The requesting user (audit `user`).
+    pub user: String,
+    /// The requester's authorization category (audit `authorized`).
+    pub role: String,
+    /// The declared purpose of access (audit `purpose`).
+    pub purpose: String,
+    /// The table being queried.
+    pub table: String,
+    /// Requested columns, in desired output order.
+    pub columns: Vec<String>,
+    /// The user's own row filter (conjoined with enforcement predicates).
+    pub filter: Option<Predicate>,
+    /// Regular vs break-the-glass access.
+    pub mode: AccessMode,
+    /// Timestamp of the request (audit `time`).
+    pub time: i64,
+}
+
+impl AccessRequest {
+    /// A regular (purpose-chosen) request.
+    pub fn chosen(
+        time: i64,
+        user: &str,
+        role: &str,
+        purpose: &str,
+        table: &str,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            user: user.into(),
+            role: role.into(),
+            purpose: purpose.into(),
+            table: table.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            filter: None,
+            mode: AccessMode::Chosen,
+            time,
+        }
+    }
+
+    /// A break-the-glass request.
+    pub fn break_the_glass(
+        time: i64,
+        user: &str,
+        role: &str,
+        purpose: &str,
+        table: &str,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            mode: AccessMode::BreakTheGlass,
+            ..Self::chosen(time, user, role, purpose, table, columns)
+        }
+    }
+
+    /// Adds a row filter.
+    pub fn with_filter(mut self, filter: Predicate) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_store::Value;
+
+    #[test]
+    fn constructors_set_mode() {
+        let r = AccessRequest::chosen(1, "tim", "nurse", "treatment", "encounters", &["referral"]);
+        assert_eq!(r.mode, AccessMode::Chosen);
+        assert_eq!(r.columns, vec!["referral"]);
+        let b = AccessRequest::break_the_glass(2, "mark", "nurse", "registration", "encounters", &["referral"]);
+        assert_eq!(b.mode, AccessMode::BreakTheGlass);
+    }
+
+    #[test]
+    fn with_filter_attaches_predicate() {
+        let r = AccessRequest::chosen(1, "u", "r", "p", "t", &["c"])
+            .with_filter(Predicate::eq("patient", Value::str("p1")));
+        assert!(r.filter.is_some());
+    }
+}

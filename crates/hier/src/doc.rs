@@ -1,0 +1,474 @@
+//! Arena-backed document trees with an XML-subset parser/serializer.
+//!
+//! The subset: elements (`<name> … </name>`), self-closing elements
+//! (`<name/>`), text content, and `<!-- comments -->`. No attributes,
+//! namespaces, or processing instructions — legacy clinical exports in the
+//! paper's sense are element/text hierarchies, and keeping the grammar
+//! small keeps redaction semantics obvious.
+
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node: a named element with optional text and children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Element name.
+    pub name: String,
+    /// Text content (leaf payload).
+    pub text: Option<String>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Parent (None for the root).
+    pub parent: Option<NodeId>,
+}
+
+/// A document: an arena of nodes with a single root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Creates a document with a root element.
+    pub fn new(root_name: &str) -> Self {
+        Self {
+            nodes: vec![Node {
+                name: root_name.to_string(),
+                text: None,
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the document is just a bare root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].children.is_empty()
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Appends a child element under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            text: None,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends a child element with text content.
+    pub fn add_text_child(&mut self, parent: NodeId, name: &str, text: &str) -> NodeId {
+        let id = self.add_child(parent, name);
+        self.nodes[id.index()].text = Some(text.to_string());
+        id
+    }
+
+    /// The `/`-separated element-name path from the root to `id`.
+    pub fn path_of(&self, id: NodeId) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            names.push(self.nodes[c.index()].name.clone());
+            cur = self.nodes[c.index()].parent;
+        }
+        names.reverse();
+        format!("/{}", names.join("/"))
+    }
+
+    /// The element-name segments from root to `id` (root first).
+    pub fn segments_of(&self, id: NodeId) -> Vec<&str> {
+        let mut names = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            names.push(self.nodes[c.index()].name.as_str());
+            cur = self.nodes[c.index()].parent;
+        }
+        names.reverse();
+        names
+    }
+
+    /// Pre-order traversal of node ids.
+    pub fn descendants(&self, from: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![from];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for &c in self.nodes[id.index()].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Deep-copies the subtree at `from` (in `self`) into `target` under
+    /// `target_parent`. Used by redaction to build the permitted view.
+    pub fn copy_subtree_into(&self, from: NodeId, target: &mut Document, target_parent: NodeId) {
+        let src = self.node(from);
+        let new_id = target.add_child(target_parent, &src.name);
+        if let Some(t) = &src.text {
+            target.nodes[new_id.index()].text = Some(t.clone());
+        }
+        for &c in &src.children {
+            self.copy_subtree_into(c, target, new_id);
+        }
+    }
+
+    /// Serializes to the XML subset (no declaration, 2-space indent).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.render(self.root, 0, &mut out);
+        out
+    }
+
+    fn render(&self, id: NodeId, indent: usize, out: &mut String) {
+        let n = self.node(id);
+        let pad = "  ".repeat(indent);
+        match (&n.text, n.children.is_empty()) {
+            (None, true) => {
+                out.push_str(&format!("{pad}<{}/>\n", n.name));
+            }
+            (Some(t), true) => {
+                out.push_str(&format!("{pad}<{}>{}</{}>\n", n.name, escape(t), n.name));
+            }
+            _ => {
+                out.push_str(&format!("{pad}<{}>\n", n.name));
+                if let Some(t) = &n.text {
+                    out.push_str(&format!("{pad}  {}\n", escape(t)));
+                }
+                for &c in &n.children {
+                    self.render(c, indent + 1, out);
+                }
+                out.push_str(&format!("{pad}</{}>\n", n.name));
+            }
+        }
+    }
+
+    /// Parses the XML subset.
+    pub fn parse_xml(input: &str) -> Result<Document, XmlError> {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+        .parse_document(input)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_xml())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// XML-subset parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(&mut self, raw: &str) -> Result<Document, XmlError> {
+        self.skip_ws_and_comments()?;
+        let (name, self_closing) = self.open_tag(raw)?;
+        let mut doc = Document::new(&name);
+        let root = doc.root;
+        if !self_closing {
+            self.parse_children(raw, &mut doc, root, &name)?;
+        }
+        self.skip_ws_and_comments()?;
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing content after document element"));
+        }
+        Ok(doc)
+    }
+
+    fn parse_children(
+        &mut self,
+        raw: &str,
+        doc: &mut Document,
+        parent: NodeId,
+        parent_name: &str,
+    ) -> Result<(), XmlError> {
+        loop {
+            // Text run until '<'.
+            let start = self.pos;
+            while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            let text = raw[start..self.pos].trim();
+            if !text.is_empty() {
+                let existing = &mut doc.nodes[parent.index()].text;
+                let merged = match existing.take() {
+                    Some(prev) => format!("{prev} {}", unescape(text)),
+                    None => unescape(text),
+                };
+                *existing = Some(merged);
+            }
+            if self.pos >= self.input.len() {
+                return Err(self.err(&format!("unexpected end of input inside <{parent_name}>")));
+            }
+            // Comment?
+            if self.input[self.pos..].starts_with(b"<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            // Closing tag?
+            if self.input[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let name = self.name(raw)?;
+                self.expect(b'>')?;
+                if name != parent_name {
+                    return Err(self.err(&format!(
+                        "mismatched closing tag </{name}> for <{parent_name}>"
+                    )));
+                }
+                return Ok(());
+            }
+            // Child element.
+            let (name, self_closing) = self.open_tag(raw)?;
+            let child = doc.add_child(parent, &name);
+            if !self_closing {
+                self.parse_children(raw, doc, child, &name)?;
+            }
+        }
+    }
+
+    fn open_tag(&mut self, raw: &str) -> Result<(String, bool), XmlError> {
+        self.expect(b'<')?;
+        let name = self.name(raw)?;
+        if name.is_empty() {
+            return Err(self.err("empty element name"));
+        }
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&b'/') {
+            self.pos += 1;
+            self.expect(b'>')?;
+            return Ok((name, true));
+        }
+        self.expect(b'>')?;
+        Ok((name, false))
+    }
+
+    fn name(&mut self, raw: &str) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let b = self.input[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(raw[start..self.pos].to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), XmlError> {
+        if self.input.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        // self.pos is at "<!--".
+        let close = self.input[self.pos..]
+            .windows(3)
+            .position(|w| w == b"-->")
+            .ok_or_else(|| self.err("unterminated comment"))?;
+        self.pos += close + 3;
+        Ok(())
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<!--") {
+                self.skip_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn err(&self, message: &str) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new("patient");
+        let demo = d.add_child(d.root(), "demographic");
+        d.add_text_child(demo, "name", "Ada Pine");
+        d.add_text_child(demo, "address", "12 Oak St");
+        let rec = d.add_child(d.root(), "record");
+        d.add_text_child(rec, "referral", "cardiology");
+        let mh = d.add_child(rec, "mental-health");
+        d.add_text_child(mh, "psychiatry", "session notes");
+        d
+    }
+
+    #[test]
+    fn construction_and_paths() {
+        let d = sample();
+        assert_eq!(d.len(), 8);
+        let psych = d
+            .descendants(d.root())
+            .into_iter()
+            .find(|&id| d.node(id).name == "psychiatry")
+            .unwrap();
+        assert_eq!(d.path_of(psych), "/patient/record/mental-health/psychiatry");
+        assert_eq!(
+            d.segments_of(psych),
+            vec!["patient", "record", "mental-health", "psychiatry"]
+        );
+    }
+
+    #[test]
+    fn descendants_are_preorder() {
+        let d = sample();
+        let names: Vec<&str> = d
+            .descendants(d.root())
+            .iter()
+            .map(|&id| d.node(id).name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "patient",
+                "demographic",
+                "name",
+                "address",
+                "record",
+                "referral",
+                "mental-health",
+                "psychiatry"
+            ]
+        );
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let d = sample();
+        let xml = d.to_xml();
+        let back = Document::parse_xml(&xml).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn parses_self_closing_comments_and_escapes() {
+        let xml = "<root><!-- note --><empty/><msg>a &lt; b &amp; c</msg></root>";
+        let d = Document::parse_xml(xml).unwrap();
+        assert_eq!(d.len(), 3);
+        let msg = d
+            .descendants(d.root())
+            .into_iter()
+            .find(|&id| d.node(id).name == "msg")
+            .unwrap();
+        assert_eq!(d.node(msg).text.as_deref(), Some("a < b & c"));
+        // And the round trip re-escapes.
+        let back = Document::parse_xml(&d.to_xml()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Document::parse_xml("<a><b></a></b>").is_err());
+        assert!(Document::parse_xml("<a>").is_err());
+        assert!(Document::parse_xml("<a/>junk").is_err());
+        assert!(Document::parse_xml("<>x</>").is_err());
+        assert!(Document::parse_xml("<a><!-- unterminated</a>").is_err());
+    }
+
+    #[test]
+    fn copy_subtree_preserves_structure() {
+        let d = sample();
+        let rec = d
+            .descendants(d.root())
+            .into_iter()
+            .find(|&id| d.node(id).name == "record")
+            .unwrap();
+        let mut target = Document::new("view");
+        let target_root = target.root();
+        d.copy_subtree_into(rec, &mut target, target_root);
+        assert_eq!(target.len(), 1 + 4); // view + record subtree
+        let psych = target
+            .descendants(target.root())
+            .into_iter()
+            .find(|&id| target.node(id).name == "psychiatry")
+            .unwrap();
+        assert_eq!(target.node(psych).text.as_deref(), Some("session notes"));
+    }
+
+    #[test]
+    fn is_empty_only_for_bare_root() {
+        assert!(Document::new("x").is_empty());
+        assert!(!sample().is_empty());
+    }
+}

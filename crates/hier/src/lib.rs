@@ -1,0 +1,36 @@
+//! # prima-hier — PRIMA over tree-structured records
+//!
+//! The paper's concluding sentence: "While emerging healthcare
+//! organizations leverage relational database systems, legacy systems
+//! employ hierarchical, XML-like structures. Thus, the natural evolution
+//! for PRIMA is to adapt the core concepts and technology to the
+//! tree-based structures." This crate is that adaptation:
+//!
+//! * [`doc`] — an arena-backed document tree (elements with text leaves),
+//!   plus a parser/serializer for a well-formed XML subset, enough to
+//!   model legacy clinical documents;
+//! * [`path`] — path patterns (`/patient/record/psychiatry`, single-level
+//!   `*`, subtree-trailing `**`) for addressing document regions;
+//! * [`category`] — the hierarchical analog of the relational column map:
+//!   path patterns → privacy-vocabulary data categories (most-specific
+//!   match wins);
+//! * [`enforce`] — tree-aware Active Enforcement: subtree redaction of
+//!   regions whose category the policy does not sanction, break-the-glass
+//!   override, and the same seven-attribute audit entries as the
+//!   relational middleware — so the *refinement pipeline is unchanged*;
+//!   hierarchical systems plug into the identical PRIMA loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod control;
+pub mod doc;
+pub mod enforce;
+pub mod path;
+
+pub use category::PathCategoryMap;
+pub use control::{TreeControlCenter, TreeControlError};
+pub use doc::{Document, NodeId};
+pub use enforce::{RedactionOutcome, TreeEnforcement};
+pub use path::PathPattern;

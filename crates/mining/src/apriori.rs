@@ -1,0 +1,553 @@
+//! Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994 — the
+//! paper's reference \[18\] and its stated future-work direction).
+//!
+//! Each practice entry becomes a transaction of `(attribute, value)` items
+//! (one item per configured attribute). Levelwise candidate generation with
+//! subset pruning finds every itemset meeting the support threshold; from
+//! those, association rules with confidence are derived.
+//!
+//! Why this matters over the SQL miner: `GROUP BY data, purpose,
+//! authorized` only sees *full-width* combinations. Apriori also surfaces
+//! the partial ones — "correlations between attribute pairs that are not
+//! discovered by simple SQL queries" — e.g. nurses touching referral data
+//! for many scattered purposes, none individually frequent.
+
+use crate::error::MiningError;
+use crate::pattern::{sort_patterns, Pattern};
+use crate::Miner;
+use prima_model::{GroundRule, RuleTerm};
+use prima_store::{Table, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for the Apriori miner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AprioriConfig {
+    /// Audit columns whose values become items (default
+    /// `data, purpose, authorized`).
+    pub attributes: Vec<String>,
+    /// Absolute support threshold (an itemset must occur in at least this
+    /// many transactions).
+    pub min_support: usize,
+    /// Distinct-user condition applied to *full-width* patterns when this
+    /// miner is used through the [`Miner`] interface (mirrors the SQL
+    /// miner's `c`).
+    pub min_distinct_users: usize,
+    /// The column holding the requesting user.
+    pub user_column: String,
+    /// Cap on itemset size (`None` = up to the number of attributes).
+    pub max_len: Option<usize>,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        Self {
+            attributes: vec!["data".into(), "purpose".into(), "authorized".into()],
+            min_support: 5,
+            min_distinct_users: 1,
+            user_column: "user".into(),
+            max_len: None,
+        }
+    }
+}
+
+/// A frequent itemset: sorted `(attribute, value)` items and their support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted by `(attribute, value)`.
+    pub items: Vec<(String, String)>,
+    /// Number of transactions containing all the items.
+    pub support: usize,
+}
+
+impl FrequentItemset {
+    /// Itemset size.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the itemset is empty (never produced by the miner).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side items.
+    pub antecedent: Vec<(String, String)>,
+    /// Right-hand side items.
+    pub consequent: Vec<(String, String)>,
+    /// Support of antecedent ∪ consequent.
+    pub support: usize,
+    /// `support(antecedent ∪ consequent) / support(antecedent)`.
+    pub confidence: f64,
+}
+
+/// The Apriori miner.
+#[derive(Debug, Clone, Default)]
+pub struct AprioriMiner {
+    config: AprioriConfig,
+}
+
+impl AprioriMiner {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: AprioriConfig) -> Self {
+        Self { config }
+    }
+
+    /// The miner's configuration.
+    pub fn config(&self) -> &AprioriConfig {
+        &self.config
+    }
+
+    /// Runs levelwise Apriori over the practice table, returning every
+    /// frequent itemset (all sizes), sorted by size then items.
+    pub fn frequent_itemsets(&self, practice: &Table) -> Result<Vec<FrequentItemset>, MiningError> {
+        let (transactions, items) = self.transactions(practice)?;
+        let min_support = self.config.min_support.max(1);
+        let max_len = self
+            .config
+            .max_len
+            .unwrap_or(self.config.attributes.len())
+            .min(self.config.attributes.len());
+
+        let mut all: Vec<(Vec<u32>, usize)> = Vec::new();
+
+        // L1.
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for t in &transactions {
+            for &it in t {
+                *counts.entry(it).or_default() += 1;
+            }
+        }
+        let mut level: Vec<Vec<u32>> = counts
+            .iter()
+            .filter(|(_, &c)| c >= min_support)
+            .map(|(&it, _)| vec![it])
+            .collect();
+        level.sort();
+        for is in &level {
+            all.push((is.clone(), counts[&is[0]]));
+        }
+
+        let mut k = 2usize;
+        while !level.is_empty() && k <= max_len {
+            let candidates = generate_candidates(&level);
+            if candidates.is_empty() {
+                break;
+            }
+            let mut cand_counts: HashMap<&[u32], usize> = HashMap::new();
+            for t in &transactions {
+                for c in &candidates {
+                    if is_subset(c, t) {
+                        *cand_counts.entry(c.as_slice()).or_default() += 1;
+                    }
+                }
+            }
+            let mut next: Vec<Vec<u32>> = Vec::new();
+            for c in &candidates {
+                if let Some(&count) = cand_counts.get(c.as_slice()) {
+                    if count >= min_support {
+                        next.push(c.clone());
+                        all.push((c.clone(), count));
+                    }
+                }
+            }
+            next.sort();
+            level = next;
+            k += 1;
+        }
+
+        all.sort_by(|(a, _), (b, _)| a.len().cmp(&b.len()).then(a.cmp(b)));
+        Ok(all
+            .into_iter()
+            .map(|(ids, support)| {
+                let mut named: Vec<(String, String)> =
+                    ids.iter().map(|&i| items[i as usize].clone()).collect();
+                // Present itemsets in canonical (attribute, value) order
+                // regardless of interning order.
+                named.sort();
+                FrequentItemset {
+                    items: named,
+                    support,
+                }
+            })
+            .collect())
+    }
+
+    /// Derives association rules with at least `min_confidence` from the
+    /// frequent itemsets (every subset of a frequent itemset is frequent,
+    /// so all needed supports are present).
+    pub fn association_rules(
+        &self,
+        itemsets: &[FrequentItemset],
+        min_confidence: f64,
+    ) -> Vec<AssociationRule> {
+        let support_of: HashMap<&[(String, String)], usize> = itemsets
+            .iter()
+            .map(|fi| (fi.items.as_slice(), fi.support))
+            .collect();
+        let mut rules = Vec::new();
+        for fi in itemsets.iter().filter(|fi| fi.len() >= 2) {
+            // Every non-empty proper subset as antecedent.
+            let n = fi.len();
+            for mask in 1..((1usize << n) - 1) {
+                let mut ante = Vec::new();
+                let mut cons = Vec::new();
+                for (i, item) in fi.items.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        ante.push(item.clone());
+                    } else {
+                        cons.push(item.clone());
+                    }
+                }
+                let Some(&ante_support) = support_of.get(ante.as_slice()) else {
+                    continue; // defensive; downward closure should supply it
+                };
+                let confidence = fi.support as f64 / ante_support as f64;
+                if confidence >= min_confidence {
+                    rules.push(AssociationRule {
+                        antecedent: ante,
+                        consequent: cons,
+                        support: fi.support,
+                        confidence,
+                    });
+                }
+            }
+        }
+        rules.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.support.cmp(&a.support))
+                .then(a.antecedent.cmp(&b.antecedent))
+        });
+        rules
+    }
+
+    /// Builds transactions: one item per configured attribute per row,
+    /// with the interned item dictionary.
+    #[allow(clippy::type_complexity)]
+    fn transactions(
+        &self,
+        practice: &Table,
+    ) -> Result<(Vec<Vec<u32>>, Vec<(String, String)>), MiningError> {
+        if self.config.attributes.is_empty() {
+            return Err(MiningError::Config {
+                message: "attribute subset must be non-empty".into(),
+            });
+        }
+        let mut attr_indices = Vec::with_capacity(self.config.attributes.len());
+        for a in &self.config.attributes {
+            let idx = practice
+                .schema()
+                .index_of(a)
+                .ok_or_else(|| MiningError::MissingAttribute {
+                    attribute: a.clone(),
+                })?;
+            attr_indices.push(idx);
+        }
+        let mut dict: HashMap<(String, String), u32> = HashMap::new();
+        let mut items: Vec<(String, String)> = Vec::new();
+        let mut transactions = Vec::with_capacity(practice.len());
+        for row in practice.scan() {
+            let mut t = Vec::with_capacity(attr_indices.len());
+            for (attr, &idx) in self.config.attributes.iter().zip(&attr_indices) {
+                let value = match row.get(idx) {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                let key = (attr.clone(), value);
+                let id = *dict.entry(key.clone()).or_insert_with(|| {
+                    items.push(key.clone());
+                    (items.len() - 1) as u32
+                });
+                t.push(id);
+            }
+            t.sort_unstable();
+            transactions.push(t);
+        }
+        Ok((transactions, items))
+    }
+
+    /// Distinct users per full-width itemset (for the [`Miner`] adapter).
+    fn distinct_users(
+        &self,
+        practice: &Table,
+        patterns: &[Vec<(String, String)>],
+    ) -> Result<Vec<usize>, MiningError> {
+        let user_idx = practice
+            .schema()
+            .index_of(&self.config.user_column)
+            .ok_or_else(|| MiningError::MissingAttribute {
+                attribute: self.config.user_column.clone(),
+            })?;
+        let mut sets: Vec<HashSet<String>> = vec![HashSet::new(); patterns.len()];
+        for row in practice.scan() {
+            for (pi, pat) in patterns.iter().enumerate() {
+                let matches = pat.iter().all(|(attr, value)| {
+                    let idx = practice
+                        .schema()
+                        .index_of(attr)
+                        .expect("pattern attributes validated");
+                    match row.get(idx) {
+                        Value::Str(s) => s == value,
+                        other => &other.to_string() == value,
+                    }
+                });
+                if matches {
+                    if let Some(u) = row.get(user_idx).as_str() {
+                        sets[pi].insert(u.to_string());
+                    }
+                }
+            }
+        }
+        Ok(sets.into_iter().map(|s| s.len()).collect())
+    }
+}
+
+impl Miner for AprioriMiner {
+    /// Full-width frequent itemsets as patterns, filtered by the
+    /// distinct-user condition — directly comparable with
+    /// [`SqlMiner`](crate::SqlMiner) output (experiment E8 asserts they agree).
+    fn mine(&self, practice: &Table) -> Result<Vec<Pattern>, MiningError> {
+        let width = self.config.attributes.len();
+        let itemsets = self.frequent_itemsets(practice)?;
+        let full: Vec<&FrequentItemset> =
+            itemsets.iter().filter(|fi| fi.len() == width).collect();
+        let keys: Vec<Vec<(String, String)>> = full.iter().map(|fi| fi.items.clone()).collect();
+        let users = self.distinct_users(practice, &keys)?;
+        let mut patterns = Vec::new();
+        for (fi, distinct) in full.iter().zip(users) {
+            if distinct <= self.config.min_distinct_users {
+                continue;
+            }
+            let mut terms = Vec::with_capacity(fi.items.len());
+            for (attr, value) in &fi.items {
+                terms.push(RuleTerm::new(attr, value).map_err(|e| MiningError::Malformed {
+                    message: e.to_string(),
+                })?);
+            }
+            let rule = GroundRule::new(terms).map_err(|e| MiningError::Malformed {
+                message: e.to_string(),
+            })?;
+            patterns.push(Pattern::new(rule, fi.support, distinct));
+        }
+        sort_patterns(&mut patterns);
+        Ok(patterns)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "apriori(A=[{}], min_support={}, users>{})",
+            self.config.attributes.join(","),
+            self.config.min_support,
+            self.config.min_distinct_users
+        )
+    }
+}
+
+/// Joins sorted (k-1)-itemsets sharing a (k-2)-prefix, pruning candidates
+/// with an infrequent (k-1)-subset.
+fn generate_candidates(level: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let frequent: HashSet<&[u32]> = level.iter().map(Vec::as_slice).collect();
+    let mut out = Vec::new();
+    for i in 0..level.len() {
+        for j in (i + 1)..level.len() {
+            let a = &level[i];
+            let b = &level[j];
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                continue; // sorted level: once prefixes diverge, no more joins for i
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            // cand is sorted because a/b share a prefix and b's last > a's
+            // last (level is sorted lexicographically).
+            let all_subsets_frequent = (0..cand.len()).all(|drop| {
+                let mut sub = cand.clone();
+                sub.remove(drop);
+                frequent.contains(sub.as_slice())
+            });
+            if all_subsets_frequent {
+                out.push(cand);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn is_subset(needle: &[u32], haystack: &[u32]) -> bool {
+    // Both sorted; merge walk.
+    let mut hi = 0usize;
+    'outer: for &n in needle {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&n) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_audit::{audit_schema, AuditEntry};
+
+    fn practice() -> Table {
+        let mut t = Table::new("practice", audit_schema());
+        let mut add = |time: i64, user: &str, data: &str, purpose: &str, role: &str| {
+            t.insert(AuditEntry::exception(time, user, data, purpose, role).to_row())
+                .unwrap();
+        };
+        // 5× referral:registration:nurse by 3 users (full-width pattern).
+        add(1, "mark", "referral", "registration", "nurse");
+        add(2, "tim", "referral", "registration", "nurse");
+        add(3, "bob", "referral", "registration", "nurse");
+        add(4, "mark", "referral", "registration", "nurse");
+        add(5, "mark", "referral", "registration", "nurse");
+        // referral by nurses for 3 *different* purposes (pair-level
+        // correlation invisible to full-width GROUP BY at f=5).
+        add(6, "ann", "referral", "scheduling", "nurse");
+        add(7, "joe", "referral", "discharge", "nurse");
+        add(8, "ann", "referral", "billing", "nurse");
+        // Noise.
+        add(9, "eve", "psychiatry", "treatment", "doctor");
+        t
+    }
+
+    #[test]
+    fn is_subset_merge_walk() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[0], &[]));
+    }
+
+    #[test]
+    fn candidate_generation_joins_prefixes() {
+        let level = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
+        let cands = generate_candidates(&level);
+        assert_eq!(cands, vec![vec![1, 2, 3]]);
+        // Without {2,3} the candidate {1,2,3} must be pruned.
+        let level2 = vec![vec![1, 2], vec![1, 3]];
+        assert!(generate_candidates(&level2).is_empty());
+    }
+
+    #[test]
+    fn frequent_itemsets_include_partial_patterns() {
+        let miner = AprioriMiner::default(); // min_support 5
+        let itemsets = miner.frequent_itemsets(&practice()).unwrap();
+        // (data=referral) occurs 8×, (data=referral, authorized=nurse) 8×,
+        // (purpose=registration) 5×, full triple 5×, …
+        let has = |items: &[(&str, &str)], support: usize| {
+            itemsets.iter().any(|fi| {
+                fi.support == support
+                    && fi.items
+                        == items
+                            .iter()
+                            .map(|(a, v)| (a.to_string(), v.to_string()))
+                            .collect::<Vec<_>>()
+            })
+        };
+        assert!(has(&[("data", "referral")], 8));
+        assert!(has(&[("authorized", "nurse"), ("data", "referral")], 8));
+        assert!(has(
+            &[
+                ("authorized", "nurse"),
+                ("data", "referral"),
+                ("purpose", "registration")
+            ],
+            5
+        ));
+        // The pair-level insight the SQL miner misses: nurses × referral is
+        // far more frequent than any full-width pattern reveals.
+    }
+
+    #[test]
+    fn miner_interface_matches_sql_miner_on_full_width() {
+        use crate::sql_miner::SqlMiner;
+        let t = practice();
+        let apriori = AprioriMiner::default().mine(&t).unwrap();
+        let sql = SqlMiner::default().mine(&t).unwrap();
+        assert_eq!(apriori, sql, "E8: miners agree on full-width patterns");
+        assert_eq!(apriori.len(), 1);
+        assert_eq!(apriori[0].support, 5);
+        assert_eq!(apriori[0].distinct_users, 3);
+    }
+
+    #[test]
+    fn association_rules_have_confidence() {
+        let config = AprioriConfig {
+            min_support: 3,
+            ..AprioriConfig::default()
+        };
+        let miner = AprioriMiner::new(config);
+        let itemsets = miner.frequent_itemsets(&practice()).unwrap();
+        let rules = miner.association_rules(&itemsets, 0.6);
+        assert!(!rules.is_empty());
+        // (purpose=registration) ⇒ (data=referral, authorized=nurse) holds
+        // with confidence 1.0: every registration entry is a nurse/referral.
+        let perfect = rules.iter().find(|r| {
+            r.antecedent == vec![("purpose".to_string(), "registration".to_string())]
+                && r.confidence == 1.0
+        });
+        assert!(perfect.is_some(), "rules: {rules:?}");
+        for r in &rules {
+            assert!(r.confidence >= 0.6 && r.confidence <= 1.0);
+            assert!(r.support >= 3);
+        }
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let config = AprioriConfig {
+            min_support: 5,
+            max_len: Some(1),
+            ..AprioriConfig::default()
+        };
+        let itemsets = AprioriMiner::new(config)
+            .frequent_itemsets(&practice())
+            .unwrap();
+        assert!(itemsets.iter().all(|fi| fi.len() == 1));
+    }
+
+    #[test]
+    fn empty_practice_yields_nothing() {
+        let t = Table::new("practice", audit_schema());
+        let miner = AprioriMiner::default();
+        assert!(miner.frequent_itemsets(&t).unwrap().is_empty());
+        assert!(miner.mine(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_attribute_is_error() {
+        let t = Table::new(
+            "practice",
+            prima_store::Schema::new(vec![prima_store::Column::required(
+                "other",
+                prima_store::DataType::Str,
+            )])
+            .unwrap(),
+        );
+        assert!(matches!(
+            AprioriMiner::default().frequent_itemsets(&t),
+            Err(MiningError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        assert!(AprioriMiner::default().describe().contains("min_support=5"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # prima-mining — pattern extraction over the audit trail
+//!
+//! Implements the data-analysis layer of the refinement pipeline
+//! (Algorithms 4 and 5) plus the frequent-pattern-mining extension the
+//! paper proposes as future work (its reference \[18\], Agrawal & Srikant's
+//! Apriori):
+//!
+//! * [`sql_miner`] — the paper-faithful miner: translate the attribute
+//!   subset, frequency threshold `f`, and condition `c` into a SQL
+//!   statement and execute it on the `Practice` table through
+//!   `prima-query`. "The data analysis routine has a well-defined interface
+//!   that allows the extractPatterns algorithm to evolve" — the interface
+//!   here is [`Miner`], and the SQL text is observable for auditability;
+//! * [`apriori`] — full Apriori (levelwise candidate generation with
+//!   subset pruning) over audit entries viewed as transactions of
+//!   `(attribute, value)` items, plus association-rule derivation. Unlike
+//!   the fixed GROUP BY, Apriori also surfaces *partial* patterns —
+//!   correlations between attribute pairs "that are not discovered by
+//!   simple SQL queries" (Section 5);
+//! * [`pattern`] — the shared [`Pattern`] type (ground rule + support +
+//!   distinct-user count) both miners produce and `prima-refine` consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod error;
+pub mod pattern;
+pub mod sql_miner;
+
+pub use apriori::{AprioriConfig, AprioriMiner, AssociationRule, FrequentItemset};
+pub use error::MiningError;
+pub use pattern::Pattern;
+pub use sql_miner::{MinerConfig, SqlMiner};
+
+use prima_store::Table;
+
+/// The well-defined mining interface Algorithm 4 plugs into.
+pub trait Miner {
+    /// Extracts candidate patterns from the `Practice` table (the filtered,
+    /// exceptions-only audit trail).
+    fn mine(&self, practice: &Table) -> Result<Vec<Pattern>, MiningError>;
+
+    /// A human-readable description of the miner's configuration (logged by
+    /// the refinement session for auditability).
+    fn describe(&self) -> String;
+}

@@ -1,0 +1,106 @@
+//! The [`Pattern`] type shared by all miners.
+
+use prima_model::GroundRule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A mined access pattern: a ground rule over (a subset of) the audit
+/// attributes, with the evidence that surfaced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The recurring `(attribute, value)` combination.
+    pub rule: GroundRule,
+    /// How many practice entries matched (the `COUNT(*)` of Algorithm 5).
+    pub support: usize,
+    /// How many distinct users produced them (the paper's default condition
+    /// `COUNT(DISTINCT user) > 1` exists to filter out one person's habit).
+    pub distinct_users: usize,
+}
+
+impl Pattern {
+    /// Creates a pattern.
+    pub fn new(rule: GroundRule, support: usize, distinct_users: usize) -> Self {
+        Self {
+            rule,
+            support,
+            distinct_users,
+        }
+    }
+
+    /// The paper's display form, e.g. `referral:registration:nurse`.
+    pub fn compact(&self, attr_order: &[&str]) -> String {
+        self.rule.compact(attr_order)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (support={}, users={})",
+            self.rule, self.support, self.distinct_users
+        )
+    }
+}
+
+/// Sorts patterns canonically: by descending support, then descending
+/// distinct users, then rule order — the priority order a privacy officer
+/// reviews them in.
+pub fn sort_patterns(patterns: &mut [Pattern]) {
+    patterns.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(b.distinct_users.cmp(&a.distinct_users))
+            .then(a.rule.cmp(&b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(d: &str, p: &str) -> GroundRule {
+        GroundRule::of(&[("data", d), ("purpose", p)])
+    }
+
+    #[test]
+    fn display_and_compact() {
+        let p = Pattern::new(
+            GroundRule::of(&[
+                ("data", "referral"),
+                ("purpose", "registration"),
+                ("authorized", "nurse"),
+            ]),
+            5,
+            4,
+        );
+        assert_eq!(
+            p.compact(&["data", "purpose", "authorized"]),
+            "referral:registration:nurse"
+        );
+        assert!(p.to_string().contains("support=5"));
+    }
+
+    #[test]
+    fn sort_is_by_support_then_users_then_rule() {
+        let mut ps = vec![
+            Pattern::new(g("b", "y"), 3, 1),
+            Pattern::new(g("a", "x"), 5, 2),
+            Pattern::new(g("c", "z"), 5, 9),
+            Pattern::new(g("a", "w"), 3, 1),
+        ];
+        sort_patterns(&mut ps);
+        assert_eq!(ps[0].rule, g("c", "z"));
+        assert_eq!(ps[1].rule, g("a", "x"));
+        // Equal support+users: rule order breaks the tie deterministically.
+        assert_eq!(ps[2].rule, g("a", "w"));
+        assert_eq!(ps[3].rule, g("b", "y"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Pattern::new(g("a", "x"), 2, 1);
+        let s = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Pattern>(&s).unwrap(), p);
+    }
+}

@@ -1,0 +1,295 @@
+//! A small authoring DSL for policy stores.
+//!
+//! Privacy officers do not write `Rule::of(&[…])`; they write statements.
+//! The DSL mirrors the paper's own phrasing of rules ("nurses are
+//! authorized to see insurance information for billing purposes"):
+//!
+//! ```text
+//! # Figure 3's policy store
+//! allow nurse to use general-care for treatment;
+//! allow physician to use mental-health for treatment;
+//! allow clerk to use demographic for billing;
+//!
+//! # arbitrary attributes for non-standard schemas
+//! rule data=lab-result, purpose=audit-review, authorized=head-nurse, ward=icu;
+//! ```
+//!
+//! `allow R to use D for P` desugars to the canonical three-term rule
+//! `(data, D) ∧ (purpose, P) ∧ (authorized, R)`; the `rule k=v, …;` form
+//! admits any attribute set. `#` starts a comment; statements end with
+//! `;`; names are normalized exactly like every other model input.
+
+use crate::error::ModelError;
+use crate::policy::{Policy, StoreTag};
+use crate::rule::Rule;
+use crate::term::RuleTerm;
+use std::fmt;
+
+/// A DSL parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy DSL error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// Parses a policy-store definition. Empty input yields an empty policy.
+pub fn parse_policy(text: &str) -> Result<Policy, DslError> {
+    let mut rules = Vec::new();
+    // Statements are ';'-terminated and may span lines; track the line
+    // each statement starts on for errors.
+    let mut statement = String::new();
+    let mut stmt_line = 1usize;
+    let mut in_statement = false;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for ch in line.chars() {
+            if !in_statement {
+                if ch.is_whitespace() {
+                    continue;
+                }
+                in_statement = true;
+                stmt_line = line_no;
+            }
+            if ch == ';' {
+                rules.push(parse_statement(statement.trim(), stmt_line)?);
+                statement.clear();
+                in_statement = false;
+            } else {
+                statement.push(ch);
+            }
+        }
+        if in_statement {
+            statement.push(' ');
+        }
+    }
+    if !statement.trim().is_empty() {
+        return Err(DslError {
+            line: stmt_line,
+            message: "unterminated statement (missing ';')".into(),
+        });
+    }
+    Ok(Policy::with_rules(StoreTag::PolicyStore, rules))
+}
+
+fn parse_statement(stmt: &str, line: usize) -> Result<Rule, DslError> {
+    let words: Vec<&str> = stmt.split_whitespace().collect();
+    match words.first().copied() {
+        Some(w) if w.eq_ignore_ascii_case("allow") => parse_allow(&words, line),
+        Some(w) if w.eq_ignore_ascii_case("rule") => {
+            let rest = stmt[w.len()..].trim();
+            parse_rule_form(rest, line)
+        }
+        Some(w) if w.eq_ignore_ascii_case("deny") => Err(DslError {
+            line,
+            message: "'deny' is not supported: the paper's policies are positive \
+                      authorizations; everything not allowed is denied by default"
+                .into(),
+        }),
+        Some(other) => Err(DslError {
+            line,
+            message: format!("expected 'allow' or 'rule', found '{other}'"),
+        }),
+        None => Err(DslError {
+            line,
+            message: "empty statement".into(),
+        }),
+    }
+}
+
+/// `allow <role> to use <data> for <purpose>`
+fn parse_allow(words: &[&str], line: usize) -> Result<Rule, DslError> {
+    // Grammar: allow ROLE to use DATA for PURPOSE
+    // ROLE/DATA/PURPOSE are single tokens (multi-word names use '-').
+    let expect_kw = |i: usize, kw: &str| -> Result<(), DslError> {
+        match words.get(i) {
+            Some(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(DslError {
+                line,
+                message: format!("expected '{kw}' at position {i}, found {other:?}"),
+            }),
+        }
+    };
+    if words.len() != 7 {
+        return Err(DslError {
+            line,
+            message: format!(
+                "expected 'allow ROLE to use DATA for PURPOSE' (7 words), found {} words",
+                words.len()
+            ),
+        });
+    }
+    expect_kw(2, "to")?;
+    expect_kw(3, "use")?;
+    expect_kw(5, "for")?;
+    let mk = |attr: &str, value: &str| {
+        RuleTerm::new(attr, value).map_err(|e| DslError {
+            line,
+            message: e.to_string(),
+        })
+    };
+    Rule::new(vec![
+        mk("authorized", words[1])?,
+        mk("data", words[4])?,
+        mk("purpose", words[6])?,
+    ])
+    .map_err(|e| DslError {
+        line,
+        message: e.to_string(),
+    })
+}
+
+/// `rule attr=value, attr=value, …`
+fn parse_rule_form(rest: &str, line: usize) -> Result<Rule, DslError> {
+    let mut terms = Vec::new();
+    for part in rest.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((attr, value)) = part.split_once('=') else {
+            return Err(DslError {
+                line,
+                message: format!("expected 'attr=value', found '{part}'"),
+            });
+        };
+        terms.push(RuleTerm::new(attr.trim(), value.trim()).map_err(|e| DslError {
+            line,
+            message: e.to_string(),
+        })?);
+    }
+    Rule::new(terms).map_err(|e: ModelError| DslError {
+        line,
+        message: e.to_string(),
+    })
+}
+
+/// Renders a policy back into the DSL. Three-term rules over the canonical
+/// attributes use the `allow` form; everything else uses the `rule` form.
+pub fn render_policy(policy: &Policy) -> String {
+    let mut out = String::new();
+    for rule in policy.rules() {
+        let canonical = rule.cardinality() == 3
+            && rule.value_of("data").is_some()
+            && rule.value_of("purpose").is_some()
+            && rule.value_of("authorized").is_some();
+        if canonical {
+            out.push_str(&format!(
+                "allow {} to use {} for {};\n",
+                rule.value_of("authorized").expect("checked"),
+                rule.value_of("data").expect("checked"),
+                rule.value_of("purpose").expect("checked"),
+            ));
+        } else {
+            let parts: Vec<String> = rule
+                .terms()
+                .iter()
+                .map(|t| format!("{}={}", t.attr, t.value))
+                .collect();
+            out.push_str(&format!("rule {};\n", parts.join(", ")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE_3: &str = "\
+# Figure 3's policy store
+allow nurse to use general-care for treatment;
+allow physician to use mental-health for treatment;
+allow clerk to use demographic for billing;
+";
+
+    #[test]
+    fn parses_figure_3_policy() {
+        let p = parse_policy(FIGURE_3).unwrap();
+        assert_eq!(p, crate::samples::figure_3_policy_store());
+    }
+
+    #[test]
+    fn rule_form_admits_extra_attributes() {
+        let p = parse_policy("rule data=lab-result, purpose=audit-review, authorized=head-nurse, ward=icu;")
+            .unwrap();
+        assert_eq!(p.cardinality(), 1);
+        let r = &p.rules()[0];
+        assert_eq!(r.cardinality(), 4);
+        assert_eq!(r.value_of("ward"), Some("icu"));
+    }
+
+    #[test]
+    fn statements_may_span_lines() {
+        let p = parse_policy("allow nurse\n  to use referral\n  for treatment;").unwrap();
+        assert_eq!(p.cardinality(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let p = parse_policy(FIGURE_3).unwrap();
+        let text = render_policy(&p);
+        let back = parse_policy(&text).unwrap();
+        assert_eq!(back, p);
+        assert!(text.contains("allow nurse to use general-care for treatment;"));
+    }
+
+    #[test]
+    fn render_uses_rule_form_for_non_canonical() {
+        let p = parse_policy("rule data=x, site=north;").unwrap();
+        let text = render_policy(&p);
+        assert!(text.starts_with("rule "));
+        assert_eq!(parse_policy(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_policy("allow nurse to use referral for treatment;\nbogus statement;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unterminated_statement_is_rejected() {
+        let err = parse_policy("allow nurse to use referral for treatment").unwrap_err();
+        assert!(err.message.contains("missing ';'"));
+    }
+
+    #[test]
+    fn deny_is_rejected_with_explanation() {
+        let err = parse_policy("deny clerk to use psychiatry for billing;").unwrap_err();
+        assert!(err.message.contains("positive authorizations"));
+    }
+
+    #[test]
+    fn malformed_allow_shapes_are_rejected() {
+        assert!(parse_policy("allow nurse referral treatment;").is_err());
+        assert!(parse_policy("allow nurse to read referral for treatment;").is_err());
+        assert!(parse_policy(";").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_in_rule_form_is_rejected() {
+        let err = parse_policy("rule data=a, data=b;").unwrap_err();
+        assert!(err.message.contains("more than once"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_policy("\n# only comments\n\n").unwrap();
+        assert!(p.is_empty());
+    }
+}

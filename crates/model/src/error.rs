@@ -1,0 +1,71 @@
+//! Error type for model construction and range computation.
+
+use std::fmt;
+
+/// Errors raised by the formal-model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A rule used the same attribute in two different terms.
+    ///
+    /// The paper models a rule as "a specific combination of attribute
+    /// assignments"; assigning the same attribute twice (e.g.
+    /// `(data, demographic) ∧ (data, medical)`) is contradictory under
+    /// assignment semantics, so construction rejects it rather than letting
+    /// range expansion silently produce rules with repeated attributes.
+    DuplicateAttribute {
+        /// The attribute that appeared more than once.
+        attr: String,
+    },
+    /// A rule must contain at least one term (`n ≥ 1` in Definition 5).
+    EmptyRule,
+    /// A term had an empty attribute or value after normalization.
+    EmptyTerm,
+    /// Materializing a range would exceed the configured rule budget.
+    ///
+    /// Range cardinality is the product of per-term ground-set sizes; broad
+    /// composite rules over deep vocabularies explode combinatorially. The
+    /// materializing engine enforces a budget and reports the estimate so
+    /// callers can fall back to the lazy engine.
+    RangeExplosion {
+        /// The configured maximum number of ground rules.
+        limit: usize,
+        /// The estimated expansion size that tripped the limit.
+        estimated: u128,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateAttribute { attr } => {
+                write!(f, "rule assigns attribute '{attr}' more than once")
+            }
+            ModelError::EmptyRule => write!(f, "rule must contain at least one term"),
+            ModelError::EmptyTerm => write!(f, "rule term attribute/value must be non-empty"),
+            ModelError::RangeExplosion { limit, estimated } => write!(
+                f,
+                "range materialization of ~{estimated} ground rules exceeds limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(ModelError::DuplicateAttribute { attr: "data".into() }
+            .to_string()
+            .contains("data"));
+        assert!(ModelError::RangeExplosion {
+            limit: 10,
+            estimated: 1000
+        }
+        .to_string()
+        .contains("1000"));
+    }
+}

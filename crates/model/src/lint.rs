@@ -1,0 +1,244 @@
+//! Policy linting against the vocabulary.
+//!
+//! A policy value that is not in the vocabulary is still *valid* — the
+//! model treats it as an out-of-vocabulary ground atom — but it only ever
+//! matches audit entries carrying the identical string. That is exactly
+//! right for free-text log values and exactly wrong for a typo'd policy
+//! (`allow nurse to use referal …` matches nothing, silently). The linter
+//! surfaces those cases before a policy goes live, with a
+//! nearest-concept suggestion.
+
+use crate::policy::Policy;
+use prima_vocab::Vocabulary;
+use std::fmt;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Probably a mistake (typo'd value, unknown attribute).
+    Warning,
+    /// Worth knowing (very broad composite value).
+    Note,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    /// Severity.
+    pub level: LintLevel,
+    /// 0-based index of the rule in the policy.
+    pub rule_index: usize,
+    /// The offending attribute.
+    pub attr: String,
+    /// The offending value.
+    pub value: String,
+    /// Human-readable message (includes a suggestion when one exists).
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.level {
+            LintLevel::Warning => "warning",
+            LintLevel::Note => "note",
+        };
+        write!(
+            f,
+            "{tag}: rule {}: ({}, {}): {}",
+            self.rule_index + 1,
+            self.attr,
+            self.value,
+            self.message
+        )
+    }
+}
+
+/// Threshold above which a composite value is flagged as very broad.
+const BROAD_GROUND_VALUES: usize = 8;
+
+/// Lints a policy against a vocabulary.
+pub fn lint_policy(policy: &Policy, vocab: &Vocabulary) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (rule_index, rule) in policy.rules().iter().enumerate() {
+        for term in rule.terms() {
+            let attr_known = vocab.attribute(&term.attr).is_some();
+            if !attr_known {
+                findings.push(LintFinding {
+                    level: LintLevel::Warning,
+                    rule_index,
+                    attr: term.attr.clone(),
+                    value: term.value.clone(),
+                    message: format!(
+                        "attribute '{}' is not in the vocabulary; the term only matches \
+                         audit entries with this exact attribute",
+                        term.attr
+                    ),
+                });
+                continue;
+            }
+            if vocab.resolve(&term.attr, &term.value).is_none() {
+                let suggestion = nearest_concept(vocab, &term.attr, &term.value);
+                let message = match suggestion {
+                    Some(s) => format!(
+                        "value is not in the '{}' taxonomy — did you mean '{s}'?",
+                        term.attr
+                    ),
+                    None => format!(
+                        "value is not in the '{}' taxonomy; it only matches audit \
+                         entries carrying the identical string",
+                        term.attr
+                    ),
+                };
+                findings.push(LintFinding {
+                    level: LintLevel::Warning,
+                    rule_index,
+                    attr: term.attr.clone(),
+                    value: term.value.clone(),
+                    message,
+                });
+            } else {
+                let breadth = vocab.ground_value_count(&term.attr, &term.value);
+                if breadth >= BROAD_GROUND_VALUES {
+                    findings.push(LintFinding {
+                        level: LintLevel::Note,
+                        rule_index,
+                        attr: term.attr.clone(),
+                        value: term.value.clone(),
+                        message: format!(
+                            "very broad: covers {breadth} ground values — the paper's \
+                             'umbrella authorization' smell; consider a narrower concept"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The in-vocabulary concept with the smallest edit distance to `value`
+/// (ties broken alphabetically), if within a sane distance.
+fn nearest_concept(vocab: &Vocabulary, attr: &str, value: &str) -> Option<String> {
+    let taxonomy = vocab.attribute(attr)?;
+    let mut best: Option<(usize, &str)> = None;
+    for (_, concept) in taxonomy.iter() {
+        let d = edit_distance(value, &concept.name);
+        if best.is_none_or(|(bd, bn)| d < bd || (d == bd && concept.name.as_str() < bn)) {
+            best = Some((d, &concept.name));
+        }
+    }
+    // Only suggest close matches: distance ≤ 1/3 of the value's length.
+    best.filter(|(d, _)| *d * 3 <= value.len().max(3))
+        .map(|(_, name)| name.to_string())
+}
+
+/// Classic Levenshtein distance (small strings; O(n·m) is fine).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StoreTag;
+    use crate::rule::Rule;
+    use prima_vocab::samples::{figure_1, hospital};
+
+    fn policy(rules: Vec<Rule>) -> Policy {
+        Policy::with_rules(StoreTag::PolicyStore, rules)
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("referral", "referral"), 0);
+        assert_eq!(edit_distance("referal", "referral"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn clean_policy_has_no_findings() {
+        let v = figure_1();
+        let p = policy(vec![Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])]);
+        assert!(lint_policy(&p, &v).is_empty());
+    }
+
+    #[test]
+    fn typo_gets_a_suggestion() {
+        let v = figure_1();
+        let p = policy(vec![Rule::of(&[
+            ("data", "referal"), // typo
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])]);
+        let findings = lint_policy(&p, &v);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].level, LintLevel::Warning);
+        assert!(findings[0].message.contains("did you mean 'referral'"));
+        assert_eq!(findings[0].rule_index, 0);
+    }
+
+    #[test]
+    fn far_off_values_get_no_suggestion() {
+        let v = figure_1();
+        let p = policy(vec![Rule::of(&[
+            ("data", "zzzzzzzzzz"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])]);
+        let findings = lint_policy(&p, &v);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].message.contains("did you mean"));
+    }
+
+    #[test]
+    fn unknown_attribute_is_flagged() {
+        let v = figure_1();
+        let p = policy(vec![Rule::of(&[("ward", "icu"), ("data", "referral")])]);
+        let findings = lint_policy(&p, &v);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("attribute 'ward'"));
+    }
+
+    #[test]
+    fn umbrella_authorization_is_noted() {
+        let v = hospital();
+        // medical-staff covers 7 ground roles; medical covers 12 data leaves.
+        let p = policy(vec![Rule::of(&[
+            ("data", "medical"),
+            ("purpose", "treatment"),
+            ("authorized", "medical-staff"),
+        ])]);
+        let findings = lint_policy(&p, &v);
+        let notes: Vec<_> = findings
+            .iter()
+            .filter(|f| f.level == LintLevel::Note)
+            .collect();
+        assert!(!notes.is_empty(), "findings: {findings:?}");
+        assert!(notes.iter().any(|f| f.value == "medical"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = figure_1();
+        let p = policy(vec![Rule::of(&[("data", "referal")])]);
+        let text = lint_policy(&p, &v)[0].to_string();
+        assert!(text.starts_with("warning: rule 1: (data, referal)"));
+    }
+}

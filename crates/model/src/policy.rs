@@ -1,0 +1,245 @@
+//! [`Policy`] — Definition 7: a collection of rules symbolically tied to a
+//! data store (the policy store `PS` or the audit logs `AL`).
+
+use crate::error::ModelError;
+use crate::ground::GroundRule;
+use crate::rule::Rule;
+use prima_vocab::Vocabulary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The data store a policy is symbolically tied to (Definition 7).
+///
+/// The paper equates the ideal workflow `W_Ideal` with `P_PS` and the real
+/// workflow `W_Real` with `P_AL`; additional named stores support federated
+/// audit sources.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreTag {
+    /// The policy store (`PS`) — rules specified by stakeholders; the ideal
+    /// workflow.
+    PolicyStore,
+    /// The audit logs (`AL`) — rules observed in operation; the real
+    /// workflow.
+    AuditLog,
+    /// Any other named store (e.g. one hospital site's log in a federation).
+    Named(String),
+}
+
+impl fmt::Display for StoreTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreTag::PolicyStore => write!(f, "PS"),
+            StoreTag::AuditLog => write!(f, "AL"),
+            StoreTag::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Definition 7: `P_x = R_x^1, …, R_x^m`, `m ≥ 1` in the paper; we permit
+/// the empty policy as the natural identity (its range is empty and its
+/// coverage of anything is 0), which the refinement loop needs as a starting
+/// point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    tag: StoreTag,
+    rules: Vec<Rule>,
+}
+
+impl Policy {
+    /// Creates an empty policy tied to `tag`.
+    pub fn new(tag: StoreTag) -> Self {
+        Self {
+            tag,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Creates a policy from rules.
+    pub fn with_rules(tag: StoreTag, rules: Vec<Rule>) -> Self {
+        Self { tag, rules }
+    }
+
+    /// The store this policy is tied to.
+    pub fn tag(&self) -> &StoreTag {
+        &self.tag
+    }
+
+    /// `#P_x` — the number of rules (Definition 7).
+    pub fn cardinality(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff the policy holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules, in insertion order (`getRule(P, i)` in the paper's
+    /// pseudocode is `rules()[i]`).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Appends a rule (the pseudocode's `append`).
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Appends a rule unless an identical rule is already present; returns
+    /// whether it was added. Used when folding accepted refinement
+    /// candidates back into the policy store.
+    pub fn push_unique(&mut self, rule: Rule) -> bool {
+        if self.rules.contains(&rule) {
+            false
+        } else {
+            self.rules.push(rule);
+            true
+        }
+    }
+
+    /// Builds a policy from ground rules (audit logs are "by default a
+    /// ground policy" — Section 3.3).
+    pub fn from_ground_rules<I: IntoIterator<Item = GroundRule>>(tag: StoreTag, rules: I) -> Self {
+        Self {
+            tag,
+            rules: rules.into_iter().map(|g| Rule::from_ground(&g)).collect(),
+        }
+    }
+
+    /// A policy is ground iff all rules are ground; composite if at least
+    /// one rule is composite (Definition 7's ground/composite split).
+    pub fn is_ground(&self, vocab: &Vocabulary) -> bool {
+        self.rules.iter().all(|r| r.is_ground(vocab))
+    }
+
+    /// Total ground-expansion size across all rules (an upper bound on the
+    /// range cardinality; duplicates across rules collapse in the range
+    /// set).
+    pub fn expansion_size(&self, vocab: &Vocabulary) -> u128 {
+        self.rules.iter().map(|r| r.expansion_size(vocab)).sum()
+    }
+
+    /// Removes exact-duplicate rules, preserving first occurrences. Returns
+    /// the number removed.
+    pub fn dedup(&mut self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let before = self.rules.len();
+        self.rules.retain(|r| seen.insert(r.clone()));
+        before - self.rules.len()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("policy serialization cannot fail")
+    }
+
+    /// Deserializes from JSON produced by [`Policy::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, ModelError> {
+        serde_json::from_str(json).map_err(|_| ModelError::EmptyRule)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "P_{} ({} rules):", self.tag, self.rules.len())?;
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "  {}. {r}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_vocab::samples::figure_1;
+
+    fn ps() -> Policy {
+        Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![
+                Rule::of(&[
+                    ("data", "general-care"),
+                    ("purpose", "treatment"),
+                    ("authorized", "nurse"),
+                ]),
+                Rule::of(&[
+                    ("data", "demographic"),
+                    ("purpose", "billing"),
+                    ("authorized", "clerk"),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cardinality_and_access() {
+        let p = ps();
+        assert_eq!(p.cardinality(), 2);
+        assert_eq!(p.rules()[0].value_of("purpose"), Some("treatment"));
+        assert_eq!(p.tag(), &StoreTag::PolicyStore);
+    }
+
+    #[test]
+    fn ground_vs_composite_policy() {
+        let v = figure_1();
+        assert!(!ps().is_ground(&v), "PS contains composite rules");
+        let al = Policy::from_ground_rules(
+            StoreTag::AuditLog,
+            vec![GroundRule::of(&[
+                ("data", "referral"),
+                ("purpose", "treatment"),
+                ("authorized", "nurse"),
+            ])],
+        );
+        assert!(al.is_ground(&v), "AL is by default ground (Section 3.3)");
+    }
+
+    #[test]
+    fn expansion_size_sums_rules() {
+        let v = figure_1();
+        // general-care has 3 leaves, demographic has 4.
+        assert_eq!(ps().expansion_size(&v), 3 + 4);
+    }
+
+    #[test]
+    fn push_unique_rejects_duplicates() {
+        let mut p = ps();
+        let r = p.rules()[0].clone();
+        assert!(!p.push_unique(r.clone()));
+        assert_eq!(p.cardinality(), 2);
+        let fresh = Rule::of(&[("data", "psychiatry")]);
+        assert!(p.push_unique(fresh));
+        assert_eq!(p.cardinality(), 3);
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates() {
+        let mut p = ps();
+        let r = p.rules()[1].clone();
+        p.push(r);
+        assert_eq!(p.dedup(), 1);
+        assert_eq!(p.cardinality(), 2);
+    }
+
+    #[test]
+    fn store_tag_display() {
+        assert_eq!(StoreTag::PolicyStore.to_string(), "PS");
+        assert_eq!(StoreTag::AuditLog.to_string(), "AL");
+        assert_eq!(StoreTag::Named("site-b".into()).to_string(), "site-b");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = ps();
+        let back = Policy::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn display_lists_rules() {
+        let out = ps().to_string();
+        assert!(out.starts_with("P_PS (2 rules):"));
+        assert!(out.contains("1. {"));
+    }
+}

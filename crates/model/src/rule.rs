@@ -1,0 +1,378 @@
+//! [`Rule`] — Definition 5: a conjunction of rule terms, possibly composite,
+//! with ground expansion (Corollary 1) and equivalence (Definition 6).
+
+use crate::error::ModelError;
+use crate::ground::GroundRule;
+use crate::term::RuleTerm;
+use prima_vocab::Vocabulary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Definition 5: `R = {RT_1 ∧ … ∧ RT_n}`, `n ≥ 1`, canonically sorted by
+/// attribute with one term per attribute (see
+/// [`ModelError::DuplicateAttribute`] for the rationale).
+///
+/// A rule is **ground** if every term is ground, otherwise **composite**.
+/// Composite rules expand to the Cartesian product of their terms' `RT'`
+/// sets ([`Rule::ground_expansion`]), which is how `Range` sets
+/// (Definition 8) are materialized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rule {
+    terms: Vec<RuleTerm>,
+}
+
+impl Rule {
+    /// Builds a rule from terms, canonicalizing order.
+    ///
+    /// # Errors
+    /// [`ModelError::EmptyRule`] for zero terms,
+    /// [`ModelError::DuplicateAttribute`] if an attribute repeats.
+    pub fn new(mut terms: Vec<RuleTerm>) -> Result<Self, ModelError> {
+        if terms.is_empty() {
+            return Err(ModelError::EmptyRule);
+        }
+        terms.sort();
+        for w in terms.windows(2) {
+            if w[0].attr == w[1].attr {
+                return Err(ModelError::DuplicateAttribute {
+                    attr: w[0].attr.clone(),
+                });
+            }
+        }
+        Ok(Self { terms })
+    }
+
+    /// Convenience constructor from `(attr, value)` pairs; panics on invalid
+    /// input. Intended for fixtures and tests.
+    pub fn of(pairs: &[(&str, &str)]) -> Self {
+        Self::new(pairs.iter().map(|(a, v)| RuleTerm::of(a, v)).collect())
+            .expect("static rule must be well-formed")
+    }
+
+    /// The canonical terms.
+    pub fn terms(&self) -> &[RuleTerm] {
+        &self.terms
+    }
+
+    /// `#R` — the number of terms (Definition 5).
+    pub fn cardinality(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The value assigned to `attr`, if any.
+    pub fn value_of(&self, attr: &str) -> Option<&str> {
+        let attr = prima_vocab::normalize(attr);
+        self.terms
+            .iter()
+            .find(|t| t.attr == attr)
+            .map(|t| t.value.as_str())
+    }
+
+    /// A rule is ground iff all its terms are ground (Definition 5's
+    /// ground/composite split).
+    pub fn is_ground(&self, vocab: &Vocabulary) -> bool {
+        self.terms.iter().all(|t| t.is_ground(vocab))
+    }
+
+    /// The size of this rule's ground expansion — the product of per-term
+    /// `RT'` sizes — computed without materializing anything. Returned as
+    /// `u128` because broad rules over deep vocabularies overflow `usize`
+    /// products long before they could be materialized.
+    pub fn expansion_size(&self, vocab: &Vocabulary) -> u128 {
+        self.terms
+            .iter()
+            .map(|t| t.ground_term_count(vocab) as u128)
+            .product()
+    }
+
+    /// Corollary 1: the ground rules derivable from this rule — the
+    /// Cartesian product of each term's `RT'` set, as a lazy iterator so
+    /// callers can stream or bound the expansion.
+    pub fn ground_expansion<'a>(
+        &'a self,
+        vocab: &'a Vocabulary,
+    ) -> impl Iterator<Item = GroundRule> + 'a {
+        let per_term: Vec<Vec<RuleTerm>> =
+            self.terms.iter().map(|t| t.ground_terms(vocab)).collect();
+        CartesianRules::new(per_term)
+    }
+
+    /// Membership of a ground rule in this rule's expansion, decided by
+    /// per-attribute subsumption without materializing the expansion. This
+    /// is the lazy coverage engine's core test:
+    /// `g ∈ expansion(R)` iff `#R = #g`, the attribute sets agree, and for
+    /// every attribute the rule's value subsumes the ground rule's value.
+    pub fn expansion_contains(&self, g: &GroundRule, vocab: &Vocabulary) -> bool {
+        if self.cardinality() != g.cardinality() {
+            return false;
+        }
+        // Both are attribute-sorted, so pairwise zip aligns attributes.
+        self.terms
+            .iter()
+            .zip(g.terms())
+            .all(|(rt, gt)| rt.subsumes(gt, vocab))
+    }
+
+    /// Definition 6: rule equivalence. `R_1 ≈ R_2` iff the ground versions
+    /// have equal cardinality and every term of `R_1` is equivalent
+    /// (Definition 4) to some term of `R_2`.
+    ///
+    /// With canonical one-term-per-attribute rules this reduces to: equal
+    /// cardinality, equal attribute sets, and per-attribute term
+    /// equivalence.
+    pub fn equivalent(&self, other: &Rule, vocab: &Vocabulary) -> bool {
+        if self.cardinality() != other.cardinality() {
+            return false;
+        }
+        self.terms.iter().all(|t| {
+            other
+                .terms
+                .iter()
+                .any(|o| t.equivalent(o, vocab))
+        })
+    }
+
+    /// Converts an already-ground rule into a [`GroundRule`]; returns `None`
+    /// if any term is composite under `vocab`.
+    pub fn to_ground(&self, vocab: &Vocabulary) -> Option<GroundRule> {
+        if self.is_ground(vocab) {
+            Some(GroundRule::new(self.terms.clone()).expect("rule invariants carry over"))
+        } else {
+            None
+        }
+    }
+
+    /// Builds a composite rule from a ground rule (trivially: same terms).
+    pub fn from_ground(g: &GroundRule) -> Rule {
+        Rule {
+            terms: g.terms().to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Streaming Cartesian product over per-term ground-term lists.
+struct CartesianRules {
+    per_term: Vec<Vec<RuleTerm>>,
+    cursor: Vec<usize>,
+    done: bool,
+}
+
+impl CartesianRules {
+    fn new(per_term: Vec<Vec<RuleTerm>>) -> Self {
+        let done = per_term.iter().any(Vec::is_empty);
+        let cursor = vec![0; per_term.len()];
+        Self {
+            per_term,
+            cursor,
+            done,
+        }
+    }
+}
+
+impl Iterator for CartesianRules {
+    type Item = GroundRule;
+
+    fn next(&mut self) -> Option<GroundRule> {
+        if self.done {
+            return None;
+        }
+        let terms: Vec<RuleTerm> = self
+            .cursor
+            .iter()
+            .zip(&self.per_term)
+            .map(|(&i, opts)| opts[i].clone())
+            .collect();
+        // Advance odometer.
+        let mut pos = self.per_term.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.cursor[pos] += 1;
+            if self.cursor[pos] < self.per_term[pos].len() {
+                break;
+            }
+            self.cursor[pos] = 0;
+        }
+        Some(GroundRule::new(terms).expect("expansion preserves rule invariants"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let total: usize = self.per_term.iter().map(Vec::len).product();
+        // Remaining count is total minus consumed; we do not track consumed
+        // exactly, so give the safe upper bound.
+        (0, Some(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_vocab::samples::figure_1;
+
+    /// "nurses are authorized to see insurance information for billing
+    /// purposes" — the paper's Definition 5 example.
+    fn def5_example() -> Rule {
+        Rule::of(&[
+            ("data", "insurance"),
+            ("purpose", "billing"),
+            ("authorized", "nurse"),
+        ])
+    }
+
+    #[test]
+    fn cardinality_matches_definition_5() {
+        assert_eq!(def5_example().cardinality(), 3);
+    }
+
+    #[test]
+    fn ground_rule_detection() {
+        let v = figure_1();
+        assert!(def5_example().is_ground(&v));
+        let composite = Rule::of(&[("data", "demographic"), ("purpose", "billing")]);
+        assert!(!composite.is_ground(&v));
+    }
+
+    #[test]
+    fn expansion_size_is_product_of_rt_prime_sizes() {
+        let v = figure_1();
+        // demographic: 4 leaves; administering-healthcare: 3 leaves.
+        let r = Rule::of(&[
+            ("data", "demographic"),
+            ("purpose", "administering-healthcare"),
+            ("authorized", "nurse"),
+        ]);
+        assert_eq!(r.expansion_size(&v), 12);
+        assert_eq!(r.ground_expansion(&v).count(), 12);
+    }
+
+    #[test]
+    fn corollary_1_ground_rule_always_exists() {
+        let v = figure_1();
+        let r = Rule::of(&[("data", "medical")]);
+        let first = r.ground_expansion(&v).next();
+        assert!(first.is_some(), "Corollary 1: some ground rule exists");
+    }
+
+    #[test]
+    fn expansion_of_ground_rule_is_itself() {
+        let v = figure_1();
+        let r = def5_example();
+        let expanded: Vec<_> = r.ground_expansion(&v).collect();
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(Some(expanded[0].clone()), r.to_ground(&v));
+    }
+
+    #[test]
+    fn expansion_contains_agrees_with_materialization() {
+        let v = figure_1();
+        let r = Rule::of(&[
+            ("data", "general-care"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ]);
+        let member = GroundRule::of(&[
+            ("data", "referral"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ]);
+        let non_member = GroundRule::of(&[
+            ("data", "psychiatry"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ]);
+        assert!(r.expansion_contains(&member, &v));
+        assert!(!r.expansion_contains(&non_member, &v));
+        let materialized: Vec<_> = r.ground_expansion(&v).collect();
+        assert!(materialized.contains(&member));
+        assert!(!materialized.contains(&non_member));
+    }
+
+    #[test]
+    fn expansion_contains_requires_matching_attrs() {
+        let v = figure_1();
+        let r = Rule::of(&[("data", "demographic"), ("purpose", "billing")]);
+        // Same cardinality, different attribute set.
+        let g = GroundRule::of(&[("data", "address"), ("authorized", "clerk")]);
+        assert!(!r.expansion_contains(&g, &v));
+        // Different cardinality.
+        let g2 = GroundRule::of(&[("data", "address")]);
+        assert!(!r.expansion_contains(&g2, &v));
+    }
+
+    #[test]
+    fn definition_6_equivalence() {
+        let v = figure_1();
+        let broad = Rule::of(&[("data", "demographic"), ("purpose", "billing")]);
+        let narrow = Rule::of(&[("data", "address"), ("purpose", "billing")]);
+        assert!(broad.equivalent(&narrow, &v));
+        assert!(narrow.equivalent(&broad, &v), "symmetric");
+        let other = Rule::of(&[("data", "insurance"), ("purpose", "billing")]);
+        assert!(!broad.equivalent(&other, &v));
+        // Cardinality mismatch.
+        let single = Rule::of(&[("data", "address")]);
+        assert!(!broad.equivalent(&single, &v));
+    }
+
+    #[test]
+    fn to_ground_returns_none_for_composite() {
+        let v = figure_1();
+        let composite = Rule::of(&[("data", "demographic")]);
+        assert!(composite.to_ground(&v).is_none());
+    }
+
+    #[test]
+    fn from_ground_roundtrip() {
+        let v = figure_1();
+        let g = GroundRule::of(&[("data", "gender"), ("purpose", "billing")]);
+        let r = Rule::from_ground(&g);
+        assert_eq!(r.to_ground(&v), Some(g));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Rule::new(vec![
+            RuleTerm::of("data", "demographic"),
+            RuleTerm::of("data", "medical"),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let r = def5_example();
+        assert_eq!(
+            r.to_string(),
+            "{(authorized, nurse) ∧ (data, insurance) ∧ (purpose, billing)}"
+        );
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let v = figure_1();
+        let r = Rule::of(&[("data", "demographic"), ("authorized", "nurse")]);
+        let a: Vec<_> = r.ground_expansion(&v).collect();
+        let b: Vec<_> = r.ground_expansion(&v).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Policy compaction: removing rules another rule already subsumes.
+//!
+//! Refinement appends *ground* rules; generalization (in `prima-refine`)
+//! later proposes composite rules that cover them. Once a composite rule is
+//! accepted, the ground ones are dead weight — the paper explicitly ties
+//! broad rules to "reduc\[ing\] the size of the rule base". Compaction
+//! removes any rule whose ground expansion is contained in another rule's
+//! expansion, leaving a minimal equivalent policy.
+
+use crate::policy::Policy;
+use crate::rule::Rule;
+use prima_vocab::Vocabulary;
+
+/// The result of compaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplifyOutcome {
+    /// The compacted policy (same tag, same semantics).
+    pub policy: Policy,
+    /// Rules removed, each with the index (in the compacted policy) of the
+    /// rule that subsumes it.
+    pub removed: Vec<(Rule, usize)>,
+}
+
+/// True iff `broad` subsumes `narrow`: same attribute set and every value
+/// of `broad` subsumes the corresponding value of `narrow` — i.e.
+/// `expansion(narrow) ⊆ expansion(broad)`.
+pub fn rule_subsumes(broad: &Rule, narrow: &Rule, vocab: &Vocabulary) -> bool {
+    if broad.cardinality() != narrow.cardinality() {
+        return false;
+    }
+    broad
+        .terms()
+        .iter()
+        .zip(narrow.terms())
+        .all(|(b, n)| b.subsumes(n, vocab))
+}
+
+/// Removes every rule subsumed by another rule of the policy. Exact
+/// duplicates keep their first occurrence. Order of surviving rules is
+/// preserved.
+pub fn simplify_policy(policy: &Policy, vocab: &Vocabulary) -> SimplifyOutcome {
+    let rules = policy.rules();
+    let mut keep: Vec<bool> = vec![true; rules.len()];
+    for i in 0..rules.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..rules.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // Drop j if i subsumes it. For exact duplicates, the earlier
+            // index wins (strictly later duplicates are dropped).
+            if rule_subsumes(&rules[i], &rules[j], vocab)
+                && (rules[i] != rules[j] || i < j)
+            {
+                keep[j] = false;
+            }
+        }
+    }
+    let mut compacted = Policy::new(policy.tag().clone());
+    let mut survivor_index = std::collections::HashMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        if keep[i] {
+            survivor_index.insert(i, compacted.cardinality());
+            compacted.push(rule.clone());
+        }
+    }
+    let mut removed = Vec::new();
+    for (j, rule) in rules.iter().enumerate() {
+        if keep[j] {
+            continue;
+        }
+        let by = (0..rules.len())
+            .find(|&i| {
+                keep[i]
+                    && rule_subsumes(&rules[i], rule, vocab)
+                    && (rules[i] != *rule || i < j)
+            })
+            .expect("a dropped rule has a surviving subsumer");
+        removed.push((rule.clone(), survivor_index[&by]));
+    }
+    SimplifyOutcome {
+        policy: compacted,
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StoreTag;
+    use crate::samples::dpa_rule;
+    use crate::{compute_coverage, RangeSet};
+    use prima_vocab::samples::figure_1;
+
+    #[test]
+    fn rule_subsumption_is_directional() {
+        let v = figure_1();
+        let broad = dpa_rule("general-care", "treatment", "nurse");
+        let narrow = dpa_rule("referral", "treatment", "nurse");
+        assert!(rule_subsumes(&broad, &narrow, &v));
+        assert!(!rule_subsumes(&narrow, &broad, &v));
+        assert!(rule_subsumes(&broad, &broad, &v), "reflexive");
+        let other = dpa_rule("address", "billing", "clerk");
+        assert!(!rule_subsumes(&broad, &other, &v));
+    }
+
+    #[test]
+    fn ground_rules_collapse_into_composite() {
+        let v = figure_1();
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![
+                dpa_rule("referral", "treatment", "nurse"),
+                dpa_rule("general-care", "treatment", "nurse"),
+                dpa_rule("prescription", "treatment", "nurse"),
+                dpa_rule("address", "billing", "clerk"), // unrelated, kept
+            ],
+        );
+        let out = simplify_policy(&policy, &v);
+        assert_eq!(out.policy.cardinality(), 2);
+        assert_eq!(out.removed.len(), 2);
+        // Removed rules point at the composite survivor.
+        for (_, by) in &out.removed {
+            assert_eq!(
+                out.policy.rules()[*by],
+                dpa_rule("general-care", "treatment", "nurse")
+            );
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_semantics() {
+        let v = figure_1();
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![
+                dpa_rule("referral", "treatment", "nurse"),
+                dpa_rule("general-care", "treatment", "nurse"),
+                dpa_rule("demographic", "billing", "clerk"),
+                dpa_rule("gender", "billing", "clerk"),
+            ],
+        );
+        let out = simplify_policy(&policy, &v);
+        let before = RangeSet::of_policy(&policy, &v).unwrap();
+        let after = RangeSet::of_policy(&out.policy, &v).unwrap();
+        assert_eq!(before, after, "compaction must not change the range");
+        // And coverage of anything is unchanged.
+        let probe = Policy::with_rules(
+            StoreTag::AuditLog,
+            vec![
+                dpa_rule("referral", "treatment", "nurse"),
+                dpa_rule("psychiatry", "treatment", "nurse"),
+            ],
+        );
+        assert_eq!(
+            compute_coverage(&policy, &probe, &v).unwrap().ratio(),
+            compute_coverage(&out.policy, &probe, &v).unwrap().ratio(),
+        );
+    }
+
+    #[test]
+    fn exact_duplicates_keep_first() {
+        let v = figure_1();
+        let r = dpa_rule("referral", "treatment", "nurse");
+        let policy = Policy::with_rules(StoreTag::PolicyStore, vec![r.clone(), r.clone()]);
+        let out = simplify_policy(&policy, &v);
+        assert_eq!(out.policy.cardinality(), 1);
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(out.removed[0].1, 0);
+    }
+
+    #[test]
+    fn incomparable_rules_all_survive() {
+        let v = figure_1();
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![
+                dpa_rule("referral", "treatment", "nurse"),
+                dpa_rule("referral", "registration", "nurse"),
+                dpa_rule("psychiatry", "treatment", "physician"),
+            ],
+        );
+        let out = simplify_policy(&policy, &v);
+        assert_eq!(out.policy.cardinality(), 3);
+        assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn empty_policy_is_noop() {
+        let v = figure_1();
+        let out = simplify_policy(&Policy::new(StoreTag::PolicyStore), &v);
+        assert!(out.policy.is_empty());
+        assert!(out.removed.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! [`RuleTerm`] — Definition 1, with the ground/composite machinery of
+//! Definitions 2–4.
+
+use crate::error::ModelError;
+use prima_vocab::{normalize, Vocabulary};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Definition 1: a tuple `(attr, value)` modelling the assignment of an
+/// attribute in a policy rule — e.g. `(data, demographic)` or
+/// `(purpose, telemarketing)`.
+///
+/// Both elements are stored normalized (lower-cased, whitespace collapsed;
+/// see [`prima_vocab::normalize`]) so that `Referral` in an audit log and
+/// `referral` in a policy compare equal, as the paper's examples assume.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RuleTerm {
+    /// The attribute being assigned (e.g. `data`, `purpose`, `authorized`).
+    pub attr: String,
+    /// The value assigned to the attribute.
+    pub value: String,
+}
+
+impl RuleTerm {
+    /// Creates a term, normalizing both elements.
+    ///
+    /// # Errors
+    /// [`ModelError::EmptyTerm`] if either element is empty after
+    /// normalization.
+    pub fn new(attr: &str, value: &str) -> Result<Self, ModelError> {
+        let attr = normalize(attr);
+        let value = normalize(value);
+        if attr.is_empty() || value.is_empty() {
+            return Err(ModelError::EmptyTerm);
+        }
+        Ok(Self { attr, value })
+    }
+
+    /// Infallible constructor for statically-known terms; panics on empty
+    /// parts. Intended for fixtures and tests.
+    pub fn of(attr: &str, value: &str) -> Self {
+        Self::new(attr, value).expect("static rule term must be non-empty")
+    }
+
+    /// Definition 2: a term is **ground** iff its value is atomic with
+    /// respect to the vocabulary (a taxonomy leaf, or a value the vocabulary
+    /// does not know and therefore cannot subdivide). Otherwise it is
+    /// **composite**.
+    pub fn is_ground(&self, vocab: &Vocabulary) -> bool {
+        vocab.is_ground(&self.attr, &self.value)
+    }
+
+    /// Definition 3: the set `RT'` of ground terms derivable from this term.
+    /// For a ground term this is the singleton `{self}`, witnessing the
+    /// definition's existence guarantee.
+    pub fn ground_terms(&self, vocab: &Vocabulary) -> Vec<RuleTerm> {
+        vocab
+            .ground_values(&self.attr, &self.value)
+            .into_iter()
+            .map(|value| RuleTerm {
+                attr: self.attr.clone(),
+                value,
+            })
+            .collect()
+    }
+
+    /// Size of `RT'` without materializing it.
+    pub fn ground_term_count(&self, vocab: &Vocabulary) -> usize {
+        vocab.ground_value_count(&self.attr, &self.value)
+    }
+
+    /// Definition 4: two terms are **equivalent** (`RT_i ≈ RT_j`) iff there
+    /// exist ground terms `x ∈ RT_i'` and `y ∈ RT_j'` with equal attribute
+    /// and value — i.e. their derivable ground sets intersect.
+    ///
+    /// Terms on different attributes are never equivalent (their ground
+    /// terms differ in `attr`). Note this relation is reflexive and
+    /// symmetric but **not** transitive: `address ≈ demographic` and
+    /// `demographic ≈ gender`, yet `address ≉ gender` — exactly the paper's
+    /// Definition 1 example.
+    pub fn equivalent(&self, other: &RuleTerm, vocab: &Vocabulary) -> bool {
+        self.attr == other.attr && vocab.values_equivalent(&self.attr, &self.value, &other.value)
+    }
+
+    /// True iff every ground term of `narrow` is derivable from `self`
+    /// (`RT'(narrow) ⊆ RT'(self)`). This is the directional check used by
+    /// the lazy coverage engine.
+    pub fn subsumes(&self, narrow: &RuleTerm, vocab: &Vocabulary) -> bool {
+        self.attr == narrow.attr && vocab.value_subsumes(&self.attr, &self.value, &narrow.value)
+    }
+}
+
+impl fmt::Display for RuleTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.attr, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_vocab::samples::figure_1;
+
+    #[test]
+    fn construction_normalizes() {
+        let t = RuleTerm::new("Data", " Demographic ").unwrap();
+        assert_eq!(t.attr, "data");
+        assert_eq!(t.value, "demographic");
+        assert_eq!(t.to_string(), "(data, demographic)");
+    }
+
+    #[test]
+    fn empty_parts_rejected() {
+        assert_eq!(RuleTerm::new("", "x"), Err(ModelError::EmptyTerm));
+        assert_eq!(RuleTerm::new("data", "  "), Err(ModelError::EmptyTerm));
+    }
+
+    #[test]
+    fn definition_2_ground_vs_composite() {
+        let v = figure_1();
+        let rt1 = RuleTerm::of("data", "demographic");
+        let rt2 = RuleTerm::of("data", "address");
+        let rt3 = RuleTerm::of("data", "gender");
+        assert!(!rt1.is_ground(&v), "RT1 is composite");
+        assert!(rt2.is_ground(&v), "RT2 is ground");
+        assert!(rt3.is_ground(&v), "RT3 is ground");
+    }
+
+    #[test]
+    fn definition_3_ground_terms() {
+        let v = figure_1();
+        let rt1 = RuleTerm::of("data", "demographic");
+        let g = rt1.ground_terms(&v);
+        assert_eq!(g.len(), 4);
+        assert_eq!(rt1.ground_term_count(&v), 4);
+        assert!(g.contains(&RuleTerm::of("data", "address")));
+        assert!(g.contains(&RuleTerm::of("data", "gender")));
+        // Ground term: RT' = {self}.
+        let rt3 = RuleTerm::of("data", "gender");
+        assert_eq!(rt3.ground_terms(&v), vec![rt3.clone()]);
+    }
+
+    #[test]
+    fn definition_4_equivalence() {
+        let v = figure_1();
+        let rt1 = RuleTerm::of("data", "demographic");
+        let rt2 = RuleTerm::of("data", "address");
+        let rt3 = RuleTerm::of("data", "gender");
+        assert!(rt2.equivalent(&rt1, &v), "RT2 ≈ RT1 (paper example)");
+        assert!(rt3.equivalent(&rt1, &v), "RT3 ≈ RT1 (paper example)");
+        assert!(!rt2.equivalent(&rt3, &v), "equivalence is not transitive");
+        assert!(rt1.equivalent(&rt1, &v), "reflexive");
+        // Cross-attribute terms never equivalent even with equal values.
+        let p = RuleTerm::of("purpose", "demographic");
+        assert!(!p.equivalent(&rt1, &v));
+    }
+
+    #[test]
+    fn subsumption_is_directional() {
+        let v = figure_1();
+        let broad = RuleTerm::of("data", "demographic");
+        let narrow = RuleTerm::of("data", "address");
+        assert!(broad.subsumes(&narrow, &v));
+        assert!(!narrow.subsumes(&broad, &v));
+        assert!(narrow.subsumes(&narrow, &v));
+    }
+
+    #[test]
+    fn out_of_vocabulary_values_are_self_equivalent_atoms() {
+        let v = figure_1();
+        let doctor = RuleTerm::of("authorized", "Doctor");
+        let physician = RuleTerm::of("authorized", "physician");
+        assert!(doctor.is_ground(&v));
+        assert_eq!(doctor.ground_terms(&v), vec![doctor.clone()]);
+        assert!(doctor.equivalent(&RuleTerm::of("authorized", "doctor"), &v));
+        assert!(!doctor.equivalent(&physician, &v));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = RuleTerm::of("purpose", "telemarketing");
+        let s = serde_json::to_string(&t).unwrap();
+        let back: RuleTerm = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

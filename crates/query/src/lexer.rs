@@ -1,0 +1,260 @@
+//! SQL-subset lexer.
+
+use crate::error::QueryError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or bare identifier (keywords are recognized by the parser,
+    /// case-insensitively; `text` preserves the original spelling).
+    Ident(String),
+    /// Single-quoted string literal (with `''` escaping).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// True iff this is the identifier `word` (case-insensitive) — how the
+    /// parser matches keywords.
+    pub fn is_kw(&self, word: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        offset: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                offset: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(j + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                j += 2;
+                            } else {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+                i = j;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(QueryError::Lex {
+                            offset: start,
+                            message: "expected digits after '-'".into(),
+                        });
+                    }
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: i64 = text.parse().map_err(|_| QueryError::Lex {
+                    offset: start,
+                    message: format!("bad integer literal '{text}'"),
+                })?;
+                tokens.push(Token::IntLit(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '-' || b == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    offset: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_algorithm_5_statement() {
+        let toks = lex(
+            "SELECT data, purpose FROM practice GROUP BY data \
+             HAVING COUNT(*) > 5 AND COUNT(DISTINCT user) > 1",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("having")));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::IntLit(5)));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = lex("'a' 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::StringLit("a".into()),
+                Token::StringLit("it's".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(lex("'abc"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= <> != < <= > >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_bad_bang() {
+        assert_eq!(lex("-42").unwrap(), vec![Token::IntLit(-42)]);
+        assert!(lex("!x").is_err());
+        assert!(lex("-x").is_err());
+    }
+
+    #[test]
+    fn identifiers_allow_hyphen_and_dot() {
+        let toks = lex("date-of-birth site.user").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("date-of-birth".into()),
+                Token::Ident("site.user".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        let toks = lex("select SeLeCt").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(toks[1].is_kw("select"));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(lex("select ;"), Err(QueryError::Lex { .. })));
+    }
+}

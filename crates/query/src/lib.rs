@@ -1,0 +1,118 @@
+//! # prima-query — a SQL-subset query engine
+//!
+//! Algorithm 5 of the paper (`dataAnalysis`) is literally a SQL statement:
+//!
+//! ```sql
+//! SELECT attr_1, …, attr_n FROM practice
+//! GROUP BY attr_1, …, attr_n
+//! HAVING COUNT(*) > f AND COUNT(DISTINCT user) > 1
+//! ```
+//!
+//! The paper stresses that the data-analysis routine has "a well-defined
+//! interface that allows the extractPatterns algorithm to evolve and be
+//! easily customizable" — i.e. the miner issues *queries*, it is not a
+//! hard-coded aggregation loop. This crate supplies the engine those
+//! queries run on:
+//!
+//! * [`lexer`] / [`parser`] — SQL-subset text to [`ast::SelectStmt`];
+//! * [`plan`] — semantic validation against a table's schema (column
+//!   resolution, GROUP BY discipline, aggregate placement);
+//! * [`exec`] — execution: filter → hash-group → aggregate → HAVING →
+//!   project → ORDER BY → LIMIT, producing a [`QueryResult`].
+//!
+//! Supported surface: single-table `SELECT` with `*` or expression
+//! projections (optional `AS` aliases), `WHERE` (comparisons, `IN`,
+//! `IS [NOT] NULL`, `AND`/`OR`/`NOT`), `GROUP BY` columns, `HAVING` over
+//! aggregates (`COUNT(*)`, `COUNT(col)`, `COUNT(DISTINCT col)`, `MIN`,
+//! `MAX`, `SUM`, `AVG`), `ORDER BY … [ASC|DESC]`, `LIMIT n`. Joins are out
+//! of scope — audit federation (in `prima-audit`) consolidates sources into
+//! one virtual table *before* analysis, matching the paper's architecture.
+//!
+//! Group output order is canonical (sorted by group key) unless `ORDER BY`
+//! overrides it, so experiment output is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod result;
+
+pub use error::QueryError;
+pub use result::QueryResult;
+
+use prima_store::Table;
+
+/// Parses and executes `sql` against a single table.
+///
+/// The `FROM` clause must name `table.name()`; this keeps the engine
+/// honest about what it reads while the audit federation decides what the
+/// "one big table" contains.
+pub fn execute(table: &Table, sql: &str) -> Result<QueryResult, QueryError> {
+    let stmt = parser::parse(sql)?;
+    if stmt.from != table.name() {
+        return Err(QueryError::UnknownTable {
+            name: stmt.from.clone(),
+        });
+    }
+    let plan = plan::plan(&stmt, table.schema())?;
+    exec::run(&plan, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_store::{Column, DataType, Row, Schema, Value};
+
+    fn audit_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::required("user", DataType::Str),
+            Column::required("data", DataType::Str),
+            Column::required("purpose", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("practice", schema);
+        for (u, d, p) in [
+            ("mark", "referral", "registration"),
+            ("tim", "referral", "registration"),
+            ("bob", "referral", "registration"),
+            ("mark", "referral", "registration"),
+            ("mark", "referral", "registration"),
+            ("sarah", "psychiatry", "treatment"),
+            ("jason", "prescription", "billing"),
+        ] {
+            t.insert(Row::new(vec![Value::str(u), Value::str(d), Value::str(p)]))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn algorithm_5_statement_shape_runs_end_to_end() {
+        let t = audit_table();
+        let r = execute(
+            &t,
+            "SELECT data, purpose FROM practice \
+             GROUP BY data, purpose \
+             HAVING COUNT(*) >= 5 AND COUNT(DISTINCT user) > 1",
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["data", "purpose"]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            r.rows[0].values(),
+            &[Value::str("referral"), Value::str("registration")]
+        );
+    }
+
+    #[test]
+    fn from_must_match_table_name() {
+        let t = audit_table();
+        let err = execute(&t, "SELECT * FROM other").unwrap_err();
+        assert!(matches!(err, QueryError::UnknownTable { .. }));
+    }
+}

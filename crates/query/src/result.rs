@@ -1,0 +1,111 @@
+//! Query results.
+
+use prima_store::{Row, Value};
+use std::fmt;
+
+/// The rows produced by a query, with their output column names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The value at (`row`, `column-name`), if both exist.
+    pub fn value_at(&self, row: usize, column: &str) -> Option<&Value> {
+        let c = self.column_index(column)?;
+        self.rows.get(row).map(|r| r.get(c))
+    }
+}
+
+impl fmt::Display for QueryResult {
+    /// Renders an aligned ASCII table (for the experiment binaries).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        sep(f)?;
+        write!(f, "|")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, " {c:w$} |", w = w)?;
+        }
+        writeln!(f)?;
+        sep(f)?;
+        for row in &rendered {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:w$} |", w = w)?;
+            }
+            writeln!(f)?;
+        }
+        sep(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        QueryResult {
+            columns: vec!["data".into(), "n".into()],
+            rows: vec![
+                Row::new(vec![Value::str("referral"), Value::Int(5)]),
+                Row::new(vec![Value::str("x"), Value::Int(1)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = result();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.column_index("n"), Some(1));
+        assert_eq!(r.value_at(0, "n"), Some(&Value::Int(5)));
+        assert_eq!(r.value_at(0, "missing"), None);
+        assert_eq!(r.value_at(9, "n"), None);
+    }
+
+    #[test]
+    fn display_is_aligned_table() {
+        let text = result().to_string();
+        assert!(text.contains("| data     | n |"));
+        assert!(text.contains("| referral | 5 |"));
+        assert!(text.starts_with("+"));
+    }
+}

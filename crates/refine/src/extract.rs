@@ -1,0 +1,60 @@
+//! Algorithm 4: `extractPatterns(Practice, V)` — hand the practice entries
+//! to the data-analysis routine through its well-defined interface.
+
+use prima_audit::{audit_schema, AuditEntry};
+use prima_mining::{Miner, MiningError, Pattern};
+use prima_store::Table;
+
+/// Materializes the practice entries as the relational `practice` table
+/// Algorithm 5's SQL runs against.
+pub fn practice_table(practice: &[AuditEntry]) -> Table {
+    let mut t = Table::new("practice", audit_schema());
+    for e in practice {
+        t.insert(e.to_row())
+            .expect("audit entries conform to the audit schema by construction");
+    }
+    t
+}
+
+/// Runs the configured miner over the practice entries.
+pub fn extract_patterns<M: Miner + ?Sized>(
+    practice: &[AuditEntry],
+    miner: &M,
+) -> Result<Vec<Pattern>, MiningError> {
+    let table = practice_table(practice);
+    miner.mine(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_mining::SqlMiner;
+
+    #[test]
+    fn practice_table_round_trips_entries() {
+        let entries = vec![
+            AuditEntry::exception(1, "a", "referral", "registration", "nurse"),
+            AuditEntry::exception(2, "b", "referral", "registration", "nurse"),
+        ];
+        let t = practice_table(&entries);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(), "practice");
+    }
+
+    #[test]
+    fn extract_runs_miner_end_to_end() {
+        let mut entries = Vec::new();
+        for (i, u) in ["a", "b", "c", "a", "b"].iter().enumerate() {
+            entries.push(AuditEntry::exception(
+                i as i64,
+                u,
+                "referral",
+                "registration",
+                "nurse",
+            ));
+        }
+        let patterns = extract_patterns(&entries, &SqlMiner::default()).unwrap();
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].support, 5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Vocabulary-aware candidate generalization.
+//!
+//! The paper motivates refinement partly by rule-base ergonomics: broad
+//! rules exist "to reduce the complexity of policy specification, which
+//! reduces the size of the rule base". Mining produces *ground* candidates;
+//! when several of them differ only in one attribute and together cover
+//! **every** ground value under a composite concept, proposing the single
+//! composite rule is strictly better — same semantics, smaller rule base,
+//! and the policy reads the way policy officers write.
+//!
+//! Example: candidates `(referral, treatment, nurse)`,
+//! `(referral, registration, nurse)`, `(referral, billing, nurse)` cover
+//! all three leaves of `administering-healthcare`, so the generalizer
+//! proposes `(referral, administering-healthcare, nurse)`.
+//!
+//! Generalization is *conservative*: it only fires when the sibling set is
+//! complete (never proposing authority the evidence does not cover), one
+//! attribute at a time, repeated to a fixed point (so two orthogonal
+//! generalizations can compose across passes).
+
+use prima_mining::Pattern;
+use prima_model::{Rule, RuleTerm};
+use prima_vocab::Vocabulary;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A generalization step: which candidates were folded into which rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generalization {
+    /// The proposed composite rule.
+    pub rule: Rule,
+    /// The attribute that was generalized.
+    pub attr: String,
+    /// The composite value that replaced the leaves.
+    pub to_value: String,
+    /// The ground rules it subsumes (canonically sorted).
+    pub covers: Vec<Rule>,
+    /// Combined support of the covered candidates.
+    pub support: usize,
+}
+
+/// The outcome: the final candidate rule set plus the step log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GeneralizeOutcome {
+    /// Candidate rules after generalization (composites + leftovers).
+    pub rules: Vec<Rule>,
+    /// Every generalization performed, in application order.
+    pub steps: Vec<Generalization>,
+}
+
+/// Generalizes mined patterns to a fixed point.
+pub fn generalize(patterns: &[Pattern], vocab: &Vocabulary) -> GeneralizeOutcome {
+    // Working set: rule → combined support.
+    let mut work: BTreeMap<Rule, usize> = BTreeMap::new();
+    for p in patterns {
+        *work.entry(Rule::from_ground(&p.rule)).or_default() += p.support;
+    }
+    let mut steps = Vec::new();
+
+    loop {
+        match find_step(&work, vocab) {
+            Some(step) => {
+                for covered in &step.covers {
+                    work.remove(covered);
+                }
+                *work.entry(step.rule.clone()).or_default() += step.support;
+                steps.push(step);
+            }
+            None => break,
+        }
+    }
+
+    GeneralizeOutcome {
+        rules: work.into_keys().collect(),
+        steps,
+    }
+}
+
+/// Finds one applicable generalization, if any: an attribute position
+/// where a group of rules (equal on every other attribute) covers all
+/// ground values of some composite parent.
+fn find_step(work: &BTreeMap<Rule, usize>, vocab: &Vocabulary) -> Option<Generalization> {
+    // Group rules by (everything except one attribute).
+    for probe in work.keys() {
+        for term in probe.terms() {
+            let attr = &term.attr;
+            let Some(taxonomy) = vocab.attribute(attr) else {
+                continue;
+            };
+            // The candidate parents are the ancestors of this term's value.
+            let Some(mut concept) = taxonomy.resolve(&term.value) else {
+                continue;
+            };
+            while let Some(parent) = taxonomy.concept(concept).parent {
+                let parent_name = taxonomy.name(parent).to_string();
+                // Collect the sibling rules: same rule with value replaced
+                // by each ground value under the parent.
+                let leaves = vocab.ground_values(attr, &parent_name);
+                let siblings: Vec<Rule> = leaves
+                    .iter()
+                    .map(|leaf| replace_value(probe, attr, leaf))
+                    .collect();
+                if siblings.iter().all(|s| work.contains_key(s)) {
+                    let support = siblings.iter().map(|s| work[s]).sum();
+                    let rule = replace_value(probe, attr, &parent_name);
+                    let covers_set: BTreeSet<Rule> = siblings.into_iter().collect();
+                    let covers: Vec<Rule> = covers_set.into_iter().collect();
+                    return Some(Generalization {
+                        rule,
+                        attr: attr.clone(),
+                        to_value: parent_name,
+                        covers,
+                        support,
+                    });
+                }
+                concept = parent;
+            }
+        }
+    }
+    None
+}
+
+fn replace_value(rule: &Rule, attr: &str, value: &str) -> Rule {
+    let terms: Vec<RuleTerm> = rule
+        .terms()
+        .iter()
+        .map(|t| {
+            if t.attr == attr {
+                RuleTerm::of(attr, value)
+            } else {
+                t.clone()
+            }
+        })
+        .collect();
+    Rule::new(terms).expect("replacement preserves rule shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::GroundRule;
+    use prima_vocab::samples::figure_1;
+
+    fn pat(d: &str, p: &str, a: &str, support: usize) -> Pattern {
+        Pattern::new(
+            GroundRule::of(&[("data", d), ("purpose", p), ("authorized", a)]),
+            support,
+            2,
+        )
+    }
+
+    #[test]
+    fn complete_sibling_set_generalizes() {
+        let v = figure_1();
+        // administering-healthcare = {treatment, registration, billing}.
+        let out = generalize(
+            &[
+                pat("referral", "treatment", "nurse", 10),
+                pat("referral", "registration", "nurse", 7),
+                pat("referral", "billing", "nurse", 5),
+            ],
+            &v,
+        );
+        assert_eq!(out.steps.len(), 1);
+        let step = &out.steps[0];
+        assert_eq!(step.attr, "purpose");
+        assert_eq!(step.to_value, "administering-healthcare");
+        assert_eq!(step.support, 22);
+        assert_eq!(out.rules.len(), 1);
+        assert_eq!(
+            out.rules[0].value_of("purpose"),
+            Some("administering-healthcare")
+        );
+    }
+
+    #[test]
+    fn incomplete_sibling_set_stays_ground() {
+        let v = figure_1();
+        let out = generalize(
+            &[
+                pat("referral", "treatment", "nurse", 10),
+                pat("referral", "registration", "nurse", 7),
+                // billing missing: no generalization.
+            ],
+            &v,
+        );
+        assert!(out.steps.is_empty());
+        assert_eq!(out.rules.len(), 2);
+    }
+
+    #[test]
+    fn generalization_composes_across_attributes() {
+        let v = figure_1();
+        // All of general-care {prescription, referral, lab-result} × all of
+        // administering-healthcare {treatment, registration, billing}:
+        // nine candidates collapse to one doubly-composite rule.
+        let mut patterns = Vec::new();
+        for d in ["prescription", "referral", "lab-result"] {
+            for p in ["treatment", "registration", "billing"] {
+                patterns.push(pat(d, p, "nurse", 3));
+            }
+        }
+        let out = generalize(&patterns, &v);
+        assert_eq!(out.rules.len(), 1);
+        let r = &out.rules[0];
+        assert_eq!(r.value_of("data"), Some("general-care"));
+        assert_eq!(r.value_of("purpose"), Some("administering-healthcare"));
+        assert_eq!(r.value_of("authorized"), Some("nurse"));
+        // Total support conserved through every fold.
+        let final_support: usize = out.steps.last().unwrap().support;
+        assert_eq!(final_support, 27);
+    }
+
+    #[test]
+    fn semantics_are_preserved() {
+        let v = figure_1();
+        let patterns = vec![
+            pat("referral", "treatment", "nurse", 10),
+            pat("referral", "registration", "nurse", 7),
+            pat("referral", "billing", "nurse", 5),
+        ];
+        let out = generalize(&patterns, &v);
+        // The composite rule's expansion over this attribute set is exactly
+        // the original three ground rules.
+        let expanded: Vec<GroundRule> = out.rules[0].ground_expansion(&v).collect();
+        assert_eq!(expanded.len(), 3);
+        for p in &patterns {
+            assert!(expanded.contains(&p.rule));
+        }
+    }
+
+    #[test]
+    fn unknown_values_never_generalize() {
+        let v = figure_1();
+        let out = generalize(
+            &[
+                pat("referral", "treatment", "doctor", 5),
+                pat("referral", "registration", "doctor", 5),
+                pat("referral", "billing", "doctor", 5),
+            ],
+            &v,
+        );
+        // "doctor" is out-of-vocabulary; purpose still generalizes (the
+        // purpose taxonomy is complete) but the role stays as-is.
+        assert_eq!(out.rules.len(), 1);
+        assert_eq!(out.rules[0].value_of("authorized"), Some("doctor"));
+        assert_eq!(
+            out.rules[0].value_of("purpose"),
+            Some("administering-healthcare")
+        );
+    }
+
+    #[test]
+    fn duplicate_patterns_merge_support() {
+        let v = figure_1();
+        let out = generalize(
+            &[
+                pat("referral", "treatment", "nurse", 4),
+                pat("referral", "treatment", "nurse", 6),
+            ],
+            &v,
+        );
+        assert_eq!(out.rules.len(), 1);
+        assert!(out.steps.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let v = figure_1();
+        let out = generalize(&[], &v);
+        assert!(out.rules.is_empty() && out.steps.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Algorithm 2: the composed `Refinement(P_PS, P_AL, V)` function.
+
+use crate::extract::extract_patterns;
+use crate::filter::{filter_with, FilterOutcome};
+use crate::prune::{prune, PruneOutcome};
+use prima_audit::{AccessClassifier, AuditEntry, NoViolations};
+use prima_mining::{Miner, MiningError, Pattern, SqlMiner};
+use prima_model::Policy;
+use prima_vocab::Vocabulary;
+
+/// Configuration of one refinement run.
+pub struct RefinementConfig<'a> {
+    /// The miner implementing Algorithm 4's data analysis (defaults to the
+    /// paper's SQL group-by miner with `f = 5`,
+    /// `c = COUNT(DISTINCT user) > 1`).
+    pub miner: &'a dyn Miner,
+    /// Violation/practice separation (defaults to the Section 5 assumption
+    /// that no exceptions are violations).
+    pub classifier: &'a dyn AccessClassifierObj,
+}
+
+/// Object-safe wrapper over [`AccessClassifier`] so configs can hold
+/// heterogeneous classifiers.
+pub trait AccessClassifierObj {
+    /// See [`AccessClassifier::is_violation`].
+    fn is_violation_obj(&self, entry: &AuditEntry) -> bool;
+}
+
+impl<C: AccessClassifier> AccessClassifierObj for C {
+    fn is_violation_obj(&self, entry: &AuditEntry) -> bool {
+        self.is_violation(entry)
+    }
+}
+
+struct ObjAdapter<'a>(&'a dyn AccessClassifierObj);
+
+impl AccessClassifier for ObjAdapter<'_> {
+    fn is_violation(&self, entry: &AuditEntry) -> bool {
+        self.0.is_violation_obj(entry)
+    }
+}
+
+/// What one refinement run produced, with full provenance for the review
+/// stage and the experiment harness.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// Size of the input trail.
+    pub input_entries: usize,
+    /// Outcome of the Filter stage.
+    pub practice_entries: usize,
+    /// Entries diverted as suspected violations.
+    pub suspected_violations: Vec<AuditEntry>,
+    /// Entries dropped as regular accesses or prohibitions.
+    pub dropped_entries: usize,
+    /// Every pattern the miner surfaced (before pruning).
+    pub raw_patterns: Vec<Pattern>,
+    /// Patterns already covered by the policy store.
+    pub already_covered: Vec<Pattern>,
+    /// Algorithm 2's return value: the `usefulPatterns`.
+    pub useful_patterns: Vec<Pattern>,
+    /// The miner description, for the audit trail of the refinement itself.
+    pub miner_description: String,
+}
+
+/// Runs Algorithm 2 with default configuration (SQL miner, no violations).
+pub fn refinement(
+    policy_store: &Policy,
+    audit_entries: &[AuditEntry],
+    vocab: &Vocabulary,
+) -> Result<RefinementReport, MiningError> {
+    let miner = SqlMiner::default();
+    let classifier = NoViolations;
+    refinement_with(
+        policy_store,
+        audit_entries,
+        vocab,
+        &RefinementConfig {
+            miner: &miner,
+            classifier: &classifier,
+        },
+    )
+}
+
+/// Runs Algorithm 2 with a custom miner and the default (no-violations)
+/// classifier.
+pub fn refinement_with_miner(
+    policy_store: &Policy,
+    audit_entries: &[AuditEntry],
+    vocab: &Vocabulary,
+    miner: &dyn Miner,
+) -> Result<RefinementReport, MiningError> {
+    let classifier = NoViolations;
+    refinement_with(
+        policy_store,
+        audit_entries,
+        vocab,
+        &RefinementConfig {
+            miner,
+            classifier: &classifier,
+        },
+    )
+}
+
+/// Runs Algorithm 2 with explicit configuration.
+pub fn refinement_with(
+    policy_store: &Policy,
+    audit_entries: &[AuditEntry],
+    vocab: &Vocabulary,
+    config: &RefinementConfig<'_>,
+) -> Result<RefinementReport, MiningError> {
+    // Line 1: Practice ← Filter(P_AL).
+    let FilterOutcome {
+        practice,
+        suspected_violations,
+        dropped,
+    } = filter_with(audit_entries, &ObjAdapter(config.classifier));
+
+    // Line 2: Patterns ← extractPatterns(Practice, V).
+    let raw_patterns = extract_patterns(&practice, config.miner)?;
+
+    // Line 3: usefulPatterns ← Prune(Patterns, P_PS, V).
+    let PruneOutcome {
+        useful,
+        already_covered,
+    } = prune(raw_patterns.clone(), policy_store, vocab);
+
+    Ok(RefinementReport {
+        input_entries: audit_entries.len(),
+        practice_entries: practice.len(),
+        suspected_violations,
+        dropped_entries: dropped,
+        raw_patterns,
+        already_covered,
+        useful_patterns: useful,
+        miner_description: config.miner.describe(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_audit::DenyPairClassifier;
+    use prima_model::samples::figure_3_policy_store;
+    use prima_vocab::samples::figure_1;
+
+    /// Table 1 of the paper, verbatim.
+    fn table_1() -> Vec<AuditEntry> {
+        vec![
+            AuditEntry::regular(1, "John", "Prescription", "Treatment", "Nurse"),
+            AuditEntry::regular(2, "Tim", "Referral", "Treatment", "Nurse"),
+            AuditEntry::exception(3, "Mark", "Referral", "Registration", "Nurse"),
+            AuditEntry::exception(4, "Sarah", "Psychiatry", "Treatment", "Doctor"),
+            AuditEntry::regular(5, "Bill", "Address", "Billing", "Clerk"),
+            AuditEntry::exception(6, "Jason", "Prescription", "Billing", "Clerk"),
+            AuditEntry::exception(7, "Mark", "Referral", "Registration", "Nurse"),
+            AuditEntry::exception(8, "Tim", "Referral", "Registration", "Nurse"),
+            AuditEntry::exception(9, "Bob", "Referral", "Registration", "Nurse"),
+            AuditEntry::exception(10, "Mark", "Referral", "Registration", "Nurse"),
+        ]
+    }
+
+    #[test]
+    fn section_5_use_case_end_to_end() {
+        let v = figure_1();
+        let report = refinement(&figure_3_policy_store(), &table_1(), &v).unwrap();
+        // Filter keeps t3, t4, t6, t7-t10 — seven entries.
+        assert_eq!(report.input_entries, 10);
+        assert_eq!(report.practice_entries, 7);
+        assert_eq!(report.dropped_entries, 3);
+        // Mining with f=5, c=COUNT(DISTINCT user)>1 yields exactly one
+        // pattern: Referral:Registration:Nurse.
+        assert_eq!(report.raw_patterns.len(), 1);
+        // Prune keeps it: it is not in P_PS's range.
+        assert_eq!(report.useful_patterns.len(), 1);
+        assert_eq!(
+            report.useful_patterns[0].compact(&["data", "purpose", "authorized"]),
+            "referral:registration:nurse"
+        );
+        assert_eq!(report.useful_patterns[0].support, 5);
+        assert!(report.miner_description.contains("f=5"));
+    }
+
+    #[test]
+    fn violations_are_diverted_not_mined() {
+        let v = figure_1();
+        let mut classifier = DenyPairClassifier::new();
+        // Flag the whole nurse/referral pattern as a suspected violation.
+        classifier.deny("referral", "nurse");
+        let miner = SqlMiner::default();
+        let report = refinement_with(
+            &figure_3_policy_store(),
+            &table_1(),
+            &v,
+            &RefinementConfig {
+                miner: &miner,
+                classifier: &classifier,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.suspected_violations.len(), 5);
+        assert!(report.useful_patterns.is_empty());
+    }
+
+    #[test]
+    fn already_covered_patterns_reported_separately() {
+        let v = figure_1();
+        // Add the mined rule to the policy first; rerunning refinement must
+        // prune it.
+        let mut ps = figure_3_policy_store();
+        ps.push(prima_model::Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "registration"),
+            ("authorized", "nurse"),
+        ]));
+        let report = refinement(&ps, &table_1(), &v).unwrap();
+        assert!(report.useful_patterns.is_empty());
+        assert_eq!(report.already_covered.len(), 1);
+    }
+
+    #[test]
+    fn empty_trail_produces_empty_report() {
+        let v = figure_1();
+        let report = refinement(&figure_3_policy_store(), &[], &v).unwrap();
+        assert_eq!(report.practice_entries, 0);
+        assert!(report.useful_patterns.is_empty());
+    }
+}

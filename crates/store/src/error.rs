@@ -1,0 +1,109 @@
+//! Error type for the storage layer.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Referenced table does not exist in the catalog.
+    UnknownTable {
+        /// The missing table's name.
+        name: String,
+    },
+    /// A table with this name already exists.
+    DuplicateTable {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Referenced column does not exist in the schema.
+    UnknownColumn {
+        /// The missing column's name.
+        column: String,
+        /// The table or schema context, when known.
+        context: String,
+    },
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Number of columns the schema expects.
+        expected: usize,
+        /// Number of values the row supplied.
+        actual: usize,
+    },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        /// The offending column.
+        column: String,
+        /// The declared type name.
+        expected: &'static str,
+        /// The value that failed validation.
+        value: Value,
+    },
+    /// A NULL was supplied for a non-nullable column.
+    NullViolation {
+        /// The offending column.
+        column: String,
+    },
+    /// A duplicate column name in a schema definition.
+    DuplicateColumn {
+        /// The repeated name.
+        column: String,
+    },
+    /// Row index out of bounds for an update.
+    RowOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The table's current row count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownTable { name } => write!(f, "unknown table '{name}'"),
+            StoreError::DuplicateTable { name } => write!(f, "table '{name}' already exists"),
+            StoreError::UnknownColumn { column, context } => {
+                write!(f, "unknown column '{column}' in {context}")
+            }
+            StoreError::ArityMismatch { expected, actual } => {
+                write!(f, "row has {actual} values, schema expects {expected}")
+            }
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                value,
+            } => write!(
+                f,
+                "column '{column}' expects {expected}, got {value:?}"
+            ),
+            StoreError::NullViolation { column } => {
+                write!(f, "column '{column}' is not nullable")
+            }
+            StoreError::DuplicateColumn { column } => {
+                write!(f, "duplicate column '{column}' in schema")
+            }
+            StoreError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::TypeMismatch {
+            column: "time".into(),
+            expected: "timestamp",
+            value: Value::Str("oops".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("time") && s.contains("timestamp"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Secondary hash indexes.
+//!
+//! The audit federation and the miners repeatedly look rows up by equality
+//! on one column (user, status, purpose). A hash index maps each distinct
+//! value to the row indices holding it. Indexes are snapshots: they are
+//! built from a table at a point in time and record the row count they
+//! cover, so a staleness check is O(1) and callers can rebuild or extend.
+
+use crate::error::StoreError;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index over one column of a table snapshot.
+#[derive(Debug, Clone)]
+pub struct Index {
+    column: String,
+    covered_rows: usize,
+    entries: HashMap<Value, Vec<usize>>,
+}
+
+impl Index {
+    /// Builds an index over `column` for the table's current rows.
+    pub fn build(table: &Table, column: &str) -> Result<Self, StoreError> {
+        let col = table.schema().require(column, table.name())?;
+        let mut entries: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in table.scan().enumerate() {
+            entries.entry(row.get(col).clone()).or_default().push(i);
+        }
+        Ok(Self {
+            column: column.to_string(),
+            covered_rows: table.len(),
+            entries,
+        })
+    }
+
+    /// The indexed column's name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Number of rows covered at build/extend time.
+    pub fn covered_rows(&self) -> usize {
+        self.covered_rows
+    }
+
+    /// True iff the table has grown since the index last covered it.
+    pub fn is_stale(&self, table: &Table) -> bool {
+        table.len() != self.covered_rows
+    }
+
+    /// Row indices whose column equals `value` (empty slice if none).
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        self.entries.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Incrementally covers rows appended since the last build/extend.
+    /// (Tables are append-only, so extension is always safe.)
+    pub fn extend(&mut self, table: &Table) -> Result<(), StoreError> {
+        let col = table.schema().require(&self.column, table.name())?;
+        for i in self.covered_rows..table.len() {
+            let row = table.row(i)?;
+            self.entries.entry(row.get(col).clone()).or_default().push(i);
+        }
+        self.covered_rows = table.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::schema::{Column, DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::required("user", DataType::Str),
+            Column::required("status", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("audit", schema);
+        for (u, s) in [("a", 1), ("b", 0), ("a", 0), ("c", 1)] {
+            t.insert(Row::new(vec![Value::str(u), Value::Int(s)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn lookup_finds_all_matches() {
+        let t = table();
+        let idx = Index::build(&t, "user").unwrap();
+        assert_eq!(idx.lookup(&Value::str("a")), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::str("z")), &[] as &[usize]);
+        assert_eq!(idx.distinct_values(), 3);
+        assert_eq!(idx.column(), "user");
+    }
+
+    #[test]
+    fn staleness_and_extend() {
+        let mut t = table();
+        let mut idx = Index::build(&t, "status").unwrap();
+        assert!(!idx.is_stale(&t));
+        t.insert(Row::new(vec![Value::str("d"), Value::Int(0)])).unwrap();
+        assert!(idx.is_stale(&t));
+        idx.extend(&t).unwrap();
+        assert!(!idx.is_stale(&t));
+        assert_eq!(idx.lookup(&Value::Int(0)), &[1, 2, 4]);
+        assert_eq!(idx.covered_rows(), 5);
+    }
+
+    #[test]
+    fn build_on_missing_column_fails() {
+        let t = table();
+        assert!(Index::build(&t, "nope").is_err());
+    }
+}

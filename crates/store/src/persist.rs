@@ -1,0 +1,122 @@
+//! Table persistence: schema + rows as JSON.
+//!
+//! The engine is in-memory by design (the paper's substrate concern is the
+//! middleware, not durability), but experiments and the CLI need to move
+//! tables between runs. The format is a single JSON document with the
+//! schema embedded, so a loaded table validates itself.
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+#[derive(Serialize, Deserialize)]
+struct TableDoc {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+/// Serializes a table (schema + rows) to pretty JSON.
+pub fn table_to_json(table: &Table) -> String {
+    let doc = TableDoc {
+        name: table.name().to_string(),
+        schema: table.schema().clone(),
+        rows: table.scan().cloned().collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("tables serialize infallibly")
+}
+
+/// Deserializes a table, rebuilding the schema index and re-validating
+/// every row (a tampered file cannot produce an ill-typed table).
+pub fn table_from_json(json: &str) -> Result<Table, StoreError> {
+    let mut doc: TableDoc = serde_json::from_str(json).map_err(|e| StoreError::UnknownTable {
+        name: format!("<json: {e}>"),
+    })?;
+    doc.schema.rebuild_index()?;
+    let mut table = Table::new(&doc.name, doc.schema);
+    for row in doc.rows {
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+/// Writes a table to any writer.
+pub fn write_table<W: Write>(table: &Table, mut out: W) -> std::io::Result<()> {
+    out.write_all(table_to_json(table).as_bytes())
+}
+
+/// Reads a table from any reader.
+pub fn read_table<R: Read>(mut input: R) -> std::io::Result<Table> {
+    let mut buf = String::new();
+    input.read_to_string(&mut buf)?;
+    table_from_json(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::required("user", DataType::Str),
+            Column::nullable("ward", DataType::Str),
+            Column::required("age", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("patients", schema);
+        t.insert(Row::new(vec![
+            Value::str("ada"),
+            Value::Null,
+            Value::Int(70),
+        ]))
+        .unwrap();
+        t.insert(Row::new(vec![
+            Value::str("bo"),
+            Value::str("icu"),
+            Value::Int(35),
+        ]))
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = table();
+        let json = table_to_json(&t);
+        let back = table_from_json(&json).unwrap();
+        assert_eq!(back.name(), "patients");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.row(0).unwrap(), t.row(0).unwrap());
+        assert_eq!(back.schema().index_of("age"), Some(2));
+    }
+
+    #[test]
+    fn loaded_table_revalidates() {
+        let t = table();
+        // Tamper: make a row ill-typed in the JSON.
+        let json = table_to_json(&t).replace("\"Int\": 70", "\"Str\": \"seventy\"");
+        assert!(json.contains("seventy"), "tamper must hit the document");
+        assert!(table_from_json(&json).is_err());
+    }
+
+    #[test]
+    fn io_helpers_roundtrip() {
+        let t = table();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), t.len());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(table_from_json("not json").is_err());
+        assert!(read_table("[1,2,3]".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Boolean row predicates.
+//!
+//! Shared between the storage layer (filtered scans, index lookups), the
+//! query executor's WHERE clause, and — crucially — the HDB Active
+//! Enforcement middleware, which enforces policy by *conjoining* predicates
+//! onto user queries (Section 4.1: "rewrites the queries so that only data
+//! consistent with policy and patient preferences is returned").
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean predicate over a row. Uses SQL three-valued logic internally:
+/// a comparison with NULL is UNKNOWN, and UNKNOWN rows are filtered out
+/// (i.e. [`Predicate::matches`] returns `false` for them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Compare a named column with a literal.
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// Column IS NULL.
+    IsNull {
+        /// Column name.
+        column: String,
+    },
+    /// Column value ∈ set (used by enforcement to restrict e.g. `purpose`
+    /// to an allow-list).
+    InSet {
+        /// Column name.
+        column: String,
+        /// Allowed values.
+        values: Vec<Value>,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (of three-valued logic: NOT UNKNOWN = UNKNOWN).
+    Not(Box<Predicate>),
+}
+
+/// Three-valued logic result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Predicate {
+    /// Convenience: `column = value`.
+    pub fn eq(column: &str, value: Value) -> Self {
+        Predicate::Compare {
+            column: column.to_string(),
+            op: CmpOp::Eq,
+            value,
+        }
+    }
+
+    /// Convenience: conjunction of a list (empty list = TRUE).
+    pub fn all(preds: Vec<Predicate>) -> Self {
+        preds
+            .into_iter()
+            .reduce(|a, b| Predicate::And(Box::new(a), Box::new(b)))
+            .unwrap_or(Predicate::True)
+    }
+
+    /// Convenience: disjunction of a list (empty list = FALSE).
+    pub fn any(preds: Vec<Predicate>) -> Self {
+        preds
+            .into_iter()
+            .reduce(|a, b| Predicate::Or(Box::new(a), Box::new(b)))
+            .unwrap_or(Predicate::False)
+    }
+
+    /// Validates that all referenced columns exist in `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), StoreError> {
+        match self {
+            Predicate::True | Predicate::False => Ok(()),
+            Predicate::Compare { column, .. }
+            | Predicate::IsNull { column }
+            | Predicate::InSet { column, .. } => {
+                schema.require(column, "predicate").map(|_| ())
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Predicate::Not(p) => p.validate(schema),
+        }
+    }
+
+    /// Evaluates against a row (columns resolved through `schema`); rows
+    /// evaluating to UNKNOWN do not match, per SQL WHERE semantics.
+    ///
+    /// # Panics
+    /// If a referenced column is missing — call [`Predicate::validate`]
+    /// first (the executor and table scans do).
+    pub fn matches(&self, schema: &Schema, row: &Row) -> bool {
+        self.eval(schema, row) == Tri::True
+    }
+
+    fn eval(&self, schema: &Schema, row: &Row) -> Tri {
+        match self {
+            Predicate::True => Tri::True,
+            Predicate::False => Tri::False,
+            Predicate::Compare { column, op, value } => {
+                let idx = schema
+                    .index_of(column)
+                    .expect("predicate validated against schema");
+                match row.get(idx).sql_cmp(value) {
+                    Some(ord) => {
+                        if op.eval(ord) {
+                            Tri::True
+                        } else {
+                            Tri::False
+                        }
+                    }
+                    None => Tri::Unknown,
+                }
+            }
+            Predicate::IsNull { column } => {
+                let idx = schema
+                    .index_of(column)
+                    .expect("predicate validated against schema");
+                if row.get(idx).is_null() {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            }
+            Predicate::InSet { column, values } => {
+                let idx = schema
+                    .index_of(column)
+                    .expect("predicate validated against schema");
+                let v = row.get(idx);
+                if v.is_null() {
+                    Tri::Unknown
+                } else if values.contains(v) {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            }
+            Predicate::And(a, b) => match (a.eval(schema, row), b.eval(schema, row)) {
+                (Tri::False, _) | (_, Tri::False) => Tri::False,
+                (Tri::True, Tri::True) => Tri::True,
+                _ => Tri::Unknown,
+            },
+            Predicate::Or(a, b) => match (a.eval(schema, row), b.eval(schema, row)) {
+                (Tri::True, _) | (_, Tri::True) => Tri::True,
+                (Tri::False, Tri::False) => Tri::False,
+                _ => Tri::Unknown,
+            },
+            Predicate::Not(p) => match p.eval(schema, row) {
+                Tri::True => Tri::False,
+                Tri::False => Tri::True,
+                Tri::Unknown => Tri::Unknown,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::False => write!(f, "FALSE"),
+            Predicate::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::IsNull { column } => write!(f, "{column} IS NULL"),
+            Predicate::InSet { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "(NOT {p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::required("user", DataType::Str),
+            Column::required("age", DataType::Int),
+            Column::nullable("ward", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn row(user: &str, age: i64, ward: Option<&str>) -> Row {
+        Row::new(vec![
+            Value::str(user),
+            Value::Int(age),
+            ward.map(Value::str).unwrap_or(Value::Null),
+        ])
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row("alice", 40, Some("icu"));
+        assert!(Predicate::eq("user", Value::str("alice")).matches(&s, &r));
+        assert!(!Predicate::eq("user", Value::str("bob")).matches(&s, &r));
+        let older = Predicate::Compare {
+            column: "age".into(),
+            op: CmpOp::Gt,
+            value: Value::Int(30),
+        };
+        assert!(older.matches(&s, &r));
+        for (op, expect) in [
+            (CmpOp::Ne, true),
+            (CmpOp::Lt, false),
+            (CmpOp::Le, false),
+            (CmpOp::Ge, true),
+        ] {
+            let p = Predicate::Compare {
+                column: "age".into(),
+                op,
+                value: Value::Int(30),
+            };
+            assert_eq!(p.matches(&s, &r), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        let s = schema();
+        let r = row("alice", 40, None);
+        let p = Predicate::eq("ward", Value::str("icu"));
+        assert!(!p.matches(&s, &r), "NULL = x is UNKNOWN, filtered out");
+        let np = Predicate::Not(Box::new(p));
+        assert!(!np.matches(&s, &r), "NOT UNKNOWN is still UNKNOWN");
+        assert!(Predicate::IsNull {
+            column: "ward".into()
+        }
+        .matches(&s, &r));
+    }
+
+    #[test]
+    fn in_set_and_combinators() {
+        let s = schema();
+        let r = row("alice", 40, Some("icu"));
+        let p = Predicate::InSet {
+            column: "ward".into(),
+            values: vec![Value::str("icu"), Value::str("er")],
+        };
+        assert!(p.matches(&s, &r));
+        let both = Predicate::And(
+            Box::new(p.clone()),
+            Box::new(Predicate::eq("user", Value::str("bob"))),
+        );
+        assert!(!both.matches(&s, &r));
+        let either = Predicate::Or(
+            Box::new(p),
+            Box::new(Predicate::eq("user", Value::str("bob"))),
+        );
+        assert!(either.matches(&s, &r));
+    }
+
+    #[test]
+    fn all_and_any_helpers() {
+        let s = schema();
+        let r = row("alice", 40, Some("icu"));
+        assert!(Predicate::all(vec![]).matches(&s, &r));
+        assert!(!Predicate::any(vec![]).matches(&s, &r));
+        let conj = Predicate::all(vec![
+            Predicate::eq("user", Value::str("alice")),
+            Predicate::eq("ward", Value::str("icu")),
+        ]);
+        assert!(conj.matches(&s, &r));
+    }
+
+    #[test]
+    fn validate_catches_unknown_columns() {
+        let s = schema();
+        let bad = Predicate::eq("missing", Value::Int(1));
+        assert!(bad.validate(&s).is_err());
+        let nested = Predicate::And(
+            Box::new(Predicate::True),
+            Box::new(Predicate::IsNull {
+                column: "nope".into(),
+            }),
+        );
+        assert!(nested.validate(&s).is_err());
+        assert!(Predicate::True.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let p = Predicate::And(
+            Box::new(Predicate::eq("user", Value::str("alice"))),
+            Box::new(Predicate::InSet {
+                column: "ward".into(),
+                values: vec![Value::str("icu")],
+            }),
+        );
+        assert_eq!(p.to_string(), "(user = alice AND ward IN (icu))");
+    }
+}

@@ -1,0 +1,113 @@
+//! Rows: ordered value tuples.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered tuple of values, positionally matched to a
+/// [`Schema`](crate::Schema).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    /// Wraps values into a row.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self(values)
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the row has no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value at `idx` (panics if out of bounds — the executor validates
+    /// column indices against the schema before evaluation).
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// All values, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// A new row containing only the values at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Replaces the value at `idx`, returning the old value.
+    pub fn set(&mut self, idx: usize, value: Value) -> Value {
+        std::mem::replace(&mut self.0[idx], value)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::new(vec![Value::str("a"), Value::Int(1), Value::Bool(true)])
+    }
+
+    #[test]
+    fn accessors() {
+        let r = row();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.get(1), &Value::Int(1));
+        assert_eq!(r.values()[0], Value::str("a"));
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let r = row();
+        let p = r.project(&[2, 0, 0]);
+        assert_eq!(
+            p.values(),
+            &[Value::Bool(true), Value::str("a"), Value::str("a")]
+        );
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut r = row();
+        let old = r.set(1, Value::Int(9));
+        assert_eq!(old, Value::Int(1));
+        assert_eq!(r.get(1), &Value::Int(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(row().to_string(), "(a, 1, true)");
+    }
+}

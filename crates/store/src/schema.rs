@@ -1,0 +1,251 @@
+//! Schemas: typed, named columns with nullability.
+
+use crate::error::StoreError;
+use crate::row::Row;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Declared column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+    /// Timestamp (seconds since the workload epoch).
+    Timestamp,
+}
+
+impl DataType {
+    /// Human-readable name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Str => "string",
+            DataType::Timestamp => "timestamp",
+        }
+    }
+
+    /// Does `value` inhabit this type? NULL inhabits every type (subject to
+    /// the column's nullability, checked separately).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+                | (DataType::Timestamp, Value::Timestamp(_))
+        )
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (case-sensitive, by convention lower-case).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL is admitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn required(name: &str, dtype: DataType) -> Self {
+        Self {
+            name: name.to_string(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, dtype: DataType) -> Self {
+        Self {
+            name: name.to_string(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns with O(1) name lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, StoreError> {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                return Err(StoreError::DuplicateColumn {
+                    column: c.name.clone(),
+                });
+            }
+        }
+        Ok(Self { columns, by_name })
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Index of a column by name, as a [`StoreError`] on failure.
+    pub fn require(&self, name: &str, context: &str) -> Result<usize, StoreError> {
+        self.index_of(name).ok_or_else(|| StoreError::UnknownColumn {
+            column: name.to_string(),
+            context: context.to_string(),
+        })
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// Validates a row against arity, types, and nullability.
+    pub fn validate(&self, row: &Row) -> Result<(), StoreError> {
+        if row.len() != self.arity() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.arity(),
+                actual: row.len(),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(row.values()) {
+            if val.is_null() {
+                if !col.nullable {
+                    return Err(StoreError::NullViolation {
+                        column: col.name.clone(),
+                    });
+                }
+                continue;
+            }
+            if !col.dtype.admits(val) {
+                return Err(StoreError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.dtype.name(),
+                    value: val.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the name index after deserialization.
+    pub fn rebuild_index(&mut self) -> Result<(), StoreError> {
+        let columns = std::mem::take(&mut self.columns);
+        let rebuilt = Schema::new(columns)?;
+        *self = rebuilt;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::required("user", DataType::Str),
+            Column::required("time", DataType::Timestamp),
+            Column::nullable("note", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_arity() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("time"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.require("missing", "test").is_err());
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["user", "time", "note"]);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(vec![
+            Column::required("a", DataType::Int),
+            Column::required("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_well_typed_rows() {
+        let s = schema();
+        let row = Row::new(vec![
+            Value::str("alice"),
+            Value::Timestamp(1),
+            Value::Null,
+        ]);
+        assert!(s.validate(&row).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_arity_type_null() {
+        let s = schema();
+        assert!(matches!(
+            s.validate(&Row::new(vec![Value::str("x")])),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate(&Row::new(vec![
+                Value::Int(1),
+                Value::Timestamp(1),
+                Value::Null
+            ])),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate(&Row::new(vec![
+                Value::Null,
+                Value::Timestamp(1),
+                Value::Null
+            ])),
+            Err(StoreError::NullViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn datatype_admits() {
+        assert!(DataType::Int.admits(&Value::Int(1)));
+        assert!(!DataType::Int.admits(&Value::Str("1".into())));
+        assert!(DataType::Str.admits(&Value::Null));
+        assert!(DataType::Timestamp.admits(&Value::Timestamp(0)));
+        assert!(!DataType::Timestamp.admits(&Value::Int(0)));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_rebuild() {
+        let s = schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        back.rebuild_index().unwrap();
+        assert_eq!(back.index_of("note"), Some(2));
+    }
+}

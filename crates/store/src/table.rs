@@ -1,0 +1,230 @@
+//! In-memory row tables with validated insertion and filtered scans.
+
+use crate::error::StoreError;
+use crate::predicate::Predicate;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory, append-mostly row table.
+///
+/// Rows are validated against the schema on insertion, so scans never need
+/// to re-check types. Deletion is not supported — neither the audit trail
+/// (append-only by design, Section 4.2) nor the clinical fixtures need it;
+/// retention in `prima-audit` works by epoch-partitioned tables instead.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Self {
+            name: name.to_string(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates and appends a row, returning its index.
+    pub fn insert(&mut self, row: Row) -> Result<usize, StoreError> {
+        self.schema.validate(&row)?;
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Validates and appends many rows; all-or-nothing.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<usize, StoreError> {
+        let staged: Vec<Row> = rows.into_iter().collect();
+        for r in &staged {
+            self.schema.validate(r)?;
+        }
+        let n = staged.len();
+        self.rows.extend(staged);
+        Ok(n)
+    }
+
+    /// The row at `idx`.
+    pub fn row(&self, idx: usize) -> Result<&Row, StoreError> {
+        self.rows.get(idx).ok_or(StoreError::RowOutOfBounds {
+            index: idx,
+            len: self.rows.len(),
+        })
+    }
+
+    /// Replaces the value of `column` in row `idx`.
+    pub fn update_cell(&mut self, idx: usize, column: &str, value: Value) -> Result<(), StoreError> {
+        let col = self.schema.require(column, &self.name)?;
+        if idx >= self.rows.len() {
+            return Err(StoreError::RowOutOfBounds {
+                index: idx,
+                len: self.rows.len(),
+            });
+        }
+        // Validate the candidate row before mutating.
+        let mut candidate = self.rows[idx].clone();
+        candidate.set(col, value);
+        self.schema.validate(&candidate)?;
+        self.rows[idx] = candidate;
+        Ok(())
+    }
+
+    /// Full scan.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Filtered scan. The predicate is validated once up front.
+    pub fn scan_where<'a>(
+        &'a self,
+        pred: &'a Predicate,
+    ) -> Result<impl Iterator<Item = &'a Row> + 'a, StoreError> {
+        pred.validate(&self.schema)?;
+        Ok(self.rows.iter().filter(move |r| pred.matches(&self.schema, r)))
+    }
+
+    /// Projects named columns from every row (helper for fixtures/tests and
+    /// for the audit federation's column harmonisation).
+    pub fn project(&self, columns: &[&str]) -> Result<Vec<Row>, StoreError> {
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.require(c, &self.name))
+            .collect::<Result<_, _>>()?;
+        Ok(self.rows.iter().map(|r| r.project(&indices)).collect())
+    }
+
+    /// Approximate heap footprint in bytes (schema excluded). Used by the
+    /// audit-storage experiment (E6) to report bytes/entry.
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = self.rows.capacity() * std::mem::size_of::<Row>();
+        for row in &self.rows {
+            total += std::mem::size_of_val(row.values());
+            for v in row.values() {
+                if let Value::Str(s) = v {
+                    total += s.capacity();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn patients() -> Table {
+        let schema = Schema::new(vec![
+            Column::required("name", DataType::Str),
+            Column::required("age", DataType::Int),
+            Column::nullable("ward", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("patients", schema);
+        t.insert(Row::new(vec![
+            Value::str("alice"),
+            Value::Int(70),
+            Value::str("icu"),
+        ]))
+        .unwrap();
+        t.insert(Row::new(vec![
+            Value::str("bob"),
+            Value::Int(35),
+            Value::Null,
+        ]))
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = patients();
+        let err = t
+            .insert(Row::new(vec![Value::Int(1), Value::Int(2), Value::Null]))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch { .. }));
+        assert_eq!(t.len(), 2, "failed insert must not change the table");
+    }
+
+    #[test]
+    fn insert_all_is_all_or_nothing() {
+        let mut t = patients();
+        let res = t.insert_all(vec![
+            Row::new(vec![Value::str("carol"), Value::Int(1), Value::Null]),
+            Row::new(vec![Value::str("dave")]), // arity error
+        ]);
+        assert!(res.is_err());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn scan_where_filters() {
+        let t = patients();
+        let pred = Predicate::eq("ward", Value::str("icu"));
+        let hits: Vec<_> = t.scan_where(&pred).unwrap().collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get(0), &Value::str("alice"));
+    }
+
+    #[test]
+    fn scan_where_rejects_bad_predicate() {
+        let t = patients();
+        let pred = Predicate::eq("nope", Value::Int(1));
+        assert!(t.scan_where(&pred).is_err());
+    }
+
+    #[test]
+    fn update_cell_validates() {
+        let mut t = patients();
+        t.update_cell(1, "ward", Value::str("er")).unwrap();
+        assert_eq!(t.row(1).unwrap().get(2), &Value::str("er"));
+        assert!(t.update_cell(1, "age", Value::str("x")).is_err());
+        assert!(t.update_cell(9, "age", Value::Int(1)).is_err());
+        assert!(t.update_cell(0, "nope", Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let t = patients();
+        let rows = t.project(&["age", "name"]).unwrap();
+        assert_eq!(rows[0].values(), &[Value::Int(70), Value::str("alice")]);
+        assert!(t.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_rows() {
+        let mut t = patients();
+        let before = t.approx_bytes();
+        t.insert(Row::new(vec![
+            Value::str("someone-with-a-long-name"),
+            Value::Int(1),
+            Value::Null,
+        ]))
+        .unwrap();
+        assert!(t.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,163 @@
+//! Typed cell values.
+//!
+//! The audit-analytics workloads here need exact grouping and ordering
+//! semantics (GROUP BY over values is the heart of Algorithm 5), so `Value`
+//! deliberately excludes floating point: every variant has total equality,
+//! ordering, and hashing. Aggregates that produce fractions (AVG) surface
+//! them in the executor's result layer instead.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Sorts before every non-null value; distinct from every
+    /// value including itself under SQL three-valued comparison, but equal
+    /// to itself for grouping/hashing (exactly SQL's GROUP BY semantics).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Timestamp as seconds since an arbitrary epoch (the simulator uses
+    /// seconds since admission of the first patient).
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The value's runtime type name (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Timestamp(_) => "timestamp",
+        }
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The timestamp payload, if this is a `Timestamp`.
+    pub fn as_timestamp(&self) -> Option<i64> {
+        match self {
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL,
+    /// otherwise the ordering. Cross-type comparisons follow the total
+    /// order (used only by ORDER BY; the planner rejects heterogeneous
+    /// predicates earlier).
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self.cmp(other))
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Timestamp(9).as_timestamp(), Some(9));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(3).as_str(), None);
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2)),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut v = [Value::Int(1), Value::Null, Value::Bool(false)];
+        v.sort();
+        assert_eq!(v[0], Value::Null);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Timestamp(7).to_string(), "@7");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-9),
+            Value::str("hi"),
+            Value::Timestamp(123),
+        ] {
+            let s = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&s).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+}

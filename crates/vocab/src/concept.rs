@@ -1,0 +1,81 @@
+//! Concept nodes — the vertices of an attribute's taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a concept within its attribute's [`Taxonomy`](crate::Taxonomy).
+///
+/// `ConceptId`s are dense (0..n) and stable for the lifetime of the taxonomy,
+/// which lets downstream crates (the coverage engine in `prima-model`, the
+/// miners in `prima-mining`) use them as array indices instead of hashing
+/// strings in hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// Returns the id as a usize for direct indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single concept in a taxonomy: a named node with an optional parent.
+///
+/// Leaves are **ground** values in the sense of the paper's Definition 2;
+/// internal nodes are **composite**.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Concept {
+    /// Canonical (normalized) name, unique within the attribute.
+    pub name: String,
+    /// Parent concept, or `None` for a root.
+    pub parent: Option<ConceptId>,
+    /// Children, in insertion order.
+    pub children: Vec<ConceptId>,
+    /// Depth from the root (roots have depth 0).
+    pub depth: u32,
+}
+
+impl Concept {
+    /// True iff this concept has no children, i.e. it denotes a ground
+    /// (atomic) value with respect to the vocabulary.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_detection() {
+        let c = Concept {
+            name: "gender".into(),
+            parent: Some(ConceptId(0)),
+            children: vec![],
+            depth: 1,
+        };
+        assert!(c.is_leaf());
+        let c2 = Concept {
+            name: "demographic".into(),
+            parent: None,
+            children: vec![ConceptId(1)],
+            depth: 0,
+        };
+        assert!(!c2.is_leaf());
+    }
+
+    #[test]
+    fn concept_id_index() {
+        assert_eq!(ConceptId(5).index(), 5);
+    }
+
+    #[test]
+    fn concept_id_serde_roundtrip() {
+        let id = ConceptId(42);
+        let s = serde_json::to_string(&id).unwrap();
+        let back: ConceptId = serde_json::from_str(&s).unwrap();
+        assert_eq!(id, back);
+    }
+}

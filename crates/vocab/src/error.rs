@@ -1,0 +1,90 @@
+//! Error type for vocabulary construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building, parsing, or querying a vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VocabError {
+    /// A concept name was registered twice within the same attribute's
+    /// taxonomy. Concept names must be unique per attribute so that a
+    /// `RuleTerm` value resolves to a single concept.
+    DuplicateConcept {
+        /// Attribute whose taxonomy rejected the insert.
+        attr: String,
+        /// The (normalized) concept name that already existed.
+        concept: String,
+    },
+    /// A parent concept referenced during construction does not exist.
+    UnknownParent {
+        /// Attribute whose taxonomy was being extended.
+        attr: String,
+        /// The missing parent name.
+        parent: String,
+    },
+    /// A concept name was empty after normalization.
+    EmptyName {
+        /// Attribute whose taxonomy rejected the insert.
+        attr: String,
+    },
+    /// An attribute name was empty after normalization.
+    EmptyAttribute,
+    /// The indented text format was malformed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Adding an edge would create a cycle (defensive; cannot occur through
+    /// the builder API, but the serde path must check).
+    Cycle {
+        /// Attribute whose taxonomy contained the cycle.
+        attr: String,
+    },
+}
+
+impl fmt::Display for VocabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabError::DuplicateConcept { attr, concept } => {
+                write!(f, "duplicate concept '{concept}' in attribute '{attr}'")
+            }
+            VocabError::UnknownParent { attr, parent } => {
+                write!(f, "unknown parent '{parent}' in attribute '{attr}'")
+            }
+            VocabError::EmptyName { attr } => {
+                write!(f, "empty concept name in attribute '{attr}'")
+            }
+            VocabError::EmptyAttribute => write!(f, "empty attribute name"),
+            VocabError::Parse { line, message } => {
+                write!(f, "vocabulary parse error at line {line}: {message}")
+            }
+            VocabError::Cycle { attr } => {
+                write!(f, "cycle detected in taxonomy for attribute '{attr}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VocabError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VocabError::DuplicateConcept {
+            attr: "data".into(),
+            concept: "address".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("address") && s.contains("data"));
+
+        let e = VocabError::Parse {
+            line: 7,
+            message: "bad indent".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Sample vocabularies.
+//!
+//! [`figure_1`] reconstructs the paper's Figure 1 sample privacy policy
+//! vocabulary, sized so the paper's worked examples come out exactly:
+//!
+//! * `(data, demographic)` is composite with **four** derivable ground terms
+//!   (`RT1'` in Definition 2's discussion);
+//! * `(data, gender)` and `(data, address)` are ground (`RT3`, `RT2`);
+//! * the Figure 3 policy store's three composite rules expand to ground rules
+//!   that match exactly audit rules 1, 2 and 5 (see `prima-model::samples`);
+//! * `psychiatry` sits under `mental-health`, *not* under the same composite
+//!   as `prescription`/`referral`, so that a rule authorizing nurses for
+//!   general care does not accidentally cover psychiatric data.
+//!
+//! [`hospital`] is a larger, realistic vocabulary used by the clinical
+//! workload simulator (`prima-workload`).
+
+use crate::vocabulary::Vocabulary;
+use crate::{ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+
+/// The paper's Figure 1 sample privacy policy vocabulary.
+pub fn figure_1() -> Vocabulary {
+    Vocabulary::builder()
+        .attribute(ATTR_DATA)
+        .category(
+            "demographic",
+            &["name", "address", "gender", "date-of-birth"],
+        )
+        .root("medical")
+        .child("medical", "general-care")
+        .child("general-care", "prescription")
+        .child("general-care", "referral")
+        .child("general-care", "lab-result")
+        .child("medical", "mental-health")
+        .child("mental-health", "psychiatry")
+        .child("mental-health", "counseling")
+        .category("financial", &["insurance", "claim"])
+        .attribute(ATTR_PURPOSE)
+        .category(
+            "administering-healthcare",
+            &["treatment", "registration", "billing"],
+        )
+        .category("marketing", &["telemarketing"])
+        .root("research")
+        .attribute(ATTR_AUTHORIZED)
+        .category("medical-staff", &["physician", "nurse"])
+        .category("administrative-staff", &["clerk", "registrar"])
+        .build()
+        .expect("figure 1 vocabulary is statically correct")
+}
+
+/// A richer hospital vocabulary for the clinical workflow simulator.
+///
+/// Superset of [`figure_1`]'s concept names (every Figure 1 ground value is
+/// also ground here), so policies written against Figure 1 remain valid.
+pub fn hospital() -> Vocabulary {
+    Vocabulary::builder()
+        .attribute(ATTR_DATA)
+        .category(
+            "demographic",
+            &[
+                "name",
+                "address",
+                "gender",
+                "date-of-birth",
+                "phone",
+                "email",
+                "ssn",
+            ],
+        )
+        .root("medical")
+        .child("medical", "general-care")
+        .child("general-care", "prescription")
+        .child("general-care", "referral")
+        .child("general-care", "lab-result")
+        .child("general-care", "vitals")
+        .child("general-care", "allergy")
+        .child("medical", "mental-health")
+        .child("mental-health", "psychiatry")
+        .child("mental-health", "counseling")
+        .child("medical", "radiology")
+        .child("radiology", "x-ray")
+        .child("radiology", "mri")
+        .child("radiology", "ct-scan")
+        .child("medical", "surgical")
+        .child("surgical", "operative-note")
+        .child("surgical", "anesthesia-record")
+        .category(
+            "financial",
+            &["insurance", "claim", "invoice", "payment-method"],
+        )
+        .attribute(ATTR_PURPOSE)
+        .category(
+            "administering-healthcare",
+            &[
+                "treatment",
+                "registration",
+                "billing",
+                "discharge",
+                "referral-management",
+                "scheduling",
+            ],
+        )
+        .category("quality", &["audit-review", "research"])
+        .category("marketing", &["telemarketing", "fundraising"])
+        .attribute(ATTR_AUTHORIZED)
+        .root("medical-staff")
+        .child("medical-staff", "physician-staff")
+        .child("physician-staff", "physician")
+        .child("physician-staff", "surgeon")
+        .child("physician-staff", "psychiatrist")
+        .child("physician-staff", "radiologist")
+        .child("medical-staff", "nursing-staff")
+        .child("nursing-staff", "nurse")
+        .child("nursing-staff", "head-nurse")
+        .child("nursing-staff", "midwife")
+        .category(
+            "administrative-staff",
+            &["clerk", "registrar", "billing-specialist"],
+        )
+        .category(
+            "ancillary-staff",
+            &["pharmacist", "lab-technician", "social-worker"],
+        )
+        .build()
+        .expect("hospital vocabulary is statically correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_demographic_has_four_ground_terms() {
+        let v = figure_1();
+        // "the set RT1' for RT1 is shown to comprise of four ground RuleTerms"
+        assert_eq!(v.ground_value_count(ATTR_DATA, "demographic"), 4);
+    }
+
+    #[test]
+    fn figure_1_rt2_rt3_are_ground_and_equivalent_to_rt1() {
+        let v = figure_1();
+        assert!(v.is_ground(ATTR_DATA, "address"));
+        assert!(v.is_ground(ATTR_DATA, "gender"));
+        assert!(!v.is_ground(ATTR_DATA, "demographic"));
+        assert!(v.values_equivalent(ATTR_DATA, "address", "demographic"));
+        assert!(v.values_equivalent(ATTR_DATA, "gender", "demographic"));
+        assert!(!v.values_equivalent(ATTR_DATA, "address", "gender"));
+    }
+
+    #[test]
+    fn figure_1_psychiatry_not_under_general_care() {
+        let v = figure_1();
+        assert!(!v.value_subsumes(ATTR_DATA, "general-care", "psychiatry"));
+        assert!(v.value_subsumes(ATTR_DATA, "mental-health", "psychiatry"));
+        assert!(v.value_subsumes(ATTR_DATA, "general-care", "referral"));
+        assert!(v.value_subsumes(ATTR_DATA, "general-care", "prescription"));
+    }
+
+    #[test]
+    fn figure_1_doctor_is_not_physician() {
+        // Table 1's t4 carries the out-of-vocabulary role "Doctor"; it must
+        // not be equivalent to "physician" or the use case's 30% coverage
+        // cannot be reproduced (see EXPERIMENTS.md §E3).
+        let v = figure_1();
+        assert!(v.is_ground(ATTR_AUTHORIZED, "doctor"));
+        assert!(!v.values_equivalent(ATTR_AUTHORIZED, "doctor", "physician"));
+    }
+
+    #[test]
+    fn figure_1_purposes() {
+        let v = figure_1();
+        for p in ["treatment", "registration", "billing", "telemarketing"] {
+            assert!(v.is_ground(ATTR_PURPOSE, p), "purpose {p} must be ground");
+        }
+        assert!(!v.is_ground(ATTR_PURPOSE, "administering-healthcare"));
+        assert_eq!(
+            v.ground_value_count(ATTR_PURPOSE, "administering-healthcare"),
+            3
+        );
+    }
+
+    #[test]
+    fn hospital_is_superset_of_figure_1_ground_values() {
+        let f = figure_1();
+        let h = hospital();
+        for attr in f.attribute_names() {
+            let ft = f.attribute(attr).unwrap();
+            for (id, c) in ft.iter() {
+                if ft.is_leaf(id) {
+                    assert!(
+                        h.is_ground(attr, &c.name),
+                        "{attr}:{} must stay ground in hospital vocabulary",
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hospital_role_hierarchy_depth() {
+        let h = hospital();
+        assert!(h.value_subsumes(ATTR_AUTHORIZED, "medical-staff", "nurse"));
+        assert!(h.value_subsumes(ATTR_AUTHORIZED, "nursing-staff", "head-nurse"));
+        assert!(!h.value_subsumes(ATTR_AUTHORIZED, "nursing-staff", "surgeon"));
+        assert!(h.values_equivalent(ATTR_AUTHORIZED, "medical-staff", "surgeon"));
+        let t = h.attribute(ATTR_AUTHORIZED).unwrap();
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn vocabularies_roundtrip_json() {
+        for v in [figure_1(), hospital()] {
+            let back = Vocabulary::from_json(&v.to_json()).unwrap();
+            assert_eq!(back.concept_count(), v.concept_count());
+        }
+    }
+}

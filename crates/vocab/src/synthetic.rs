@@ -1,0 +1,176 @@
+//! Deterministic synthetic vocabularies for scalability experiments (E9).
+//!
+//! Range materialization (Definition 8) grows with the product of the
+//! per-term leaf counts; the experiments sweep taxonomy fan-out and depth to
+//! expose that blow-up and to compare the materializing coverage engine
+//! against the lazy subsumption engine. Generation is purely deterministic —
+//! full `fan_out`-ary trees — so benchmark runs are reproducible without a
+//! seed.
+
+use crate::taxonomy::Taxonomy;
+use crate::vocabulary::Vocabulary;
+use crate::ConceptId;
+
+/// Shape parameters for a synthetic vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Number of attributes (e.g. 3 to mirror data/purpose/authorized).
+    pub attributes: usize,
+    /// Children per internal node.
+    pub fan_out: usize,
+    /// Tree depth: 1 produces roots only (all ground), `d` produces
+    /// `fan_out^d` leaves per root.
+    pub depth: usize,
+    /// Number of root concepts per attribute.
+    pub roots: usize,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        Self {
+            attributes: 3,
+            fan_out: 3,
+            depth: 2,
+            roots: 2,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Leaves per root = `fan_out^depth` (for depth ≥ 1).
+    pub fn leaves_per_root(&self) -> usize {
+        self.fan_out.pow(self.depth as u32)
+    }
+
+    /// Total concepts per attribute.
+    pub fn concepts_per_attribute(&self) -> usize {
+        // Geometric series per root: 1 + f + f^2 + ... + f^depth.
+        let mut total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..=self.depth {
+            total += level;
+            level *= self.fan_out;
+        }
+        total * self.roots
+    }
+}
+
+/// Builds a synthetic vocabulary with the given shape.
+///
+/// Attribute names are `attr0..attrN`; concepts are `a{attr}-r{root}` for
+/// roots and `a{attr}-r{root}-…-c{child}` below, so every name is unique and
+/// self-describing.
+pub fn synthetic_vocabulary(spec: SyntheticSpec) -> Vocabulary {
+    let mut v = Vocabulary::new();
+    for a in 0..spec.attributes {
+        let attr = format!("attr{a}");
+        let t = v.attribute_mut(&attr).expect("nonempty attr name");
+        for r in 0..spec.roots {
+            let root_name = format!("a{a}-r{r}");
+            let root = t.add_root(&root_name).expect("unique synthetic names");
+            grow(t, root, &root_name, spec.fan_out, spec.depth);
+        }
+    }
+    v
+}
+
+fn grow(t: &mut Taxonomy, parent: ConceptId, prefix: &str, fan_out: usize, remaining: usize) {
+    if remaining == 0 {
+        return;
+    }
+    for c in 0..fan_out {
+        let name = format!("{prefix}-c{c}");
+        let id = t.add_child(parent, &name).expect("unique synthetic names");
+        grow(t, id, &name, fan_out, remaining - 1);
+    }
+}
+
+/// Convenience: the root (composite) concept names of a synthetic attribute,
+/// for building composite policies over it.
+pub fn root_names(spec: SyntheticSpec, attr_index: usize) -> Vec<String> {
+    (0..spec.roots)
+        .map(|r| format!("a{attr_index}-r{r}"))
+        .collect()
+}
+
+/// Convenience: the leaf (ground) concept names under one synthetic root, in
+/// taxonomy order.
+pub fn leaf_names(v: &Vocabulary, attr_index: usize, root: usize) -> Vec<String> {
+    let attr = format!("attr{attr_index}");
+    v.ground_values(&attr, &format!("a{attr_index}-r{root}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = SyntheticSpec {
+            attributes: 3,
+            fan_out: 3,
+            depth: 2,
+            roots: 2,
+        };
+        let v = synthetic_vocabulary(spec);
+        assert_eq!(v.attribute_count(), 3);
+        assert_eq!(spec.leaves_per_root(), 9);
+        assert_eq!(
+            v.ground_value_count("attr0", "a0-r0"),
+            spec.leaves_per_root()
+        );
+        let t = v.attribute("attr1").unwrap();
+        assert_eq!(t.len(), spec.concepts_per_attribute());
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn depth_zero_is_all_ground() {
+        let spec = SyntheticSpec {
+            attributes: 1,
+            fan_out: 5,
+            depth: 0,
+            roots: 4,
+        };
+        let v = synthetic_vocabulary(spec);
+        for name in root_names(spec, 0) {
+            assert!(v.is_ground("attr0", &name));
+        }
+        assert_eq!(spec.leaves_per_root(), 1);
+    }
+
+    #[test]
+    fn leaf_names_are_ground_and_unique() {
+        let spec = SyntheticSpec::default();
+        let v = synthetic_vocabulary(spec);
+        let leaves = leaf_names(&v, 2, 1);
+        assert_eq!(leaves.len(), spec.leaves_per_root());
+        for l in &leaves {
+            assert!(v.is_ground("attr2", l));
+        }
+        let unique: std::collections::HashSet<_> = leaves.iter().collect();
+        assert_eq!(unique.len(), leaves.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::default();
+        let a = synthetic_vocabulary(spec).to_json();
+        let b = synthetic_vocabulary(spec).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concepts_per_attribute_formula() {
+        let spec = SyntheticSpec {
+            attributes: 1,
+            fan_out: 2,
+            depth: 3,
+            roots: 1,
+        };
+        // 1 + 2 + 4 + 8 = 15
+        assert_eq!(spec.concepts_per_attribute(), 15);
+        let v = synthetic_vocabulary(spec);
+        assert_eq!(v.concept_count(), 15);
+    }
+}

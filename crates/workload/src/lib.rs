@@ -1,0 +1,32 @@
+//! # prima-workload — the clinical workflow simulator
+//!
+//! The paper's evidence base is a study of real hospital access logs
+//! (Rostad & Edsburg, ACSAC 2006) showing trails dominated by
+//! exception-based access. Real logs are unobtainable, so this crate
+//! simulates the clinical workflow that produces them — the substitution
+//! documented in `DESIGN.md` §2:
+//!
+//! * [`sim`] — the generator: staff acting out *sanctioned* tasks (drawn
+//!   from the organization's policy), *informal-practice clusters*
+//!   (recurring break-the-glass workflows the policy forgot, e.g. nurses
+//!   registering referrals), and *violation noise* (scattered illegitimate
+//!   peeks). Every entry carries a ground-truth label, so experiments can
+//!   score miner precision/recall — something the paper itself never
+//!   measured;
+//! * [`scenario`] — canned hospital scenarios binding a vocabulary, a base
+//!   policy, and cluster definitions;
+//! * [`fixtures`] — the paper's own trails, verbatim: Table 1 and the
+//!   Figure 3 audit log.
+//!
+//! Determinism: everything is driven by a seeded `StdRng`; the same
+//! [`SimConfig`] always yields the same trail.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod scenario;
+pub mod sim;
+
+pub use scenario::Scenario;
+pub use sim::{EntryLabel, LabeledEntry, PracticeCluster, SimConfig, Simulator};

@@ -1,0 +1,479 @@
+//! The clinical workflow generator.
+
+use prima_audit::{AuditEntry, AuditStore};
+use prima_model::{GroundRule, Policy, Rule};
+use prima_vocab::{Vocabulary, ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A recurring informal-practice workflow: staff in `role` habitually
+/// access `data` for `purpose` through the exception mechanism. These are
+/// the needles the refinement pipeline must find.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PracticeCluster {
+    /// Data category accessed (ground value preferred; composite values are
+    /// narrowed to a leaf per entry).
+    pub data: String,
+    /// Purpose of access.
+    pub purpose: String,
+    /// The acting role.
+    pub role: String,
+    /// Relative frequency among informal entries (weights are normalized).
+    pub weight: f64,
+}
+
+impl PracticeCluster {
+    /// Creates a cluster with weight 1.
+    pub fn new(data: &str, purpose: &str, role: &str) -> Self {
+        Self {
+            data: data.into(),
+            purpose: purpose.into(),
+            role: role.into(),
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the relative weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// The cluster's ground-truth rule.
+    pub fn to_ground_rule(&self) -> GroundRule {
+        GroundRule::of(&[
+            (ATTR_DATA, &self.data),
+            (ATTR_PURPOSE, &self.purpose),
+            (ATTR_AUTHORIZED, &self.role),
+        ])
+    }
+}
+
+/// Ground-truth label of a generated entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryLabel {
+    /// A policy-sanctioned task performed through the regular flow.
+    Sanctioned,
+    /// Informal practice from cluster `i` (index into the simulator's
+    /// cluster list).
+    InformalPractice(usize),
+    /// Illegitimate access (noise the miner must not propose as policy).
+    Violation,
+}
+
+/// A generated entry with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledEntry {
+    /// The audit entry as the system would record it.
+    pub entry: AuditEntry,
+    /// Why the simulator generated it.
+    pub label: EntryLabel,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// RNG seed — same seed, same trail.
+    pub seed: u64,
+    /// Number of entries to generate.
+    pub n_entries: usize,
+    /// Staff members simulated per ground role.
+    pub staff_per_role: usize,
+    /// Share of entries drawn from informal-practice clusters.
+    pub informal_share: f64,
+    /// Share of entries that are violations.
+    pub violation_share: f64,
+    /// Timestamp of the first entry.
+    pub start_time: i64,
+    /// Mean seconds between consecutive entries.
+    pub mean_gap_secs: i64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            n_entries: 10_000,
+            staff_per_role: 8,
+            informal_share: 0.20,
+            violation_share: 0.02,
+            start_time: 0,
+            mean_gap_secs: 30,
+        }
+    }
+}
+
+/// The workflow simulator: a vocabulary, the organization's (possibly
+/// incomplete) policy, and the informal-practice clusters the policy is
+/// missing.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    vocab: Vocabulary,
+    policy: Policy,
+    clusters: Vec<PracticeCluster>,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new(vocab: Vocabulary, policy: Policy, clusters: Vec<PracticeCluster>) -> Self {
+        Self {
+            vocab,
+            policy,
+            clusters,
+        }
+    }
+
+    /// The informal-practice ground truth, in cluster order.
+    pub fn ground_truth(&self) -> Vec<GroundRule> {
+        self.clusters
+            .iter()
+            .map(PracticeCluster::to_ground_rule)
+            .collect()
+    }
+
+    /// The base policy the trail is generated against.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Generates a labelled trail.
+    pub fn generate(&self, config: &SimConfig) -> Vec<LabeledEntry> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut out = Vec::with_capacity(config.n_entries);
+        let mut time = config.start_time;
+
+        let ground_roles = self.ground_values(ATTR_AUTHORIZED);
+        let ground_data = self.ground_values(ATTR_DATA);
+        let ground_purposes = self.ground_values(ATTR_PURPOSE);
+        let cluster_rules = self.ground_truth();
+        let total_weight: f64 = self.clusters.iter().map(|c| c.weight).sum();
+
+        for _ in 0..config.n_entries {
+            time += rng.gen_range(1..=config.mean_gap_secs.max(1) * 2);
+            let draw: f64 = rng.gen();
+            let labeled = if draw < config.violation_share && !ground_data.is_empty() {
+                self.gen_violation(
+                    &mut rng,
+                    time,
+                    config,
+                    &ground_data,
+                    &ground_purposes,
+                    &ground_roles,
+                    &cluster_rules,
+                )
+            } else if draw < config.violation_share + config.informal_share
+                && !self.clusters.is_empty()
+            {
+                self.gen_informal(&mut rng, time, config, total_weight)
+            } else {
+                self.gen_sanctioned(&mut rng, time, config)
+            };
+            out.push(labeled);
+        }
+        out
+    }
+
+    fn ground_values(&self, attr: &str) -> Vec<String> {
+        match self.vocab.attribute(attr) {
+            Some(t) => t
+                .all_leaves()
+                .into_iter()
+                .map(|id| t.name(id).to_string())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn staff_name(rng: &mut StdRng, role: &str, config: &SimConfig) -> String {
+        let i = rng.gen_range(0..config.staff_per_role.max(1));
+        format!("{role}-{i:02}")
+    }
+
+    /// Narrows a (possibly composite) value to one ground leaf.
+    fn narrow(&self, rng: &mut StdRng, attr: &str, value: &str) -> String {
+        let leaves = self.vocab.ground_values(attr, value);
+        leaves
+            .choose(rng)
+            .cloned()
+            .unwrap_or_else(|| value.to_string())
+    }
+
+    fn gen_sanctioned(&self, rng: &mut StdRng, time: i64, config: &SimConfig) -> LabeledEntry {
+        // Fallback for an empty policy: a generic administrative touch.
+        let Some(rule) = self.pick_rule(rng) else {
+            let entry = AuditEntry::regular(time, "admin-00", "name", "registration", "registrar");
+            return LabeledEntry {
+                entry,
+                label: EntryLabel::Sanctioned,
+            };
+        };
+        let data = self.narrow(rng, ATTR_DATA, rule.value_of(ATTR_DATA).unwrap_or("name"));
+        let purpose = self.narrow(
+            rng,
+            ATTR_PURPOSE,
+            rule.value_of(ATTR_PURPOSE).unwrap_or("treatment"),
+        );
+        let role = self.narrow(
+            rng,
+            ATTR_AUTHORIZED,
+            rule.value_of(ATTR_AUTHORIZED).unwrap_or("nurse"),
+        );
+        let user = Self::staff_name(rng, &role, config);
+        LabeledEntry {
+            entry: AuditEntry::regular(time, &user, &data, &purpose, &role),
+            label: EntryLabel::Sanctioned,
+        }
+    }
+
+    fn pick_rule(&self, rng: &mut StdRng) -> Option<&Rule> {
+        let rules = self.policy.rules();
+        if rules.is_empty() {
+            None
+        } else {
+            rules.get(rng.gen_range(0..rules.len()))
+        }
+    }
+
+    fn gen_informal(
+        &self,
+        rng: &mut StdRng,
+        time: i64,
+        config: &SimConfig,
+        total_weight: f64,
+    ) -> LabeledEntry {
+        // Weighted cluster choice.
+        let mut pick = rng.gen::<f64>() * total_weight;
+        let mut idx = 0usize;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if pick < c.weight {
+                idx = i;
+                break;
+            }
+            pick -= c.weight;
+            idx = i;
+        }
+        let c = &self.clusters[idx];
+        let data = self.narrow(rng, ATTR_DATA, &c.data);
+        let purpose = self.narrow(rng, ATTR_PURPOSE, &c.purpose);
+        let role = self.narrow(rng, ATTR_AUTHORIZED, &c.role);
+        let user = Self::staff_name(rng, &role, config);
+        LabeledEntry {
+            entry: AuditEntry::exception(time, &user, &data, &purpose, &role),
+            label: EntryLabel::InformalPractice(idx),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_violation(
+        &self,
+        rng: &mut StdRng,
+        time: i64,
+        config: &SimConfig,
+        data: &[String],
+        purposes: &[String],
+        roles: &[String],
+        cluster_rules: &[GroundRule],
+    ) -> LabeledEntry {
+        // Rejection-sample a combination that is neither sanctioned nor an
+        // informal-practice cluster, so labels stay mutually exclusive.
+        for _ in 0..64 {
+            let d = data.choose(rng).expect("non-empty");
+            let p = purposes.choose(rng).expect("non-empty");
+            let r = roles.choose(rng).expect("non-empty");
+            let g = GroundRule::of(&[(ATTR_DATA, d), (ATTR_PURPOSE, p), (ATTR_AUTHORIZED, r)]);
+            let covered = self
+                .policy
+                .rules()
+                .iter()
+                .any(|rule| rule.expansion_contains(&g, &self.vocab));
+            if covered || cluster_rules.contains(&g) {
+                continue;
+            }
+            let user = Self::staff_name(rng, r, config);
+            return LabeledEntry {
+                entry: AuditEntry::exception(time, &user, d, p, r),
+                label: EntryLabel::Violation,
+            };
+        }
+        // Statistically unreachable for real vocabularies; degrade to an
+        // obviously-foreign access rather than loop forever.
+        LabeledEntry {
+            entry: AuditEntry::exception(time, "intruder-00", "ssn", "telemarketing", "visitor"),
+            label: EntryLabel::Violation,
+        }
+    }
+}
+
+/// Strips labels.
+pub fn entries(labeled: &[LabeledEntry]) -> Vec<AuditEntry> {
+    labeled.iter().map(|l| l.entry.clone()).collect()
+}
+
+/// Loads a trail into a fresh audit store named `name`.
+pub fn to_store(labeled: &[LabeledEntry], name: &str) -> AuditStore {
+    let store = AuditStore::new(name);
+    let es = entries(labeled);
+    store
+        .append_all(&es)
+        .expect("simulated entries conform to the audit schema");
+    store
+}
+
+/// Round-robins a trail across `n` site stores (for federation
+/// experiments).
+pub fn split_sites(labeled: &[LabeledEntry], n: usize) -> Vec<AuditStore> {
+    let n = n.max(1);
+    let stores: Vec<AuditStore> = (0..n)
+        .map(|i| AuditStore::new(&format!("site-{i}")))
+        .collect();
+    for (i, l) in labeled.iter().enumerate() {
+        stores[i % n]
+            .append(&l.entry)
+            .expect("simulated entries conform to the audit schema");
+    }
+    stores
+}
+
+/// Label census: `(sanctioned, informal, violation)` counts.
+pub fn census(labeled: &[LabeledEntry]) -> (usize, usize, usize) {
+    let mut s = 0;
+    let mut i = 0;
+    let mut v = 0;
+    for l in labeled {
+        match l.label {
+            EntryLabel::Sanctioned => s += 1,
+            EntryLabel::InformalPractice(_) => i += 1,
+            EntryLabel::Violation => v += 1,
+        }
+    }
+    (s, i, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn sim() -> Simulator {
+        Scenario::community_hospital().simulator()
+    }
+
+    fn config(n: usize) -> SimConfig {
+        SimConfig {
+            n_entries: n,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = sim();
+        let a = s.generate(&config(500));
+        let b = s.generate(&config(500));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = sim();
+        let a = s.generate(&config(200));
+        let b = s.generate(&SimConfig {
+            seed: 43,
+            ..config(200)
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shares_are_approximately_honoured() {
+        let s = sim();
+        let trail = s.generate(&config(10_000));
+        let (sanc, informal, viol) = census(&trail);
+        assert_eq!(sanc + informal + viol, 10_000);
+        let informal_share = informal as f64 / 10_000.0;
+        let violation_share = viol as f64 / 10_000.0;
+        assert!(
+            (informal_share - 0.20).abs() < 0.02,
+            "informal share {informal_share}"
+        );
+        assert!(
+            (violation_share - 0.02).abs() < 0.01,
+            "violation share {violation_share}"
+        );
+    }
+
+    #[test]
+    fn labels_match_status_bits() {
+        let s = sim();
+        for l in s.generate(&config(2_000)) {
+            match l.label {
+                EntryLabel::Sanctioned => assert!(!l.entry.is_exception()),
+                _ => assert!(l.entry.is_exception()),
+            }
+        }
+    }
+
+    #[test]
+    fn sanctioned_entries_are_policy_covered() {
+        let s = sim();
+        let scenario = Scenario::community_hospital();
+        for l in s.generate(&config(1_000)) {
+            if l.label == EntryLabel::Sanctioned {
+                let g = l.entry.to_ground_rule().unwrap();
+                let covered = s
+                    .policy()
+                    .rules()
+                    .iter()
+                    .any(|r| r.expansion_contains(&g, &scenario.vocab));
+                assert!(covered, "sanctioned entry {g} must be policy-covered");
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_never_policy_covered_nor_clusters() {
+        let s = sim();
+        let scenario = Scenario::community_hospital();
+        let truth = s.ground_truth();
+        for l in s.generate(&config(5_000)) {
+            if l.label == EntryLabel::Violation {
+                let g = l.entry.to_ground_rule().unwrap();
+                let covered = s
+                    .policy()
+                    .rules()
+                    .iter()
+                    .any(|r| r.expansion_contains(&g, &scenario.vocab));
+                assert!(!covered, "violation {g} must not be sanctioned");
+                assert!(!truth.contains(&g), "violation {g} must not be a cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing() {
+        let s = sim();
+        let trail = s.generate(&config(300));
+        for w in trail.windows(2) {
+            assert!(w[1].entry.time > w[0].entry.time);
+        }
+    }
+
+    #[test]
+    fn split_sites_round_robins_everything() {
+        let s = sim();
+        let trail = s.generate(&config(100));
+        let sites = split_sites(&trail, 3);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites.iter().map(AuditStore::len).sum::<usize>(), 100);
+        assert_eq!(sites[0].len(), 34);
+    }
+
+    #[test]
+    fn to_store_loads_everything() {
+        let s = sim();
+        let trail = s.generate(&config(50));
+        let store = to_store(&trail, "test");
+        assert_eq!(store.len(), 50);
+    }
+}

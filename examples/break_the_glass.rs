@@ -1,0 +1,112 @@
+//! A day in the clinical workflow: enforced queries, consent, and
+//! break-the-glass accesses flowing through the HDB middleware into PRIMA.
+//!
+//! ```sh
+//! cargo run --example break_the_glass
+//! ```
+//!
+//! The scenario the paper's introduction motivates: policy doesn't cover a
+//! real workflow (nurses registering referrals), so the staff break the
+//! glass all day; PRIMA notices and proposes the missing rule.
+
+use prima::hdb::{AccessRequest, ControlCenter};
+use prima::system::{PrimaSystem, ReviewMode};
+use prima::vocab::samples::figure_1;
+
+fn main() {
+    // --- Privacy Policy Definition (the HDB Control Center) -------------
+    let mut cc = ControlCenter::new(figure_1(), "patient");
+    let (encounters, mappings) = prima::hdb::clinical::encounters_table();
+    let maps: Vec<(&str, &str)> = mappings
+        .iter()
+        .map(|(c, k)| (c.as_str(), k.as_str()))
+        .collect();
+    cc.register_table(encounters, &maps)
+        .expect("fresh catalog");
+    cc.define_rule("general-care", "treatment", "nurse")
+        .expect("valid rule");
+    cc.define_rule("demographic", "billing", "clerk")
+        .expect("valid rule");
+    // One patient withdraws consent for treatment uses of general care data.
+    cc.opt_out("p2", "treatment", Some("general-care"));
+
+    // --- The clinical day ------------------------------------------------
+    // Regular, sanctioned access: purpose chosen from the list.
+    let ok = cc
+        .query(&AccessRequest::chosen(
+            100, "tim", "nurse", "treatment", "encounters", &["referral"],
+        ))
+        .expect("policy allows");
+    println!(
+        "nurse tim reads referrals for treatment: {} rows ({} cells nulled for consent)",
+        ok.rows.len(),
+        ok.consent_suppressed_cells
+    );
+
+    // A denied attempt: clerks may not read referrals for billing.
+    let denied = cc.query(&AccessRequest::chosen(
+        110, "bill", "clerk", "billing", "encounters", &["referral"],
+    ));
+    println!("clerk bill reads referrals for billing: {denied:?}");
+
+    // The missing workflow: nurses register incoming referrals. Policy
+    // doesn't cover it, so five nurses break the glass over the shift.
+    for (t, nurse) in [(201, "mark"), (202, "tim"), (203, "ana"), (204, "bob"), (205, "mark")] {
+        let res = cc
+            .query(&AccessRequest::break_the_glass(
+                t, nurse, "nurse", "registration", "encounters", &["referral"],
+            ))
+            .expect("break-the-glass always serves");
+        assert!(!res.denied);
+    }
+    println!(
+        "audit trail now holds {} entries (including the denial and 5 break-the-glass accesses)",
+        cc.audit_store().len()
+    );
+
+    // --- PRIMA closes the loop -------------------------------------------
+    let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
+    prima.attach_store(cc.audit_store().clone());
+
+    let before = prima.entry_coverage();
+    println!("coverage of today's practice: {:.0}%", before.percent());
+
+    let round = prima
+        .run_round(ReviewMode::Manual)
+        .expect("trail mines cleanly");
+    println!(
+        "refinement proposed {} candidate rule(s):",
+        round.candidates_enqueued
+    );
+    for c in prima.review().pending() {
+        println!(
+            "  [{}] {}  support={} users={}",
+            c.id, c.proposed_rule, c.pattern.support, c.pattern.distinct_users
+        );
+    }
+
+    // The privacy officer reviews and accepts; the control center enforces
+    // the refined policy from now on.
+    let ids: Vec<u64> = prima.review().pending().map(|c| c.id).collect();
+    for id in ids {
+        prima.review_mut().decide(
+            id,
+            prima::refine::CandidateState::Accepted,
+            Some("registration desk workflow, confirmed with ward lead"),
+        );
+    }
+    let added = prima.apply_review_decisions();
+    cc.set_policy(prima.policy().clone());
+    println!("{added} rule(s) folded into the policy store");
+
+    // The same workflow is now a regular access — no glass to break.
+    let now_regular = cc
+        .query(&AccessRequest::chosen(
+            300, "ana", "nurse", "registration", "encounters", &["referral"],
+        ))
+        .expect("newly refined policy allows");
+    println!(
+        "nurse ana registers referrals through the regular flow: {} rows",
+        now_regular.rows.len()
+    );
+}

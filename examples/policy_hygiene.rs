@@ -1,0 +1,89 @@
+//! Policy hygiene: generalizing mined rules and compacting the store.
+//!
+//! ```sh
+//! cargo run --example policy_hygiene
+//! ```
+//!
+//! Months of refinement leave the policy store full of ground rules. This
+//! example shows the two hygiene passes a privacy officer runs:
+//! vocabulary-aware *generalization* (sibling-complete ground rules fold
+//! into the composite their evidence covers) and subsumption *compaction*
+//! (rules another rule already implies are removed). Both preserve
+//! semantics exactly — the range is unchanged — while the rule base reads
+//! the way policy is actually written.
+
+use prima::mining::Pattern;
+use prima::model::dsl::render_policy;
+use prima::model::simplify::simplify_policy;
+use prima::model::{GroundRule, Policy, RangeSet, Rule, StoreTag};
+use prima::refine::generalize;
+use prima::vocab::samples::figure_1;
+
+fn main() {
+    let vocab = figure_1();
+
+    // Mined over several rounds: nurses handle every general-care category
+    // for every administering-healthcare purpose.
+    let mut patterns = Vec::new();
+    for data in ["prescription", "referral", "lab-result"] {
+        for purpose in ["treatment", "registration", "billing"] {
+            patterns.push(Pattern::new(
+                GroundRule::of(&[
+                    ("data", data),
+                    ("purpose", purpose),
+                    ("authorized", "nurse"),
+                ]),
+                25,
+                4,
+            ));
+        }
+    }
+    println!("mined candidates ({}):", patterns.len());
+    for p in &patterns {
+        println!("  {p}");
+    }
+
+    // Pass 1: generalization.
+    let out = generalize(&patterns, &vocab);
+    println!("\ngeneralization steps:");
+    for step in &out.steps {
+        println!(
+            "  folded {} rules over '{}' -> {} (combined support {})",
+            step.covers.len(),
+            step.attr,
+            step.rule,
+            step.support
+        );
+    }
+    println!("result: {} candidate rule(s)", out.rules.len());
+
+    // Accept into a policy that (from an earlier round) already holds one
+    // of the ground rules.
+    let mut policy = Policy::with_rules(
+        StoreTag::PolicyStore,
+        vec![Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])],
+    );
+    for r in &out.rules {
+        policy.push_unique(r.clone());
+    }
+    println!("\npolicy before compaction ({} rules):", policy.cardinality());
+    print!("{}", render_policy(&policy));
+
+    // Pass 2: compaction.
+    let before_range = RangeSet::of_policy(&policy, &vocab).expect("small policy");
+    let compacted = simplify_policy(&policy, &vocab);
+    let after_range = RangeSet::of_policy(&compacted.policy, &vocab).expect("small policy");
+    assert_eq!(before_range, after_range, "compaction preserves semantics");
+
+    println!(
+        "\npolicy after compaction ({} rules, {} removed, range unchanged at {} ground rules):",
+        compacted.policy.cardinality(),
+        compacted.removed.len(),
+        after_range.cardinality()
+    );
+    print!("{}", render_policy(&compacted.policy));
+}

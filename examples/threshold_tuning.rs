@@ -1,0 +1,67 @@
+//! Tuning the mining thresholds against labelled synthetic workloads.
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+//!
+//! The paper concedes its extraction criteria (frequency `f`, distinct-user
+//! condition) are "clearly subjective" and must be "configured and tuned as
+//! per the requirement specifications of the target environment". This
+//! example shows the tuning workflow the simulator enables: sweep the
+//! thresholds over a trail with known ground truth and pick the knee of the
+//! precision/recall curve.
+
+use prima::mining::{Miner, MinerConfig, SqlMiner};
+use prima::refine::extract::practice_table;
+use prima::refine::filter::filter;
+use prima::workload::scenario::score_patterns;
+use prima::workload::sim::{entries, SimConfig};
+use prima::workload::Scenario;
+
+fn main() {
+    let scenario = Scenario::community_hospital();
+    let sim = scenario.simulator();
+    let trail = entries(&sim.generate(&SimConfig {
+        seed: 77,
+        n_entries: 20_000,
+        informal_share: 0.15,
+        violation_share: 0.05, // noisy environment
+        ..SimConfig::default()
+    }));
+    let practice = filter(&trail);
+    let table = practice_table(&practice);
+    let truth = scenario.ground_truth();
+
+    println!(
+        "trail: {} entries, {} exceptions, {} true informal workflows\n",
+        trail.len(),
+        practice.len(),
+        truth.len()
+    );
+    println!("{:>5} {:>7} {:>10} {:>8} {:>6}", "f", "mined", "precision", "recall", "F1");
+
+    let mut best = (0usize, 0.0f64);
+    for f in [2usize, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233] {
+        let miner = SqlMiner::new(MinerConfig {
+            min_frequency: f,
+            min_distinct_users: 1,
+            ..MinerConfig::default()
+        });
+        let patterns = miner.mine(&table).expect("columns exist");
+        let score = score_patterns(&patterns, &truth);
+        println!(
+            "{f:>5} {:>7} {:>10.2} {:>8.2} {:>6.2}",
+            patterns.len(),
+            score.precision(),
+            score.recall(),
+            score.f1()
+        );
+        if score.f1() > best.1 {
+            best = (f, score.f1());
+        }
+    }
+    println!(
+        "\npick f = {} (best F1 = {:.2}) for this environment; rerun per deployment.",
+        best.0, best.1
+    );
+}

@@ -1,0 +1,23 @@
+//! # prima — umbrella crate
+//!
+//! Re-exports every PRIMA component crate under one roof so examples,
+//! integration tests, and downstream users can depend on a single crate.
+//!
+//! Reproduction of *"Towards Improved Privacy Policy Coverage in Healthcare
+//! Using Policy Refinement"* (Bhatti & Grandison, 2007). See `README.md` for
+//! the architecture overview, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use prima_audit as audit;
+pub use prima_core as system;
+pub use prima_hdb as hdb;
+pub use prima_hier as hier;
+pub use prima_mining as mining;
+pub use prima_model as model;
+pub use prima_query as query;
+pub use prima_refine as refine;
+pub use prima_store as store;
+pub use prima_vocab as vocab;
+pub use prima_workload as workload;

@@ -1,0 +1,135 @@
+//! Integration tests driving the full closed loop: HDB middleware →
+//! audit trail → PRIMA refinement → enforced policy change.
+
+use prima::hdb::{AccessRequest, ControlCenter};
+use prima::refine::CandidateState;
+use prima::system::{PrimaSystem, ReviewMode};
+use prima::vocab::samples::figure_1;
+
+fn control_center() -> ControlCenter {
+    let mut cc = ControlCenter::new(figure_1(), "patient");
+    let (encounters, mappings) = prima::hdb::clinical::encounters_table();
+    let maps: Vec<(&str, &str)> = mappings
+        .iter()
+        .map(|(c, k)| (c.as_str(), k.as_str()))
+        .collect();
+    cc.register_table(encounters, &maps).unwrap();
+    cc.define_rule("general-care", "treatment", "nurse").unwrap();
+    cc
+}
+
+/// Break-the-glass accesses recorded by Compliance Auditing are exactly
+/// what PRIMA mines; accepting the mined rule makes the workflow a regular
+/// access in the enforcement layer.
+#[test]
+fn break_the_glass_becomes_policy() {
+    let mut cc = control_center();
+
+    // Before refinement the registration workflow is denied.
+    let denied = cc.query(&AccessRequest::chosen(
+        1,
+        "ana",
+        "nurse",
+        "registration",
+        "encounters",
+        &["referral"],
+    ));
+    assert!(denied.is_err());
+
+    // Five nurses break the glass for the same workflow.
+    for (t, nurse) in [(10, "mark"), (11, "tim"), (12, "ana"), (13, "bob"), (14, "mark")] {
+        cc.query(&AccessRequest::break_the_glass(
+            t,
+            nurse,
+            "nurse",
+            "registration",
+            "encounters",
+            &["referral"],
+        ))
+        .unwrap();
+    }
+
+    // PRIMA consumes the control center's audit store directly (they share
+    // the same underlying trail).
+    let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
+    prima.attach_store(cc.audit_store().clone());
+    let record = prima.run_round(ReviewMode::Manual).unwrap();
+    assert_eq!(record.candidates_enqueued, 1);
+
+    let id = prima.review().pending().next().unwrap().id;
+    prima
+        .review_mut()
+        .decide(id, CandidateState::Accepted, Some("confirmed"));
+    assert_eq!(prima.apply_review_decisions(), 1);
+
+    // Push the refined policy back into enforcement.
+    cc.set_policy(prima.policy().clone());
+    let now_ok = cc.query(&AccessRequest::chosen(
+        100,
+        "ana",
+        "nurse",
+        "registration",
+        "encounters",
+        &["referral"],
+    ));
+    assert!(now_ok.is_ok(), "refined policy must allow the workflow");
+    assert!(!now_ok.unwrap().rows.is_empty());
+}
+
+/// Rejected candidates never re-enter the queue, and the workflow stays
+/// break-the-glass-only.
+#[test]
+fn rejected_candidate_stays_rejected() {
+    let cc = control_center();
+    for t in 0..6 {
+        cc.query(&AccessRequest::break_the_glass(
+            t,
+            if t % 2 == 0 { "eve" } else { "mal" },
+            "clerk",
+            "billing",
+            "encounters",
+            &["psychiatry"],
+        ))
+        .unwrap();
+    }
+    let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
+    prima.attach_store(cc.audit_store().clone());
+    prima.run_round(ReviewMode::Manual).unwrap();
+    let id = prima.review().pending().next().unwrap().id;
+    prima
+        .review_mut()
+        .decide(id, CandidateState::Rejected, Some("investigate staff"));
+    prima.apply_review_decisions();
+    assert_eq!(prima.policy().cardinality(), cc.policy().cardinality());
+
+    let again = prima.run_round(ReviewMode::Manual).unwrap();
+    assert_eq!(again.candidates_enqueued, 0, "no re-proposal after reject");
+}
+
+/// The denial audit trail (op = disallow) is never mined into policy.
+#[test]
+fn denials_never_become_policy() {
+    let cc = control_center();
+    // Ten denied attempts by many clerks.
+    for t in 0..10 {
+        let res = cc.query(&AccessRequest::chosen(
+            t,
+            &format!("clerk-{t}"),
+            "clerk",
+            "billing",
+            "encounters",
+            &["referral"],
+        ));
+        assert!(res.is_err());
+    }
+    assert_eq!(cc.audit_store().len(), 10);
+
+    let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
+    prima.attach_store(cc.audit_store().clone());
+    let record = prima.run_round(ReviewMode::AutoAccept).unwrap();
+    assert_eq!(
+        record.practice_entries, 0,
+        "prohibitions are filtered out before mining"
+    );
+    assert_eq!(record.rules_added, 0);
+}

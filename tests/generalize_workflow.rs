@@ -1,0 +1,84 @@
+//! Integration test: mine → generalize → accept → compact, end to end.
+//!
+//! When informal practice covers *every* ground purpose under a composite
+//! concept, the refinement output should be the single composite rule the
+//! policy officer would have written — and after acceptance, compaction
+//! removes any ground rules the composite now subsumes.
+
+use prima::mining::{Miner, MinerConfig, SqlMiner};
+use prima::model::simplify::simplify_policy;
+use prima::model::{Policy, Rule, StoreTag};
+use prima::refine::extract::practice_table;
+use prima::refine::filter::filter;
+use prima::refine::generalize;
+use prima::vocab::samples::figure_1;
+use prima::workload::sim::{entries, PracticeCluster, SimConfig, Simulator};
+
+#[test]
+fn sibling_complete_practice_generalizes_and_compacts() {
+    let vocab = figure_1();
+    // The stated policy covers only physicians; nurses run the referral
+    // workflow for every administering-healthcare purpose through the
+    // exception mechanism.
+    let policy = Policy::with_rules(
+        StoreTag::PolicyStore,
+        vec![Rule::of(&[
+            ("data", "mental-health"),
+            ("purpose", "treatment"),
+            ("authorized", "physician"),
+        ])],
+    );
+    let clusters = vec![
+        PracticeCluster::new("referral", "treatment", "nurse").with_weight(2.0),
+        PracticeCluster::new("referral", "registration", "nurse").with_weight(1.5),
+        PracticeCluster::new("referral", "billing", "nurse").with_weight(1.0),
+    ];
+    let sim = Simulator::new(vocab.clone(), policy.clone(), clusters);
+    let trail = entries(&sim.generate(&SimConfig {
+        seed: 14,
+        n_entries: 8_000,
+        informal_share: 0.3,
+        violation_share: 0.0,
+        ..SimConfig::default()
+    }));
+
+    // Mine.
+    let practice = filter(&trail);
+    let table = practice_table(&practice);
+    let patterns = SqlMiner::new(MinerConfig {
+        min_frequency: 50,
+        ..MinerConfig::default()
+    })
+    .mine(&table)
+    .unwrap();
+    assert_eq!(patterns.len(), 3, "three ground workflows mined");
+
+    // Generalize: the three purposes are exactly administering-healthcare.
+    let out = generalize(&patterns, &vocab);
+    assert_eq!(out.rules.len(), 1, "steps: {:?}", out.steps);
+    let composite = &out.rules[0];
+    assert_eq!(composite.value_of("purpose"), Some("administering-healthcare"));
+    assert_eq!(composite.value_of("data"), Some("referral"));
+
+    // Accept, then also (redundantly) accept one of the ground rules the
+    // way an earlier round might have; compaction removes it again.
+    let mut refined = policy.clone();
+    refined.push(Rule::from_ground(&patterns[0].rule));
+    refined.push(composite.clone());
+    assert_eq!(refined.cardinality(), 3);
+    let compacted = simplify_policy(&refined, &vocab);
+    assert_eq!(compacted.policy.cardinality(), 2);
+    assert_eq!(compacted.removed.len(), 1);
+
+    // The compacted policy fully covers the nurses' workflow.
+    let rules: Vec<_> = trail.iter().map(|e| e.to_ground_rule().unwrap()).collect();
+    let coverage = prima::model::CoverageEngine::default().entry_coverage(
+        &compacted.policy,
+        &rules,
+        &vocab,
+    );
+    assert!(
+        (coverage.ratio() - 1.0).abs() < f64::EPSILON,
+        "coverage {coverage:?}"
+    );
+}
