@@ -23,10 +23,7 @@ pub fn import_jsonl<R: BufRead>(input: R) -> io::Result<Vec<AuditEntry>> {
             continue;
         }
         let e: AuditEntry = serde_json::from_str(&line).map_err(|err| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {err}", i + 1),
-            )
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {err}", i + 1))
         })?;
         out.push(e);
     }
@@ -75,7 +72,8 @@ mod tests {
     #[test]
     fn store_roundtrip() {
         let s = AuditStore::new("a");
-        s.append(&AuditEntry::regular(7, "u", "d", "p", "a")).unwrap();
+        s.append(&AuditEntry::regular(7, "u", "d", "p", "a"))
+            .unwrap();
         let mut buf = Vec::new();
         export_store(&s, &mut buf).unwrap();
         let s2 = AuditStore::new("b");

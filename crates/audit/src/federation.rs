@@ -119,10 +119,7 @@ impl AuditFederation {
                 .schema()
                 .index_of(COL_STATUS)
                 .expect("audit schema has status");
-            n += t
-                .scan()
-                .filter(|r| r.get(idx) == &Value::Int(0))
-                .count();
+            n += t.scan().filter(|r| r.get(idx) == &Value::Int(0)).count();
         }
         n
     }
@@ -134,13 +131,31 @@ mod tests {
 
     fn federation() -> AuditFederation {
         let a = AuditStore::new("icu");
-        a.append(&AuditEntry::regular(5, "tim", "referral", "treatment", "nurse"))
-            .unwrap();
-        a.append(&AuditEntry::exception(1, "mark", "referral", "registration", "nurse"))
-            .unwrap();
+        a.append(&AuditEntry::regular(
+            5,
+            "tim",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
+        a.append(&AuditEntry::exception(
+            1,
+            "mark",
+            "referral",
+            "registration",
+            "nurse",
+        ))
+        .unwrap();
         let b = AuditStore::new("billing-office");
-        b.append(&AuditEntry::exception(3, "jason", "prescription", "billing", "clerk"))
-            .unwrap();
+        b.append(&AuditEntry::exception(
+            3,
+            "jason",
+            "prescription",
+            "billing",
+            "clerk",
+        ))
+        .unwrap();
         let mut f = AuditFederation::new();
         f.register(a);
         f.register(b);

@@ -77,7 +77,9 @@ pub fn partition_by_epoch(store: &AuditStore, epoch_secs: i64) -> BTreeMap<i64, 
     assert!(epoch_secs > 0, "epoch length must be positive");
     let mut out: BTreeMap<i64, Vec<AuditEntry>> = BTreeMap::new();
     for e in store.entries() {
-        out.entry(e.time.div_euclid(epoch_secs)).or_default().push(e);
+        out.entry(e.time.div_euclid(epoch_secs))
+            .or_default()
+            .push(e);
     }
     out
 }
@@ -89,7 +91,8 @@ mod tests {
     fn store() -> AuditStore {
         let s = AuditStore::new("main");
         for t in [1i64, 5, 10, 15, 20, 99] {
-            s.append(&AuditEntry::regular(t, "u", "d", "p", "a")).unwrap();
+            s.append(&AuditEntry::regular(t, "u", "d", "p", "a"))
+                .unwrap();
         }
         s
     }

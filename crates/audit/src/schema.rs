@@ -61,7 +61,15 @@ mod tests {
         assert_eq!(s.arity(), 7);
         assert_eq!(
             s.names().collect::<Vec<_>>(),
-            vec!["time", "op", "user", "data", "purpose", "authorized", "status"]
+            vec![
+                "time",
+                "op",
+                "user",
+                "data",
+                "purpose",
+                "authorized",
+                "status"
+            ]
         );
         assert_eq!(s.index_of(COL_TIME), Some(COL_TIME_IDX));
         assert_eq!(s.index_of(COL_STATUS), Some(COL_STATUS_IDX));

@@ -86,7 +86,10 @@ where
     F: Fn(&'a AuditEntry) -> &'a str,
 {
     let mut counts: HashMap<&str, usize> = HashMap::new();
-    for e in entries.iter().filter(|e| e.is_exception() && e.op == Op::Allow) {
+    for e in entries
+        .iter()
+        .filter(|e| e.is_exception() && e.op == Op::Allow)
+    {
         *counts.entry(selector(e)).or_default() += 1;
     }
     let mut out: Vec<(String, usize)> = counts
@@ -149,10 +152,7 @@ mod tests {
     #[test]
     fn glass_breakers_ranked() {
         let top = glass_breakers(&trail(), 2);
-        assert_eq!(
-            top,
-            vec![("mark".to_string(), 2), ("bob".to_string(), 1)]
-        );
+        assert_eq!(top, vec![("mark".to_string(), 2), ("bob".to_string(), 1)]);
     }
 
     #[test]
@@ -160,10 +160,7 @@ mod tests {
         let by_data = top_exception_attribute(&trail(), 10, |e| &e.data);
         assert_eq!(
             by_data,
-            vec![
-                ("referral".to_string(), 2),
-                ("psychiatry".to_string(), 1)
-            ]
+            vec![("referral".to_string(), 2), ("psychiatry".to_string(), 1)]
         );
     }
 

@@ -124,8 +124,14 @@ mod tests {
 
     fn store() -> AuditStore {
         let s = AuditStore::new("ward-a");
-        s.append(&AuditEntry::regular(1, "tim", "referral", "treatment", "nurse"))
-            .unwrap();
+        s.append(&AuditEntry::regular(
+            1,
+            "tim",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
         s.append(&AuditEntry::exception(
             2,
             "mark",
@@ -178,7 +184,8 @@ mod tests {
     fn snapshot_is_isolated_from_later_appends() {
         let s = store();
         let snap = s.snapshot_table();
-        s.append(&AuditEntry::regular(4, "x", "d", "p", "a")).unwrap();
+        s.append(&AuditEntry::regular(4, "x", "d", "p", "a"))
+            .unwrap();
         assert_eq!(snap.len(), 3);
         assert_eq!(s.len(), 4);
     }
@@ -191,6 +198,50 @@ mod tests {
             .collect();
         assert_eq!(s.append_all(&entries).unwrap(), 10);
         assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn clone_is_a_cheap_shared_handle() {
+        // Cloning must share the one table behind the lock, not deep-copy
+        // it: the stream engine clones its sink per ingest site, and the
+        // federation registers the same store the engine writes to.
+        let a = store();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.table, &b.table));
+        b.append(&AuditEntry::regular(9, "zoe", "claim", "billing", "clerk"))
+            .unwrap();
+        assert_eq!(a.len(), 4, "append via one clone is visible via the other");
+    }
+
+    #[test]
+    fn handles_move_across_threads() {
+        fn assert_share<T: Send + Sync + Clone>() {}
+        assert_share::<AuditStore>();
+
+        // A reader thread sees a writer thread's appends through its own
+        // clone of the handle (no channel, no explicit synchronization
+        // beyond the store itself).
+        let s = AuditStore::new("shared");
+        let writer = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    s.append(&AuditEntry::regular(i, "w", "d", "p", "a"))
+                        .unwrap();
+                }
+            })
+        };
+        let reader = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                while s.len() < 100 {
+                    std::thread::yield_now();
+                }
+                s.ground_rules().len()
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(reader.join().unwrap(), 100);
     }
 
     #[test]

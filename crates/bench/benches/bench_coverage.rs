@@ -53,7 +53,11 @@ fn bench_strategies_on_trails(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &al, |b, al| {
                 let engine = CoverageEngine::new(strategy);
-                b.iter(|| engine.coverage(&scenario.policy, al, &scenario.vocab).unwrap())
+                b.iter(|| {
+                    engine
+                        .coverage(&scenario.policy, al, &scenario.vocab)
+                        .unwrap()
+                })
             });
         }
         // Entry-weighted variant (always lazy).
@@ -105,14 +109,10 @@ fn bench_range_explosion(c: &mut Criterion) {
         // materializing engine stops being runnable while the lazy one is
         // unaffected. Bench it only where it fits.
         if ps.expansion_size(&v) <= prima_model::range::DEFAULT_RANGE_BUDGET as u128 {
-            group.bench_with_input(
-                BenchmarkId::new("materialize", fan_out),
-                &(),
-                |b, _| {
-                    let engine = CoverageEngine::new(Strategy::MaterializeHash);
-                    b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("materialize", fan_out), &(), |b, _| {
+                let engine = CoverageEngine::new(Strategy::MaterializeHash);
+                b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+            });
         } else {
             let err = CoverageEngine::new(Strategy::MaterializeHash)
                 .coverage(&ps, &al, &v)

@@ -25,8 +25,11 @@ fn big_document(regions: usize) -> Document {
 fn enforcement(regions: usize) -> TreeEnforcement {
     let mut m = PathCategoryMap::new();
     for i in 0..regions {
-        m.map(&format!("/patient/record-{i}/mental-health/**"), "psychiatry")
-            .unwrap();
+        m.map(
+            &format!("/patient/record-{i}/mental-health/**"),
+            "psychiatry",
+        )
+        .unwrap();
         m.map(&format!("/patient/record-{i}/**"), "general-care")
             .unwrap();
     }

@@ -19,8 +19,7 @@ fn bench_full_round(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::from_parameter(n), &trail, |b, trail| {
             b.iter(|| {
-                let mut system =
-                    PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone());
+                let mut system = PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone());
                 for store in split_sites(trail, 4) {
                     system.attach_store(store);
                 }

@@ -1,0 +1,94 @@
+//! E10 — streaming ingestion: sustained entries/sec through the
+//! prima-stream pipeline at 1, 2, 4 and 8 shards over the community
+//! hospital trail, plus the decision-cache hit rate at each width.
+//!
+//! Besides the Criterion timings, the bench prints a one-object JSON
+//! summary (`stream-throughput-summary`) so the acceptance gate
+//! (≥ 100k entries/sec at 4 shards) can be checked mechanically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_audit::AuditEntry;
+use prima_bench::standard_trail;
+use prima_model::PolicyMatcher;
+use prima_stream::{StreamConfig, StreamEngine};
+use prima_workload::Scenario;
+use serde_json::Value;
+use std::time::Instant;
+
+const TRAIL_LEN: usize = 50_000;
+const SHARD_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn start_engine(shards: usize, scenario: &Scenario) -> StreamEngine {
+    StreamEngine::start(
+        StreamConfig::with_shards(shards),
+        PolicyMatcher::new(&scenario.policy, &scenario.vocab),
+    )
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let scenario = Scenario::community_hospital();
+    let trail = standard_trail(TRAIL_LEN, 23);
+    let mut group = c.benchmark_group("stream/ingest-50k");
+    group.sample_size(10);
+    for shards in SHARD_WIDTHS {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &trail, |b, trail| {
+            b.iter(|| {
+                let mut engine = start_engine(shards, &scenario);
+                engine.ingest_all(trail.iter());
+                engine.drain()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One measured pass: ingest the whole trail, drain, and read the final
+/// snapshot for cache statistics. Returns `(entries_per_sec, hit_rate)`.
+fn measured_pass(shards: usize, scenario: &Scenario, trail: &[AuditEntry]) -> (f64, f64) {
+    let mut engine = start_engine(shards, scenario);
+    let start = Instant::now();
+    engine.ingest_all(trail.iter());
+    engine.drain();
+    let secs = start.elapsed().as_secs_f64();
+    let snap = engine.shutdown();
+    (trail.len() as f64 / secs, snap.cache.hit_rate())
+}
+
+fn emit_summary(_c: &mut Criterion) {
+    let scenario = Scenario::community_hospital();
+    let trail = standard_trail(TRAIL_LEN, 23);
+    let mut per_width = Vec::new();
+    let mut at_4_shards = 0.0;
+    for shards in SHARD_WIDTHS {
+        // Warm pass (thread spawn, allocator), then the measured one.
+        measured_pass(shards, &scenario, &trail[..trail.len() / 10]);
+        let (eps, hit_rate) = measured_pass(shards, &scenario, &trail);
+        if shards == 4 {
+            at_4_shards = eps;
+        }
+        per_width.push(Value::Map(vec![
+            ("shards".into(), Value::U64(shards as u64)),
+            ("entries_per_sec".into(), Value::F64(eps.round())),
+            ("cache_hit_rate".into(), Value::F64(hit_rate)),
+        ]));
+    }
+    let summary = Value::Map(vec![
+        (
+            "bench".into(),
+            Value::Str("stream-throughput-summary".into()),
+        ),
+        ("trail_entries".into(), Value::U64(TRAIL_LEN as u64)),
+        ("widths".into(), Value::Seq(per_width)),
+        (
+            "meets_100k_at_4_shards".into(),
+            Value::Bool(at_4_shards >= 100_000.0),
+        ),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary is a plain value tree")
+    );
+}
+
+criterion_group!(benches, bench_ingest, emit_summary);
+criterion_main!(benches);

@@ -18,8 +18,7 @@ use prima_workload::{PracticeCluster, Scenario};
 
 fn main() {
     let scenario = Scenario::community_hospital();
-    let emerging =
-        PracticeCluster::new("vitals", "scheduling", "midwife").with_weight(4.0);
+    let emerging = PracticeCluster::new("vitals", "scheduling", "midwife").with_weight(4.0);
     let rounds = 9usize;
     let entries_per_round = 20_000usize;
     let informal_rate_per_cluster = 0.03; // share of trail per open cluster
@@ -68,8 +67,8 @@ fn main() {
             min_frequency: f.max(5),
             ..MinerConfig::default()
         });
-        let mut system = PrimaSystem::new(scenario.vocab.clone(), policy.clone())
-            .with_miner(Box::new(miner));
+        let mut system =
+            PrimaSystem::new(scenario.vocab.clone(), policy.clone()).with_miner(Box::new(miner));
         let store = AuditStore::new(&format!("round-{round}"));
         store.append_all(&trail).expect("simulated entries conform");
         system.attach_store(store);
@@ -85,7 +84,12 @@ fn main() {
             format!("{:.1}%", coverage * 100.0),
             open.len().to_string(),
             record.rules_added.to_string(),
-            if round == 5 { "<- new workflow emerges" } else { "" }.to_string(),
+            if round == 5 {
+                "<- new workflow emerges"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     println!(

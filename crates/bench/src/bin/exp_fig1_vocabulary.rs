@@ -28,12 +28,20 @@ fn main() {
             vec![
                 name.to_string(),
                 rt.to_string(),
-                if rt.is_ground(&v) { "ground" } else { "composite" }.to_string(),
+                if rt.is_ground(&v) {
+                    "ground"
+                } else {
+                    "composite"
+                }
+                .to_string(),
                 rt.ground_term_count(&v).to_string(),
             ]
         })
         .collect();
-    println!("{}", render_table(&["term", "(attr, value)", "kind", "#RT'"], &rows));
+    println!(
+        "{}",
+        render_table(&["term", "(attr, value)", "kind", "#RT'"], &rows)
+    );
 
     banner("RT1' — ground terms derivable from (data, demographic)");
     let rt1 = RuleTerm::of("data", "demographic");
@@ -47,7 +55,10 @@ fn main() {
     let rt3 = RuleTerm::of("data", "gender");
     println!("  RT2 ≈ RT1: {}", rt2.equivalent(&rt1, &v));
     println!("  RT3 ≈ RT1: {}", rt3.equivalent(&rt1, &v));
-    println!("  RT2 ≈ RT3: {} (equivalence is not transitive)", rt2.equivalent(&rt3, &v));
+    println!(
+        "  RT2 ≈ RT3: {} (equivalence is not transitive)",
+        rt2.equivalent(&rt3, &v)
+    );
 
     banner("Vocabulary statistics");
     for attr in v.attribute_names() {

@@ -49,7 +49,10 @@ fn main() {
             "EXCEPTION SCENARIO".to_string(),
         ]);
     }
-    println!("{}", render_table(&["audit rule (data:purpose:authorized)", "status"], &rows));
+    println!(
+        "{}",
+        render_table(&["audit rule (data:purpose:authorized)", "status"], &rows)
+    );
 
     banner("Strategy agreement (Algorithm 1 vs lazy engine)");
     for strategy in [

@@ -97,17 +97,43 @@ fn main() {
         .expect("valid rule");
     cc.opt_out("p2", "treatment", Some("general-care"));
 
-    let req = AccessRequest::chosen(1, "tim", "nurse", "treatment", "encounters", &["referral", "psychiatry"]);
+    let req = AccessRequest::chosen(
+        1,
+        "tim",
+        "nurse",
+        "treatment",
+        "encounters",
+        &["referral", "psychiatry"],
+    );
     let res = cc.query(&req).expect("partially allowed");
-    println!("  psychiatry column suppressed by policy: {}", res.suppressed_columns == vec!["psychiatry"]);
-    println!("  consent-nulled cells for p2: {}", res.consent_suppressed_cells);
+    println!(
+        "  psychiatry column suppressed by policy: {}",
+        res.suppressed_columns == vec!["psychiatry"]
+    );
+    println!(
+        "  consent-nulled cells for p2: {}",
+        res.consent_suppressed_cells
+    );
 
     let denied = AccessRequest::chosen(2, "bill", "clerk", "billing", "encounters", &["referral"]);
-    println!("  clerk/billing fully denied: {}", cc.query(&denied).is_err());
+    println!(
+        "  clerk/billing fully denied: {}",
+        cc.query(&denied).is_err()
+    );
 
-    let btg = AccessRequest::break_the_glass(3, "mark", "nurse", "registration", "encounters", &["referral"]);
+    let btg = AccessRequest::break_the_glass(
+        3,
+        "mark",
+        "nurse",
+        "registration",
+        "encounters",
+        &["referral"],
+    );
     let r = cc.query(&btg).expect("break-the-glass always serves");
-    println!("  break-the-glass served {} rows, audited as exception", r.rows.len());
+    println!(
+        "  break-the-glass served {} rows, audited as exception",
+        r.rows.len()
+    );
     let last = cc.audit_store().entries().pop().expect("logged");
     assert!(last.is_exception(), "BTG must be audited as exception");
     println!("\nshape: enforcement overhead stays a small constant factor; audit entries are fixed-size.");

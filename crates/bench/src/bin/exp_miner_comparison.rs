@@ -59,10 +59,7 @@ fn main() {
         let (ap_patterns, t_ap) = timed(|| apriori.mine(&table).expect("columns exist"));
         let (itemsets, t_lattice) =
             timed(|| apriori.frequent_itemsets(&table).expect("columns exist"));
-        let partial = itemsets
-            .iter()
-            .filter(|fi| fi.len() < 3)
-            .count();
+        let partial = itemsets.iter().filter(|fi| fi.len() < 3).count();
 
         assert_eq!(
             sql_patterns, ap_patterns,
@@ -134,5 +131,7 @@ fn main() {
             r.antecedent, r.consequent, r.support, r.confidence
         );
     }
-    println!("\nshape: Apriori ⊇ SQL on full width, surfaces pair-level correlations, costs more time.");
+    println!(
+        "\nshape: Apriori ⊇ SQL on full width, surfaces pair-level correlations, costs more time."
+    );
 }

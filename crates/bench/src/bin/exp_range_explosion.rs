@@ -8,7 +8,7 @@
 //! existence.
 
 use prima_bench::{banner, render_table, timed};
-use prima_model::{CoverageEngine, Policy, Rule, Strategy, StoreTag};
+use prima_model::{CoverageEngine, Policy, Rule, StoreTag, Strategy};
 use prima_vocab::synthetic::{synthetic_vocabulary, SyntheticSpec};
 
 fn main() {
@@ -68,7 +68,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["fan-out", "|Range(P_PS)|", "materialize (Algorithm 1)", "lazy"],
+            &[
+                "fan-out",
+                "|Range(P_PS)|",
+                "materialize (Algorithm 1)",
+                "lazy"
+            ],
             &rows
         )
     );

@@ -68,7 +68,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "f", "users", "mined", "TP", "FP", "FN", "precision", "recall", "F1"
+                "f",
+                "users",
+                "mined",
+                "TP",
+                "FP",
+                "FN",
+                "precision",
+                "recall",
+                "F1"
             ],
             &rows
         )

@@ -35,14 +35,24 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Time", "Op", "User", "Data", "Purpose", "Authorized", "Status"],
+            &[
+                "Time",
+                "Op",
+                "User",
+                "Data",
+                "Purpose",
+                "Authorized",
+                "Status"
+            ],
             &rows
         )
     );
 
     let mut system = PrimaSystem::new(v, figure_3_policy_store());
     let store = prima_audit::AuditStore::new("main");
-    store.append_all(&trail).expect("fixture conforms to schema");
+    store
+        .append_all(&trail)
+        .expect("fixture conforms to schema");
     system.attach_store(store);
 
     banner("Coverage before refinement");
@@ -60,13 +70,18 @@ fn main() {
         set_before.target_cardinality,
         set_before.percent()
     );
-    println!("(the paper's 30% counts entries; Definition 9's ranges are sets — see EXPERIMENTS.md §E3)");
+    println!(
+        "(the paper's 30% counts entries; Definition 9's ranges are sets — see EXPERIMENTS.md §E3)"
+    );
 
     banner("Refinement(P_PS, P_AL, V)  [Algorithm 2]");
     let record = system
         .run_round(ReviewMode::AutoAccept)
         .expect("fixture mines cleanly");
-    println!("Filter kept {} practice entries (t3, t4, t6-t10)", record.practice_entries);
+    println!(
+        "Filter kept {} practice entries (t3, t4, t6-t10)",
+        record.practice_entries
+    );
     println!("extractPatterns found {} pattern(s)", record.patterns_found);
     println!("Prune kept {} useful pattern(s)", record.patterns_useful);
     for c in system.review().candidates() {
@@ -86,7 +101,10 @@ fn main() {
         after.total_entries,
         after.percent()
     );
-    println!("policy grew from 3 to {} rules", system.policy().cardinality());
+    println!(
+        "policy grew from 3 to {} rules",
+        system.policy().cardinality()
+    );
 
     assert_eq!(before.covered_entries, 3, "reproduction check");
     assert_eq!(before.total_entries, 10, "reproduction check");

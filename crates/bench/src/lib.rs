@@ -104,7 +104,10 @@ mod tests {
     fn render_table_aligns() {
         let t = render_table(
             &["name", "n"],
-            &[vec!["referral".into(), "5".into()], vec!["x".into(), "123".into()]],
+            &[
+                vec!["referral".into(), "5".into()],
+                vec!["x".into(), "123".into()],
+            ],
         );
         assert!(t.contains("| referral | 5   |"));
         assert!(t.contains("| x        | 123 |"));

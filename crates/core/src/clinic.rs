@@ -137,7 +137,8 @@ mod tests {
             .map(|(c, k)| (c.as_str(), k.as_str()))
             .collect();
         cc.register_table(encounters, &maps).unwrap();
-        cc.define_rule("general-care", "treatment", "nurse").unwrap();
+        cc.define_rule("general-care", "treatment", "nurse")
+            .unwrap();
         cc.define_rule("demographic", "billing", "clerk").unwrap();
         cc
     }

@@ -88,10 +88,9 @@ impl PrimaSystem {
         vocab: prima_vocab::Vocabulary,
         json: &str,
     ) -> Result<PrimaSystem, SnapshotError> {
-        let snapshot: SystemSnapshot =
-            serde_json::from_str(json).map_err(|e| SnapshotError {
-                message: e.to_string(),
-            })?;
+        let snapshot: SystemSnapshot = serde_json::from_str(json).map_err(|e| SnapshotError {
+            message: e.to_string(),
+        })?;
         Self::restore(vocab, snapshot)
     }
 }

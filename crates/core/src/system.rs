@@ -80,6 +80,48 @@ impl PrimaSystem {
         self.federation.register(store);
     }
 
+    /// Attaches a live ingestion pipeline: starts a
+    /// [`prima_stream::StreamEngine`] classifying against the current
+    /// policy, whose durable sink is a fresh store registered with this
+    /// system's federation. Streamed entries are therefore visible to
+    /// every batch computation (`run_round`, `coverage`, …) while the
+    /// engine maintains the same coverage incrementally.
+    ///
+    /// The caller owns the returned engine and drives ingestion;
+    /// [`Self::run_streamed_round`] closes the loop back into
+    /// refinement.
+    pub fn attach_stream(
+        &mut self,
+        config: prima_stream::StreamConfig,
+    ) -> prima_stream::StreamEngine {
+        let store = AuditStore::new(&format!("stream-{}", self.federation.sources().len()));
+        self.federation.register(store.clone());
+        let matcher = prima_model::PolicyMatcher::new(&self.policy, &self.vocab);
+        prima_stream::StreamEngine::start(config, matcher).with_sink(store)
+    }
+
+    /// Runs one refinement round over the stream's trailing training
+    /// window, then pushes the (possibly refined) policy back into the
+    /// engine so its decision caches re-key against the new epoch.
+    ///
+    /// Returns `None` when the stream has no windowed stats yet (window
+    /// tracking off or no events ingested): there is nothing to train
+    /// on, and running an unwindowed round here would silently violate
+    /// the "train on the latest period" contract.
+    pub fn run_streamed_round(
+        &mut self,
+        engine: &mut prima_stream::StreamEngine,
+        mode: ReviewMode,
+    ) -> Result<Option<RoundRecord>, MiningError> {
+        let snapshot = engine.snapshot();
+        let Some(window) = snapshot.window else {
+            return Ok(None);
+        };
+        let record = self.run_round_windowed(window.window, mode)?;
+        engine.refresh_policy(&self.policy);
+        Ok(Some(record))
+    }
+
     /// The audit federation (Audit Management component).
     pub fn federation(&self) -> &AuditFederation {
         &self.federation
@@ -171,9 +213,7 @@ impl PrimaSystem {
             .ratio();
 
         let report = refinement_with_miner(&self.policy, &entries, &self.vocab, &*self.miner)?;
-        let candidates_enqueued = self
-            .review
-            .propose(report.useful_patterns.clone(), round);
+        let candidates_enqueued = self.review.propose(report.useful_patterns.clone(), round);
 
         let rules_added = match mode {
             ReviewMode::AutoAccept => {
@@ -211,11 +251,7 @@ impl PrimaSystem {
 
     /// Installs restored review/history state (used by
     /// [`crate::snapshot`]).
-    pub(crate) fn restore_state(
-        &mut self,
-        review: ReviewQueue,
-        history: Vec<RoundRecord>,
-    ) {
+    pub(crate) fn restore_state(&mut self, review: ReviewQueue, history: Vec<RoundRecord>) {
         self.review = review;
         self.history = history;
     }
@@ -299,12 +335,16 @@ mod tests {
         // Window covering only t1..t5: the frequent pattern (t3, t7-t10)
         // has just one occurrence inside, so nothing is mined.
         let early = prima_audit::TrainingWindow::new(1, 6);
-        let record = sys.run_round_windowed(early, ReviewMode::AutoAccept).unwrap();
+        let record = sys
+            .run_round_windowed(early, ReviewMode::AutoAccept)
+            .unwrap();
         assert_eq!(record.audit_entries, 5);
         assert_eq!(record.patterns_found, 0);
         // The full-trail window reproduces the Section 5 outcome.
         let full = prima_audit::TrainingWindow::new(1, 11);
-        let record = sys.run_round_windowed(full, ReviewMode::AutoAccept).unwrap();
+        let record = sys
+            .run_round_windowed(full, ReviewMode::AutoAccept)
+            .unwrap();
         assert_eq!(record.audit_entries, 10);
         assert_eq!(record.rules_added, 1);
     }
@@ -316,5 +356,56 @@ mod tests {
         assert_eq!(record.audit_entries, 0);
         assert_eq!(record.patterns_found, 0);
         assert!((record.entry_coverage_before - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn streamed_entries_reach_batch_rounds() {
+        use prima_stream::StreamConfig;
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        let mut engine = sys.attach_stream(StreamConfig::with_shards(2));
+        engine.ingest_all(&table_1());
+        engine.drain();
+        // The sink store is federated: the batch round sees the streamed
+        // trail and reproduces the Section 5 outcome.
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.audit_entries, 10);
+        assert_eq!(record.rules_added, 1);
+        assert!((record.entry_coverage_after - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_round_trains_on_window_and_refreshes_engine() {
+        use prima_stream::StreamConfig;
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        // Table 1's entries carry times 1..=10; a 100-second window
+        // holds them all.
+        let mut engine = sys.attach_stream(StreamConfig::with_shards(2).window_secs(100));
+        engine.ingest_all(&table_1());
+
+        let record = sys
+            .run_streamed_round(&mut engine, ReviewMode::AutoAccept)
+            .unwrap()
+            .expect("window has events");
+        assert_eq!(record.audit_entries, 10);
+        assert_eq!(record.rules_added, 1);
+
+        // The engine picked up the refined policy: its incremental view
+        // now matches the post-refinement coverage.
+        let snap = engine.shutdown();
+        assert_eq!(snap.epoch, 1);
+        assert!((snap.totals.ratio() - 0.8).abs() < 1e-9);
+        assert!((snap.totals.ratio() - sys.entry_coverage().ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streamed_round_without_window_is_none() {
+        use prima_stream::StreamConfig;
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        let mut engine = sys.attach_stream(StreamConfig::with_shards(1));
+        engine.ingest_all(&table_1());
+        let outcome = sys
+            .run_streamed_round(&mut engine, ReviewMode::AutoAccept)
+            .unwrap();
+        assert!(outcome.is_none(), "no window tracking, no training period");
     }
 }

@@ -152,12 +152,8 @@ mod tests {
         let v = figure_1();
         let mut r = ConsentRegistry::new();
         r.opt_out("p2", "billing", Some("demographic"));
-        let excluded = r.excluded_patients(
-            &v,
-            ["p1", "p2", "p3"].into_iter(),
-            "address",
-            "billing",
-        );
+        let excluded =
+            r.excluded_patients(&v, ["p1", "p2", "p3"].into_iter(), "address", "billing");
         assert_eq!(excluded, vec!["p2"]);
     }
 

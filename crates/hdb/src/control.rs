@@ -94,7 +94,9 @@ impl ControlCenter {
 
     /// Records a patient opt-out.
     pub fn opt_out(&mut self, patient: &str, purpose: &str, data: Option<&str>) {
-        self.enforcement.consent_mut().opt_out(patient, purpose, data);
+        self.enforcement
+            .consent_mut()
+            .opt_out(patient, purpose, data);
     }
 
     /// The audit store the middleware writes to.
@@ -105,10 +107,7 @@ impl ControlCenter {
     /// Executes an enforced, audited query. A fully-denied request returns
     /// [`HdbError::PolicyDenied`] *after* the denial has been audited.
     pub fn query(&self, request: &AccessRequest) -> Result<EnforcedResult, HdbError> {
-        let shared = self
-            .catalog
-            .get(&request.table)
-            .map_err(HdbError::from)?;
+        let shared = self.catalog.get(&request.table).map_err(HdbError::from)?;
         let guard = shared.read();
         let result = self.enforcement.execute(&guard, request)?;
         drop(guard);
@@ -166,14 +165,17 @@ mod tests {
             .map(|(c, k)| (c.as_str(), k.as_str()))
             .collect();
         cc.register_table(table, &maps).unwrap();
-        cc.define_rule("general-care", "treatment", "nurse").unwrap();
+        cc.define_rule("general-care", "treatment", "nurse")
+            .unwrap();
         cc
     }
 
     #[test]
     fn define_rule_dedups() {
         let mut cc = center();
-        assert!(!cc.define_rule("general-care", "treatment", "nurse").unwrap());
+        assert!(!cc
+            .define_rule("general-care", "treatment", "nurse")
+            .unwrap());
         assert!(cc.define_rule("demographic", "billing", "clerk").unwrap());
         assert_eq!(cc.policy().cardinality(), 2);
     }

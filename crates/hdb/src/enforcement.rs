@@ -32,10 +32,8 @@ impl ColumnMap {
 
     /// Maps `table.column` to `category`.
     pub fn map(&mut self, table: &str, column: &str, category: &str) -> &mut Self {
-        self.map.insert(
-            (table.to_string(), column.to_string()),
-            normalize(category),
-        );
+        self.map
+            .insert((table.to_string(), column.to_string()), normalize(category));
         self
     }
 
@@ -136,7 +134,8 @@ impl ActiveEnforcement {
     pub fn policy_allows(&self, category: &str, purpose: &str, role: &str) -> bool {
         let probe = match GroundRule::new(vec![
             RuleTerm::new("data", category).unwrap_or_else(|_| RuleTerm::of("data", "invalid")),
-            RuleTerm::new("purpose", purpose).unwrap_or_else(|_| RuleTerm::of("purpose", "invalid")),
+            RuleTerm::new("purpose", purpose)
+                .unwrap_or_else(|_| RuleTerm::of("purpose", "invalid")),
             RuleTerm::new("authorized", role)
                 .unwrap_or_else(|_| RuleTerm::of("authorized", "invalid")),
         ]) {
@@ -151,7 +150,11 @@ impl ActiveEnforcement {
 
     /// Rewrites and executes `request` against `table`, producing served
     /// rows plus the audit entries describing what happened.
-    pub fn execute(&self, table: &Table, request: &AccessRequest) -> Result<EnforcedResult, HdbError> {
+    pub fn execute(
+        &self,
+        table: &Table,
+        request: &AccessRequest,
+    ) -> Result<EnforcedResult, HdbError> {
         // Resolve columns and their categories (fail closed on unmapped).
         let mut categories: Vec<String> = Vec::with_capacity(request.columns.len());
         for c in &request.columns {
@@ -196,8 +199,7 @@ impl ActiveEnforcement {
 
         let mut audit_entries = Vec::new();
         let served_cats: BTreeSet<&str> = served.iter().map(|(_, c)| c.as_str()).collect();
-        let suppressed_cats: BTreeSet<&str> =
-            suppressed.iter().map(|(_, c)| c.as_str()).collect();
+        let suppressed_cats: BTreeSet<&str> = suppressed.iter().map(|(_, c)| c.as_str()).collect();
         for cat in &served_cats {
             audit_entries.push(AuditEntry {
                 time: request.time,
@@ -235,9 +237,7 @@ impl ActiveEnforcement {
 
         // Row selection: the user's own filter.
         let filter = request.filter.clone().unwrap_or(Predicate::True);
-        filter
-            .validate(table.schema())
-            .map_err(HdbError::from)?;
+        filter.validate(table.schema()).map_err(HdbError::from)?;
 
         // Consent needs the patient id per row.
         let need_consent = self.consent.patients_with_opt_outs() > 0;
@@ -260,16 +260,13 @@ impl ActiveEnforcement {
                 continue;
             }
             let mut out = Vec::with_capacity(served.len());
-            let patient: Option<String> = patient_idx
-                .and_then(|i| row.get(i).as_str().map(str::to_string));
+            let patient: Option<String> =
+                patient_idx.and_then(|i| row.get(i).as_str().map(str::to_string));
             for (slot, (_, cat)) in served_indices.iter().zip(&served) {
                 let mut v = row.get(*slot).clone();
                 if need_consent {
                     if let Some(p) = &patient {
-                        if !self
-                            .consent
-                            .permits(&self.vocab, p, cat, &request.purpose)
-                        {
+                        if !self.consent.permits(&self.vocab, p, cat, &request.purpose) {
                             v = Value::Null;
                             consent_suppressed_cells += 1;
                         }
@@ -354,7 +351,8 @@ mod tests {
     fn allowed_request_is_served_and_audited_regular() {
         let ae = ae(ConsentRegistry::new());
         let t = encounters();
-        let req = AccessRequest::chosen(10, "tim", "nurse", "treatment", "encounters", &["referral"]);
+        let req =
+            AccessRequest::chosen(10, "tim", "nurse", "treatment", "encounters", &["referral"]);
         let res = ae.execute(&t, &req).unwrap();
         assert_eq!(res.columns, vec!["referral"]);
         assert_eq!(res.rows.len(), 2);
@@ -393,7 +391,8 @@ mod tests {
     fn fully_denied_chosen_request_returns_denied_result() {
         let ae = ae(ConsentRegistry::new());
         let t = encounters();
-        let req = AccessRequest::chosen(12, "bill", "clerk", "billing", "encounters", &["referral"]);
+        let req =
+            AccessRequest::chosen(12, "bill", "clerk", "billing", "encounters", &["referral"]);
         let res = ae.execute(&t, &req).unwrap();
         assert!(res.denied);
         assert!(res.rows.is_empty() && res.columns.is_empty());
@@ -429,7 +428,8 @@ mod tests {
         consent.opt_out("p2", "treatment", Some("general-care"));
         let ae = ae(consent);
         let t = encounters();
-        let req = AccessRequest::chosen(14, "tim", "nurse", "treatment", "encounters", &["referral"]);
+        let req =
+            AccessRequest::chosen(14, "tim", "nurse", "treatment", "encounters", &["referral"]);
         let res = ae.execute(&t, &req).unwrap();
         assert_eq!(res.consent_suppressed_cells, 1);
         assert_eq!(res.rows[0].get(0), &Value::str("cardiology-referral"));
@@ -440,8 +440,9 @@ mod tests {
     fn row_filter_is_conjoined() {
         let ae = ae(ConsentRegistry::new());
         let t = encounters();
-        let req = AccessRequest::chosen(15, "tim", "nurse", "treatment", "encounters", &["referral"])
-            .with_filter(Predicate::eq("patient", Value::str("p1")));
+        let req =
+            AccessRequest::chosen(15, "tim", "nurse", "treatment", "encounters", &["referral"])
+                .with_filter(Predicate::eq("patient", Value::str("p1")));
         let res = ae.execute(&t, &req).unwrap();
         assert_eq!(res.rows.len(), 1);
     }

@@ -97,7 +97,14 @@ mod tests {
         let r = AccessRequest::chosen(1, "tim", "nurse", "treatment", "encounters", &["referral"]);
         assert_eq!(r.mode, AccessMode::Chosen);
         assert_eq!(r.columns, vec!["referral"]);
-        let b = AccessRequest::break_the_glass(2, "mark", "nurse", "registration", "encounters", &["referral"]);
+        let b = AccessRequest::break_the_glass(
+            2,
+            "mark",
+            "nurse",
+            "registration",
+            "encounters",
+            &["referral"],
+        );
         assert_eq!(b.mode, AccessMode::BreakTheGlass);
     }
 

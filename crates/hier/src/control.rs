@@ -158,7 +158,9 @@ impl TreeControlCenter {
             .ok_or_else(|| TreeControlError::UnknownDocument {
                 id: doc_id.to_string(),
             })?;
-        let outcome = self.enforcement.enforce(doc, time, user, role, purpose, mode);
+        let outcome = self
+            .enforcement
+            .enforce(doc, time, user, role, purpose, mode);
         self.audit
             .append_all(&outcome.audit_entries)
             .map_err(|e| TreeControlError::Audit(e.to_string()))?;
@@ -191,10 +193,12 @@ mod tests {
     fn center() -> TreeControlCenter {
         let mut cc = TreeControlCenter::new(figure_1());
         cc.register_document("p1", record()).unwrap();
-        cc.map_category("/patient/record/referral", "referral").unwrap();
+        cc.map_category("/patient/record/referral", "referral")
+            .unwrap();
         cc.map_category("/patient/record/mental-health/**", "psychiatry")
             .unwrap();
-        cc.define_rule("general-care", "treatment", "nurse").unwrap();
+        cc.define_rule("general-care", "treatment", "nurse")
+            .unwrap();
         cc
     }
 
@@ -212,7 +216,14 @@ mod tests {
     fn break_the_glass_audits_exceptions() {
         let cc = center();
         let out = cc
-            .fetch("p1", 2, "mark", "nurse", "registration", TreeAccessMode::BreakTheGlass)
+            .fetch(
+                "p1",
+                2,
+                "mark",
+                "nurse",
+                "registration",
+                TreeAccessMode::BreakTheGlass,
+            )
             .unwrap();
         assert!(out.redacted_categories.is_empty());
         assert!(cc.audit_store().entries().iter().all(|e| e.is_exception()));
@@ -222,7 +233,14 @@ mod tests {
     fn unknown_and_duplicate_documents() {
         let mut cc = center();
         assert!(matches!(
-            cc.fetch("ghost", 1, "u", "nurse", "treatment", TreeAccessMode::Chosen),
+            cc.fetch(
+                "ghost",
+                1,
+                "u",
+                "nurse",
+                "treatment",
+                TreeAccessMode::Chosen
+            ),
             Err(TreeControlError::UnknownDocument { .. })
         ));
         assert!(matches!(
@@ -235,10 +253,21 @@ mod tests {
     #[test]
     fn rule_definition_dedups_and_changes_decisions() {
         let mut cc = center();
-        assert!(!cc.define_rule("general-care", "treatment", "nurse").unwrap());
-        assert!(cc.define_rule("mental-health", "treatment", "physician").unwrap());
+        assert!(!cc
+            .define_rule("general-care", "treatment", "nurse")
+            .unwrap());
+        assert!(cc
+            .define_rule("mental-health", "treatment", "physician")
+            .unwrap());
         let out = cc
-            .fetch("p1", 3, "dr-a", "physician", "treatment", TreeAccessMode::Chosen)
+            .fetch(
+                "p1",
+                3,
+                "dr-a",
+                "physician",
+                "treatment",
+                TreeAccessMode::Chosen,
+            )
             .unwrap();
         assert_eq!(out.served_categories, vec!["psychiatry"]);
     }
@@ -247,9 +276,11 @@ mod tests {
     fn mapping_after_rules_still_applies() {
         let mut cc = TreeControlCenter::new(figure_1());
         cc.register_document("p1", record()).unwrap();
-        cc.define_rule("general-care", "treatment", "nurse").unwrap();
+        cc.define_rule("general-care", "treatment", "nurse")
+            .unwrap();
         // Map after defining rules: rebuild must keep the policy.
-        cc.map_category("/patient/record/referral", "referral").unwrap();
+        cc.map_category("/patient/record/referral", "referral")
+            .unwrap();
         let out = cc
             .fetch("p1", 4, "tim", "nurse", "treatment", TreeAccessMode::Chosen)
             .unwrap();

@@ -175,8 +175,8 @@ impl TreeEnforcement {
             let path = doc.segments_of(child);
             match self.categories.category_of(&path) {
                 Some(cat) => {
-                    let allowed = mode == TreeAccessMode::BreakTheGlass
-                        || self.allows(cat, purpose, role);
+                    let allowed =
+                        mode == TreeAccessMode::BreakTheGlass || self.allows(cat, purpose, role);
                     if allowed {
                         served.insert(cat.to_string());
                         doc.copy_subtree_into(child, view, view_parent);
@@ -259,23 +259,37 @@ mod tests {
     #[test]
     fn sanctioned_regions_survive_unsanctioned_are_pruned() {
         let e = enforcement();
-        let out = e.enforce(&doc(), 1, "tim", "nurse", "treatment", TreeAccessMode::Chosen);
+        let out = e.enforce(
+            &doc(),
+            1,
+            "tim",
+            "nurse",
+            "treatment",
+            TreeAccessMode::Chosen,
+        );
         let xml = out.view.to_xml();
         assert!(xml.contains("<referral>cardiology</referral>"));
-        assert!(!xml.contains("psychiatry"), "mental health redacted:\n{xml}");
+        assert!(
+            !xml.contains("psychiatry"),
+            "mental health redacted:\n{xml}"
+        );
         assert!(!xml.contains("Ada Pine"), "demographics redacted");
         assert_eq!(out.served_categories, vec!["referral"]);
-        assert_eq!(
-            out.redacted_categories,
-            vec!["demographic", "psychiatry"]
-        );
+        assert_eq!(out.redacted_categories, vec!["demographic", "psychiatry"]);
         assert!(out.redacted_nodes >= 5);
     }
 
     #[test]
     fn audit_entries_mirror_relational_middleware() {
         let e = enforcement();
-        let out = e.enforce(&doc(), 9, "tim", "nurse", "treatment", TreeAccessMode::Chosen);
+        let out = e.enforce(
+            &doc(),
+            9,
+            "tim",
+            "nurse",
+            "treatment",
+            TreeAccessMode::Chosen,
+        );
         assert_eq!(out.audit_entries.len(), 3);
         let allow: Vec<&AuditEntry> = out
             .audit_entries
@@ -327,7 +341,14 @@ mod tests {
     #[test]
     fn refined_policy_unredacts() {
         let mut e = enforcement();
-        let before = e.enforce(&doc(), 4, "ana", "nurse", "registration", TreeAccessMode::Chosen);
+        let before = e.enforce(
+            &doc(),
+            4,
+            "ana",
+            "nurse",
+            "registration",
+            TreeAccessMode::Chosen,
+        );
         assert!(before.served_categories.is_empty());
         let mut p = e.policy().clone();
         p.push(Rule::of(&[
@@ -336,7 +357,14 @@ mod tests {
             ("authorized", "nurse"),
         ]));
         e.set_policy(p);
-        let after = e.enforce(&doc(), 5, "ana", "nurse", "registration", TreeAccessMode::Chosen);
+        let after = e.enforce(
+            &doc(),
+            5,
+            "ana",
+            "nurse",
+            "registration",
+            TreeAccessMode::Chosen,
+        );
         assert_eq!(after.served_categories, vec!["referral"]);
     }
 
@@ -357,20 +385,11 @@ mod tests {
             );
             // Only log the referral region's entries to keep the fixture
             // focused (a real adapter logs everything).
-            for entry in out
-                .audit_entries
-                .iter()
-                .filter(|a| a.data == "referral")
-            {
+            for entry in out.audit_entries.iter().filter(|a| a.data == "referral") {
                 store.append(entry).unwrap();
             }
         }
-        let report = prima_refine::refinement(
-            e.policy(),
-            &store.entries(),
-            &figure_1(),
-        )
-        .unwrap();
+        let report = prima_refine::refinement(e.policy(), &store.entries(), &figure_1()).unwrap();
         assert_eq!(report.useful_patterns.len(), 1);
         assert_eq!(
             report.useful_patterns[0].compact(&["data", "purpose", "authorized"]),

@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn subtree_matches_prefix_and_below() {
         let pat = p("/patient/record/**");
-        assert!(pat.matches(&["patient", "record"]), "the prefix node itself");
+        assert!(
+            pat.matches(&["patient", "record"]),
+            "the prefix node itself"
+        );
         assert!(pat.matches(&["patient", "record", "mental-health", "psychiatry"]));
         assert!(!pat.matches(&["patient", "demographic", "name"]));
     }

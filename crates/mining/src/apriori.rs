@@ -240,12 +240,13 @@ impl AprioriMiner {
         }
         let mut attr_indices = Vec::with_capacity(self.config.attributes.len());
         for a in &self.config.attributes {
-            let idx = practice
-                .schema()
-                .index_of(a)
-                .ok_or_else(|| MiningError::MissingAttribute {
-                    attribute: a.clone(),
-                })?;
+            let idx =
+                practice
+                    .schema()
+                    .index_of(a)
+                    .ok_or_else(|| MiningError::MissingAttribute {
+                        attribute: a.clone(),
+                    })?;
             attr_indices.push(idx);
         }
         let mut dict: HashMap<(String, String), u32> = HashMap::new();
@@ -314,8 +315,7 @@ impl Miner for AprioriMiner {
     fn mine(&self, practice: &Table) -> Result<Vec<Pattern>, MiningError> {
         let width = self.config.attributes.len();
         let itemsets = self.frequent_itemsets(practice)?;
-        let full: Vec<&FrequentItemset> =
-            itemsets.iter().filter(|fi| fi.len() == width).collect();
+        let full: Vec<&FrequentItemset> = itemsets.iter().filter(|fi| fi.len() == width).collect();
         let keys: Vec<Vec<(String, String)>> = full.iter().map(|fi| fi.items.clone()).collect();
         let users = self.distinct_users(practice, &keys)?;
         let mut patterns = Vec::new();
@@ -325,9 +325,11 @@ impl Miner for AprioriMiner {
             }
             let mut terms = Vec::with_capacity(fi.items.len());
             for (attr, value) in &fi.items {
-                terms.push(RuleTerm::new(attr, value).map_err(|e| MiningError::Malformed {
-                    message: e.to_string(),
-                })?);
+                terms.push(
+                    RuleTerm::new(attr, value).map_err(|e| MiningError::Malformed {
+                        message: e.to_string(),
+                    })?,
+                );
             }
             let rule = GroundRule::new(terms).map_err(|e| MiningError::Malformed {
                 message: e.to_string(),

@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MiningError::Query("boom".into()).to_string().contains("boom"));
+        assert!(MiningError::Query("boom".into())
+            .to_string()
+            .contains("boom"));
         assert!(MiningError::MissingAttribute {
             attribute: "user".into()
         }

@@ -95,7 +95,11 @@ impl SqlMiner {
                 });
             }
         }
-        if practice.schema().index_of(&self.config.user_column).is_none() {
+        if practice
+            .schema()
+            .index_of(&self.config.user_column)
+            .is_none()
+        {
             return Err(MiningError::MissingAttribute {
                 attribute: self.config.user_column.clone(),
             });
@@ -118,9 +122,11 @@ impl Miner for SqlMiner {
                     Value::Str(s) => s.clone(),
                     other => other.to_string(),
                 };
-                terms.push(RuleTerm::new(attr, &value).map_err(|e| MiningError::Malformed {
-                    message: e.to_string(),
-                })?);
+                terms.push(
+                    RuleTerm::new(attr, &value).map_err(|e| MiningError::Malformed {
+                        message: e.to_string(),
+                    })?,
+                );
             }
             let rule = GroundRule::new(terms).map_err(|e| MiningError::Malformed {
                 message: e.to_string(),
@@ -232,7 +238,10 @@ mod tests {
         };
         let patterns = SqlMiner::new(config).mine(&practice()).unwrap();
         assert_eq!(patterns.len(), 1);
-        assert_eq!(patterns[0].compact(&["data", "purpose"]), "referral:registration");
+        assert_eq!(
+            patterns[0].compact(&["data", "purpose"]),
+            "referral:registration"
+        );
     }
 
     #[test]

@@ -250,9 +250,7 @@ impl CoverageEngine {
         let mut covered = 0usize;
         let mut uncovered_indices = Vec::new();
         for (i, g) in entries.iter().enumerate() {
-            let hit = *verdicts
-                .entry(g)
-                .or_insert_with(|| index.covers(g, vocab));
+            let hit = *verdicts.entry(g).or_insert_with(|| index.covers(g, vocab));
             if hit {
                 covered += 1;
             } else {
@@ -264,6 +262,22 @@ impl CoverageEngine {
             total_entries: entries.len(),
             uncovered_indices,
         }
+    }
+}
+
+/// The single membership test both the borrowed [`RuleIndex`] and the
+/// owned [`PolicyMatcher`] reduce to, so batch and streaming coverage
+/// provably share subsumption semantics.
+fn rules_cover<R: std::borrow::Borrow<Rule>>(
+    rules: Option<&Vec<R>>,
+    g: &GroundRule,
+    vocab: &Vocabulary,
+) -> bool {
+    match rules {
+        Some(rules) => rules
+            .iter()
+            .any(|r| r.borrow().expansion_contains(g, vocab)),
+        None => false,
     }
 }
 
@@ -285,10 +299,64 @@ impl<'a> RuleIndex<'a> {
 
     fn covers(&self, g: &GroundRule, vocab: &Vocabulary) -> bool {
         let sig: Vec<&str> = g.attrs().collect();
-        match self.by_signature.get(&sig) {
-            Some(rules) => rules.iter().any(|r| r.expansion_contains(g, vocab)),
-            None => false,
+        rules_cover(self.by_signature.get(&sig), g, vocab)
+    }
+}
+
+/// An owned, thread-shareable version of the lazy membership test: the
+/// policy's rules indexed by attribute signature, bundled with the
+/// vocabulary the subsumption check runs under.
+///
+/// This is the unit the streaming pipeline distributes to its shard
+/// workers: it answers exactly the same question as
+/// [`CoverageEngine::entry_coverage`]'s internal index (both reduce to
+/// the same [`Rule::expansion_contains`] probe), so online verdicts match
+/// batch verdicts rule for rule.
+#[derive(Debug, Clone)]
+pub struct PolicyMatcher {
+    by_signature: HashMap<Vec<String>, Vec<Rule>>,
+    vocab: std::sync::Arc<Vocabulary>,
+    rule_count: usize,
+}
+
+impl PolicyMatcher {
+    /// Builds a matcher for `policy` under `vocab`.
+    pub fn new(policy: &Policy, vocab: &Vocabulary) -> Self {
+        Self::with_shared_vocab(policy, std::sync::Arc::new(vocab.clone()))
+    }
+
+    /// Builds a matcher reusing an already-shared vocabulary (cheap when
+    /// re-indexing after a policy refinement).
+    pub fn with_shared_vocab(policy: &Policy, vocab: std::sync::Arc<Vocabulary>) -> Self {
+        let mut by_signature: HashMap<Vec<String>, Vec<Rule>> = HashMap::new();
+        let mut rule_count = 0usize;
+        for rule in policy.rules() {
+            let sig: Vec<String> = rule.terms().iter().map(|t| t.attr.clone()).collect();
+            by_signature.entry(sig).or_default().push(rule.clone());
+            rule_count += 1;
         }
+        Self {
+            by_signature,
+            vocab,
+            rule_count,
+        }
+    }
+
+    /// True iff some rule of the indexed policy sanctions `g`
+    /// (Definition 6 equivalence, same probe as the batch engine).
+    pub fn covers(&self, g: &GroundRule) -> bool {
+        let sig: Vec<String> = g.attrs().map(str::to_string).collect();
+        rules_cover(self.by_signature.get(&sig), g, &self.vocab)
+    }
+
+    /// The vocabulary the matcher evaluates under.
+    pub fn vocab(&self) -> &std::sync::Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Number of rules indexed.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
     }
 }
 
@@ -322,9 +390,8 @@ mod tests {
     }
 
     fn al() -> Policy {
-        let attrs = |d: &str, p: &str, a: &str| {
-            Rule::of(&[("data", d), ("purpose", p), ("authorized", a)])
-        };
+        let attrs =
+            |d: &str, p: &str, a: &str| Rule::of(&[("data", d), ("purpose", p), ("authorized", a)]);
         Policy::with_rules(
             StoreTag::AuditLog,
             vec![

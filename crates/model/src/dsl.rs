@@ -36,7 +36,11 @@ pub struct DslError {
 
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy DSL error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "policy DSL error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -166,10 +170,12 @@ fn parse_rule_form(rest: &str, line: usize) -> Result<Rule, DslError> {
                 message: format!("expected 'attr=value', found '{part}'"),
             });
         };
-        terms.push(RuleTerm::new(attr.trim(), value.trim()).map_err(|e| DslError {
-            line,
-            message: e.to_string(),
-        })?);
+        terms.push(
+            RuleTerm::new(attr.trim(), value.trim()).map_err(|e| DslError {
+                line,
+                message: e.to_string(),
+            })?,
+        );
     }
     Rule::new(terms).map_err(|e: ModelError| DslError {
         line,
@@ -224,8 +230,10 @@ allow clerk to use demographic for billing;
 
     #[test]
     fn rule_form_admits_extra_attributes() {
-        let p = parse_policy("rule data=lab-result, purpose=audit-review, authorized=head-nurse, ward=icu;")
-            .unwrap();
+        let p = parse_policy(
+            "rule data=lab-result, purpose=audit-review, authorized=head-nurse, ward=icu;",
+        )
+        .unwrap();
         assert_eq!(p.cardinality(), 1);
         let r = &p.rules()[0];
         assert_eq!(r.cardinality(), 4);
@@ -257,7 +265,8 @@ allow clerk to use demographic for billing;
 
     #[test]
     fn errors_carry_line_numbers() {
-        let err = parse_policy("allow nurse to use referral for treatment;\nbogus statement;").unwrap_err();
+        let err = parse_policy("allow nurse to use referral for treatment;\nbogus statement;")
+            .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("line 2"));
     }

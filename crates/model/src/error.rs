@@ -58,9 +58,11 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        assert!(ModelError::DuplicateAttribute { attr: "data".into() }
-            .to_string()
-            .contains("data"));
+        assert!(ModelError::DuplicateAttribute {
+            attr: "data".into()
+        }
+        .to_string()
+        .contains("data"));
         assert!(ModelError::RangeExplosion {
             limit: 10,
             estimated: 1000

@@ -133,7 +133,12 @@ mod tests {
             RuleTerm::of("data", "gender"),
         ])
         .unwrap_err();
-        assert_eq!(err, ModelError::DuplicateAttribute { attr: "data".into() });
+        assert_eq!(
+            err,
+            ModelError::DuplicateAttribute {
+                attr: "data".into()
+            }
+        );
     }
 
     #[test]
@@ -174,7 +179,10 @@ mod tests {
     fn hash_set_membership_is_equivalence_for_ground_rules() {
         use std::collections::HashSet;
         let mut s = HashSet::new();
-        s.insert(GroundRule::of(&[("data", "Address"), ("purpose", "Billing")]));
+        s.insert(GroundRule::of(&[
+            ("data", "Address"),
+            ("purpose", "Billing"),
+        ]));
         assert!(s.contains(&GroundRule::of(&[
             ("purpose", "billing"),
             ("data", "address")

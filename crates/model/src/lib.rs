@@ -40,7 +40,9 @@ pub mod samples;
 pub mod simplify;
 pub mod term;
 
-pub use coverage::{compute_coverage, CoverageEngine, CoverageReport, EntryCoverageReport, Strategy};
+pub use coverage::{
+    compute_coverage, CoverageEngine, CoverageReport, EntryCoverageReport, PolicyMatcher, Strategy,
+};
 pub use error::ModelError;
 pub use ground::GroundRule;
 pub use lint::{lint_policy, LintFinding, LintLevel};

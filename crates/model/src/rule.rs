@@ -124,12 +124,9 @@ impl Rule {
         if self.cardinality() != other.cardinality() {
             return false;
         }
-        self.terms.iter().all(|t| {
-            other
-                .terms
-                .iter()
-                .any(|o| t.equivalent(o, vocab))
-        })
+        self.terms
+            .iter()
+            .all(|t| other.terms.iter().any(|o| t.equivalent(o, vocab)))
     }
 
     /// Converts an already-ground rule into a [`GroundRule`]; returns `None`

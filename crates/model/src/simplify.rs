@@ -51,9 +51,7 @@ pub fn simplify_policy(policy: &Policy, vocab: &Vocabulary) -> SimplifyOutcome {
             }
             // Drop j if i subsumes it. For exact duplicates, the earlier
             // index wins (strictly later duplicates are dropped).
-            if rule_subsumes(&rules[i], &rules[j], vocab)
-                && (rules[i] != rules[j] || i < j)
-            {
+            if rule_subsumes(&rules[i], &rules[j], vocab) && (rules[i] != rules[j] || i < j) {
                 keep[j] = false;
             }
         }
@@ -73,9 +71,7 @@ pub fn simplify_policy(policy: &Policy, vocab: &Vocabulary) -> SimplifyOutcome {
         }
         let by = (0..rules.len())
             .find(|&i| {
-                keep[i]
-                    && rule_subsumes(&rules[i], rule, vocab)
-                    && (rules[i] != *rule || i < j)
+                keep[i] && rule_subsumes(&rules[i], rule, vocab) && (rules[i] != *rule || i < j)
             })
             .expect("a dropped rule has a surviving subsumer");
         removed.push((rule.clone(), survivor_index[&by]));

@@ -4,8 +4,8 @@
 //! Figure 1 vocabulary and over a deeper synthetic vocabulary, then check
 //! the laws the paper's definitions imply.
 
-use prima_model::{compute_coverage, CoverageEngine, Policy, RangeSet, Rule, RuleTerm, StoreTag};
 use prima_model::Strategy as CovStrategy;
+use prima_model::{compute_coverage, CoverageEngine, Policy, RangeSet, Rule, RuleTerm, StoreTag};
 use prima_vocab::samples::figure_1;
 use prima_vocab::synthetic::{synthetic_vocabulary, SyntheticSpec};
 use prima_vocab::Vocabulary;

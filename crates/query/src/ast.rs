@@ -108,16 +108,12 @@ impl Expr {
         match self {
             Expr::Aggregate { .. } => true,
             Expr::Column(_) | Expr::Literal(_) => false,
-            Expr::Compare { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Compare { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
-            Expr::And(a, b) | Expr::Or(a, b) => {
-                a.contains_aggregate() || b.contains_aggregate()
-            }
+            Expr::And(a, b) | Expr::Or(a, b) => a.contains_aggregate() || b.contains_aggregate(),
             Expr::Not(e) => e.contains_aggregate(),
         }
     }

@@ -84,7 +84,13 @@ struct Accumulator {
 }
 
 impl Accumulator {
-    fn update(&mut self, func: AggFunc, arg: &AggArg, schema: &Schema, row: &Row) -> Result<(), QueryError> {
+    fn update(
+        &mut self,
+        func: AggFunc,
+        arg: &AggArg,
+        schema: &Schema,
+        row: &Row,
+    ) -> Result<(), QueryError> {
         let value: Option<Value> = match arg {
             AggArg::Star => None,
             AggArg::Column(c) | AggArg::Distinct(c) => {
@@ -218,9 +224,11 @@ fn run_aggregate(
     let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
     for row in input {
         let key: Vec<Value> = group_indices.iter().map(|&i| row.get(i).clone()).collect();
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| (0..agg_keys.len()).map(|_| Accumulator::default()).collect());
+        let accs = groups.entry(key).or_insert_with(|| {
+            (0..agg_keys.len())
+                .map(|_| Accumulator::default())
+                .collect()
+        });
         for (acc, (func, arg)) in accs.iter_mut().zip(&agg_keys) {
             acc.update(*func, arg, schema, row)?;
         }
@@ -229,7 +237,9 @@ fn run_aggregate(
     if groups.is_empty() && plan.group_by.is_empty() {
         groups.insert(
             Vec::new(),
-            (0..agg_keys.len()).map(|_| Accumulator::default()).collect(),
+            (0..agg_keys.len())
+                .map(|_| Accumulator::default())
+                .collect(),
         );
     }
 
@@ -575,7 +585,8 @@ mod tests {
 
     #[test]
     fn order_by_desc_and_limit() {
-        let r = query("SELECT data, COUNT(*) AS n FROM audit GROUP BY data ORDER BY n DESC LIMIT 2");
+        let r =
+            query("SELECT data, COUNT(*) AS n FROM audit GROUP BY data ORDER BY n DESC LIMIT 2");
         assert_eq!(r.len(), 2);
         assert_eq!(r.rows[0].values()[0], Value::str("referral"));
         assert_eq!(r.value_at(0, "n"), Some(&Value::Int(5)));

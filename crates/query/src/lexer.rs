@@ -182,10 +182,8 @@ mod tests {
 
     #[test]
     fn lexes_algorithm_5_statement() {
-        let toks = lex(
-            "SELECT data, purpose FROM practice GROUP BY data \
-             HAVING COUNT(*) > 5 AND COUNT(DISTINCT user) > 1",
-        )
+        let toks = lex("SELECT data, purpose FROM practice GROUP BY data \
+             HAVING COUNT(*) > 5 AND COUNT(DISTINCT user) > 1")
         .unwrap();
         assert!(toks.iter().any(|t| t.is_kw("having")));
         assert!(toks.contains(&Token::Star));

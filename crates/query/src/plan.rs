@@ -57,10 +57,7 @@ pub fn plan(stmt: &SelectStmt, schema: &Schema) -> Result<PlannedQuery, QueryErr
         }
     }
 
-    let has_projection_agg = stmt
-        .projections
-        .iter()
-        .any(|p| p.expr.contains_aggregate());
+    let has_projection_agg = stmt.projections.iter().any(|p| p.expr.contains_aggregate());
     let has_having = stmt.having.is_some();
     let is_aggregate = !stmt.group_by.is_empty() || has_projection_agg || has_having;
 
@@ -88,7 +85,9 @@ pub fn plan(stmt: &SelectStmt, schema: &Schema) -> Result<PlannedQuery, QueryErr
     if let Some(h) = &stmt.having {
         check_columns(h)?;
         if !is_aggregate {
-            return Err(QueryError::semantic("HAVING requires GROUP BY or aggregates"));
+            return Err(QueryError::semantic(
+                "HAVING requires GROUP BY or aggregates",
+            ));
         }
     }
     // ORDER BY may reference projection aliases; substitute them with the

@@ -56,17 +56,12 @@ pub fn generalize(patterns: &[Pattern], vocab: &Vocabulary) -> GeneralizeOutcome
     }
     let mut steps = Vec::new();
 
-    loop {
-        match find_step(&work, vocab) {
-            Some(step) => {
-                for covered in &step.covers {
-                    work.remove(covered);
-                }
-                *work.entry(step.rule.clone()).or_default() += step.support;
-                steps.push(step);
-            }
-            None => break,
+    while let Some(step) = find_step(&work, vocab) {
+        for covered in &step.covers {
+            work.remove(covered);
         }
+        *work.entry(step.rule.clone()).or_default() += step.support;
+        steps.push(step);
     }
 
     GeneralizeOutcome {

@@ -33,6 +33,8 @@ pub mod pipeline;
 pub mod prune;
 pub mod review;
 
-pub use generalize::{generalize, GeneralizeOutcome, Generalization};
-pub use pipeline::{refinement, refinement_with, refinement_with_miner, RefinementConfig, RefinementReport};
+pub use generalize::{generalize, Generalization, GeneralizeOutcome};
+pub use pipeline::{
+    refinement, refinement_with, refinement_with_miner, RefinementConfig, RefinementReport,
+};
 pub use review::{Candidate, CandidateState, ReviewQueue};

@@ -154,12 +154,7 @@ impl ReviewQueue {
         self.decided_cache = self
             .candidates
             .iter()
-            .filter(|c| {
-                matches!(
-                    c.state,
-                    CandidateState::Accepted | CandidateState::Rejected
-                )
-            })
+            .filter(|c| matches!(c.state, CandidateState::Accepted | CandidateState::Rejected))
             .map(|c| (c.proposed_rule.clone(), c.state))
             .collect();
     }
@@ -181,7 +176,10 @@ mod tests {
     #[test]
     fn propose_decide_apply() {
         let mut q = ReviewQueue::new();
-        assert_eq!(q.propose(vec![pattern("referral", "registration", "nurse")], 1), 1);
+        assert_eq!(
+            q.propose(vec![pattern("referral", "registration", "nurse")], 1),
+            1
+        );
         assert_eq!(q.pending().count(), 1);
         let id = q.pending().next().unwrap().id;
         assert!(q.decide(id, CandidateState::Accepted, Some("fits ward flow")));
@@ -222,7 +220,10 @@ mod tests {
         assert!(!q.decide(999, CandidateState::Accepted, None));
         assert!(!q.decide(id, CandidateState::Pending, None));
         assert!(q.decide(id, CandidateState::UnderInvestigation, None));
-        assert!(!q.decide(id, CandidateState::Accepted, None), "already decided");
+        assert!(
+            !q.decide(id, CandidateState::Accepted, None),
+            "already decided"
+        );
     }
 
     #[test]
@@ -238,10 +239,7 @@ mod tests {
     #[test]
     fn accept_all_pending_applies_in_bulk() {
         let mut q = ReviewQueue::new();
-        q.propose(
-            vec![pattern("a", "b", "c"), pattern("d", "e", "f")],
-            1,
-        );
+        q.propose(vec![pattern("a", "b", "c"), pattern("d", "e", "f")], 1);
         assert_eq!(q.accept_all_pending(), 2);
         let mut policy = Policy::new(StoreTag::PolicyStore);
         assert_eq!(q.apply_accepted(&mut policy), 2);

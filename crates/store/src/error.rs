@@ -73,10 +73,7 @@ impl fmt::Display for StoreError {
                 column,
                 expected,
                 value,
-            } => write!(
-                f,
-                "column '{column}' expects {expected}, got {value:?}"
-            ),
+            } => write!(f, "column '{column}' expects {expected}, got {value:?}"),
             StoreError::NullViolation { column } => {
                 write!(f, "column '{column}' is not nullable")
             }

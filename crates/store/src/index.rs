@@ -65,7 +65,10 @@ impl Index {
         let col = table.schema().require(&self.column, table.name())?;
         for i in self.covered_rows..table.len() {
             let row = table.row(i)?;
-            self.entries.entry(row.get(col).clone()).or_default().push(i);
+            self.entries
+                .entry(row.get(col).clone())
+                .or_default()
+                .push(i);
         }
         self.covered_rows = table.len();
         Ok(())
@@ -86,7 +89,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new("audit", schema);
         for (u, s) in [("a", 1), ("b", 0), ("a", 0), ("c", 1)] {
-            t.insert(Row::new(vec![Value::str(u), Value::Int(s)])).unwrap();
+            t.insert(Row::new(vec![Value::str(u), Value::Int(s)]))
+                .unwrap();
         }
         t
     }
@@ -106,7 +110,8 @@ mod tests {
         let mut t = table();
         let mut idx = Index::build(&t, "status").unwrap();
         assert!(!idx.is_stale(&t));
-        t.insert(Row::new(vec![Value::str("d"), Value::Int(0)])).unwrap();
+        t.insert(Row::new(vec![Value::str("d"), Value::Int(0)]))
+            .unwrap();
         assert!(idx.is_stale(&t));
         idx.extend(&t).unwrap();
         assert!(!idx.is_stale(&t));

@@ -137,9 +137,7 @@ impl Predicate {
             Predicate::True | Predicate::False => Ok(()),
             Predicate::Compare { column, .. }
             | Predicate::IsNull { column }
-            | Predicate::InSet { column, .. } => {
-                schema.require(column, "predicate").map(|_| ())
-            }
+            | Predicate::InSet { column, .. } => schema.require(column, "predicate").map(|_| ()),
             Predicate::And(a, b) | Predicate::Or(a, b) => {
                 a.validate(schema)?;
                 b.validate(schema)

@@ -114,10 +114,11 @@ impl Schema {
 
     /// Index of a column by name, as a [`StoreError`] on failure.
     pub fn require(&self, name: &str, context: &str) -> Result<usize, StoreError> {
-        self.index_of(name).ok_or_else(|| StoreError::UnknownColumn {
-            column: name.to_string(),
-            context: context.to_string(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| StoreError::UnknownColumn {
+                column: name.to_string(),
+                context: context.to_string(),
+            })
     }
 
     /// Column names in declaration order.
@@ -198,11 +199,7 @@ mod tests {
     #[test]
     fn validate_accepts_well_typed_rows() {
         let s = schema();
-        let row = Row::new(vec![
-            Value::str("alice"),
-            Value::Timestamp(1),
-            Value::Null,
-        ]);
+        let row = Row::new(vec![Value::str("alice"), Value::Timestamp(1), Value::Null]);
         assert!(s.validate(&row).is_ok());
     }
 

@@ -57,7 +57,10 @@ impl Table {
     }
 
     /// Validates and appends many rows; all-or-nothing.
-    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<usize, StoreError> {
+    pub fn insert_all<I: IntoIterator<Item = Row>>(
+        &mut self,
+        rows: I,
+    ) -> Result<usize, StoreError> {
         let staged: Vec<Row> = rows.into_iter().collect();
         for r in &staged {
             self.schema.validate(r)?;
@@ -76,7 +79,12 @@ impl Table {
     }
 
     /// Replaces the value of `column` in row `idx`.
-    pub fn update_cell(&mut self, idx: usize, column: &str, value: Value) -> Result<(), StoreError> {
+    pub fn update_cell(
+        &mut self,
+        idx: usize,
+        column: &str,
+        value: Value,
+    ) -> Result<(), StoreError> {
         let col = self.schema.require(column, &self.name)?;
         if idx >= self.rows.len() {
             return Err(StoreError::RowOutOfBounds {
@@ -103,7 +111,10 @@ impl Table {
         pred: &'a Predicate,
     ) -> Result<impl Iterator<Item = &'a Row> + 'a, StoreError> {
         pred.validate(&self.schema)?;
-        Ok(self.rows.iter().filter(move |r| pred.matches(&self.schema, r)))
+        Ok(self
+            .rows
+            .iter()
+            .filter(move |r| pred.matches(&self.schema, r)))
     }
 
     /// Projects named columns from every row (helper for fixtures/tests and

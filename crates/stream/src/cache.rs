@@ -1,0 +1,164 @@
+//! The memoized rule-match decision cache.
+//!
+//! Audit trails are extremely repetitive — a hospital's day is the same
+//! few hundred access shapes repeated tens of thousands of times — so
+//! each shard memoizes the subsumption verdict per distinct ground rule
+//! instead of re-probing the policy index per entry. The cache is epoch
+//! stamped: a policy refinement bumps the engine epoch, and a shard
+//! clears its memo table the moment it installs the new matcher, so no
+//! verdict from policy version `n` ever answers for version `n + 1`.
+
+use prima_model::{GroundRule, PolicyMatcher};
+use std::collections::HashMap;
+
+/// Hit/miss counters for one cache (or an aggregate of several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that ran the full subsumption probe.
+    pub misses: u64,
+    /// Epoch bumps observed (each clears the memo table).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// `hits ÷ (hits + misses)`, 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating shard stats).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Per-shard memoized classifier.
+#[derive(Debug)]
+pub struct DecisionCache {
+    verdicts: HashMap<GroundRule, bool>,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+impl DecisionCache {
+    /// An empty cache at `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        Self {
+            verdicts: HashMap::new(),
+            epoch,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The policy epoch the cached verdicts are valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Classifies `g` under `matcher`, memoizing the verdict.
+    pub fn classify(&mut self, matcher: &PolicyMatcher, g: &GroundRule) -> bool {
+        if let Some(&verdict) = self.verdicts.get(g) {
+            self.stats.hits += 1;
+            return verdict;
+        }
+        self.stats.misses += 1;
+        let verdict = matcher.covers(g);
+        self.verdicts.insert(g.clone(), verdict);
+        verdict
+    }
+
+    /// Installs a new policy epoch, dropping every memoized verdict.
+    /// A stale or duplicate epoch (≤ current) is ignored.
+    pub fn invalidate(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.verdicts.clear();
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct ground rules memoized.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// True iff nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::{Policy, Rule, StoreTag};
+    use prima_vocab::samples::figure_1;
+
+    fn matcher() -> PolicyMatcher {
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[
+                ("data", "general-care"),
+                ("purpose", "treatment"),
+                ("authorized", "nurse"),
+            ])],
+        );
+        PolicyMatcher::new(&policy, &figure_1())
+    }
+
+    fn g(data: &str) -> GroundRule {
+        GroundRule::of(&[
+            ("data", data),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])
+    }
+
+    #[test]
+    fn memoizes_verdicts_per_distinct_rule() {
+        let m = matcher();
+        let mut cache = DecisionCache::new(0);
+        assert!(cache.classify(&m, &g("referral")));
+        assert!(cache.classify(&m, &g("referral")));
+        assert!(!cache.classify(&m, &g("psychiatry")));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(cache.len(), 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_bump_clears_memo_table() {
+        let m = matcher();
+        let mut cache = DecisionCache::new(0);
+        cache.classify(&m, &g("referral"));
+        cache.invalidate(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 1);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Stale epoch is a no-op.
+        cache.classify(&m, &g("referral"));
+        cache.invalidate(1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Pipeline configuration.
+
+use crate::fault::FaultPlan;
+
+/// Default bounded-channel capacity per shard.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+/// Default shard count.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Configuration for a [`crate::StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of shard workers. Ground rules are hash-partitioned across
+    /// shards, so each distinct access shape is owned by exactly one
+    /// shard (which is what makes snapshot merging a concatenation).
+    pub shards: usize,
+    /// Bounded capacity of each shard's input channel; a full channel
+    /// blocks the producer (backpressure) rather than buffering without
+    /// limit.
+    pub channel_capacity: usize,
+    /// Sliding-window duration in seconds for per-pattern windowed
+    /// stats. `None` disables window tracking (snapshots then carry no
+    /// [`crate::WindowSnapshot`]).
+    pub window_secs: Option<i64>,
+    /// Fault-injection plan; [`FaultPlan::none`] in production.
+    pub faults: FaultPlan,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            shards: DEFAULT_SHARDS,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            window_secs: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config with `shards` workers and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-shard channel capacity.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables sliding-window stats over the trailing `secs` seconds of
+    /// event time.
+    pub fn window_secs(mut self, secs: i64) -> Self {
+        self.window_secs = Some(secs.max(1));
+        self
+    }
+
+    /// Installs a fault-injection plan (test mode).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = StreamConfig::default();
+        assert_eq!(c.shards, DEFAULT_SHARDS);
+        assert_eq!(c.channel_capacity, DEFAULT_CHANNEL_CAPACITY);
+        assert!(c.window_secs.is_none());
+        assert!(!c.faults.any());
+    }
+
+    #[test]
+    fn builders_clamp_degenerate_values() {
+        let c = StreamConfig::with_shards(0)
+            .channel_capacity(0)
+            .window_secs(0);
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.channel_capacity, 1);
+        assert_eq!(c.window_secs, Some(1));
+    }
+}

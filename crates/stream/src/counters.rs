@@ -1,0 +1,196 @@
+//! Incremental coverage counters.
+//!
+//! Each shard keeps one counter per distinct ground rule it owns; every
+//! entry updates exactly one counter, so maintaining both the set view
+//! (Definition 9's `CoverageReport`) and the entry-weighted view is O(1)
+//! per entry. Because ground rules are hash-partitioned, per-shard key
+//! sets are disjoint and a snapshot merge is a concatenation followed by
+//! one sort — no cross-shard reconciliation.
+
+use prima_model::{CoverageReport, GroundRule};
+use std::collections::HashMap;
+
+/// Running totals for one distinct ground rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Entries observed with this shape.
+    pub count: u64,
+    /// Verdict under the current policy epoch.
+    pub covered: bool,
+}
+
+/// Entry-weighted totals across a counter set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamTotals {
+    /// Entries whose ground rule the policy sanctions.
+    pub covered_entries: u64,
+    /// All successfully classified entries.
+    pub total_entries: u64,
+}
+
+impl StreamTotals {
+    /// `covered ÷ total`, defined as 1 for an empty stream (matching
+    /// [`prima_model::EntryCoverageReport::ratio`]).
+    pub fn ratio(&self) -> f64 {
+        if self.total_entries == 0 {
+            1.0
+        } else {
+            self.covered_entries as f64 / self.total_entries as f64
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &StreamTotals) {
+        self.covered_entries += other.covered_entries;
+        self.total_entries += other.total_entries;
+    }
+}
+
+/// One shard's counters.
+#[derive(Debug, Default)]
+pub struct CoverageCounters {
+    by_rule: HashMap<GroundRule, PatternStats>,
+    totals: StreamTotals,
+}
+
+impl CoverageCounters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified entry.
+    pub fn observe(&mut self, g: &GroundRule, covered: bool) {
+        match self.by_rule.get_mut(g) {
+            Some(stats) => stats.count += 1,
+            None => {
+                self.by_rule
+                    .insert(g.clone(), PatternStats { count: 1, covered });
+            }
+        }
+        self.totals.total_entries += 1;
+        if covered {
+            self.totals.covered_entries += 1;
+        }
+    }
+
+    /// Re-labels every counter under a new policy verdict function (run
+    /// on epoch bump: counts are kept, verdicts are refreshed).
+    ///
+    /// The entry-weighted totals are recomputed from the per-pattern
+    /// counts so that `covered_entries` always reflects the *current*
+    /// policy over the *whole* observed stream — the same answer a batch
+    /// recomputation over the full trail would give.
+    pub fn relabel<F: FnMut(&GroundRule) -> bool>(&mut self, mut covers: F) {
+        let mut covered_entries = 0u64;
+        for (g, stats) in self.by_rule.iter_mut() {
+            stats.covered = covers(g);
+            if stats.covered {
+                covered_entries += stats.count;
+            }
+        }
+        self.totals.covered_entries = covered_entries;
+    }
+
+    /// Entry-weighted totals.
+    pub fn totals(&self) -> StreamTotals {
+        self.totals
+    }
+
+    /// Number of distinct ground rules observed.
+    pub fn distinct(&self) -> usize {
+        self.by_rule.len()
+    }
+
+    /// Drains this shard's per-pattern state for a snapshot merge.
+    pub fn export(&self) -> Vec<(GroundRule, PatternStats)> {
+        self.by_rule.iter().map(|(g, s)| (g.clone(), *s)).collect()
+    }
+}
+
+/// Merges per-shard exports into the batch engine's report shape.
+///
+/// Inputs must have pairwise-disjoint ground-rule sets (guaranteed by
+/// hash partitioning); the output is bit-for-bit the `CoverageReport`
+/// that `compute_coverage(policy, trail_policy, vocab)` produces over
+/// the same observed trail, because `covered`/`uncovered` are canonically
+/// sorted and the distinct-rule set *is* `Range(P_AL)`.
+pub fn merge_reports(exports: Vec<Vec<(GroundRule, PatternStats)>>) -> CoverageReport {
+    let mut covered = Vec::new();
+    let mut uncovered = Vec::new();
+    for export in exports {
+        for (g, stats) in export {
+            if stats.covered {
+                covered.push(g);
+            } else {
+                uncovered.push(g);
+            }
+        }
+    }
+    covered.sort();
+    uncovered.sort();
+    CoverageReport {
+        overlap: covered.len(),
+        target_cardinality: covered.len() + uncovered.len(),
+        covered,
+        uncovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(data: &str) -> GroundRule {
+        GroundRule::of(&[
+            ("data", data),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])
+    }
+
+    #[test]
+    fn observe_is_count_weighted() {
+        let mut c = CoverageCounters::new();
+        c.observe(&g("referral"), true);
+        c.observe(&g("referral"), true);
+        c.observe(&g("psychiatry"), false);
+        assert_eq!(c.distinct(), 2);
+        let t = c.totals();
+        assert_eq!(t.total_entries, 3);
+        assert_eq!(t.covered_entries, 2);
+        assert!((t.ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabel_refreshes_verdicts_and_totals() {
+        let mut c = CoverageCounters::new();
+        c.observe(&g("referral"), true);
+        c.observe(&g("psychiatry"), false);
+        c.observe(&g("psychiatry"), false);
+        // New policy covers everything.
+        c.relabel(|_| true);
+        let t = c.totals();
+        assert_eq!(t.covered_entries, 3);
+        assert_eq!(t.total_entries, 3);
+    }
+
+    #[test]
+    fn merge_produces_sorted_disjoint_report() {
+        let mut a = CoverageCounters::new();
+        a.observe(&g("referral"), true);
+        let mut b = CoverageCounters::new();
+        b.observe(&g("psychiatry"), false);
+        b.observe(&g("address"), true);
+        let report = merge_reports(vec![a.export(), b.export()]);
+        assert_eq!(report.overlap, 2);
+        assert_eq!(report.target_cardinality, 3);
+        assert!(report.covered.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.uncovered.len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_ratio_is_one() {
+        assert_eq!(StreamTotals::default().ratio(), 1.0);
+    }
+}

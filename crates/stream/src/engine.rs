@@ -1,0 +1,518 @@
+//! The streaming engine: bounded-channel ingestion across shard workers
+//! with epoch-barrier snapshots.
+//!
+//! ```text
+//!  ingest(entry) ──┬─ hash(ground rule) ─▶ shard 0 ─ cache ─ counters ─ window
+//!                  │                       shard 1 ─   "        "        "
+//!                  └─ optional sink        shard n ─   "        "        "
+//!                     (AuditStore)              ▲
+//!  snapshot() ── barrier message per shard ─────┘  → merged CoverageReport
+//! ```
+//!
+//! The producer side is `&mut self`, so every entry sent before a
+//! `snapshot()` call sits ahead of the barrier in each shard's FIFO
+//! channel — the merged state is a consistent cut of the stream without
+//! pausing ingestion globally.
+
+use crate::cache::CacheStats;
+use crate::config::StreamConfig;
+use crate::counters::{merge_reports, StreamTotals};
+use crate::shard::{run_shard, ShardMsg};
+use crate::window::{merge_windows, WindowSnapshot};
+use crossbeam::channel::{bounded, Sender};
+use prima_audit::{AuditEntry, AuditStore};
+use prima_model::{CoverageReport, GroundRule, Policy, PolicyMatcher};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What happened to one ingested entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Routed to a live shard (and the sink, if one is attached).
+    Accepted,
+    /// The entry's attributes do not form a ground rule; counted and
+    /// skipped rather than poisoning the pipeline.
+    Poisoned,
+    /// The owning shard is dead; counted as lost (degraded mode).
+    Lost,
+}
+
+/// Liveness of one shard at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Worker is consuming its channel.
+    Live,
+    /// Worker is gone (crashed or fault-injected); its keys' entries are
+    /// counted as lost.
+    Dead,
+}
+
+/// A consistent cut of the stream's state.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Definition 9 over the distinct ground rules observed so far —
+    /// bit-for-bit the batch `compute_coverage` report for the same
+    /// trail.
+    pub coverage: CoverageReport,
+    /// Entry-weighted totals (the Section 5 computation, maintained
+    /// incrementally).
+    pub totals: StreamTotals,
+    /// Aggregated decision-cache counters.
+    pub cache: CacheStats,
+    /// Trailing-window per-pattern stats, when window tracking is on
+    /// and at least one event has been seen.
+    pub window: Option<WindowSnapshot>,
+    /// Policy epoch the shards are on.
+    pub epoch: u64,
+    /// Entries processed by live shards.
+    pub processed: u64,
+    /// Per-shard liveness.
+    pub health: Vec<ShardHealth>,
+    /// Entries accepted by `ingest` (routed to a shard).
+    pub ingested: u64,
+    /// Entries rejected as unclassifiable.
+    pub poisoned: u64,
+    /// Entries dropped because their shard died.
+    pub lost: u64,
+}
+
+/// The online ingestion pipeline.
+pub struct StreamEngine {
+    senders: Vec<Option<Sender<ShardMsg>>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    /// Entries successfully sent per shard; a shard found dead forfeits
+    /// its whole count (workers only die before consuming anything, via
+    /// [`crate::FaultPlan::dropped`], so the queue *is* the loss).
+    sent: Vec<u64>,
+    matcher: Arc<PolicyMatcher>,
+    epoch: u64,
+    window_secs: Option<i64>,
+    sink: Option<AuditStore>,
+    ingested: u64,
+    poisoned: u64,
+    refused: u64,
+}
+
+impl StreamEngine {
+    /// Starts `config.shards` workers classifying under `matcher`.
+    pub fn start(config: StreamConfig, matcher: PolicyMatcher) -> Self {
+        let matcher = Arc::new(matcher);
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded(config.channel_capacity);
+            let m = Arc::clone(&matcher);
+            let window_secs = config.window_secs;
+            let faults = config.faults.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("prima-stream-{shard}"))
+                .spawn(move || run_shard(shard, rx, m, window_secs, faults))
+                .expect("spawn shard worker");
+            senders.push(Some(tx));
+            handles.push(Some(handle));
+        }
+        let shards = config.shards;
+        Self {
+            senders,
+            handles,
+            sent: vec![0; shards],
+            matcher,
+            epoch: 0,
+            window_secs: config.window_secs,
+            sink: None,
+            ingested: 0,
+            poisoned: 0,
+            refused: 0,
+        }
+    }
+
+    /// Attaches a durable sink: every accepted entry is also appended to
+    /// `store` (typically a store registered with the system's audit
+    /// federation, so batch refinement sees the streamed trail).
+    pub fn with_sink(mut self, store: AuditStore) -> Self {
+        self.sink = Some(store);
+        self
+    }
+
+    /// The sink store, if attached.
+    pub fn sink(&self) -> Option<&AuditStore> {
+        self.sink.as_ref()
+    }
+
+    /// Number of shards (live or dead).
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Routes one entry to its owning shard (blocking when the shard's
+    /// bounded channel is full — backpressure, not buffering).
+    pub fn ingest(&mut self, entry: &AuditEntry) -> IngestOutcome {
+        let ground = match entry.to_ground_rule() {
+            Ok(g) => g,
+            Err(_) => {
+                self.poisoned += 1;
+                return IngestOutcome::Poisoned;
+            }
+        };
+        let shard = self.shard_of(&ground);
+        let msg = ShardMsg::Entry {
+            time: entry.time,
+            ground,
+        };
+        match self.senders[shard].as_ref().map(|tx| tx.send(msg)) {
+            Some(Ok(())) => {
+                if let Some(sink) = &self.sink {
+                    // The sink is append-only and idempotent per call; a
+                    // full table is a store-layer invariant violation, not
+                    // a stream condition, so surface it loudly.
+                    sink.append(entry).expect("audit sink append");
+                }
+                self.sent[shard] += 1;
+                self.ingested += 1;
+                IngestOutcome::Accepted
+            }
+            Some(Err(_)) => {
+                self.senders[shard] = None;
+                self.refused += 1;
+                IngestOutcome::Lost
+            }
+            None => {
+                self.refused += 1;
+                IngestOutcome::Lost
+            }
+        }
+    }
+
+    /// Ingests a batch, returning how many were accepted.
+    pub fn ingest_all<'a, I: IntoIterator<Item = &'a AuditEntry>>(&mut self, entries: I) -> usize {
+        entries
+            .into_iter()
+            .filter(|e| self.ingest(e) == IngestOutcome::Accepted)
+            .count()
+    }
+
+    fn shard_of(&self, g: &GroundRule) -> usize {
+        let mut hasher = DefaultHasher::new();
+        g.hash(&mut hasher);
+        (hasher.finish() % self.senders.len() as u64) as usize
+    }
+
+    /// Takes a consistent cut: a barrier message is enqueued behind all
+    /// previously ingested entries on every live shard, and the replies
+    /// are merged into one [`StreamSnapshot`].
+    pub fn snapshot(&mut self) -> StreamSnapshot {
+        let window_duration = self.window_duration();
+        let mut states = Vec::new();
+        let mut health = Vec::with_capacity(self.senders.len());
+        for sender in self.senders.iter_mut() {
+            let Some(tx) = sender.as_ref() else {
+                health.push(ShardHealth::Dead);
+                continue;
+            };
+            let (reply_tx, reply_rx) = bounded(1);
+            if tx.send(ShardMsg::Snapshot { reply: reply_tx }).is_err() {
+                *sender = None;
+                health.push(ShardHealth::Dead);
+                continue;
+            }
+            match reply_rx.recv() {
+                Ok(state) => {
+                    health.push(ShardHealth::Live);
+                    states.push(state);
+                }
+                Err(_) => {
+                    *sender = None;
+                    health.push(ShardHealth::Dead);
+                }
+            }
+        }
+
+        let mut totals = StreamTotals::default();
+        let mut cache = CacheStats::default();
+        let mut processed = 0u64;
+        let mut epoch = self.epoch;
+        let mut patterns = Vec::with_capacity(states.len());
+        let mut windows = Vec::with_capacity(states.len());
+        for state in states {
+            totals.merge(&state.totals);
+            cache.merge(&state.cache);
+            processed += state.processed;
+            epoch = epoch.min(state.epoch);
+            patterns.push(state.patterns);
+            if let Some(w) = state.window {
+                windows.push(w);
+            }
+        }
+        let window = window_duration.and_then(|d| merge_windows(d, windows));
+        // A dead shard's queue is forfeit: everything sent to it counts
+        // as lost, alongside sends it refused outright.
+        let queue_lost: u64 = health
+            .iter()
+            .zip(&self.sent)
+            .filter(|(h, _)| **h == ShardHealth::Dead)
+            .map(|(_, n)| *n)
+            .sum();
+        StreamSnapshot {
+            coverage: merge_reports(patterns),
+            totals,
+            cache,
+            window,
+            epoch,
+            processed,
+            health,
+            ingested: self.ingested,
+            poisoned: self.poisoned,
+            lost: self.refused + queue_lost,
+        }
+    }
+
+    fn window_duration(&self) -> Option<i64> {
+        self.window_secs
+    }
+
+    /// Waits until every live shard has consumed its queue (the same
+    /// barrier mechanism as [`Self::snapshot`], with the state replies
+    /// discarded). Returns the number of live shards that confirmed.
+    pub fn drain(&mut self) -> usize {
+        let mut confirmed = 0;
+        for sender in self.senders.iter_mut() {
+            let Some(tx) = sender.as_ref() else { continue };
+            let (reply_tx, reply_rx) = bounded(1);
+            if tx.send(ShardMsg::Snapshot { reply: reply_tx }).is_err() {
+                *sender = None;
+                continue;
+            }
+            if reply_rx.recv().is_ok() {
+                confirmed += 1;
+            } else {
+                *sender = None;
+            }
+        }
+        confirmed
+    }
+
+    /// Installs a refined policy: bumps the epoch, re-indexes under the
+    /// same vocabulary, and broadcasts the new matcher to every live
+    /// shard (each clears its decision cache and re-labels its
+    /// counters).
+    pub fn refresh_policy(&mut self, policy: &Policy) {
+        self.epoch += 1;
+        let matcher = Arc::new(PolicyMatcher::with_shared_vocab(
+            policy,
+            Arc::clone(self.matcher.vocab()),
+        ));
+        self.matcher = Arc::clone(&matcher);
+        for sender in self.senders.iter_mut() {
+            let Some(tx) = sender.as_ref() else { continue };
+            let msg = ShardMsg::UpdatePolicy {
+                epoch: self.epoch,
+                matcher: Arc::clone(&matcher),
+            };
+            if tx.send(msg).is_err() {
+                *sender = None;
+            }
+        }
+    }
+
+    /// The current policy epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drains, takes a final snapshot, then stops and joins every
+    /// worker.
+    pub fn shutdown(mut self) -> StreamSnapshot {
+        let snapshot = self.snapshot();
+        self.stop();
+        snapshot
+    }
+
+    fn stop(&mut self) {
+        for sender in self.senders.iter_mut() {
+            if let Some(tx) = sender.take() {
+                let _ = tx.send(ShardMsg::Shutdown);
+            }
+        }
+        for handle in self.handles.iter_mut() {
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for StreamEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use prima_model::samples::figure_3_policy_store;
+    use prima_vocab::samples::figure_1;
+    use std::time::Duration;
+
+    fn engine(config: StreamConfig) -> StreamEngine {
+        let matcher = PolicyMatcher::new(&figure_3_policy_store(), &figure_1());
+        StreamEngine::start(config, matcher)
+    }
+
+    fn entry(time: i64, data: &str, purpose: &str, who: &str) -> AuditEntry {
+        AuditEntry::regular(time, "u1", data, purpose, who)
+    }
+
+    #[test]
+    fn snapshot_counts_and_classifies() {
+        let mut eng = engine(StreamConfig::with_shards(2));
+        assert_eq!(
+            eng.ingest(&entry(1, "referral", "treatment", "nurse")),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            eng.ingest(&entry(2, "referral", "treatment", "nurse")),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            eng.ingest(&entry(3, "psychiatry", "treatment", "nurse")),
+            IngestOutcome::Accepted
+        );
+        let snap = eng.snapshot();
+        assert_eq!(snap.processed, 3);
+        assert_eq!(snap.totals.total_entries, 3);
+        assert_eq!(snap.totals.covered_entries, 2);
+        assert_eq!(snap.coverage.target_cardinality, 2);
+        assert_eq!(snap.coverage.overlap, 1);
+        assert_eq!(snap.health, vec![ShardHealth::Live; 2]);
+        assert_eq!(snap.ingested, 3);
+        assert_eq!(snap.poisoned, 0);
+    }
+
+    #[test]
+    fn poisoned_entries_are_counted_not_fatal() {
+        let mut eng = engine(StreamConfig::with_shards(1));
+        let bad = entry(1, "", "treatment", "nurse");
+        assert_eq!(eng.ingest(&bad), IngestOutcome::Poisoned);
+        assert_eq!(
+            eng.ingest(&entry(2, "referral", "treatment", "nurse")),
+            IngestOutcome::Accepted
+        );
+        let snap = eng.shutdown();
+        assert_eq!(snap.poisoned, 1);
+        assert_eq!(snap.processed, 1);
+    }
+
+    #[test]
+    fn dropped_shard_degrades_without_deadlock() {
+        let config = StreamConfig::with_shards(2)
+            .channel_capacity(4)
+            .faults(FaultPlan::dropped(0));
+        let mut eng = engine(config);
+        // Enough distinct shapes that both shards get traffic.
+        let shapes = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+            ("prescription", "billing", "clerk"),
+            ("referral", "registration", "nurse"),
+            ("prescription", "treatment", "nurse"),
+        ];
+        let mut refused = 0;
+        for (i, (d, p, a)) in shapes.iter().cycle().take(60).enumerate() {
+            if eng.ingest(&entry(i as i64, d, p, a)) == IngestOutcome::Lost {
+                refused += 1;
+            }
+        }
+        let snap = eng.shutdown();
+        // The dead worker may consume a few buffered sends' slots before
+        // the disconnect is visible, so `lost` can exceed the refused
+        // count — but the books must balance exactly.
+        assert!(snap.lost >= refused, "queue of the dead shard is forfeit");
+        assert!(snap.lost > 0, "some shapes must hash to the dead shard");
+        assert_eq!(
+            snap.health
+                .iter()
+                .filter(|h| **h == ShardHealth::Dead)
+                .count(),
+            1
+        );
+        assert_eq!(snap.processed + snap.lost, 60);
+    }
+
+    #[test]
+    fn slow_shard_applies_backpressure_but_completes() {
+        let config = StreamConfig::with_shards(1)
+            .channel_capacity(2)
+            .faults(FaultPlan::slow(0, Duration::from_millis(1)));
+        let mut eng = engine(config);
+        for i in 0..20 {
+            assert_eq!(
+                eng.ingest(&entry(i, "referral", "treatment", "nurse")),
+                IngestOutcome::Accepted
+            );
+        }
+        let snap = eng.shutdown();
+        assert_eq!(snap.processed, 20);
+    }
+
+    #[test]
+    fn refresh_policy_relabels_and_bumps_epoch() {
+        let mut eng = engine(StreamConfig::with_shards(2));
+        eng.ingest(&entry(1, "referral", "registration", "nurse"));
+        let before = eng.snapshot();
+        assert_eq!(before.totals.covered_entries, 0);
+        assert_eq!(before.cache.invalidations, 0);
+
+        // Refine: add the pattern the paper's Section 5 round accepts.
+        let mut policy = figure_3_policy_store();
+        policy.push(prima_model::Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "registration"),
+            ("authorized", "nurse"),
+        ]));
+        eng.refresh_policy(&policy);
+        let after = eng.snapshot();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.totals.covered_entries, 1, "history re-labeled");
+        // Same shape again: cache was cleared, so this is a fresh miss.
+        eng.ingest(&entry(2, "referral", "registration", "nurse"));
+        let last = eng.shutdown();
+        assert_eq!(last.totals.covered_entries, 2);
+    }
+
+    #[test]
+    fn sink_receives_accepted_entries() {
+        let store = AuditStore::new("stream-sink");
+        let mut eng = engine(StreamConfig::with_shards(2)).with_sink(store.clone());
+        eng.ingest(&entry(1, "referral", "treatment", "nurse"));
+        eng.ingest(&entry(2, "", "treatment", "nurse")); // poisoned: not sunk
+        eng.drain();
+        assert_eq!(store.len(), 1);
+        assert_eq!(eng.sink().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn windowed_snapshot_feeds_training_window() {
+        let mut eng = engine(StreamConfig::with_shards(2).window_secs(10));
+        eng.ingest(&entry(100, "referral", "treatment", "nurse"));
+        eng.ingest(&entry(200, "psychiatry", "treatment", "nurse"));
+        let snap = eng.shutdown();
+        let w = snap.window.expect("window tracking on");
+        assert!(w.window.contains(200));
+        assert!(!w.window.contains(100), "outside the trailing window");
+        assert_eq!(w.total(), 1);
+    }
+
+    #[test]
+    fn drain_confirms_live_shards() {
+        let mut eng = engine(StreamConfig::with_shards(3));
+        for i in 0..30 {
+            eng.ingest(&entry(i, "referral", "treatment", "nurse"));
+        }
+        assert_eq!(eng.drain(), 3);
+    }
+}

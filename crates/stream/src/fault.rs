@@ -1,0 +1,60 @@
+//! Fault injection for pipeline tests.
+//!
+//! Streaming failure modes are timing-dependent and hard to provoke from
+//! the outside, so the engine carries an explicit test-mode plan: a shard
+//! can be made artificially slow (exercising backpressure end to end) or
+//! dropped outright at startup (exercising degraded-mode accounting).
+//! Poisoned entries need no plan — any entry whose attributes fail
+//! [`prima_audit::AuditEntry::to_ground_rule`] exercises that path.
+
+use std::time::Duration;
+
+/// What to break, if anything.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Make shard `.0` sleep `.1` per processed entry (slow consumer).
+    pub slow_shard: Option<(usize, Duration)>,
+    /// Shard index whose worker exits immediately at startup, as if it
+    /// had crashed (dead consumer).
+    pub drop_shard: Option<usize>,
+}
+
+impl FaultPlan {
+    /// No faults (production mode).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True iff any fault is armed.
+    pub fn any(&self) -> bool {
+        self.slow_shard.is_some() || self.drop_shard.is_some()
+    }
+
+    /// Plan with a slow consumer on `shard`.
+    pub fn slow(shard: usize, per_entry: Duration) -> Self {
+        Self {
+            slow_shard: Some((shard, per_entry)),
+            drop_shard: None,
+        }
+    }
+
+    /// Plan with a dead consumer on `shard`.
+    pub fn dropped(shard: usize) -> Self {
+        Self {
+            slow_shard: None,
+            drop_shard: Some(shard),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_report_armed_faults() {
+        assert!(!FaultPlan::none().any());
+        assert!(FaultPlan::slow(0, Duration::from_millis(1)).any());
+        assert!(FaultPlan::dropped(2).any());
+    }
+}

@@ -1,0 +1,33 @@
+//! prima-stream: online audit ingestion with incremental coverage
+//! maintenance.
+//!
+//! The batch pipeline (mine → prune → review) recomputes coverage from
+//! the full trail each round. This crate keeps coverage *standing*: audit
+//! events flow through bounded channels to hash-partitioned shard
+//! workers, each entry is classified once against a memoized rule-match
+//! decision cache, and per-pattern counters make every
+//! [`prima_model::CoverageReport`] delta O(1) per entry. An
+//! epoch-barrier [`StreamEngine::snapshot`] produces the same report,
+//! bit for bit, that `prima_model::compute_coverage` would compute over
+//! the accumulated trail — plus trailing-window per-pattern stats ready
+//! to feed `PrimaSystem::run_round_windowed`.
+//!
+//! Fault tolerance is explicit and testable: poisoned entries (no ground
+//! rule) are counted and skipped, a dead shard degrades the pipeline
+//! instead of wedging it, and a slow shard exerts backpressure through
+//! its bounded channel. See [`FaultPlan`] for the injection hooks.
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod fault;
+pub mod shard;
+pub mod window;
+
+pub use cache::{CacheStats, DecisionCache};
+pub use config::StreamConfig;
+pub use counters::{CoverageCounters, PatternStats, StreamTotals};
+pub use engine::{IngestOutcome, ShardHealth, StreamEngine, StreamSnapshot};
+pub use fault::FaultPlan;
+pub use window::{SlidingWindow, WindowSnapshot};

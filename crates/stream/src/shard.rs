@@ -1,0 +1,209 @@
+//! Shard workers.
+//!
+//! Each shard owns a disjoint subset of the distinct ground rules (hash
+//! partitioning, decided by the engine) and runs a plain
+//! receive-classify-count loop. Control messages ride the same FIFO
+//! channel as entries, so a `Snapshot` barrier observes exactly the
+//! entries sent before it — a consistent cut without stopping the world.
+
+use crate::cache::{CacheStats, DecisionCache};
+use crate::counters::{CoverageCounters, PatternStats};
+use crate::fault::FaultPlan;
+use crate::window::SlidingWindow;
+use crossbeam::channel::{Receiver, Sender};
+use prima_model::{GroundRule, PolicyMatcher};
+use std::sync::Arc;
+
+/// Messages a shard worker consumes.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// One classified-to-be entry: event time plus its ground rule.
+    Entry { time: i64, ground: GroundRule },
+    /// Epoch barrier: reply with a state snapshot on `reply`.
+    Snapshot { reply: Sender<ShardState> },
+    /// Install a new policy matcher for `epoch`; clears the decision
+    /// cache and re-labels the counters.
+    UpdatePolicy {
+        epoch: u64,
+        matcher: Arc<PolicyMatcher>,
+    },
+    /// Finish outstanding work and exit the worker loop.
+    Shutdown,
+}
+
+/// One shard's state at a snapshot barrier.
+#[derive(Debug)]
+pub struct ShardState {
+    /// Shard index.
+    pub shard: usize,
+    /// Per-pattern counters (disjoint across shards).
+    pub patterns: Vec<(GroundRule, PatternStats)>,
+    /// Entry-weighted totals.
+    pub totals: crate::counters::StreamTotals,
+    /// Decision-cache counters.
+    pub cache: CacheStats,
+    /// Retained trailing-window events, if window tracking is on.
+    pub window: Option<Vec<(i64, GroundRule)>>,
+    /// Policy epoch the shard is on.
+    pub epoch: u64,
+    /// Entries processed so far.
+    pub processed: u64,
+}
+
+/// Runs one shard worker until `Shutdown` or channel disconnect.
+pub fn run_shard(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    mut matcher: Arc<PolicyMatcher>,
+    window_secs: Option<i64>,
+    faults: FaultPlan,
+) {
+    if faults.drop_shard == Some(shard) {
+        // Simulated crash: exit before consuming anything, so the
+        // engine's sends start failing with a disconnect.
+        return;
+    }
+    let slow = faults
+        .slow_shard
+        .and_then(|(s, d)| (s == shard).then_some(d));
+
+    let mut cache = DecisionCache::new(0);
+    let mut counters = CoverageCounters::new();
+    let mut window = window_secs.map(SlidingWindow::new);
+    let mut processed = 0u64;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Entry { time, ground } => {
+                if let Some(delay) = slow {
+                    std::thread::sleep(delay);
+                }
+                let covered = cache.classify(&matcher, &ground);
+                counters.observe(&ground, covered);
+                if let Some(w) = window.as_mut() {
+                    w.observe(time, &ground);
+                }
+                processed += 1;
+            }
+            ShardMsg::Snapshot { reply } => {
+                let state = ShardState {
+                    shard,
+                    patterns: counters.export(),
+                    totals: counters.totals(),
+                    cache: cache.stats(),
+                    window: window.as_ref().map(SlidingWindow::export),
+                    epoch: cache.epoch(),
+                    processed,
+                };
+                // The engine may have given up on this snapshot (e.g.
+                // timeout elsewhere); a closed reply channel is not the
+                // shard's problem.
+                let _ = reply.send(state);
+            }
+            ShardMsg::UpdatePolicy { epoch, matcher: m } => {
+                matcher = m;
+                cache.invalidate(epoch);
+                counters.relabel(|g| matcher.covers(g));
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use prima_model::{Policy, Rule, StoreTag};
+    use prima_vocab::samples::figure_1;
+
+    fn matcher_for(data: &str) -> Arc<PolicyMatcher> {
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[
+                ("data", data),
+                ("purpose", "treatment"),
+                ("authorized", "nurse"),
+            ])],
+        );
+        Arc::new(PolicyMatcher::new(&policy, &figure_1()))
+    }
+
+    fn g(data: &str) -> GroundRule {
+        GroundRule::of(&[
+            ("data", data),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])
+    }
+
+    #[test]
+    fn worker_classifies_and_snapshots() {
+        let (tx, rx) = bounded(16);
+        let handle = std::thread::spawn(move || {
+            run_shard(0, rx, matcher_for("referral"), Some(60), FaultPlan::none())
+        });
+        tx.send(ShardMsg::Entry {
+            time: 10,
+            ground: g("referral"),
+        })
+        .unwrap();
+        tx.send(ShardMsg::Entry {
+            time: 11,
+            ground: g("referral"),
+        })
+        .unwrap();
+        tx.send(ShardMsg::Entry {
+            time: 12,
+            ground: g("psychiatry"),
+        })
+        .unwrap();
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
+        let state = reply_rx.recv().unwrap();
+        assert_eq!(state.processed, 3);
+        assert_eq!(state.totals.covered_entries, 2);
+        assert_eq!(state.totals.total_entries, 3);
+        assert_eq!(state.cache.hits, 1);
+        assert_eq!(state.cache.misses, 2);
+        assert_eq!(state.window.unwrap().len(), 3);
+        tx.send(ShardMsg::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn policy_update_relabels_history() {
+        let (tx, rx) = bounded(16);
+        let handle = std::thread::spawn(move || {
+            run_shard(0, rx, matcher_for("referral"), None, FaultPlan::none())
+        });
+        tx.send(ShardMsg::Entry {
+            time: 1,
+            ground: g("psychiatry"),
+        })
+        .unwrap();
+        tx.send(ShardMsg::UpdatePolicy {
+            epoch: 1,
+            matcher: matcher_for("psychiatry"),
+        })
+        .unwrap();
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
+        let state = reply_rx.recv().unwrap();
+        assert_eq!(state.epoch, 1);
+        assert_eq!(state.totals.covered_entries, 1, "old entry re-labeled");
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_shard_exits_immediately() {
+        let (tx, rx) = bounded::<ShardMsg>(4);
+        let handle = std::thread::spawn(move || {
+            run_shard(2, rx, matcher_for("referral"), None, FaultPlan::dropped(2))
+        });
+        handle.join().unwrap();
+        // Receiver is gone: sends fail with a disconnect.
+        assert!(tx.send(ShardMsg::Shutdown).is_err());
+    }
+}

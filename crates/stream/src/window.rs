@@ -1,0 +1,168 @@
+//! Sliding-window per-pattern stats.
+//!
+//! Refinement runs "at regular intervals" over a training period
+//! (Section 4.3), so each shard also tracks which access shapes occurred
+//! in the trailing window of *event time*. A snapshot merges these into
+//! a [`WindowSnapshot`] whose `TrainingWindow` can be handed straight to
+//! `PrimaSystem::run_round_windowed`.
+//!
+//! Shards prune against their local watermark, which is always ≤ the
+//! global watermark, so local pruning never discards an entry the merged
+//! (global) window still needs — the merge filters once more against the
+//! global window bound.
+
+use prima_audit::TrainingWindow;
+use prima_model::GroundRule;
+use std::collections::VecDeque;
+
+/// One shard's trailing-window tracker.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    duration: i64,
+    recent: VecDeque<(i64, GroundRule)>,
+    watermark: i64,
+}
+
+impl SlidingWindow {
+    /// A window of the trailing `duration` seconds of event time.
+    pub fn new(duration: i64) -> Self {
+        Self {
+            duration: duration.max(1),
+            recent: VecDeque::new(),
+            watermark: i64::MIN,
+        }
+    }
+
+    /// Records one event and prunes everything older than the local
+    /// trailing window.
+    pub fn observe(&mut self, time: i64, g: &GroundRule) {
+        self.watermark = self.watermark.max(time);
+        self.recent.push_back((time, g.clone()));
+        let cutoff = self.watermark.saturating_sub(self.duration);
+        while let Some((t, _)) = self.recent.front() {
+            if *t <= cutoff {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Highest event time seen by this shard (`i64::MIN` if none).
+    pub fn watermark(&self) -> i64 {
+        self.watermark
+    }
+
+    /// The retained `(time, rule)` pairs, oldest first.
+    pub fn export(&self) -> Vec<(i64, GroundRule)> {
+        self.recent.iter().cloned().collect()
+    }
+
+    /// Window duration in seconds.
+    pub fn duration(&self) -> i64 {
+        self.duration
+    }
+}
+
+/// Per-pattern stats over the merged trailing window at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// The half-open training window `[watermark − duration, watermark + 1)`
+    /// — includes the watermark event itself, ready for
+    /// `run_round_windowed`.
+    pub window: TrainingWindow,
+    /// Distinct ground rules inside the window with their in-window
+    /// occurrence counts, canonically sorted by rule.
+    pub pattern_counts: Vec<(GroundRule, u64)>,
+}
+
+impl WindowSnapshot {
+    /// Total in-window entries.
+    pub fn total(&self) -> u64 {
+        self.pattern_counts.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Merges per-shard exports against the *global* watermark.
+///
+/// Returns `None` when no shard has seen any event (there is no
+/// meaningful window yet).
+pub fn merge_windows(
+    duration: i64,
+    exports: Vec<Vec<(i64, GroundRule)>>,
+) -> Option<WindowSnapshot> {
+    let watermark = exports
+        .iter()
+        .flat_map(|e| e.iter().map(|(t, _)| *t))
+        .max()?;
+    // Half-open [cutoff + 1, watermark + 1): the trailing `duration`
+    // seconds, inclusive of the watermark event.
+    let window = TrainingWindow::new(
+        watermark.saturating_sub(duration).saturating_add(1),
+        watermark.saturating_add(1),
+    );
+    let mut counts: std::collections::BTreeMap<GroundRule, u64> = std::collections::BTreeMap::new();
+    for export in exports {
+        for (t, g) in export {
+            if window.contains(t) {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+    }
+    Some(WindowSnapshot {
+        window,
+        pattern_counts: counts.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(data: &str) -> GroundRule {
+        GroundRule::of(&[
+            ("data", data),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])
+    }
+
+    #[test]
+    fn observe_prunes_behind_local_watermark() {
+        let mut w = SlidingWindow::new(10);
+        w.observe(100, &g("a"));
+        w.observe(105, &g("b"));
+        w.observe(120, &g("c")); // cutoff 110: drops 100 and 105
+        assert_eq!(w.watermark(), 120);
+        let kept: Vec<i64> = w.export().iter().map(|(t, _)| *t).collect();
+        assert_eq!(kept, vec![120]);
+    }
+
+    #[test]
+    fn out_of_order_events_do_not_regress_watermark() {
+        let mut w = SlidingWindow::new(10);
+        w.observe(100, &g("a"));
+        w.observe(95, &g("b")); // late but in-window
+        assert_eq!(w.watermark(), 100);
+        assert_eq!(w.export().len(), 2);
+    }
+
+    #[test]
+    fn merge_filters_against_global_watermark() {
+        // Shard 0 is behind (local watermark 100); shard 1 at 200.
+        let exports = vec![
+            vec![(95, g("a")), (100, g("a"))],
+            vec![(195, g("b")), (200, g("b"))],
+        ];
+        let snap = merge_windows(10, exports).unwrap();
+        assert_eq!(snap.window, TrainingWindow::new(191, 201));
+        // Only shard 1's events are inside the global window.
+        assert_eq!(snap.pattern_counts, vec![(g("b"), 2)]);
+        assert_eq!(snap.total(), 2);
+    }
+
+    #[test]
+    fn merge_of_empty_exports_is_none() {
+        assert!(merge_windows(10, vec![vec![], vec![]]).is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based oracle for the streaming engine.
+//!
+//! The contract under test (ISSUE: "snapshot coverage identical to
+//! batch"): replaying any audit trail through a [`StreamEngine`] — at
+//! any shard count, under backpressure — and taking a snapshot must
+//! produce *bit-for-bit* the same [`CoverageReport`] as handing the
+//! whole trail to the batch pipeline (`compute_coverage` over the
+//! sink store's `P_AL`), and the same entry-weighted totals as the
+//! batch `entry_coverage`. This holds because the shards partition
+//! distinct ground rules by hash (disjoint ownership), the snapshot
+//! barrier gives a consistent cut, and both paths share the exact
+//! same subsumption probe (`PolicyMatcher` delegates to the batch
+//! engine's rule test).
+
+use prima_audit::{AuditEntry, AuditStore};
+use prima_model::{compute_coverage, CoverageEngine, Policy, PolicyMatcher, Rule, StoreTag};
+use prima_stream::{StreamConfig, StreamEngine};
+use prima_vocab::samples::figure_1;
+use prima_workload::{Scenario, SimConfig};
+use proptest::prelude::*;
+
+/// Ground data leaves of the Figure 1 vocabulary.
+const DATA: &[&str] = &[
+    "name",
+    "address",
+    "gender",
+    "date-of-birth",
+    "prescription",
+    "referral",
+    "lab-result",
+    "psychiatry",
+    "counseling",
+    "insurance",
+    "claim",
+];
+
+/// Ground purpose leaves.
+const PURPOSE: &[&str] = &[
+    "treatment",
+    "registration",
+    "billing",
+    "telemarketing",
+    "research",
+];
+
+/// Ground authorized-role leaves.
+const AUTH: &[&str] = &["physician", "nurse", "clerk", "registrar"];
+
+/// Candidate policy rules: a mix of composite and ground rules so the
+/// random policies exercise hierarchy expansion, not just equality.
+const POLICY_POOL: &[(&str, &str, &str)] = &[
+    ("demographic", "administering-healthcare", "medical-staff"),
+    ("general-care", "treatment", "nurse"),
+    ("mental-health", "treatment", "physician"),
+    ("financial", "billing", "administrative-staff"),
+    ("medical", "research", "physician"),
+    ("address", "telemarketing", "clerk"),
+    ("gender", "research", "medical-staff"),
+    ("prescription", "administering-healthcare", "nurse"),
+    ("demographic", "registration", "registrar"),
+    ("claim", "billing", "clerk"),
+];
+
+fn policy_from_picks(picks: &[usize]) -> Policy {
+    let rules: Vec<Rule> = picks
+        .iter()
+        .map(|&i| {
+            let (d, p, a) = POLICY_POOL[i % POLICY_POOL.len()];
+            Rule::of(&[("data", d), ("purpose", p), ("authorized", a)])
+        })
+        .collect();
+    Policy::with_rules(StoreTag::PolicyStore, rules)
+}
+
+/// `(data, purpose, authorized, exception?)` index tuple → audit entry.
+fn entry_from_pick(i: usize, pick: (usize, usize, usize, usize)) -> AuditEntry {
+    let (d, p, a, exc) = pick;
+    let time = 1_000 + i as i64 * 7;
+    let user = format!("u{}", a % AUTH.len());
+    let data = DATA[d % DATA.len()];
+    let purpose = PURPOSE[p % PURPOSE.len()];
+    let auth = AUTH[a % AUTH.len()];
+    if exc % 4 == 0 {
+        AuditEntry::exception(time, &user, data, purpose, auth)
+    } else {
+        AuditEntry::regular(time, &user, data, purpose, auth)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core oracle: stream snapshot == batch `compute_coverage`, for
+    /// random policies, random trails, and random shard counts. The
+    /// tiny channel capacity forces the producer through backpressure
+    /// blocking, so the equality is also exercised under contention.
+    #[test]
+    fn snapshot_equals_batch_coverage(
+        rule_picks in prop::collection::vec(0..POLICY_POOL.len(), 0..6),
+        entry_picks in prop::collection::vec(
+            (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
+            0..120,
+        ),
+        shards in 1..5usize,
+    ) {
+        let vocab = figure_1();
+        let policy = policy_from_picks(&rule_picks);
+        let entries: Vec<AuditEntry> = entry_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| entry_from_pick(i, pick))
+            .collect();
+
+        let sink = AuditStore::new("oracle");
+        let config = StreamConfig::with_shards(shards).channel_capacity(8);
+        let mut engine = StreamEngine::start(config, PolicyMatcher::new(&policy, &vocab))
+            .with_sink(sink.clone());
+        let accepted = engine.ingest_all(&entries);
+        prop_assert_eq!(accepted, entries.len());
+        let snap = engine.shutdown();
+
+        // Batch side: the sink's P_AL through Definition 9/10 coverage.
+        let batch = compute_coverage(&policy, &sink.to_policy(), &vocab).unwrap();
+        prop_assert_eq!(&snap.coverage, &batch);
+
+        // Entry-weighted totals agree with the batch entry_coverage.
+        let weighted = CoverageEngine::default()
+            .entry_coverage(&policy, &sink.ground_rules(), &vocab);
+        prop_assert_eq!(snap.totals.covered_entries as usize, weighted.covered_entries);
+        prop_assert_eq!(snap.totals.total_entries as usize, weighted.total_entries);
+        prop_assert_eq!(snap.processed, entries.len() as u64);
+        prop_assert_eq!(snap.lost, 0);
+    }
+
+    /// A policy refresh mid-stream re-labels already-counted history,
+    /// so the final snapshot must match a batch run under the *new*
+    /// policy over the *whole* trail.
+    #[test]
+    fn mid_stream_refresh_equals_batch_under_new_policy(
+        old_picks in prop::collection::vec(0..POLICY_POOL.len(), 0..4),
+        new_picks in prop::collection::vec(0..POLICY_POOL.len(), 1..6),
+        entry_picks in prop::collection::vec(
+            (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
+            1..80,
+        ),
+        split in 0..80usize,
+        shards in 1..4usize,
+    ) {
+        let vocab = figure_1();
+        let old_policy = policy_from_picks(&old_picks);
+        let new_policy = policy_from_picks(&new_picks);
+        let entries: Vec<AuditEntry> = entry_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| entry_from_pick(i, pick))
+            .collect();
+        let split = split % entries.len();
+
+        let sink = AuditStore::new("oracle-refresh");
+        let config = StreamConfig::with_shards(shards).channel_capacity(8);
+        let mut engine =
+            StreamEngine::start(config, PolicyMatcher::new(&old_policy, &vocab))
+                .with_sink(sink.clone());
+        engine.ingest_all(&entries[..split]);
+        engine.refresh_policy(&new_policy);
+        engine.ingest_all(&entries[split..]);
+        let snap = engine.shutdown();
+
+        let batch = compute_coverage(&new_policy, &sink.to_policy(), &vocab).unwrap();
+        prop_assert_eq!(snap.epoch, 1);
+        prop_assert_eq!(&snap.coverage, &batch);
+    }
+
+    /// Same oracle over the realistic hospital workload: trails from
+    /// the clinical simulator (informal practices, violations, glass
+    /// breaks) against the scenario's stated policy store.
+    #[test]
+    fn simulated_trail_stream_equals_batch(
+        seed in 0..u64::MAX,
+        n_entries in 1..200usize,
+        shards in 1..5usize,
+    ) {
+        let scenario = Scenario::community_hospital();
+        let sim = scenario.simulator();
+        let config = SimConfig { seed, n_entries, ..SimConfig::default() };
+        let labeled = sim.generate(&config);
+
+        let sink = AuditStore::new("oracle-sim");
+        let mut engine = StreamEngine::start(
+            StreamConfig::with_shards(shards),
+            PolicyMatcher::new(&scenario.policy, &scenario.vocab),
+        )
+        .with_sink(sink.clone());
+        for l in &labeled {
+            engine.ingest(&l.entry);
+        }
+        let snap = engine.shutdown();
+
+        let batch =
+            compute_coverage(&scenario.policy, &sink.to_policy(), &scenario.vocab).unwrap();
+        prop_assert_eq!(&snap.coverage, &batch);
+        prop_assert_eq!(snap.processed, n_entries as u64);
+    }
+}

@@ -170,10 +170,7 @@ impl Taxonomy {
         if c.is_leaf() {
             1
         } else {
-            c.children
-                .iter()
-                .map(|&ch| self.leaf_count_under(ch))
-                .sum()
+            c.children.iter().map(|&ch| self.leaf_count_under(ch)).sum()
         }
     }
 
@@ -290,10 +287,7 @@ fn is_canonical(name: &str) -> bool {
         return false;
     }
     name.chars().all(|ch| {
-        ch.is_ascii()
-            && !ch.is_ascii_uppercase()
-            && !ch.is_ascii_whitespace()
-            && ch != '_'
+        ch.is_ascii() && !ch.is_ascii_uppercase() && !ch.is_ascii_whitespace() && ch != '_'
     })
 }
 

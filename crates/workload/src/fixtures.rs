@@ -72,9 +72,12 @@ mod tests {
     #[test]
     fn figure_3_set_coverage_is_fifty_percent() {
         let v = figure_1();
-        let report =
-            compute_coverage(&figure_3_policy_store(), &trail_policy(&figure_3_trail()), &v)
-                .unwrap();
+        let report = compute_coverage(
+            &figure_3_policy_store(),
+            &trail_policy(&figure_3_trail()),
+            &v,
+        )
+        .unwrap();
         assert_eq!(report.overlap, 3);
         assert_eq!(report.target_cardinality, 6);
         assert!((report.percent() - 50.0).abs() < 1e-9, "the paper's 50%");

@@ -66,9 +66,12 @@ impl Scenario {
     pub fn regional_network() -> Self {
         let mut base = Self::community_hospital();
         base.name = "regional-network".into();
-        base.policy.push(rule("radiology", "referral-management", "radiologist"));
-        base.policy.push(rule("surgical", "audit-review", "surgeon"));
-        base.policy.push(rule("demographic", "scheduling", "registrar"));
+        base.policy
+            .push(rule("radiology", "referral-management", "radiologist"));
+        base.policy
+            .push(rule("surgical", "audit-review", "surgeon"));
+        base.policy
+            .push(rule("demographic", "scheduling", "registrar"));
         base.clusters.extend([
             PracticeCluster::new("operative-note", "audit-review", "nurse").with_weight(0.8),
             PracticeCluster::new("ct-scan", "treatment", "surgeon").with_weight(0.6),
@@ -94,7 +97,11 @@ impl Scenario {
 
     /// Builds the simulator for this scenario.
     pub fn simulator(&self) -> Simulator {
-        Simulator::new(self.vocab.clone(), self.policy.clone(), self.clusters.clone())
+        Simulator::new(
+            self.vocab.clone(),
+            self.policy.clone(),
+            self.clusters.clone(),
+        )
     }
 
     /// The clusters' ground-truth rules.
@@ -220,7 +227,10 @@ mod tests {
         for cl in &r.clusters {
             let g = cl.to_ground_rule();
             assert!(
-                !r.policy.rules().iter().any(|ru| ru.expansion_contains(&g, &r.vocab)),
+                !r.policy
+                    .rules()
+                    .iter()
+                    .any(|ru| ru.expansion_contains(&g, &r.vocab)),
                 "cluster {g} must not be sanctioned"
             );
         }

@@ -137,41 +137,30 @@ impl Simulator {
         &self.policy
     }
 
-    /// Generates a labelled trail.
+    /// Generates a labelled trail of `config.n_entries` entries.
     pub fn generate(&self, config: &SimConfig) -> Vec<LabeledEntry> {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut out = Vec::with_capacity(config.n_entries);
-        let mut time = config.start_time;
+        self.events(config).take(config.n_entries).collect()
+    }
 
-        let ground_roles = self.ground_values(ATTR_AUTHORIZED);
-        let ground_data = self.ground_values(ATTR_DATA);
-        let ground_purposes = self.ground_values(ATTR_PURPOSE);
-        let cluster_rules = self.ground_truth();
-        let total_weight: f64 = self.clusters.iter().map(|c| c.weight).sum();
-
-        for _ in 0..config.n_entries {
-            time += rng.gen_range(1..=config.mean_gap_secs.max(1) * 2);
-            let draw: f64 = rng.gen();
-            let labeled = if draw < config.violation_share && !ground_data.is_empty() {
-                self.gen_violation(
-                    &mut rng,
-                    time,
-                    config,
-                    &ground_data,
-                    &ground_purposes,
-                    &ground_roles,
-                    &cluster_rules,
-                )
-            } else if draw < config.violation_share + config.informal_share
-                && !self.clusters.is_empty()
-            {
-                self.gen_informal(&mut rng, time, config, total_weight)
-            } else {
-                self.gen_sanctioned(&mut rng, time, config)
-            };
-            out.push(labeled);
+    /// An unbounded live event source: the same generator as
+    /// [`Self::generate`], but lazy — entries are produced one at a
+    /// time, in event-time order, for feeding a streaming consumer
+    /// (e.g. `prima_stream::StreamEngine::ingest`) without
+    /// materializing a trail first. `config.n_entries` is ignored; the
+    /// iterator never ends. Determinism carries over: the first
+    /// `n_entries` items equal `generate(config)`.
+    pub fn events(&self, config: &SimConfig) -> EventSource<'_> {
+        EventSource {
+            sim: self,
+            config: config.clone(),
+            rng: StdRng::seed_from_u64(config.seed),
+            time: config.start_time,
+            ground_roles: self.ground_values(ATTR_AUTHORIZED),
+            ground_data: self.ground_values(ATTR_DATA),
+            ground_purposes: self.ground_values(ATTR_PURPOSE),
+            cluster_rules: self.ground_truth(),
+            total_weight: self.clusters.iter().map(|c| c.weight).sum(),
         }
-        out
     }
 
     fn ground_values(&self, attr: &str) -> Vec<String> {
@@ -302,6 +291,57 @@ impl Simulator {
             entry: AuditEntry::exception(time, "intruder-00", "ssn", "telemarketing", "visitor"),
             label: EntryLabel::Violation,
         }
+    }
+}
+
+/// The lazy generator behind [`Simulator::events`]. Never exhausts.
+#[derive(Debug)]
+pub struct EventSource<'a> {
+    sim: &'a Simulator,
+    config: SimConfig,
+    rng: StdRng,
+    time: i64,
+    ground_roles: Vec<String>,
+    ground_data: Vec<String>,
+    ground_purposes: Vec<String>,
+    cluster_rules: Vec<GroundRule>,
+    total_weight: f64,
+}
+
+impl EventSource<'_> {
+    /// Event time of the most recently emitted entry (the source's
+    /// watermark); `config.start_time` before the first entry.
+    pub fn current_time(&self) -> i64 {
+        self.time
+    }
+}
+
+impl Iterator for EventSource<'_> {
+    type Item = LabeledEntry;
+
+    fn next(&mut self) -> Option<LabeledEntry> {
+        let config = &self.config;
+        self.time += self.rng.gen_range(1..=config.mean_gap_secs.max(1) * 2);
+        let draw: f64 = self.rng.gen();
+        let labeled = if draw < config.violation_share && !self.ground_data.is_empty() {
+            self.sim.gen_violation(
+                &mut self.rng,
+                self.time,
+                config,
+                &self.ground_data,
+                &self.ground_purposes,
+                &self.ground_roles,
+                &self.cluster_rules,
+            )
+        } else if draw < config.violation_share + config.informal_share
+            && !self.sim.clusters.is_empty()
+        {
+            self.sim
+                .gen_informal(&mut self.rng, self.time, config, self.total_weight)
+        } else {
+            self.sim.gen_sanctioned(&mut self.rng, self.time, config)
+        };
+        Some(labeled)
     }
 }
 
@@ -475,5 +515,27 @@ mod tests {
         let trail = s.generate(&config(50));
         let store = to_store(&trail, "test");
         assert_eq!(store.len(), 50);
+    }
+
+    #[test]
+    fn event_source_prefix_equals_generate() {
+        let s = sim();
+        let cfg = config(400);
+        let streamed: Vec<LabeledEntry> = s.events(&cfg).take(400).collect();
+        assert_eq!(streamed, s.generate(&cfg));
+    }
+
+    #[test]
+    fn event_source_is_unbounded_and_tracks_time() {
+        let s = sim();
+        let cfg = config(3); // n_entries is ignored by the source
+        let mut source = s.events(&cfg);
+        assert_eq!(source.current_time(), cfg.start_time);
+        let first = source.next().unwrap();
+        assert_eq!(source.current_time(), first.entry.time);
+        // Far past n_entries: still producing, times still increasing.
+        let later: Vec<LabeledEntry> = source.by_ref().take(100).collect();
+        assert_eq!(later.len(), 100);
+        assert!(later.windows(2).all(|w| w[1].entry.time > w[0].entry.time));
     }
 }

@@ -21,8 +21,7 @@ fn main() {
         .iter()
         .map(|(c, k)| (c.as_str(), k.as_str()))
         .collect();
-    cc.register_table(encounters, &maps)
-        .expect("fresh catalog");
+    cc.register_table(encounters, &maps).expect("fresh catalog");
     cc.define_rule("general-care", "treatment", "nurse")
         .expect("valid rule");
     cc.define_rule("demographic", "billing", "clerk")
@@ -34,7 +33,12 @@ fn main() {
     // Regular, sanctioned access: purpose chosen from the list.
     let ok = cc
         .query(&AccessRequest::chosen(
-            100, "tim", "nurse", "treatment", "encounters", &["referral"],
+            100,
+            "tim",
+            "nurse",
+            "treatment",
+            "encounters",
+            &["referral"],
         ))
         .expect("policy allows");
     println!(
@@ -45,16 +49,32 @@ fn main() {
 
     // A denied attempt: clerks may not read referrals for billing.
     let denied = cc.query(&AccessRequest::chosen(
-        110, "bill", "clerk", "billing", "encounters", &["referral"],
+        110,
+        "bill",
+        "clerk",
+        "billing",
+        "encounters",
+        &["referral"],
     ));
     println!("clerk bill reads referrals for billing: {denied:?}");
 
     // The missing workflow: nurses register incoming referrals. Policy
     // doesn't cover it, so five nurses break the glass over the shift.
-    for (t, nurse) in [(201, "mark"), (202, "tim"), (203, "ana"), (204, "bob"), (205, "mark")] {
+    for (t, nurse) in [
+        (201, "mark"),
+        (202, "tim"),
+        (203, "ana"),
+        (204, "bob"),
+        (205, "mark"),
+    ] {
         let res = cc
             .query(&AccessRequest::break_the_glass(
-                t, nurse, "nurse", "registration", "encounters", &["referral"],
+                t,
+                nurse,
+                "nurse",
+                "registration",
+                "encounters",
+                &["referral"],
             ))
             .expect("break-the-glass always serves");
         assert!(!res.denied);
@@ -102,7 +122,12 @@ fn main() {
     // The same workflow is now a regular access — no glass to break.
     let now_regular = cc
         .query(&AccessRequest::chosen(
-            300, "ana", "nurse", "registration", "encounters", &["referral"],
+            300,
+            "ana",
+            "nurse",
+            "registration",
+            "encounters",
+            &["referral"],
         ))
         .expect("newly refined policy allows");
     println!(

@@ -35,9 +35,15 @@ fn main() {
 
     // Map document regions onto the privacy vocabulary.
     let mut categories = PathCategoryMap::new();
-    categories.map("/patient/demographic/**", "demographic").unwrap();
-    categories.map("/patient/record/referral", "referral").unwrap();
-    categories.map("/patient/record/prescription", "prescription").unwrap();
+    categories
+        .map("/patient/demographic/**", "demographic")
+        .unwrap();
+    categories
+        .map("/patient/record/referral", "referral")
+        .unwrap();
+    categories
+        .map("/patient/record/prescription", "prescription")
+        .unwrap();
     categories
         .map("/patient/record/mental-health/**", "psychiatry")
         .unwrap();
@@ -57,7 +63,13 @@ fn main() {
     // The registration desk breaks the glass repeatedly; the audit entries
     // flow into the *same* PRIMA loop as relational systems.
     let store = prima::audit::AuditStore::new("legacy-system");
-    for (t, nurse) in [(10, "mark"), (11, "tim"), (12, "ana"), (13, "bob"), (14, "mark")] {
+    for (t, nurse) in [
+        (10, "mark"),
+        (11, "tim"),
+        (12, "ana"),
+        (13, "bob"),
+        (14, "mark"),
+    ] {
         let btg = enforcement.enforce(
             &doc,
             t,
@@ -75,7 +87,9 @@ fn main() {
 
     let mut prima = PrimaSystem::new(figure_1(), enforcement.policy().clone());
     prima.attach_store(store);
-    let round = prima.run_round(ReviewMode::AutoAccept).expect("mines cleanly");
+    let round = prima
+        .run_round(ReviewMode::AutoAccept)
+        .expect("mines cleanly");
     println!(
         "refinement over the legacy system's trail: {} pattern(s), {} rule(s) accepted",
         round.patterns_found, round.rules_added
@@ -83,7 +97,14 @@ fn main() {
 
     // The refined policy un-redacts the registration workflow.
     enforcement.set_policy(prima.policy().clone());
-    let after = enforcement.enforce(&doc, 20, "ana", "nurse", "registration", TreeAccessMode::Chosen);
+    let after = enforcement.enforce(
+        &doc,
+        20,
+        "ana",
+        "nurse",
+        "registration",
+        TreeAccessMode::Chosen,
+    );
     println!(
         "nurse ana's registration view now serves {:?}:\n{}",
         after.served_categories,

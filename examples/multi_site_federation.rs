@@ -27,7 +27,10 @@ fn main() {
     let sim = Simulator::new(vocab.clone(), policy.clone(), vec![cluster]);
 
     let mut sites = Vec::new();
-    for (i, name) in ["north-campus", "south-campus", "day-clinic", "rehab-center"].iter().enumerate() {
+    for (i, name) in ["north-campus", "south-campus", "day-clinic", "rehab-center"]
+        .iter()
+        .enumerate()
+    {
         let trail = sim.generate(&SimConfig {
             seed: 600 + i as u64,
             n_entries: 30,
@@ -84,5 +87,8 @@ fn main() {
             record.entry_coverage_after * 100.0
         );
     }
-    assert!(round.rules_added >= 1, "the federation-wide pattern must surface");
+    assert!(
+        round.rules_added >= 1,
+        "the federation-wide pattern must surface"
+    );
 }

@@ -70,7 +70,10 @@ fn main() {
     for r in &out.rules {
         policy.push_unique(r.clone());
     }
-    println!("\npolicy before compaction ({} rules):", policy.cardinality());
+    println!(
+        "\npolicy before compaction ({} rules):",
+        policy.cardinality()
+    );
     print!("{}", render_policy(&policy));
 
     // Pass 2: compaction.

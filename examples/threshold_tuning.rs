@@ -38,7 +38,10 @@ fn main() {
         practice.len(),
         truth.len()
     );
-    println!("{:>5} {:>7} {:>10} {:>8} {:>6}", "f", "mined", "precision", "recall", "F1");
+    println!(
+        "{:>5} {:>7} {:>10} {:>8} {:>6}",
+        "f", "mined", "precision", "recall", "F1"
+    );
 
     let mut best = (0usize, 0.0f64);
     for f in [2usize, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233] {

@@ -19,5 +19,6 @@ pub use prima_model as model;
 pub use prima_query as query;
 pub use prima_refine as refine;
 pub use prima_store as store;
+pub use prima_stream as stream;
 pub use prima_vocab as vocab;
 pub use prima_workload as workload;

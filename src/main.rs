@@ -122,8 +122,7 @@ fn load_audit(flags: &HashMap<String, String>) -> Result<Vec<AuditEntry>, String
     let path = flags
         .get("audit")
         .ok_or("missing --audit FILE (JSON lines)")?;
-    let file =
-        std::fs::File::open(path).map_err(|e| format!("cannot read audit '{path}': {e}"))?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read audit '{path}': {e}"))?;
     prima::audit::export::import_jsonl(BufReader::new(file)).map_err(|e| e.to_string())
 }
 
@@ -198,8 +197,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         ..prima::workload::SimConfig::default()
     });
     let plain = prima::workload::sim::entries(&trail);
-    let file = std::fs::File::create(out_path)
-        .map_err(|e| format!("cannot create '{out_path}': {e}"))?;
+    let file =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot create '{out_path}': {e}"))?;
     prima::audit::export::export_jsonl(&plain, file).map_err(|e| e.to_string())?;
     let (sanc, informal, viol) = prima::workload::sim::census(&trail);
     println!(
@@ -279,7 +278,18 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_refine(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["policy", "audit", "vocab", "f", "users", "apply", "generalize"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "policy",
+            "audit",
+            "vocab",
+            "f",
+            "users",
+            "apply",
+            "generalize",
+        ],
+    )?;
     let vocab = load_vocab(&flags)?;
     let mut policy = load_policy(&flags)?;
     lint_and_report(&policy, &vocab);

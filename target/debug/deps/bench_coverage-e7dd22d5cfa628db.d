@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_coverage-e7dd22d5cfa628db.d: crates/bench/benches/bench_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_coverage-e7dd22d5cfa628db.rmeta: crates/bench/benches/bench_coverage.rs Cargo.toml
+
+crates/bench/benches/bench_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hdb-70627a324fd6cc08.d: crates/bench/benches/bench_hdb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hdb-70627a324fd6cc08.rmeta: crates/bench/benches/bench_hdb.rs Cargo.toml
+
+crates/bench/benches/bench_hdb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

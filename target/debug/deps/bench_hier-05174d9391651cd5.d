@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hier-05174d9391651cd5.d: crates/bench/benches/bench_hier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hier-05174d9391651cd5.rmeta: crates/bench/benches/bench_hier.rs Cargo.toml
+
+crates/bench/benches/bench_hier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_mining-cf3cf574e9e0834c.d: crates/bench/benches/bench_mining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_mining-cf3cf574e9e0834c.rmeta: crates/bench/benches/bench_mining.rs Cargo.toml
+
+crates/bench/benches/bench_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

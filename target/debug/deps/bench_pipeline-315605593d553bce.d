@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_pipeline-315605593d553bce.d: crates/bench/benches/bench_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pipeline-315605593d553bce.rmeta: crates/bench/benches/bench_pipeline.rs Cargo.toml
+
+crates/bench/benches/bench_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

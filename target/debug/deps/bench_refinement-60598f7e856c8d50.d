@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_refinement-60598f7e856c8d50.d: crates/bench/benches/bench_refinement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_refinement-60598f7e856c8d50.rmeta: crates/bench/benches/bench_refinement.rs Cargo.toml
+
+crates/bench/benches/bench_refinement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_stream-8ed857ec5f57a4d7.d: crates/bench/benches/bench_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_stream-8ed857ec5f57a4d7.rmeta: crates/bench/benches/bench_stream.rs Cargo.toml
+
+crates/bench/benches/bench_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_loop-38f4c27756cc2fe4.d: tests/closed_loop.rs
+
+/root/repo/target/debug/deps/closed_loop-38f4c27756cc2fe4: tests/closed_loop.rs
+
+tests/closed_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/closed_loop-8ed91c24537a5b79.d: tests/closed_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclosed_loop-8ed91c24537a5b79.rmeta: tests/closed_loop.rs Cargo.toml
+
+tests/closed_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_loop-c05ff69e69fbe431.d: tests/closed_loop.rs
+
+/root/repo/target/debug/deps/closed_loop-c05ff69e69fbe431: tests/closed_loop.rs
+
+tests/closed_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_paper-e4c10bd8063e462d.d: tests/end_to_end_paper.rs
+
+/root/repo/target/debug/deps/end_to_end_paper-e4c10bd8063e462d: tests/end_to_end_paper.rs
+
+tests/end_to_end_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_paper-fb588ba10a0afe3f.d: tests/end_to_end_paper.rs
+
+/root/repo/target/debug/deps/end_to_end_paper-fb588ba10a0afe3f: tests/end_to_end_paper.rs
+
+tests/end_to_end_paper.rs:

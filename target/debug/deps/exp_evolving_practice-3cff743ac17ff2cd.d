@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_evolving_practice-3cff743ac17ff2cd.d: crates/bench/src/bin/exp_evolving_practice.rs
+
+/root/repo/target/debug/deps/exp_evolving_practice-3cff743ac17ff2cd: crates/bench/src/bin/exp_evolving_practice.rs
+
+crates/bench/src/bin/exp_evolving_practice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_evolving_practice-862b802b57cd026c.d: crates/bench/src/bin/exp_evolving_practice.rs
+
+/root/repo/target/debug/deps/exp_evolving_practice-862b802b57cd026c: crates/bench/src/bin/exp_evolving_practice.rs
+
+crates/bench/src/bin/exp_evolving_practice.rs:

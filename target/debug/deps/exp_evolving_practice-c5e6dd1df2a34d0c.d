@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_evolving_practice-c5e6dd1df2a34d0c.d: crates/bench/src/bin/exp_evolving_practice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_evolving_practice-c5e6dd1df2a34d0c.rmeta: crates/bench/src/bin/exp_evolving_practice.rs Cargo.toml
+
+crates/bench/src/bin/exp_evolving_practice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig1_vocabulary-46255134961cee85.d: crates/bench/src/bin/exp_fig1_vocabulary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig1_vocabulary-46255134961cee85.rmeta: crates/bench/src/bin/exp_fig1_vocabulary.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig1_vocabulary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_vocabulary-7af89d8fbcb3ae1b.d: crates/bench/src/bin/exp_fig1_vocabulary.rs
+
+/root/repo/target/debug/deps/exp_fig1_vocabulary-7af89d8fbcb3ae1b: crates/bench/src/bin/exp_fig1_vocabulary.rs
+
+crates/bench/src/bin/exp_fig1_vocabulary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_vocabulary-d1359e18496fade9.d: crates/bench/src/bin/exp_fig1_vocabulary.rs
+
+/root/repo/target/debug/deps/exp_fig1_vocabulary-d1359e18496fade9: crates/bench/src/bin/exp_fig1_vocabulary.rs
+
+crates/bench/src/bin/exp_fig1_vocabulary.rs:

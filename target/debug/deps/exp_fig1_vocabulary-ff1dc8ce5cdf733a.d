@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig1_vocabulary-ff1dc8ce5cdf733a.d: crates/bench/src/bin/exp_fig1_vocabulary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig1_vocabulary-ff1dc8ce5cdf733a.rmeta: crates/bench/src/bin/exp_fig1_vocabulary.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig1_vocabulary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_trajectory-1d7dd36ac37dc33e.d: crates/bench/src/bin/exp_fig2_trajectory.rs
+
+/root/repo/target/debug/deps/exp_fig2_trajectory-1d7dd36ac37dc33e: crates/bench/src/bin/exp_fig2_trajectory.rs
+
+crates/bench/src/bin/exp_fig2_trajectory.rs:

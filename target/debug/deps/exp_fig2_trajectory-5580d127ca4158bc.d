@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_trajectory-5580d127ca4158bc.d: crates/bench/src/bin/exp_fig2_trajectory.rs
+
+/root/repo/target/debug/deps/exp_fig2_trajectory-5580d127ca4158bc: crates/bench/src/bin/exp_fig2_trajectory.rs
+
+crates/bench/src/bin/exp_fig2_trajectory.rs:

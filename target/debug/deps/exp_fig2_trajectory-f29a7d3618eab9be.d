@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig2_trajectory-f29a7d3618eab9be.d: crates/bench/src/bin/exp_fig2_trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig2_trajectory-f29a7d3618eab9be.rmeta: crates/bench/src/bin/exp_fig2_trajectory.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig2_trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_coverage-ebad626cdc3adcc4.d: crates/bench/src/bin/exp_fig3_coverage.rs
+
+/root/repo/target/debug/deps/exp_fig3_coverage-ebad626cdc3adcc4: crates/bench/src/bin/exp_fig3_coverage.rs
+
+crates/bench/src/bin/exp_fig3_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_pipeline-3694f972c743c6ca.d: crates/bench/src/bin/exp_fig4_pipeline.rs
+
+/root/repo/target/debug/deps/exp_fig4_pipeline-3694f972c743c6ca: crates/bench/src/bin/exp_fig4_pipeline.rs
+
+crates/bench/src/bin/exp_fig4_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_pipeline-d571a5fdddfb0553.d: crates/bench/src/bin/exp_fig4_pipeline.rs
+
+/root/repo/target/debug/deps/exp_fig4_pipeline-d571a5fdddfb0553: crates/bench/src/bin/exp_fig4_pipeline.rs
+
+crates/bench/src/bin/exp_fig4_pipeline.rs:

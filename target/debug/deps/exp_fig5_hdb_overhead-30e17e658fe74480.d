@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig5_hdb_overhead-30e17e658fe74480.d: crates/bench/src/bin/exp_fig5_hdb_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig5_hdb_overhead-30e17e658fe74480.rmeta: crates/bench/src/bin/exp_fig5_hdb_overhead.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig5_hdb_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

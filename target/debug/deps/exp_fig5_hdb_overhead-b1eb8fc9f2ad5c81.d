@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5_hdb_overhead-b1eb8fc9f2ad5c81.d: crates/bench/src/bin/exp_fig5_hdb_overhead.rs
+
+/root/repo/target/debug/deps/exp_fig5_hdb_overhead-b1eb8fc9f2ad5c81: crates/bench/src/bin/exp_fig5_hdb_overhead.rs
+
+crates/bench/src/bin/exp_fig5_hdb_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5_hdb_overhead-f18566b8bdf54060.d: crates/bench/src/bin/exp_fig5_hdb_overhead.rs
+
+/root/repo/target/debug/deps/exp_fig5_hdb_overhead-f18566b8bdf54060: crates/bench/src/bin/exp_fig5_hdb_overhead.rs
+
+crates/bench/src/bin/exp_fig5_hdb_overhead.rs:

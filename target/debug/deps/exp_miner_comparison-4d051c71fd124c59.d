@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_miner_comparison-4d051c71fd124c59.d: crates/bench/src/bin/exp_miner_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_miner_comparison-4d051c71fd124c59.rmeta: crates/bench/src/bin/exp_miner_comparison.rs Cargo.toml
+
+crates/bench/src/bin/exp_miner_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_miner_comparison-5bc5c1677a2c0d2c.d: crates/bench/src/bin/exp_miner_comparison.rs
+
+/root/repo/target/debug/deps/exp_miner_comparison-5bc5c1677a2c0d2c: crates/bench/src/bin/exp_miner_comparison.rs
+
+crates/bench/src/bin/exp_miner_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_miner_comparison-8a837c026ba02cb1.d: crates/bench/src/bin/exp_miner_comparison.rs
+
+/root/repo/target/debug/deps/exp_miner_comparison-8a837c026ba02cb1: crates/bench/src/bin/exp_miner_comparison.rs
+
+crates/bench/src/bin/exp_miner_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_range_explosion-2a4f7197fdce2d9f.d: crates/bench/src/bin/exp_range_explosion.rs
+
+/root/repo/target/debug/deps/exp_range_explosion-2a4f7197fdce2d9f: crates/bench/src/bin/exp_range_explosion.rs
+
+crates/bench/src/bin/exp_range_explosion.rs:

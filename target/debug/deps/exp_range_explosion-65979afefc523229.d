@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_range_explosion-65979afefc523229.d: crates/bench/src/bin/exp_range_explosion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_range_explosion-65979afefc523229.rmeta: crates/bench/src/bin/exp_range_explosion.rs Cargo.toml
+
+crates/bench/src/bin/exp_range_explosion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

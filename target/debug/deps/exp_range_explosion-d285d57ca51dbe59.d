@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_range_explosion-d285d57ca51dbe59.d: crates/bench/src/bin/exp_range_explosion.rs
+
+/root/repo/target/debug/deps/exp_range_explosion-d285d57ca51dbe59: crates/bench/src/bin/exp_range_explosion.rs
+
+crates/bench/src/bin/exp_range_explosion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sensitivity-03b4690f7f3456d1.d: crates/bench/src/bin/exp_sensitivity.rs
+
+/root/repo/target/debug/deps/exp_sensitivity-03b4690f7f3456d1: crates/bench/src/bin/exp_sensitivity.rs
+
+crates/bench/src/bin/exp_sensitivity.rs:

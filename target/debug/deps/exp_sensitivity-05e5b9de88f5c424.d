@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sensitivity-05e5b9de88f5c424.d: crates/bench/src/bin/exp_sensitivity.rs
+
+/root/repo/target/debug/deps/exp_sensitivity-05e5b9de88f5c424: crates/bench/src/bin/exp_sensitivity.rs
+
+crates/bench/src/bin/exp_sensitivity.rs:

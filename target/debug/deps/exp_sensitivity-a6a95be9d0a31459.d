@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sensitivity-a6a95be9d0a31459.d: crates/bench/src/bin/exp_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sensitivity-a6a95be9d0a31459.rmeta: crates/bench/src/bin/exp_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/exp_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

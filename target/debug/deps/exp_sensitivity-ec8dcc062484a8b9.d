@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sensitivity-ec8dcc062484a8b9.d: crates/bench/src/bin/exp_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sensitivity-ec8dcc062484a8b9.rmeta: crates/bench/src/bin/exp_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/exp_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

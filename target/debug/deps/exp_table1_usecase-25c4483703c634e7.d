@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1_usecase-25c4483703c634e7.d: crates/bench/src/bin/exp_table1_usecase.rs
+
+/root/repo/target/debug/deps/exp_table1_usecase-25c4483703c634e7: crates/bench/src/bin/exp_table1_usecase.rs
+
+crates/bench/src/bin/exp_table1_usecase.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table1_usecase-5e146fd6c75d70e0.d: crates/bench/src/bin/exp_table1_usecase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table1_usecase-5e146fd6c75d70e0.rmeta: crates/bench/src/bin/exp_table1_usecase.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1_usecase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

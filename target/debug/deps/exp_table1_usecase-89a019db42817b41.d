@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1_usecase-89a019db42817b41.d: crates/bench/src/bin/exp_table1_usecase.rs
+
+/root/repo/target/debug/deps/exp_table1_usecase-89a019db42817b41: crates/bench/src/bin/exp_table1_usecase.rs
+
+crates/bench/src/bin/exp_table1_usecase.rs:

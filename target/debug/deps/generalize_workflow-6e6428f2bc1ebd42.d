@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generalize_workflow-6e6428f2bc1ebd42.d: tests/generalize_workflow.rs
+
+/root/repo/target/debug/deps/generalize_workflow-6e6428f2bc1ebd42: tests/generalize_workflow.rs
+
+tests/generalize_workflow.rs:

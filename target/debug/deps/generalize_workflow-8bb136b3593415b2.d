@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generalize_workflow-8bb136b3593415b2.d: tests/generalize_workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneralize_workflow-8bb136b3593415b2.rmeta: tests/generalize_workflow.rs Cargo.toml
+
+tests/generalize_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generalize_workflow-c543b6c9662844c5.d: tests/generalize_workflow.rs
+
+/root/repo/target/debug/deps/generalize_workflow-c543b6c9662844c5: tests/generalize_workflow.rs
+
+tests/generalize_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima-20d0606d273953e3.d: src/main.rs
+
+/root/repo/target/debug/deps/prima-20d0606d273953e3: src/main.rs
+
+src/main.rs:

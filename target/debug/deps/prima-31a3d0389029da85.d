@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima-31a3d0389029da85.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima-31a3d0389029da85.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

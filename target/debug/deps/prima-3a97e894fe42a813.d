@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima-3a97e894fe42a813.d: src/lib.rs
+
+/root/repo/target/debug/deps/prima-3a97e894fe42a813: src/lib.rs
+
+src/lib.rs:

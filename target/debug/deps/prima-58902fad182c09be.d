@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima-58902fad182c09be.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima-58902fad182c09be.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima-60dea275609f47c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprima-60dea275609f47c5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprima-60dea275609f47c5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima-7d550c828a17d91e.d: src/lib.rs
+
+/root/repo/target/debug/deps/prima-7d550c828a17d91e: src/lib.rs
+
+src/lib.rs:

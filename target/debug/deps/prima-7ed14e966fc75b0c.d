@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima-7ed14e966fc75b0c.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima-7ed14e966fc75b0c.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima-95f8a3b0859a5897.d: src/main.rs
+
+/root/repo/target/debug/deps/prima-95f8a3b0859a5897: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima-aa50ac253959c273.d: src/main.rs
+
+/root/repo/target/debug/deps/prima-aa50ac253959c273: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima-ad4fb1a53a01c05d.d: src/main.rs
+
+/root/repo/target/debug/deps/prima-ad4fb1a53a01c05d: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima-ee3a86364cc1fa10.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprima-ee3a86364cc1fa10.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprima-ee3a86364cc1fa10.rmeta: src/lib.rs
+
+src/lib.rs:

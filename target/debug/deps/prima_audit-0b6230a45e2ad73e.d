@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/prima_audit-0b6230a45e2ad73e.d: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_audit-0b6230a45e2ad73e.rmeta: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/classify.rs:
+crates/audit/src/entry.rs:
+crates/audit/src/export.rs:
+crates/audit/src/federation.rs:
+crates/audit/src/retention.rs:
+crates/audit/src/schema.rs:
+crates/audit/src/stats.rs:
+crates/audit/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prima_audit-908413540428a05f.d: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/debug/deps/prima_audit-908413540428a05f: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/classify.rs:
+crates/audit/src/entry.rs:
+crates/audit/src/export.rs:
+crates/audit/src/federation.rs:
+crates/audit/src/retention.rs:
+crates/audit/src/schema.rs:
+crates/audit/src/stats.rs:
+crates/audit/src/store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/prima_audit-f4254631fc6c89f2.d: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/debug/deps/libprima_audit-f4254631fc6c89f2.rlib: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/debug/deps/libprima_audit-f4254631fc6c89f2.rmeta: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/classify.rs:
+crates/audit/src/entry.rs:
+crates/audit/src/export.rs:
+crates/audit/src/federation.rs:
+crates/audit/src/retention.rs:
+crates/audit/src/schema.rs:
+crates/audit/src/stats.rs:
+crates/audit/src/store.rs:

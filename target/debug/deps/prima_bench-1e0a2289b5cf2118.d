@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_bench-1e0a2289b5cf2118.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_bench-1e0a2289b5cf2118.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

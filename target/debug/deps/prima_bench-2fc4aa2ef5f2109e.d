@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_bench-2fc4aa2ef5f2109e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/prima_bench-2fc4aa2ef5f2109e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

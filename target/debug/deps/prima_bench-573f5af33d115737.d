@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_bench-573f5af33d115737.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/prima_bench-573f5af33d115737: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

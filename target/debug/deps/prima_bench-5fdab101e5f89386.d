@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_bench-5fdab101e5f89386.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_bench-5fdab101e5f89386.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_bench-5fdab101e5f89386.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_bench-8860d8ba8394b043.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_bench-8860d8ba8394b043.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_bench-8860d8ba8394b043.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

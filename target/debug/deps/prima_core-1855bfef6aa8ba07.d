@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prima_core-1855bfef6aa8ba07.d: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+/root/repo/target/debug/deps/libprima_core-1855bfef6aa8ba07.rlib: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+/root/repo/target/debug/deps/libprima_core-1855bfef6aa8ba07.rmeta: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clinic.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/system.rs:
+crates/core/src/trajectory.rs:

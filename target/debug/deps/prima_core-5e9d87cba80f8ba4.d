@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_core-5e9d87cba80f8ba4.d: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+/root/repo/target/debug/deps/prima_core-5e9d87cba80f8ba4: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clinic.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/system.rs:
+crates/core/src/trajectory.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prima_core-e43cf1becf544997.d: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_core-e43cf1becf544997.rmeta: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/clinic.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/system.rs:
+crates/core/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_hdb-30665c50a206d397.d: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+/root/repo/target/debug/deps/prima_hdb-30665c50a206d397: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+crates/hdb/src/lib.rs:
+crates/hdb/src/auditing.rs:
+crates/hdb/src/clinical.rs:
+crates/hdb/src/consent.rs:
+crates/hdb/src/control.rs:
+crates/hdb/src/enforcement.rs:
+crates/hdb/src/error.rs:
+crates/hdb/src/request.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_hdb-6a1418bdba0481f2.d: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_hdb-6a1418bdba0481f2.rmeta: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs Cargo.toml
+
+crates/hdb/src/lib.rs:
+crates/hdb/src/auditing.rs:
+crates/hdb/src/clinical.rs:
+crates/hdb/src/consent.rs:
+crates/hdb/src/control.rs:
+crates/hdb/src/enforcement.rs:
+crates/hdb/src/error.rs:
+crates/hdb/src/request.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

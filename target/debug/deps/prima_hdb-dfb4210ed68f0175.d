@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_hdb-dfb4210ed68f0175.d: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+/root/repo/target/debug/deps/libprima_hdb-dfb4210ed68f0175.rlib: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+/root/repo/target/debug/deps/libprima_hdb-dfb4210ed68f0175.rmeta: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+crates/hdb/src/lib.rs:
+crates/hdb/src/auditing.rs:
+crates/hdb/src/clinical.rs:
+crates/hdb/src/consent.rs:
+crates/hdb/src/control.rs:
+crates/hdb/src/enforcement.rs:
+crates/hdb/src/error.rs:
+crates/hdb/src/request.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_hier-57e1b7fb819de1d8.d: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/debug/deps/prima_hier-57e1b7fb819de1d8: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+crates/hier/src/lib.rs:
+crates/hier/src/category.rs:
+crates/hier/src/control.rs:
+crates/hier/src/doc.rs:
+crates/hier/src/enforce.rs:
+crates/hier/src/path.rs:

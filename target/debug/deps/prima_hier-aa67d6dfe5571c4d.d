@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_hier-aa67d6dfe5571c4d.d: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_hier-aa67d6dfe5571c4d.rmeta: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs Cargo.toml
+
+crates/hier/src/lib.rs:
+crates/hier/src/category.rs:
+crates/hier/src/control.rs:
+crates/hier/src/doc.rs:
+crates/hier/src/enforce.rs:
+crates/hier/src/path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

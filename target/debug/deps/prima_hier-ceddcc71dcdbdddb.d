@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_hier-ceddcc71dcdbdddb.d: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/debug/deps/libprima_hier-ceddcc71dcdbdddb.rlib: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/debug/deps/libprima_hier-ceddcc71dcdbdddb.rmeta: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+crates/hier/src/lib.rs:
+crates/hier/src/category.rs:
+crates/hier/src/control.rs:
+crates/hier/src/doc.rs:
+crates/hier/src/enforce.rs:
+crates/hier/src/path.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_mining-693a10c3ba9cdfe3.d: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/debug/deps/prima_mining-693a10c3ba9cdfe3: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+crates/mining/src/lib.rs:
+crates/mining/src/apriori.rs:
+crates/mining/src/error.rs:
+crates/mining/src/pattern.rs:
+crates/mining/src/sql_miner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prima_mining-80ff97c1826f5e50.d: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/debug/deps/libprima_mining-80ff97c1826f5e50.rlib: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/debug/deps/libprima_mining-80ff97c1826f5e50.rmeta: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+crates/mining/src/lib.rs:
+crates/mining/src/apriori.rs:
+crates/mining/src/error.rs:
+crates/mining/src/pattern.rs:
+crates/mining/src/sql_miner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prima_mining-b4a2f0198ae9ca86.d: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_mining-b4a2f0198ae9ca86.rmeta: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs Cargo.toml
+
+crates/mining/src/lib.rs:
+crates/mining/src/apriori.rs:
+crates/mining/src/error.rs:
+crates/mining/src/pattern.rs:
+crates/mining/src/sql_miner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

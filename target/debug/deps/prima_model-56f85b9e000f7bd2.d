@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_model-56f85b9e000f7bd2.d: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs
+
+/root/repo/target/debug/deps/prima_model-56f85b9e000f7bd2: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs
+
+crates/model/src/lib.rs:
+crates/model/src/coverage.rs:
+crates/model/src/dsl.rs:
+crates/model/src/error.rs:
+crates/model/src/ground.rs:
+crates/model/src/lint.rs:
+crates/model/src/policy.rs:
+crates/model/src/range.rs:
+crates/model/src/rule.rs:
+crates/model/src/samples.rs:
+crates/model/src/simplify.rs:
+crates/model/src/term.rs:

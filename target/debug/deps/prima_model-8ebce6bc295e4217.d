@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/prima_model-8ebce6bc295e4217.d: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_model-8ebce6bc295e4217.rmeta: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/coverage.rs:
+crates/model/src/dsl.rs:
+crates/model/src/error.rs:
+crates/model/src/ground.rs:
+crates/model/src/lint.rs:
+crates/model/src/policy.rs:
+crates/model/src/range.rs:
+crates/model/src/rule.rs:
+crates/model/src/samples.rs:
+crates/model/src/simplify.rs:
+crates/model/src/term.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

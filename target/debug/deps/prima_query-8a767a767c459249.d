@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_query-8a767a767c459249.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_query-8a767a767c459249.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/error.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_query-91170010c717af2b.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+/root/repo/target/debug/deps/prima_query-91170010c717af2b: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/error.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/result.rs:

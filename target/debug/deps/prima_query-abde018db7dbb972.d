@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_query-abde018db7dbb972.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+/root/repo/target/debug/deps/libprima_query-abde018db7dbb972.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+/root/repo/target/debug/deps/libprima_query-abde018db7dbb972.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/error.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/result.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/prima_refine-85ef87d5b7eb4535.d: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_refine-85ef87d5b7eb4535.rmeta: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs Cargo.toml
+
+crates/refine/src/lib.rs:
+crates/refine/src/extract.rs:
+crates/refine/src/filter.rs:
+crates/refine/src/generalize.rs:
+crates/refine/src/pipeline.rs:
+crates/refine/src/prune.rs:
+crates/refine/src/review.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

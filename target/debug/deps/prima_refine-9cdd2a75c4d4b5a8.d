@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prima_refine-9cdd2a75c4d4b5a8.d: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/debug/deps/libprima_refine-9cdd2a75c4d4b5a8.rlib: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/debug/deps/libprima_refine-9cdd2a75c4d4b5a8.rmeta: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/extract.rs:
+crates/refine/src/filter.rs:
+crates/refine/src/generalize.rs:
+crates/refine/src/pipeline.rs:
+crates/refine/src/prune.rs:
+crates/refine/src/review.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prima_refine-d4a711ba091fe64c.d: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/debug/deps/prima_refine-d4a711ba091fe64c: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/extract.rs:
+crates/refine/src/filter.rs:
+crates/refine/src/generalize.rs:
+crates/refine/src/pipeline.rs:
+crates/refine/src/prune.rs:
+crates/refine/src/review.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_store-0f3fab188c418832.d: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+/root/repo/target/debug/deps/libprima_store-0f3fab188c418832.rlib: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+/root/repo/target/debug/deps/libprima_store-0f3fab188c418832.rmeta: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+crates/store/src/lib.rs:
+crates/store/src/catalog.rs:
+crates/store/src/error.rs:
+crates/store/src/index.rs:
+crates/store/src/persist.rs:
+crates/store/src/predicate.rs:
+crates/store/src/row.rs:
+crates/store/src/schema.rs:
+crates/store/src/table.rs:
+crates/store/src/value.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/prima_store-60b476eb5da3b2ca.d: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_store-60b476eb5da3b2ca.rmeta: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/catalog.rs:
+crates/store/src/error.rs:
+crates/store/src/index.rs:
+crates/store/src/persist.rs:
+crates/store/src/predicate.rs:
+crates/store/src/row.rs:
+crates/store/src/schema.rs:
+crates/store/src/table.rs:
+crates/store/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_store-610feda659627f77.d: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+/root/repo/target/debug/deps/prima_store-610feda659627f77: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+crates/store/src/lib.rs:
+crates/store/src/catalog.rs:
+crates/store/src/error.rs:
+crates/store/src/index.rs:
+crates/store/src/persist.rs:
+crates/store/src/predicate.rs:
+crates/store/src/row.rs:
+crates/store/src/schema.rs:
+crates/store/src/table.rs:
+crates/store/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_stream-6cd08befefae90d8.d: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/debug/deps/prima_stream-6cd08befefae90d8: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cache.rs:
+crates/stream/src/config.rs:
+crates/stream/src/counters.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fault.rs:
+crates/stream/src/shard.rs:
+crates/stream/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_stream-73ffbd89e61e060e.d: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_stream-73ffbd89e61e060e.rmeta: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/cache.rs:
+crates/stream/src/config.rs:
+crates/stream/src/counters.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fault.rs:
+crates/stream/src/shard.rs:
+crates/stream/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

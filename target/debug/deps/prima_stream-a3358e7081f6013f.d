@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_stream-a3358e7081f6013f.d: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/debug/deps/libprima_stream-a3358e7081f6013f.rlib: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/debug/deps/libprima_stream-a3358e7081f6013f.rmeta: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cache.rs:
+crates/stream/src/config.rs:
+crates/stream/src/counters.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fault.rs:
+crates/stream/src/shard.rs:
+crates/stream/src/window.rs:

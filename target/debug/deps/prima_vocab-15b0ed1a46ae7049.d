@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_vocab-15b0ed1a46ae7049.d: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/debug/deps/prima_vocab-15b0ed1a46ae7049: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/concept.rs:
+crates/vocab/src/error.rs:
+crates/vocab/src/parse.rs:
+crates/vocab/src/samples.rs:
+crates/vocab/src/synthetic.rs:
+crates/vocab/src/taxonomy.rs:
+crates/vocab/src/vocabulary.rs:

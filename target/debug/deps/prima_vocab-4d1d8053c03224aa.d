@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_vocab-4d1d8053c03224aa.d: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/debug/deps/libprima_vocab-4d1d8053c03224aa.rlib: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/debug/deps/libprima_vocab-4d1d8053c03224aa.rmeta: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/concept.rs:
+crates/vocab/src/error.rs:
+crates/vocab/src/parse.rs:
+crates/vocab/src/samples.rs:
+crates/vocab/src/synthetic.rs:
+crates/vocab/src/taxonomy.rs:
+crates/vocab/src/vocabulary.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_vocab-a49f5f1d7e8c9306.d: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_vocab-a49f5f1d7e8c9306.rmeta: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs Cargo.toml
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/concept.rs:
+crates/vocab/src/error.rs:
+crates/vocab/src/parse.rs:
+crates/vocab/src/samples.rs:
+crates/vocab/src/synthetic.rs:
+crates/vocab/src/taxonomy.rs:
+crates/vocab/src/vocabulary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_workload-b3bde7892404570e.d: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_workload-b3bde7892404570e.rmeta: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/fixtures.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

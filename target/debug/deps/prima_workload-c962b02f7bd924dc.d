@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_workload-c962b02f7bd924dc.d: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/debug/deps/libprima_workload-c962b02f7bd924dc.rlib: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/debug/deps/libprima_workload-c962b02f7bd924dc.rmeta: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fixtures.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/prima_workload-c96614386a2a3a12.d: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/debug/deps/prima_workload-c96614386a2a3a12: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fixtures.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/sim.rs:

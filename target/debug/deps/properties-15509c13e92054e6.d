@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-15509c13e92054e6.d: crates/query/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-15509c13e92054e6.rmeta: crates/query/tests/properties.rs Cargo.toml
+
+crates/query/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-18a637fbe530ae71.d: crates/mining/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-18a637fbe530ae71: crates/mining/tests/properties.rs
+
+crates/mining/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6a7b5bb2b88f866c.d: crates/mining/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6a7b5bb2b88f866c.rmeta: crates/mining/tests/properties.rs Cargo.toml
+
+crates/mining/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

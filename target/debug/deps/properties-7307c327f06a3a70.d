@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7307c327f06a3a70.d: crates/stream/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7307c327f06a3a70.rmeta: crates/stream/tests/properties.rs Cargo.toml
+
+crates/stream/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-84f11bcdc1c749b1.d: crates/model/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-84f11bcdc1c749b1: crates/model/tests/properties.rs
+
+crates/model/tests/properties.rs:

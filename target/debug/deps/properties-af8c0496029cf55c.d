@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-af8c0496029cf55c.d: crates/query/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-af8c0496029cf55c: crates/query/tests/properties.rs
+
+crates/query/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bb3ede95da71228d.d: crates/hier/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bb3ede95da71228d.rmeta: crates/hier/tests/properties.rs Cargo.toml
+
+crates/hier/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

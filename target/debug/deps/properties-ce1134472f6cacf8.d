@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ce1134472f6cacf8.d: crates/stream/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ce1134472f6cacf8: crates/stream/tests/properties.rs
+
+crates/stream/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f843f098e22abd41.d: crates/model/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f843f098e22abd41.rmeta: crates/model/tests/properties.rs Cargo.toml
+
+crates/model/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

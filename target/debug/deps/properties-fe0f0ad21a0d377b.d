@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fe0f0ad21a0d377b.d: crates/hier/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fe0f0ad21a0d377b: crates/hier/tests/properties.rs
+
+crates/hier/tests/properties.rs:

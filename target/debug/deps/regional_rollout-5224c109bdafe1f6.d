@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regional_rollout-5224c109bdafe1f6.d: tests/regional_rollout.rs
+
+/root/repo/target/debug/deps/regional_rollout-5224c109bdafe1f6: tests/regional_rollout.rs
+
+tests/regional_rollout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regional_rollout-7449d94963bf5774.d: tests/regional_rollout.rs
+
+/root/repo/target/debug/deps/regional_rollout-7449d94963bf5774: tests/regional_rollout.rs
+
+tests/regional_rollout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regional_rollout-daf9b49caf97539f.d: tests/regional_rollout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregional_rollout-daf9b49caf97539f.rmeta: tests/regional_rollout.rs Cargo.toml
+
+tests/regional_rollout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulated_hospital-0f28177b5cef2b02.d: tests/simulated_hospital.rs
+
+/root/repo/target/debug/deps/simulated_hospital-0f28177b5cef2b02: tests/simulated_hospital.rs
+
+tests/simulated_hospital.rs:

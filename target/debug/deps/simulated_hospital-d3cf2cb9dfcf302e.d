@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulated_hospital-d3cf2cb9dfcf302e.d: tests/simulated_hospital.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulated_hospital-d3cf2cb9dfcf302e.rmeta: tests/simulated_hospital.rs Cargo.toml
+
+tests/simulated_hospital.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

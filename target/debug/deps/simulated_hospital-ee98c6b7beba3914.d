@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulated_hospital-ee98c6b7beba3914.d: tests/simulated_hospital.rs
+
+/root/repo/target/debug/deps/simulated_hospital-ee98c6b7beba3914: tests/simulated_hospital.rs
+
+tests/simulated_hospital.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/break_the_glass-07c878036dcfd1d0.d: examples/break_the_glass.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbreak_the_glass-07c878036dcfd1d0.rmeta: examples/break_the_glass.rs Cargo.toml
+
+examples/break_the_glass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/break_the_glass-363004ea8dd818e4.d: examples/break_the_glass.rs
+
+/root/repo/target/debug/examples/break_the_glass-363004ea8dd818e4: examples/break_the_glass.rs
+
+examples/break_the_glass.rs:

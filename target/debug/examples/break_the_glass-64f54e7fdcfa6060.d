@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/break_the_glass-64f54e7fdcfa6060.d: examples/break_the_glass.rs
+
+/root/repo/target/debug/examples/break_the_glass-64f54e7fdcfa6060: examples/break_the_glass.rs
+
+examples/break_the_glass.rs:

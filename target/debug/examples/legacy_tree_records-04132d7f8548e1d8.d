@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/legacy_tree_records-04132d7f8548e1d8.d: examples/legacy_tree_records.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblegacy_tree_records-04132d7f8548e1d8.rmeta: examples/legacy_tree_records.rs Cargo.toml
+
+examples/legacy_tree_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

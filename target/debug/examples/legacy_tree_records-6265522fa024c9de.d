@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legacy_tree_records-6265522fa024c9de.d: examples/legacy_tree_records.rs
+
+/root/repo/target/debug/examples/legacy_tree_records-6265522fa024c9de: examples/legacy_tree_records.rs
+
+examples/legacy_tree_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legacy_tree_records-9ac95cf45dfe3d2a.d: examples/legacy_tree_records.rs
+
+/root/repo/target/debug/examples/legacy_tree_records-9ac95cf45dfe3d2a: examples/legacy_tree_records.rs
+
+examples/legacy_tree_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_site_federation-3399e2b87e89728a.d: examples/multi_site_federation.rs
+
+/root/repo/target/debug/examples/multi_site_federation-3399e2b87e89728a: examples/multi_site_federation.rs
+
+examples/multi_site_federation.rs:

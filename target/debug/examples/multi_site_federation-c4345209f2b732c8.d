@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_site_federation-c4345209f2b732c8.d: examples/multi_site_federation.rs
+
+/root/repo/target/debug/examples/multi_site_federation-c4345209f2b732c8: examples/multi_site_federation.rs
+
+examples/multi_site_federation.rs:

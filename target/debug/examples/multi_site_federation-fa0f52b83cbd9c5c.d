@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_site_federation-fa0f52b83cbd9c5c.d: examples/multi_site_federation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_site_federation-fa0f52b83cbd9c5c.rmeta: examples/multi_site_federation.rs Cargo.toml
+
+examples/multi_site_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_hygiene-4f0e8dc32ebba5df.d: examples/policy_hygiene.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_hygiene-4f0e8dc32ebba5df.rmeta: examples/policy_hygiene.rs Cargo.toml
+
+examples/policy_hygiene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_hygiene-829ca4f4914a97fe.d: examples/policy_hygiene.rs
+
+/root/repo/target/debug/examples/policy_hygiene-829ca4f4914a97fe: examples/policy_hygiene.rs
+
+examples/policy_hygiene.rs:

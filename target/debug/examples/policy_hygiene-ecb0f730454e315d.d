@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_hygiene-ecb0f730454e315d.d: examples/policy_hygiene.rs
+
+/root/repo/target/debug/examples/policy_hygiene-ecb0f730454e315d: examples/policy_hygiene.rs
+
+examples/policy_hygiene.rs:

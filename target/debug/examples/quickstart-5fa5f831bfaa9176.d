@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5fa5f831bfaa9176.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5fa5f831bfaa9176: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6dbed8c8adf47904.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6dbed8c8adf47904: examples/quickstart.rs
+
+examples/quickstart.rs:

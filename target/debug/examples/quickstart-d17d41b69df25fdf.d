@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d17d41b69df25fdf.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d17d41b69df25fdf.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_ingestion-53227eeb2b783ca5.d: examples/streaming_ingestion.rs
+
+/root/repo/target/debug/examples/streaming_ingestion-53227eeb2b783ca5: examples/streaming_ingestion.rs
+
+examples/streaming_ingestion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_ingestion-fce3eca768b4a76e.d: examples/streaming_ingestion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_ingestion-fce3eca768b4a76e.rmeta: examples/streaming_ingestion.rs Cargo.toml
+
+examples/streaming_ingestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

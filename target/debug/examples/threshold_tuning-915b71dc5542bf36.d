@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_tuning-915b71dc5542bf36.d: examples/threshold_tuning.rs
+
+/root/repo/target/debug/examples/threshold_tuning-915b71dc5542bf36: examples/threshold_tuning.rs
+
+examples/threshold_tuning.rs:

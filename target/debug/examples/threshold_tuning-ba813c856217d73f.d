@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_tuning-ba813c856217d73f.d: examples/threshold_tuning.rs
+
+/root/repo/target/debug/examples/threshold_tuning-ba813c856217d73f: examples/threshold_tuning.rs
+
+examples/threshold_tuning.rs:

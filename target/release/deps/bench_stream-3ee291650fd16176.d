@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_stream-3ee291650fd16176.d: crates/bench/benches/bench_stream.rs
+
+/root/repo/target/release/deps/bench_stream-3ee291650fd16176: crates/bench/benches/bench_stream.rs
+
+crates/bench/benches/bench_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_evolving_practice-faefb68c70ad4e89.d: crates/bench/src/bin/exp_evolving_practice.rs
+
+/root/repo/target/release/deps/exp_evolving_practice-faefb68c70ad4e89: crates/bench/src/bin/exp_evolving_practice.rs
+
+crates/bench/src/bin/exp_evolving_practice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1_vocabulary-e068e25413212f8b.d: crates/bench/src/bin/exp_fig1_vocabulary.rs
+
+/root/repo/target/release/deps/exp_fig1_vocabulary-e068e25413212f8b: crates/bench/src/bin/exp_fig1_vocabulary.rs
+
+crates/bench/src/bin/exp_fig1_vocabulary.rs:

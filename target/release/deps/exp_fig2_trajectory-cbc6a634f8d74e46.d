@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2_trajectory-cbc6a634f8d74e46.d: crates/bench/src/bin/exp_fig2_trajectory.rs
+
+/root/repo/target/release/deps/exp_fig2_trajectory-cbc6a634f8d74e46: crates/bench/src/bin/exp_fig2_trajectory.rs
+
+crates/bench/src/bin/exp_fig2_trajectory.rs:

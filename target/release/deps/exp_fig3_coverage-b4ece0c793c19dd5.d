@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_coverage-b4ece0c793c19dd5.d: crates/bench/src/bin/exp_fig3_coverage.rs
+
+/root/repo/target/release/deps/exp_fig3_coverage-b4ece0c793c19dd5: crates/bench/src/bin/exp_fig3_coverage.rs
+
+crates/bench/src/bin/exp_fig3_coverage.rs:

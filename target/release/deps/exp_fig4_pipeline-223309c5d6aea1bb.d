@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_pipeline-223309c5d6aea1bb.d: crates/bench/src/bin/exp_fig4_pipeline.rs
+
+/root/repo/target/release/deps/exp_fig4_pipeline-223309c5d6aea1bb: crates/bench/src/bin/exp_fig4_pipeline.rs
+
+crates/bench/src/bin/exp_fig4_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5_hdb_overhead-378fbc8088721b6b.d: crates/bench/src/bin/exp_fig5_hdb_overhead.rs
+
+/root/repo/target/release/deps/exp_fig5_hdb_overhead-378fbc8088721b6b: crates/bench/src/bin/exp_fig5_hdb_overhead.rs
+
+crates/bench/src/bin/exp_fig5_hdb_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_miner_comparison-024fe2f11a3c0e07.d: crates/bench/src/bin/exp_miner_comparison.rs
+
+/root/repo/target/release/deps/exp_miner_comparison-024fe2f11a3c0e07: crates/bench/src/bin/exp_miner_comparison.rs
+
+crates/bench/src/bin/exp_miner_comparison.rs:

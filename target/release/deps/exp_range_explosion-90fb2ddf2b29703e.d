@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_range_explosion-90fb2ddf2b29703e.d: crates/bench/src/bin/exp_range_explosion.rs
+
+/root/repo/target/release/deps/exp_range_explosion-90fb2ddf2b29703e: crates/bench/src/bin/exp_range_explosion.rs
+
+crates/bench/src/bin/exp_range_explosion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_sensitivity-8558458a626b42b3.d: crates/bench/src/bin/exp_sensitivity.rs
+
+/root/repo/target/release/deps/exp_sensitivity-8558458a626b42b3: crates/bench/src/bin/exp_sensitivity.rs
+
+crates/bench/src/bin/exp_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1_usecase-767ba52cfe4951ad.d: crates/bench/src/bin/exp_table1_usecase.rs
+
+/root/repo/target/release/deps/exp_table1_usecase-767ba52cfe4951ad: crates/bench/src/bin/exp_table1_usecase.rs
+
+crates/bench/src/bin/exp_table1_usecase.rs:

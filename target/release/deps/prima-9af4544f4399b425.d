@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima-9af4544f4399b425.d: src/main.rs
+
+/root/repo/target/release/deps/prima-9af4544f4399b425: src/main.rs
+
+src/main.rs:

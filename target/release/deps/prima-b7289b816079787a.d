@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima-b7289b816079787a.d: src/main.rs
+
+/root/repo/target/release/deps/prima-b7289b816079787a: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima-cec59fb26eaf6f91.d: src/lib.rs
+
+/root/repo/target/release/deps/libprima-cec59fb26eaf6f91.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprima-cec59fb26eaf6f91.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima-ef090415d3521ded.d: src/lib.rs
+
+/root/repo/target/release/deps/libprima-ef090415d3521ded.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprima-ef090415d3521ded.rmeta: src/lib.rs
+
+src/lib.rs:

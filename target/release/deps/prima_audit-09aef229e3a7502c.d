@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/prima_audit-09aef229e3a7502c.d: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/release/deps/libprima_audit-09aef229e3a7502c.rlib: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/release/deps/libprima_audit-09aef229e3a7502c.rmeta: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/classify.rs:
+crates/audit/src/entry.rs:
+crates/audit/src/export.rs:
+crates/audit/src/federation.rs:
+crates/audit/src/retention.rs:
+crates/audit/src/schema.rs:
+crates/audit/src/stats.rs:
+crates/audit/src/store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/prima_audit-88426eb62018bae2.d: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/release/deps/libprima_audit-88426eb62018bae2.rlib: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+/root/repo/target/release/deps/libprima_audit-88426eb62018bae2.rmeta: crates/audit/src/lib.rs crates/audit/src/classify.rs crates/audit/src/entry.rs crates/audit/src/export.rs crates/audit/src/federation.rs crates/audit/src/retention.rs crates/audit/src/schema.rs crates/audit/src/stats.rs crates/audit/src/store.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/classify.rs:
+crates/audit/src/entry.rs:
+crates/audit/src/export.rs:
+crates/audit/src/federation.rs:
+crates/audit/src/retention.rs:
+crates/audit/src/schema.rs:
+crates/audit/src/stats.rs:
+crates/audit/src/store.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_bench-25c10b1a68ffc6a5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprima_bench-25c10b1a68ffc6a5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprima_bench-25c10b1a68ffc6a5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prima_core-024cd7b8f1ddc363.d: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+/root/repo/target/release/deps/libprima_core-024cd7b8f1ddc363.rlib: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+/root/repo/target/release/deps/libprima_core-024cd7b8f1ddc363.rmeta: crates/core/src/lib.rs crates/core/src/clinic.rs crates/core/src/snapshot.rs crates/core/src/system.rs crates/core/src/trajectory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clinic.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/system.rs:
+crates/core/src/trajectory.rs:

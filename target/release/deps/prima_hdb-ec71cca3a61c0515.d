@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_hdb-ec71cca3a61c0515.d: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+/root/repo/target/release/deps/libprima_hdb-ec71cca3a61c0515.rlib: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+/root/repo/target/release/deps/libprima_hdb-ec71cca3a61c0515.rmeta: crates/hdb/src/lib.rs crates/hdb/src/auditing.rs crates/hdb/src/clinical.rs crates/hdb/src/consent.rs crates/hdb/src/control.rs crates/hdb/src/enforcement.rs crates/hdb/src/error.rs crates/hdb/src/request.rs
+
+crates/hdb/src/lib.rs:
+crates/hdb/src/auditing.rs:
+crates/hdb/src/clinical.rs:
+crates/hdb/src/consent.rs:
+crates/hdb/src/control.rs:
+crates/hdb/src/enforcement.rs:
+crates/hdb/src/error.rs:
+crates/hdb/src/request.rs:

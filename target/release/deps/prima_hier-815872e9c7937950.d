@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prima_hier-815872e9c7937950.d: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/release/deps/libprima_hier-815872e9c7937950.rlib: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/release/deps/libprima_hier-815872e9c7937950.rmeta: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+crates/hier/src/lib.rs:
+crates/hier/src/category.rs:
+crates/hier/src/control.rs:
+crates/hier/src/doc.rs:
+crates/hier/src/enforce.rs:
+crates/hier/src/path.rs:

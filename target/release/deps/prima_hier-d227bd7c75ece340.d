@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prima_hier-d227bd7c75ece340.d: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/release/deps/libprima_hier-d227bd7c75ece340.rlib: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+/root/repo/target/release/deps/libprima_hier-d227bd7c75ece340.rmeta: crates/hier/src/lib.rs crates/hier/src/category.rs crates/hier/src/control.rs crates/hier/src/doc.rs crates/hier/src/enforce.rs crates/hier/src/path.rs
+
+crates/hier/src/lib.rs:
+crates/hier/src/category.rs:
+crates/hier/src/control.rs:
+crates/hier/src/doc.rs:
+crates/hier/src/enforce.rs:
+crates/hier/src/path.rs:

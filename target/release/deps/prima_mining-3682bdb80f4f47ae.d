@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prima_mining-3682bdb80f4f47ae.d: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/release/deps/libprima_mining-3682bdb80f4f47ae.rlib: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/release/deps/libprima_mining-3682bdb80f4f47ae.rmeta: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+crates/mining/src/lib.rs:
+crates/mining/src/apriori.rs:
+crates/mining/src/error.rs:
+crates/mining/src/pattern.rs:
+crates/mining/src/sql_miner.rs:

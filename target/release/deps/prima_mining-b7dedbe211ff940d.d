@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prima_mining-b7dedbe211ff940d.d: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/release/deps/libprima_mining-b7dedbe211ff940d.rlib: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+/root/repo/target/release/deps/libprima_mining-b7dedbe211ff940d.rmeta: crates/mining/src/lib.rs crates/mining/src/apriori.rs crates/mining/src/error.rs crates/mining/src/pattern.rs crates/mining/src/sql_miner.rs
+
+crates/mining/src/lib.rs:
+crates/mining/src/apriori.rs:
+crates/mining/src/error.rs:
+crates/mining/src/pattern.rs:
+crates/mining/src/sql_miner.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/prima_model-e9d31d1d1b0f212d.d: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs
+
+/root/repo/target/release/deps/libprima_model-e9d31d1d1b0f212d.rlib: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs
+
+/root/repo/target/release/deps/libprima_model-e9d31d1d1b0f212d.rmeta: crates/model/src/lib.rs crates/model/src/coverage.rs crates/model/src/dsl.rs crates/model/src/error.rs crates/model/src/ground.rs crates/model/src/lint.rs crates/model/src/policy.rs crates/model/src/range.rs crates/model/src/rule.rs crates/model/src/samples.rs crates/model/src/simplify.rs crates/model/src/term.rs
+
+crates/model/src/lib.rs:
+crates/model/src/coverage.rs:
+crates/model/src/dsl.rs:
+crates/model/src/error.rs:
+crates/model/src/ground.rs:
+crates/model/src/lint.rs:
+crates/model/src/policy.rs:
+crates/model/src/range.rs:
+crates/model/src/rule.rs:
+crates/model/src/samples.rs:
+crates/model/src/simplify.rs:
+crates/model/src/term.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_query-3bea0c96786cdef7.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+/root/repo/target/release/deps/libprima_query-3bea0c96786cdef7.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+/root/repo/target/release/deps/libprima_query-3bea0c96786cdef7.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/error.rs crates/query/src/exec.rs crates/query/src/lexer.rs crates/query/src/parser.rs crates/query/src/plan.rs crates/query/src/result.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/error.rs:
+crates/query/src/exec.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+crates/query/src/plan.rs:
+crates/query/src/result.rs:

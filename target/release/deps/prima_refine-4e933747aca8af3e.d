@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/prima_refine-4e933747aca8af3e.d: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/release/deps/libprima_refine-4e933747aca8af3e.rlib: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/release/deps/libprima_refine-4e933747aca8af3e.rmeta: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/extract.rs:
+crates/refine/src/filter.rs:
+crates/refine/src/generalize.rs:
+crates/refine/src/pipeline.rs:
+crates/refine/src/prune.rs:
+crates/refine/src/review.rs:

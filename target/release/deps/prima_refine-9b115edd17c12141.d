@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/prima_refine-9b115edd17c12141.d: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/release/deps/libprima_refine-9b115edd17c12141.rlib: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+/root/repo/target/release/deps/libprima_refine-9b115edd17c12141.rmeta: crates/refine/src/lib.rs crates/refine/src/extract.rs crates/refine/src/filter.rs crates/refine/src/generalize.rs crates/refine/src/pipeline.rs crates/refine/src/prune.rs crates/refine/src/review.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/extract.rs:
+crates/refine/src/filter.rs:
+crates/refine/src/generalize.rs:
+crates/refine/src/pipeline.rs:
+crates/refine/src/prune.rs:
+crates/refine/src/review.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/prima_store-d34e20dcdf9c7543.d: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+/root/repo/target/release/deps/libprima_store-d34e20dcdf9c7543.rlib: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+/root/repo/target/release/deps/libprima_store-d34e20dcdf9c7543.rmeta: crates/store/src/lib.rs crates/store/src/catalog.rs crates/store/src/error.rs crates/store/src/index.rs crates/store/src/persist.rs crates/store/src/predicate.rs crates/store/src/row.rs crates/store/src/schema.rs crates/store/src/table.rs crates/store/src/value.rs
+
+crates/store/src/lib.rs:
+crates/store/src/catalog.rs:
+crates/store/src/error.rs:
+crates/store/src/index.rs:
+crates/store/src/persist.rs:
+crates/store/src/predicate.rs:
+crates/store/src/row.rs:
+crates/store/src/schema.rs:
+crates/store/src/table.rs:
+crates/store/src/value.rs:

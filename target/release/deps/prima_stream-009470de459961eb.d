@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_stream-009470de459961eb.d: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/release/deps/libprima_stream-009470de459961eb.rlib: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/release/deps/libprima_stream-009470de459961eb.rmeta: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cache.rs:
+crates/stream/src/config.rs:
+crates/stream/src/counters.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fault.rs:
+crates/stream/src/shard.rs:
+crates/stream/src/window.rs:

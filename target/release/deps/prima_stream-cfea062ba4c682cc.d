@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_stream-cfea062ba4c682cc.d: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/release/deps/libprima_stream-cfea062ba4c682cc.rlib: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+/root/repo/target/release/deps/libprima_stream-cfea062ba4c682cc.rmeta: crates/stream/src/lib.rs crates/stream/src/cache.rs crates/stream/src/config.rs crates/stream/src/counters.rs crates/stream/src/engine.rs crates/stream/src/fault.rs crates/stream/src/shard.rs crates/stream/src/window.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cache.rs:
+crates/stream/src/config.rs:
+crates/stream/src/counters.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fault.rs:
+crates/stream/src/shard.rs:
+crates/stream/src/window.rs:

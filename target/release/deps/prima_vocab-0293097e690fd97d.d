@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_vocab-0293097e690fd97d.d: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/release/deps/libprima_vocab-0293097e690fd97d.rlib: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/release/deps/libprima_vocab-0293097e690fd97d.rmeta: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/concept.rs:
+crates/vocab/src/error.rs:
+crates/vocab/src/parse.rs:
+crates/vocab/src/samples.rs:
+crates/vocab/src/synthetic.rs:
+crates/vocab/src/taxonomy.rs:
+crates/vocab/src/vocabulary.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_vocab-6cc7b3761b31e469.d: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/release/deps/libprima_vocab-6cc7b3761b31e469.rlib: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+/root/repo/target/release/deps/libprima_vocab-6cc7b3761b31e469.rmeta: crates/vocab/src/lib.rs crates/vocab/src/concept.rs crates/vocab/src/error.rs crates/vocab/src/parse.rs crates/vocab/src/samples.rs crates/vocab/src/synthetic.rs crates/vocab/src/taxonomy.rs crates/vocab/src/vocabulary.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/concept.rs:
+crates/vocab/src/error.rs:
+crates/vocab/src/parse.rs:
+crates/vocab/src/samples.rs:
+crates/vocab/src/synthetic.rs:
+crates/vocab/src/taxonomy.rs:
+crates/vocab/src/vocabulary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prima_workload-9eaad46b14eb2926.d: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/release/deps/libprima_workload-9eaad46b14eb2926.rlib: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/release/deps/libprima_workload-9eaad46b14eb2926.rmeta: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fixtures.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prima_workload-a998603b23255c1e.d: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/release/deps/libprima_workload-a998603b23255c1e.rlib: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+/root/repo/target/release/deps/libprima_workload-a998603b23255c1e.rmeta: crates/workload/src/lib.rs crates/workload/src/fixtures.rs crates/workload/src/scenario.rs crates/workload/src/sim.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fixtures.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/sim.rs:

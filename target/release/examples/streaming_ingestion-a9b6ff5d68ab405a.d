@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_ingestion-a9b6ff5d68ab405a.d: examples/streaming_ingestion.rs
+
+/root/repo/target/release/examples/streaming_ingestion-a9b6ff5d68ab405a: examples/streaming_ingestion.rs
+
+examples/streaming_ingestion.rs:

@@ -14,7 +14,8 @@ fn control_center() -> ControlCenter {
         .map(|(c, k)| (c.as_str(), k.as_str()))
         .collect();
     cc.register_table(encounters, &maps).unwrap();
-    cc.define_rule("general-care", "treatment", "nurse").unwrap();
+    cc.define_rule("general-care", "treatment", "nurse")
+        .unwrap();
     cc
 }
 
@@ -37,7 +38,13 @@ fn break_the_glass_becomes_policy() {
     assert!(denied.is_err());
 
     // Five nurses break the glass for the same workflow.
-    for (t, nurse) in [(10, "mark"), (11, "tim"), (12, "ana"), (13, "bob"), (14, "mark")] {
+    for (t, nurse) in [
+        (10, "mark"),
+        (11, "tim"),
+        (12, "ana"),
+        (13, "bob"),
+        (14, "mark"),
+    ] {
         cc.query(&AccessRequest::break_the_glass(
             t,
             nurse,

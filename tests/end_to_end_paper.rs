@@ -66,7 +66,9 @@ fn section_5_use_case() {
 
     let candidate = &system.review().candidates()[0];
     assert_eq!(
-        candidate.pattern.compact(&["data", "purpose", "authorized"]),
+        candidate
+            .pattern
+            .compact(&["data", "purpose", "authorized"]),
         "referral:registration:nurse"
     );
     assert_eq!(candidate.pattern.support, 5, "entries t3 and t7-t10");

@@ -57,7 +57,10 @@ fn sibling_complete_practice_generalizes_and_compacts() {
     let out = generalize(&patterns, &vocab);
     assert_eq!(out.rules.len(), 1, "steps: {:?}", out.steps);
     let composite = &out.rules[0];
-    assert_eq!(composite.value_of("purpose"), Some("administering-healthcare"));
+    assert_eq!(
+        composite.value_of("purpose"),
+        Some("administering-healthcare")
+    );
     assert_eq!(composite.value_of("data"), Some("referral"));
 
     // Accept, then also (redundantly) accept one of the ground rules the
@@ -72,11 +75,8 @@ fn sibling_complete_practice_generalizes_and_compacts() {
 
     // The compacted policy fully covers the nurses' workflow.
     let rules: Vec<_> = trail.iter().map(|e| e.to_ground_rule().unwrap()).collect();
-    let coverage = prima::model::CoverageEngine::default().entry_coverage(
-        &compacted.policy,
-        &rules,
-        &vocab,
-    );
+    let coverage =
+        prima::model::CoverageEngine::default().entry_coverage(&compacted.policy, &rules, &vocab);
     assert!(
         (coverage.ratio() - 1.0).abs() < f64::EPSILON,
         "coverage {coverage:?}"

@@ -38,8 +38,14 @@ fn staged_rollout_with_windows_and_snapshots() {
     let first = system
         .run_round_windowed(half, ReviewMode::AutoAccept)
         .expect("first period mines cleanly");
-    assert!(first.rules_added >= 3, "dominant clusters absorbed: {first:?}");
-    assert!(first.audit_entries < 20_000, "window must truncate the trail");
+    assert!(
+        first.rules_added >= 3,
+        "dominant clusters absorbed: {first:?}"
+    );
+    assert!(
+        first.audit_entries < 20_000,
+        "window must truncate the trail"
+    );
 
     // Nightly snapshot…
     let json = system.snapshot_json();

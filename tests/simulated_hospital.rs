@@ -80,9 +80,7 @@ fn federation_is_transparent() {
         federated.attach_store(s);
     }
 
-    assert!(
-        (single.entry_coverage().ratio() - federated.entry_coverage().ratio()).abs() < 1e-12
-    );
+    assert!((single.entry_coverage().ratio() - federated.entry_coverage().ratio()).abs() < 1e-12);
     let r1 = single.run_round(ReviewMode::AutoAccept).unwrap();
     let r2 = federated.run_round(ReviewMode::AutoAccept).unwrap();
     assert_eq!(r1.patterns_found, r2.patterns_found);

@@ -1,0 +1,340 @@
+//! Offline stand-in for `rand` 0.8, covering the API surface this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::{gen, gen_range,
+//! gen_bool}`, and `seq::SliceRandom::{choose, shuffle}`.
+//!
+//! `StdRng` is xoshiro256++ seeded via SplitMix64 — statistically solid
+//! for simulation workloads and fully deterministic per seed (the
+//! workspace's generators promise "same seed, same trail"). Streams are
+//! NOT bit-compatible with the real rand crate; nothing in the workspace
+//! depends on rand's exact streams, only on determinism and uniformity.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (what `rng.gen()`
+/// produces): uniform over the full domain for integers, `[0, 1)` for
+/// floats.
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with uniform sampling over ranges. The blanket
+/// [`SampleRange`] impls below are over this trait so that integer
+/// literals in `gen_range(1..=60)` infer their type from the result
+/// (matching real rand's `SampleUniform` structure).
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform draw from `[start, end)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start < end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as i64,
+    i16 as i64,
+    i32 as i64,
+    i64 as i64,
+    isize as i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: f64, end: f64) -> f64 {
+        assert!(start < end, "gen_range: empty range");
+        start + f64::sample(rng) * (end - start)
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: f64, end: f64) -> f64 {
+        // Closed float ranges are sampled like half-open ones; the
+        // endpoint has measure zero.
+        Self::sample_half_open(rng, start, end)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Debiased uniform draw in `[0, span)` (`span == 0` means the full
+/// 64-bit domain).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Lemire-style rejection: zone is the largest multiple of span.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+/// The user-facing sampling API (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++, seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(super::uniform_u64(rng, self.len() as u64) as usize)
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_u64(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let mut buckets = [0usize; 10];
+        for _ in 0..n {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            let share = b as f64 / n as f64;
+            assert!((share - 0.1).abs() < 0.01, "bucket share {share}");
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig);
+        v.sort_unstable();
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let share = hits as f64 / 100_000.0;
+        assert!((share - 0.3).abs() < 0.01, "share {share}");
+    }
+}

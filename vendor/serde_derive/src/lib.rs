@@ -1,0 +1,452 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with a hand-rolled `proc_macro` token walker
+//! (no `syn`/`quote` available offline) and emits value-model based
+//! `Serialize`/`Deserialize` impls against the sibling `serde` shim.
+//!
+//! Supported shapes — everything this workspace derives:
+//! * named-field structs (with `#[serde(skip)]` fields, restored via
+//!   `Default` on deserialize),
+//! * tuple structs (newtype and general) and unit structs,
+//! * enums with unit, tuple, and struct variants, encoded externally
+//!   tagged exactly like serde's JSON convention.
+//!
+//! Generics are unsupported and rejected with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes attribute groups (`#[...]`) from the front of `toks`,
+/// returning true iff one of them was `#[serde(skip)]`.
+fn eat_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                let text = args.stream().to_string();
+                                if text.split(',').any(|a| a.trim() == "skip") {
+                                    skip = true;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    panic!("serde_derive shim: malformed attribute");
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Counts the top-level comma-separated items in a type list, tracking
+/// `<...>` nesting manually (angle brackets are not token groups).
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in g.stream() {
+        any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Parses `name: Type` fields (with attributes) out of a brace group.
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let mut toks = g.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut toks);
+        eat_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type, stopping at the next top-level comma.
+        let mut depth = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    eat_attrs(&mut toks);
+    eat_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(&g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&g),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            let mut vt = body.stream().into_iter().peekable();
+            let mut variants = Vec::new();
+            loop {
+                eat_attrs(&mut vt);
+                let vname = match vt.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+                };
+                let shape = match vt.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g);
+                        vt.next();
+                        VariantShape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g);
+                        vt.next();
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = vt.peek() {
+                    if p.as_char() == ',' {
+                        vt.next();
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(__m)\n}}\n}}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::serialize({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::deserialize(::serde::map_get(__m, \"{0}\"))?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize(__s.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__payload)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(__s.get({i}).ok_or_else(|| ::serde::Error::custom(\"variant payload too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __s = __payload.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::Deserialize::deserialize(::serde::map_get(__fm, \"{0}\"))?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __fm = __payload.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__s}}` of {name}\"))),\n}};\n}}\n\
+                 let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected string or map for enum {name}\"))?;\n\
+                 let (__tag, __payload) = __m.first().ok_or_else(|| ::serde::Error::custom(\"empty enum map\"))?;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__tag}}` of {name}\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated impl parses")
+}
