@@ -16,6 +16,31 @@ use prima_store::{Column, DataType, Row, Schema, StoreError, Table, Value};
 /// Name of the provenance column added by [`AuditFederation::consolidated_table`].
 pub const COL_SITE: &str = "site";
 
+/// Federation registration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederationError {
+    /// A source with this name is already registered. Registering the
+    /// same name twice — including the same [`AuditStore`] twice, since
+    /// clones share one table — would silently double-count every entry
+    /// in coverage denominators and mined pattern supports.
+    DuplicateSource {
+        /// The offending source name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::DuplicateSource { name } => {
+                write!(f, "audit source '{name}' is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
 /// A consolidated view over multiple audit stores.
 #[derive(Debug, Default, Clone)]
 pub struct AuditFederation {
@@ -31,8 +56,18 @@ impl AuditFederation {
     /// Registers a log source. Sources are iterated in registration order,
     /// and entries within a source in append order, so the consolidated
     /// view is deterministic.
-    pub fn register(&mut self, store: AuditStore) {
+    ///
+    /// Source names are the identity: registering a second store with an
+    /// already-registered name (including a clone of a registered store,
+    /// which shares its table) is rejected rather than double-counted.
+    pub fn register(&mut self, store: AuditStore) -> Result<(), FederationError> {
+        if self.sources.iter().any(|s| s.name() == store.name()) {
+            return Err(FederationError::DuplicateSource {
+                name: store.name().to_string(),
+            });
+        }
         self.sources.push(store);
+        Ok(())
     }
 
     /// The registered sources.
@@ -157,8 +192,8 @@ mod tests {
         ))
         .unwrap();
         let mut f = AuditFederation::new();
-        f.register(a);
-        f.register(b);
+        f.register(a).unwrap();
+        f.register(b).unwrap();
         f
     }
 
@@ -213,5 +248,91 @@ mod tests {
         assert!(f.consolidated_entries().is_empty());
         assert_eq!(f.consolidated_table().unwrap().len(), 0);
         assert!(f.sources().is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected_not_double_counted() {
+        let store = AuditStore::new("icu");
+        store
+            .append(&AuditEntry::regular(
+                1,
+                "tim",
+                "referral",
+                "treatment",
+                "nurse",
+            ))
+            .unwrap();
+        let mut f = AuditFederation::new();
+        f.register(store.clone()).unwrap();
+        // The same store again (a clone shares the table) — and any other
+        // store reusing the name — must be rejected.
+        let err = f.register(store).unwrap_err();
+        assert_eq!(err, FederationError::DuplicateSource { name: "icu".into() });
+        assert!(err.to_string().contains("icu"));
+        let err2 = f.register(AuditStore::new("icu")).unwrap_err();
+        assert!(matches!(err2, FederationError::DuplicateSource { .. }));
+        // Provenance stayed single-counted.
+        assert_eq!(f.total_len(), 1);
+        assert_eq!(f.ground_rules().len(), 1);
+    }
+
+    #[test]
+    fn equal_timestamps_tie_break_by_registration_then_append_order() {
+        // Three sites, every entry at the same instant: the documented
+        // stable tie-break is registration order, then append order
+        // within a source.
+        let a = AuditStore::new("alpha");
+        a.append(&AuditEntry::regular(
+            7,
+            "a1",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
+        a.append(&AuditEntry::regular(
+            7,
+            "a2",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
+        let b = AuditStore::new("beta");
+        b.append(&AuditEntry::regular(
+            7,
+            "b1",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
+        let c = AuditStore::new("gamma");
+        c.append(&AuditEntry::regular(
+            7,
+            "c1",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
+        c.append(&AuditEntry::regular(
+            5,
+            "c0",
+            "referral",
+            "treatment",
+            "nurse",
+        ))
+        .unwrap();
+        let mut f = AuditFederation::new();
+        f.register(a).unwrap();
+        f.register(b).unwrap();
+        f.register(c).unwrap();
+        let users: Vec<String> = f
+            .consolidated_entries()
+            .iter()
+            .map(|e| e.user.clone())
+            .collect();
+        assert_eq!(users, vec!["c0", "a1", "a2", "b1", "c1"]);
     }
 }

@@ -21,7 +21,13 @@
 //! * [`classify`] — hooks for separating *violations* from *informal
 //!   practice* among exception entries, which the paper flags as necessary
 //!   before patterns are proposed as policy;
-//! * [`export`] — JSON-lines export/import for experiment artifacts.
+//! * [`export`] — JSON-lines export/import for experiment artifacts;
+//! * [`source`] / [`resilience`] — the fault-tolerant side of federation:
+//!   a [`LogSource`] abstraction over fallible per-site fetches, retried
+//!   under a [`RetryPolicy`] behind per-source [`CircuitBreaker`]s, with
+//!   malformed records parked in a [`Quarantine`] and a
+//!   [`FederationHealth`] report that bounds how complete the degraded
+//!   consolidated view is.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,15 +36,27 @@ pub mod classify;
 pub mod entry;
 pub mod export;
 pub mod federation;
+pub mod health;
+pub mod quarantine;
+pub mod resilience;
 pub mod retention;
+pub mod retry;
 pub mod schema;
+pub mod source;
 pub mod stats;
 pub mod store;
 
 pub use classify::{AccessClassifier, DenyPairClassifier, NoViolations};
 pub use entry::{AccessStatus, AuditEntry, Op};
-pub use federation::AuditFederation;
+pub use federation::{AuditFederation, FederationError};
+pub use health::{FederationHealth, SourceHealth, SourceStatus};
+pub use quarantine::{Quarantine, QuarantineReason, QuarantinedRecord};
+pub use resilience::ResilientFederation;
 pub use retention::TrainingWindow;
+pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use schema::audit_schema;
+pub use source::{
+    FaultySource, FetchResponse, LogSource, RawRecord, SourceError, SourceFaults, StoreSource,
+};
 pub use stats::{glass_breakers, trail_stats, TrailStats};
 pub use store::AuditStore;

@@ -1,0 +1,365 @@
+//! The log-source abstraction the resilient federation fetches from.
+//!
+//! The paper's Audit Management component federates per-site trails that
+//! live behind real transports (DB2 Information Integrator in the first
+//! instantiation). [`LogSource`] abstracts that fetch: a site answers
+//! with its records, how many it *should* have had, and the latency the
+//! response took — or fails outright. [`StoreSource`] adapts an
+//! in-process [`AuditStore`]; [`FaultySource`] wraps one behind a
+//! deterministic fault script (unavailable, intermittent, slow,
+//! truncated tail, corrupt entries) so every failure mode the retry
+//! policy, circuit breaker, and quarantine must survive is reproducible
+//! in tests.
+
+use crate::entry::AuditEntry;
+use crate::quarantine::QuarantineReason;
+use crate::store::AuditStore;
+use std::fmt;
+use std::time::Duration;
+
+/// One record as fetched off the wire: either a parsed entry or
+/// something that must be quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawRecord {
+    /// A well-formed audit entry.
+    Entry(AuditEntry),
+    /// A record that could not be consolidated.
+    Corrupt {
+        /// Best-effort rendering for triage.
+        raw: String,
+        /// Why it cannot be consolidated.
+        reason: QuarantineReason,
+    },
+}
+
+/// A successful fetch from one source.
+#[derive(Debug, Clone)]
+pub struct FetchResponse {
+    /// The records the source returned (possibly a truncated prefix).
+    pub records: Vec<RawRecord>,
+    /// How many records the source advertises in total. `expected >
+    /// records.len()` means the tail was truncated and the difference
+    /// counts against completeness.
+    pub expected: usize,
+    /// Declared latency of this response (see [`crate::RetryPolicy`]
+    /// for why latency is declared, not measured).
+    pub latency: Duration,
+}
+
+/// Why a fetch attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The site did not answer at all.
+    Unavailable {
+        /// Source name.
+        source: String,
+    },
+    /// The site answered, but slower than the per-attempt timeout.
+    Timeout {
+        /// Source name.
+        source: String,
+        /// The declared latency that blew the budget.
+        latency: Duration,
+    },
+    /// The per-source deadline was exhausted across attempts.
+    DeadlineExceeded {
+        /// Source name.
+        source: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Unavailable { source } => write!(f, "source '{source}' unavailable"),
+            SourceError::Timeout { source, latency } => {
+                write!(f, "source '{source}' timed out ({latency:?})")
+            }
+            SourceError::DeadlineExceeded { source, attempts } => {
+                write!(
+                    f,
+                    "source '{source}' deadline exceeded after {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A fetchable per-site audit trail.
+pub trait LogSource: Send + fmt::Debug {
+    /// Stable name of the site (provenance + dedup key).
+    fn name(&self) -> &str;
+
+    /// One fetch attempt. `&mut self` because real transports carry
+    /// connection state and the fault script advances per attempt.
+    fn fetch(&mut self) -> Result<FetchResponse, SourceError>;
+
+    /// Manifest hint: how many entries the site's catalog advertises,
+    /// when that is knowable without a successful fetch (DB2 II exposes
+    /// such metadata). Lets an unreachable site still count against the
+    /// federation's completeness bound.
+    fn expected_len(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// An always-healthy source backed by an in-process [`AuditStore`].
+#[derive(Debug, Clone)]
+pub struct StoreSource {
+    store: AuditStore,
+}
+
+impl StoreSource {
+    /// Wraps `store`.
+    pub fn new(store: AuditStore) -> Self {
+        Self { store }
+    }
+}
+
+impl LogSource for StoreSource {
+    fn name(&self) -> &str {
+        self.store.name()
+    }
+
+    fn fetch(&mut self) -> Result<FetchResponse, SourceError> {
+        let records: Vec<RawRecord> = self
+            .store
+            .entries()
+            .into_iter()
+            .map(RawRecord::Entry)
+            .collect();
+        let expected = records.len();
+        Ok(FetchResponse {
+            records,
+            expected,
+            latency: Duration::ZERO,
+        })
+    }
+
+    fn expected_len(&self) -> Option<usize> {
+        Some(self.store.len())
+    }
+}
+
+/// Deterministic fault script for a [`FaultySource`].
+///
+/// Faults compose: a source can be intermittent *and* slow *and*
+/// truncate its tail. Attempt counting is global across rounds, so a
+/// script like `fail_first_attempts(3)` with a 2-attempt retry policy
+/// fails the first consolidation round entirely and recovers on the
+/// second — exactly the "logs converge as they fill in" shape the
+/// iterative-enforcement literature assumes.
+#[derive(Debug, Clone, Default)]
+pub struct SourceFaults {
+    /// First `n` fetch attempts (lifetime of the source) fail
+    /// unavailable.
+    pub fail_first_attempts: u64,
+    /// Every attempt fails unavailable (a down site).
+    pub permanently_down: bool,
+    /// Declared latency of successful responses.
+    pub latency: Duration,
+    /// Return only the first `k` entries while advertising the full
+    /// count (a truncated tail).
+    pub truncate_to: Option<usize>,
+    /// Corrupt every `k`-th record (1-based positions `k, 2k, …`).
+    pub corrupt_every: Option<usize>,
+}
+
+impl SourceFaults {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail the first `n` attempts, then behave.
+    pub fn fail_first_attempts(mut self, n: u64) -> Self {
+        self.fail_first_attempts = n;
+        self
+    }
+
+    /// Never answer.
+    pub fn permanently_down(mut self) -> Self {
+        self.permanently_down = true;
+        self
+    }
+
+    /// Declare `latency` on every successful response.
+    pub fn latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Truncate responses to the first `k` entries.
+    pub fn truncate_to(mut self, k: usize) -> Self {
+        self.truncate_to = Some(k);
+        self
+    }
+
+    /// Corrupt every `k`-th record (`k ≥ 1`).
+    pub fn corrupt_every(mut self, k: usize) -> Self {
+        self.corrupt_every = Some(k.max(1));
+        self
+    }
+}
+
+/// A fault-injectable source: an [`AuditStore`] behind a
+/// [`SourceFaults`] script.
+#[derive(Debug)]
+pub struct FaultySource {
+    store: AuditStore,
+    faults: SourceFaults,
+    attempts: u64,
+}
+
+impl FaultySource {
+    /// Wraps `store` behind `faults`.
+    pub fn new(store: AuditStore, faults: SourceFaults) -> Self {
+        Self {
+            store,
+            faults,
+            attempts: 0,
+        }
+    }
+
+    /// Fetch attempts made so far (for assertions on retry schedules).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+}
+
+impl LogSource for FaultySource {
+    fn name(&self) -> &str {
+        self.store.name()
+    }
+
+    fn fetch(&mut self) -> Result<FetchResponse, SourceError> {
+        self.attempts += 1;
+        if self.faults.permanently_down || self.attempts <= self.faults.fail_first_attempts {
+            return Err(SourceError::Unavailable {
+                source: self.store.name().to_string(),
+            });
+        }
+        let entries = self.store.entries();
+        let expected = entries.len();
+        let kept = match self.faults.truncate_to {
+            Some(k) => k.min(entries.len()),
+            None => entries.len(),
+        };
+        let records = entries
+            .into_iter()
+            .take(kept)
+            .enumerate()
+            .map(|(i, e)| match self.faults.corrupt_every {
+                Some(k) if (i + 1) % k == 0 => RawRecord::Corrupt {
+                    raw: e.to_string(),
+                    reason: QuarantineReason::MalformedRecord,
+                },
+                _ => RawRecord::Entry(e),
+            })
+            .collect();
+        Ok(FetchResponse {
+            records,
+            expected,
+            latency: self.faults.latency,
+        })
+    }
+
+    fn expected_len(&self) -> Option<usize> {
+        Some(self.store.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: usize) -> AuditStore {
+        let s = AuditStore::new("site");
+        for i in 0..n {
+            s.append(&AuditEntry::regular(
+                i as i64,
+                "u",
+                "referral",
+                "treatment",
+                "nurse",
+            ))
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn store_source_returns_everything() {
+        let mut src = StoreSource::new(site(3));
+        let r = src.fetch().unwrap();
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.expected, 3);
+        assert!(r.records.iter().all(|x| matches!(x, RawRecord::Entry(_))));
+    }
+
+    #[test]
+    fn intermittent_source_recovers_after_n_attempts() {
+        let mut src = FaultySource::new(site(2), SourceFaults::none().fail_first_attempts(2));
+        assert!(src.fetch().is_err());
+        assert!(src.fetch().is_err());
+        let r = src.fetch().unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(src.attempts(), 3);
+    }
+
+    #[test]
+    fn down_source_never_answers() {
+        let mut src = FaultySource::new(site(2), SourceFaults::none().permanently_down());
+        for _ in 0..5 {
+            assert!(matches!(src.fetch(), Err(SourceError::Unavailable { .. })));
+        }
+    }
+
+    #[test]
+    fn truncated_tail_advertises_full_count() {
+        let mut src = FaultySource::new(site(5), SourceFaults::none().truncate_to(3));
+        let r = src.fetch().unwrap();
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.expected, 5, "missing tail is visible");
+    }
+
+    #[test]
+    fn corruption_marks_every_kth_record() {
+        let mut src = FaultySource::new(site(6), SourceFaults::none().corrupt_every(3));
+        let r = src.fetch().unwrap();
+        let corrupt: Vec<usize> = r
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| matches!(x, RawRecord::Corrupt { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(corrupt, vec![2, 5]);
+    }
+
+    #[test]
+    fn faults_compose() {
+        let faults = SourceFaults::none()
+            .fail_first_attempts(1)
+            .latency(Duration::from_millis(10))
+            .truncate_to(4)
+            .corrupt_every(2);
+        let mut src = FaultySource::new(site(6), faults);
+        assert!(src.fetch().is_err());
+        let r = src.fetch().unwrap();
+        assert_eq!(r.records.len(), 4);
+        assert_eq!(r.expected, 6);
+        assert_eq!(r.latency, Duration::from_millis(10));
+        assert_eq!(
+            r.records
+                .iter()
+                .filter(|x| matches!(x, RawRecord::Corrupt { .. }))
+                .count(),
+            2
+        );
+    }
+}

@@ -21,7 +21,7 @@ fn bench_full_round(c: &mut Criterion) {
             b.iter(|| {
                 let mut system = PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone());
                 for store in split_sites(trail, 4) {
-                    system.attach_store(store);
+                    system.attach_store(store).expect("unique source name");
                 }
                 system.run_round(ReviewMode::AutoAccept).unwrap()
             })

@@ -71,7 +71,7 @@ fn main() {
             PrimaSystem::new(scenario.vocab.clone(), policy.clone()).with_miner(Box::new(miner));
         let store = AuditStore::new(&format!("round-{round}"));
         store.append_all(&trail).expect("simulated entries conform");
-        system.attach_store(store);
+        system.attach_store(store).expect("unique source name");
 
         let coverage = system.entry_coverage().ratio();
         let record = system

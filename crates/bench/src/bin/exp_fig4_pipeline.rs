@@ -38,7 +38,7 @@ fn main() {
         let sites = split_sites(&labeled, 4);
         let mut federation = prima_audit::AuditFederation::new();
         for s in sites {
-            federation.register(s);
+            federation.register(s).expect("unique source name");
         }
         let (consolidated, t_fed) = timed(|| federation.consolidated_entries());
 

@@ -53,7 +53,7 @@ fn main() {
     store
         .append_all(&trail)
         .expect("fixture conforms to schema");
-    system.attach_store(store);
+    system.attach_store(store).expect("unique source name");
 
     banner("Coverage before refinement");
     let before = system.entry_coverage();

@@ -180,7 +180,9 @@ mod tests {
         // The audit store was written by Compliance Auditing, not by the
         // simulator; PRIMA refines it identically.
         let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
-        prima.attach_store(cc.audit_store().clone());
+        prima
+            .attach_store(cc.audit_store().clone())
+            .expect("unique source name");
         let record = prima.run_round(ReviewMode::AutoAccept).unwrap();
         assert!(record.practice_entries > 0);
         assert_eq!(record.rules_added, 1);

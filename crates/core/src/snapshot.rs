@@ -109,7 +109,7 @@ mod tests {
         let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
         let store = AuditStore::new("main");
         store.append_all(&table_1()).unwrap();
-        sys.attach_store(store);
+        sys.attach_store(store).expect("unique source name");
         sys.run_round(ReviewMode::Manual).unwrap();
         sys
     }
@@ -141,7 +141,7 @@ mod tests {
         // must not be re-proposed.
         let store = AuditStore::new("main");
         store.append_all(&table_1()).unwrap();
-        restored.attach_store(store);
+        restored.attach_store(store).expect("unique source name");
         let record = restored.run_round(ReviewMode::Manual).unwrap();
         assert_eq!(record.patterns_useful, 1, "still mined");
         assert_eq!(record.candidates_enqueued, 0, "but suppressed");

@@ -1,9 +1,13 @@
 //! The long-lived PRIMA system object.
 
-use prima_audit::{AuditEntry, AuditFederation, AuditStore};
+use prima_audit::{
+    AuditEntry, AuditFederation, AuditStore, FederationError, FederationHealth, LogSource,
+    ResilientFederation,
+};
 use prima_mining::{Miner, MiningError, SqlMiner};
 use prima_model::{
-    CoverageEngine, CoverageReport, EntryCoverageReport, ModelError, Policy, Strategy,
+    CompletenessBound, CoverageEngine, CoverageReport, EntryCoverageReport, ModelError, Policy,
+    Strategy,
 };
 use prima_refine::{refinement_with_miner, ReviewQueue};
 use prima_vocab::Vocabulary;
@@ -42,6 +46,18 @@ pub struct RoundRecord {
     pub entry_coverage_after: f64,
     /// Policy cardinality after the round.
     pub policy_cardinality: usize,
+    /// Lower bound on the true post-round entry coverage, accounting for
+    /// trail entries known to exist but unreachable this round (equals
+    /// `entry_coverage_after` when every source was healthy).
+    pub completeness_lower: f64,
+    /// Upper bound on the true post-round entry coverage (see
+    /// `completeness_lower`).
+    pub completeness_upper: f64,
+    /// True when mining was skipped because the consolidated trail fell
+    /// below the system's completeness floor — rules proposed from a
+    /// trail that degraded would overfit whatever happened to be
+    /// reachable.
+    pub refinement_deferred: bool,
 }
 
 /// The PRIMA system: Figure 4 as an object.
@@ -49,6 +65,12 @@ pub struct PrimaSystem {
     vocab: Vocabulary,
     policy: Policy,
     federation: AuditFederation,
+    /// Remote log sources consolidated with retries, circuit breaking,
+    /// and quarantine; empty unless [`Self::attach_source`] was used.
+    resilient: ResilientFederation,
+    /// Minimum trail completeness (`observed ÷ (observed + missing)`)
+    /// required before a round is allowed to mine; 0 never defers.
+    completeness_floor: f64,
     review: ReviewQueue,
     history: Vec<RoundRecord>,
     miner: Box<dyn Miner + Send + Sync>,
@@ -62,6 +84,8 @@ impl PrimaSystem {
             vocab,
             policy,
             federation: AuditFederation::new(),
+            resilient: ResilientFederation::default(),
+            completeness_floor: 0.0,
             review: ReviewQueue::new(),
             history: Vec::new(),
             miner: Box::new(SqlMiner::default()),
@@ -74,10 +98,50 @@ impl PrimaSystem {
         self
     }
 
+    /// Sets the completeness floor: a round whose consolidated trail is
+    /// less complete than `floor` (because sources were unreachable or
+    /// truncated) records its coverage interval but refuses to mine —
+    /// patterns from a partial trail would encode the outage, not the
+    /// practice. Clamped to `[0, 1]`; the default 0 never defers.
+    pub fn with_completeness_floor(mut self, floor: f64) -> Self {
+        self.completeness_floor = floor.clamp(0.0, 1.0);
+        self
+    }
+
     /// Registers an audit source — e.g. the store an HDB Compliance
-    /// Auditing instance writes to, or a per-site trail.
-    pub fn attach_store(&mut self, store: AuditStore) {
-        self.federation.register(store);
+    /// Auditing instance writes to, or a per-site trail. Rejects a store
+    /// whose name is already registered (a double registration would
+    /// double-count every entry in provenance and coverage).
+    pub fn attach_store(&mut self, store: AuditStore) -> Result<(), FederationError> {
+        self.federation.register(store)
+    }
+
+    /// Registers a remote log source behind the resilience layer: it is
+    /// fetched with retries and a circuit breaker on every
+    /// [`Self::sync_sources`], its malformed records are quarantined,
+    /// and its gaps show up in [`Self::federation_health`] rather than
+    /// silently shrinking the trail.
+    pub fn attach_source(&mut self, source: Box<dyn LogSource>) -> Result<(), FederationError> {
+        self.resilient.attach(source)
+    }
+
+    /// Runs one consolidation round over the resilient sources and
+    /// returns the resulting health report. Call before a refinement
+    /// round to refresh the remote slice of the trail.
+    pub fn sync_sources(&mut self) -> FederationHealth {
+        self.resilient.sync()
+    }
+
+    /// Health of the resilient sources after the latest
+    /// [`Self::sync_sources`] (a default, all-healthy report when no
+    /// sources are attached or no sync has run).
+    pub fn federation_health(&self) -> FederationHealth {
+        self.resilient.health()
+    }
+
+    /// The resilient remote-source federation (retry/breaker tuning).
+    pub fn resilient_mut(&mut self) -> &mut ResilientFederation {
+        &mut self.resilient
     }
 
     /// Attaches a live ingestion pipeline: starts a
@@ -95,7 +159,9 @@ impl PrimaSystem {
         config: prima_stream::StreamConfig,
     ) -> prima_stream::StreamEngine {
         let store = AuditStore::new(&format!("stream-{}", self.federation.sources().len()));
-        self.federation.register(store.clone());
+        self.federation
+            .register(store.clone())
+            .expect("generated stream sink name is unique");
         let matcher = prima_model::PolicyMatcher::new(&self.policy, &self.vocab);
         prima_stream::StreamEngine::start(config, matcher).with_sink(store)
     }
@@ -152,29 +218,63 @@ impl PrimaSystem {
         &self.history
     }
 
+    /// The full consolidated trail: local federated stores plus the
+    /// latest synced view of the resilient sources, merged in timestamp
+    /// order (stable — local stores first within a tie, matching each
+    /// federation's own documented tie-break).
+    fn all_entries(&self) -> Vec<AuditEntry> {
+        let mut entries = self.federation.consolidated_entries();
+        if !self.resilient.is_empty() {
+            entries.extend(self.resilient.consolidated_entries());
+            entries.sort_by_key(|e| e.time);
+        }
+        entries
+    }
+
     /// Set-based coverage (Definition 9) of the current policy with
     /// respect to the consolidated audit trail, using the lazy engine.
     pub fn coverage(&self) -> Result<CoverageReport, ModelError> {
-        CoverageEngine::new(Strategy::Lazy).coverage(
-            &self.policy,
-            &self.federation.to_policy(),
-            &self.vocab,
-        )
+        let trail = if self.resilient.is_empty() {
+            self.federation.to_policy()
+        } else {
+            let grounds: Vec<prima_model::GroundRule> = self
+                .all_entries()
+                .iter()
+                .map(|e| {
+                    e.to_ground_rule()
+                        .expect("audit entries carry non-empty attributes")
+                })
+                .collect();
+            Policy::from_ground_rules(prima_model::StoreTag::AuditLog, grounds)
+        };
+        CoverageEngine::new(Strategy::Lazy).coverage(&self.policy, &trail, &self.vocab)
     }
 
     /// Entry-weighted coverage (the Section 5 computation) over the
     /// consolidated trail.
     pub fn entry_coverage(&self) -> EntryCoverageReport {
-        CoverageEngine::default().entry_coverage(
-            &self.policy,
-            &self.federation.ground_rules(),
-            &self.vocab,
-        )
+        let mut grounds = self.federation.ground_rules();
+        if !self.resilient.is_empty() {
+            grounds.extend(self.resilient.ground_rules());
+        }
+        CoverageEngine::default().entry_coverage(&self.policy, &grounds, &self.vocab)
+    }
+
+    /// Entry-weighted coverage annotated with its completeness bound:
+    /// the interval the *true* coverage (over the trail including
+    /// entries currently unreachable or quarantined) must lie in. Exact
+    /// when every source is healthy.
+    pub fn entry_coverage_with_bound(&self) -> (EntryCoverageReport, CompletenessBound) {
+        let report = self.entry_coverage();
+        let bound = self
+            .federation_health()
+            .bound_for(report.covered_entries, report.total_entries);
+        (report, bound)
     }
 
     /// Runs one refinement round over the consolidated trail.
     pub fn run_round(&mut self, mode: ReviewMode) -> Result<RoundRecord, MiningError> {
-        let entries = self.federation.consolidated_entries();
+        let entries = self.all_entries();
         self.run_round_over(entries, mode)
     }
 
@@ -187,8 +287,7 @@ impl PrimaSystem {
         mode: ReviewMode,
     ) -> Result<RoundRecord, MiningError> {
         let entries: Vec<AuditEntry> = self
-            .federation
-            .consolidated_entries()
+            .all_entries()
             .into_iter()
             .filter(|e| window.contains(e.time))
             .collect();
@@ -212,32 +311,54 @@ impl PrimaSystem {
             .entry_coverage(&self.policy, &rules, &self.vocab)
             .ratio();
 
-        let report = refinement_with_miner(&self.policy, &entries, &self.vocab, &*self.miner)?;
-        let candidates_enqueued = self.review.propose(report.useful_patterns.clone(), round);
+        let health = self.federation_health();
+        let deferred = health.completeness() < self.completeness_floor;
 
-        let rules_added = match mode {
-            ReviewMode::AutoAccept => {
-                self.review.accept_all_pending();
-                self.review.apply_accepted(&mut self.policy)
-            }
-            ReviewMode::Manual => 0,
-        };
+        let (practice_entries, patterns_found, patterns_useful, candidates_enqueued, rules_added) =
+            if deferred {
+                // Below the floor: record the round, but don't mine — a
+                // pattern "frequent" in a half-visible trail may only be
+                // frequent because the other half is dark.
+                (0, 0, 0, 0, 0)
+            } else {
+                let report =
+                    refinement_with_miner(&self.policy, &entries, &self.vocab, &*self.miner)?;
+                let enqueued = self.review.propose(report.useful_patterns.clone(), round);
+                let added = match mode {
+                    ReviewMode::AutoAccept => {
+                        self.review.accept_all_pending();
+                        self.review.apply_accepted(&mut self.policy)
+                    }
+                    ReviewMode::Manual => 0,
+                };
+                (
+                    report.practice_entries,
+                    report.raw_patterns.len(),
+                    report.useful_patterns.len(),
+                    enqueued,
+                    added,
+                )
+            };
 
-        let after = CoverageEngine::default()
-            .entry_coverage(&self.policy, &rules, &self.vocab)
-            .ratio();
+        let after_report =
+            CoverageEngine::default().entry_coverage(&self.policy, &rules, &self.vocab);
+        let after = after_report.ratio();
+        let bound = health.bound_for(after_report.covered_entries, after_report.total_entries);
 
         let record = RoundRecord {
             round,
             audit_entries: entries.len(),
-            practice_entries: report.practice_entries,
-            patterns_found: report.raw_patterns.len(),
-            patterns_useful: report.useful_patterns.len(),
+            practice_entries,
+            patterns_found,
+            patterns_useful,
             candidates_enqueued,
             rules_added,
             entry_coverage_before: before,
             entry_coverage_after: after,
             policy_cardinality: self.policy.cardinality(),
+            completeness_lower: bound.lower,
+            completeness_upper: bound.upper,
+            refinement_deferred: deferred,
         };
         self.history.push(record.clone());
         Ok(record)
@@ -269,7 +390,7 @@ mod tests {
         let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
         let store = AuditStore::new("main");
         store.append_all(&table_1()).unwrap();
-        sys.attach_store(store);
+        sys.attach_store(store).unwrap();
         sys
     }
 
@@ -395,6 +516,122 @@ mod tests {
         assert_eq!(snap.epoch, 1);
         assert!((snap.totals.ratio() - 0.8).abs() < 1e-9);
         assert!((snap.totals.ratio() - sys.entry_coverage().ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_round_records_exact_completeness() {
+        let mut sys = system_with_table_1();
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert!(!record.refinement_deferred);
+        assert!((record.completeness_lower - record.entry_coverage_after).abs() < 1e-12);
+        assert!((record.completeness_upper - record.entry_coverage_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_widens_coverage_to_an_interval_containing_the_truth() {
+        use prima_audit::{FaultySource, SourceFaults, StoreSource};
+        // Ground truth: both sites reachable. 10 entries from table 1
+        // plus 5 uncovered psychiatry accesses at a second site.
+        let site_a = AuditStore::new("site-a");
+        site_a.append_all(&table_1()).unwrap();
+        let site_b = AuditStore::new("site-b");
+        for i in 0..5 {
+            site_b
+                .append(&AuditEntry::regular(
+                    100 + i,
+                    "u9",
+                    "psychiatry",
+                    "treatment",
+                    "nurse",
+                ))
+                .unwrap();
+        }
+
+        let mut truth = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        truth
+            .attach_source(Box::new(StoreSource::new(site_a.clone())))
+            .unwrap();
+        truth
+            .attach_source(Box::new(StoreSource::new(site_b.clone())))
+            .unwrap();
+        assert!(truth.sync_sources().all_healthy());
+        let true_coverage = truth.entry_coverage().ratio();
+
+        // Degraded run: site-b is down (its manifest still advertises 5
+        // entries), so coverage must become an interval containing the
+        // true ratio.
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store());
+        sys.attach_source(Box::new(StoreSource::new(site_a)))
+            .unwrap();
+        sys.attach_source(Box::new(FaultySource::new(
+            site_b,
+            SourceFaults::none().permanently_down(),
+        )))
+        .unwrap();
+        let health = sys.sync_sources();
+        assert!(!health.all_healthy());
+        assert_eq!(health.missing_entries(), 5);
+
+        let (report, bound) = sys.entry_coverage_with_bound();
+        assert_eq!(report.total_entries, 10, "only site-a is visible");
+        assert!(!bound.is_exact());
+        assert!(
+            bound.contains(true_coverage),
+            "true coverage {true_coverage} outside [{}, {}]",
+            bound.lower,
+            bound.upper
+        );
+
+        let record = sys.run_round(ReviewMode::Manual).unwrap();
+        assert!(record.completeness_lower <= true_coverage);
+        assert!(record.completeness_upper >= true_coverage);
+        assert!(record.completeness_upper > record.completeness_lower);
+    }
+
+    #[test]
+    fn completeness_floor_defers_mining_until_sources_recover() {
+        use prima_audit::{FaultySource, SourceFaults, StoreSource};
+        let site_a = AuditStore::new("site-a");
+        site_a.append_all(&table_1()).unwrap();
+        // A second site as large as the first, unreachable for the first
+        // two sync rounds: completeness is 10/20 = 0.5 < 0.75.
+        let site_b = AuditStore::new("site-b");
+        for i in 0..10 {
+            site_b
+                .append(&AuditEntry::regular(
+                    100 + i,
+                    "u9",
+                    "referral",
+                    "registration",
+                    "nurse",
+                ))
+                .unwrap();
+        }
+        let mut sys =
+            PrimaSystem::new(figure_1(), figure_3_policy_store()).with_completeness_floor(0.75);
+        sys.attach_source(Box::new(StoreSource::new(site_a)))
+            .unwrap();
+        sys.attach_source(Box::new(FaultySource::new(
+            site_b,
+            SourceFaults::none().fail_first_attempts(8),
+        )))
+        .unwrap();
+
+        sys.sync_sources();
+        let degraded = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert!(degraded.refinement_deferred, "below the floor: no mining");
+        assert_eq!(degraded.rules_added, 0);
+        assert_eq!(sys.policy().cardinality(), 3, "policy untouched");
+
+        // Retries eventually reach the source; the next round mines.
+        let mut recovered = sys.sync_sources();
+        while !recovered.all_healthy() {
+            recovered = sys.sync_sources();
+        }
+        let healthy = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert!(!healthy.refinement_deferred);
+        assert_eq!(healthy.audit_entries, 20);
+        assert!(healthy.rules_added >= 1, "registration pattern now mined");
     }
 
     #[test]

@@ -134,7 +134,9 @@ pub fn run_trajectory(
         store
             .append_all(&strip_labels(&trail))
             .expect("simulated entries conform to the audit schema");
-        round_system.attach_store(store);
+        round_system
+            .attach_store(store)
+            .expect("unique source name");
 
         let entry_cov = round_system.entry_coverage().ratio();
         let set_cov = round_system

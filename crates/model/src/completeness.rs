@@ -1,0 +1,179 @@
+//! Completeness bounds for coverage computed over incomplete trails.
+//!
+//! The federation consolidates per-site trails, but a site can be
+//! unreachable, slow, or truncated at consolidation time. The iterative
+//! audit-log enforcement literature (Garg/Jia/Datta) shows the right
+//! posture: treat the log as incomplete *now* and report what is still
+//! decidable. For entry-weighted coverage the arithmetic is exact — if
+//! `missing` entries could not be fetched, each of them is either covered
+//! or not, so the true ratio over the full trail lies in
+//!
+//! ```text
+//! [ covered ÷ (observed + missing) , (covered + missing) ÷ (observed + missing) ]
+//! ```
+//!
+//! and the interval collapses to a point when nothing is missing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interval guaranteed to contain the true coverage ratio of the
+/// *complete* trail, given that only part of it was observable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletenessBound {
+    /// Lower bound on the true ratio (every missing entry uncovered).
+    pub lower: f64,
+    /// Upper bound on the true ratio (every missing entry covered).
+    pub upper: f64,
+    /// Entries that were observed when the ratio was computed.
+    pub observed: usize,
+    /// Entries known to exist but not observed (source down, truncated
+    /// tail, quarantined as corrupt, …).
+    pub missing: usize,
+}
+
+impl CompletenessBound {
+    /// An exact bound: the full trail was observed, the interval is the
+    /// point `ratio`.
+    pub fn exact(ratio: f64, observed: usize) -> Self {
+        Self {
+            lower: ratio,
+            upper: ratio,
+            observed,
+            missing: 0,
+        }
+    }
+
+    /// The bound for `covered` covered entries out of `observed`
+    /// observed, with `missing` entries unobservable.
+    ///
+    /// An entirely empty trail (`observed + missing == 0`) is vacuously
+    /// complete at ratio 1 (matching
+    /// [`crate::EntryCoverageReport::ratio`]).
+    pub fn over(covered: usize, observed: usize, missing: usize) -> Self {
+        let covered = covered.min(observed);
+        let total = observed + missing;
+        if total == 0 {
+            return Self::exact(1.0, 0);
+        }
+        Self {
+            lower: covered as f64 / total as f64,
+            upper: (covered + missing) as f64 / total as f64,
+            observed,
+            missing,
+        }
+    }
+
+    /// True iff nothing was missing — the interval is a point.
+    pub fn is_exact(&self) -> bool {
+        self.missing == 0
+    }
+
+    /// Interval width (`0` when exact).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// True iff `ratio` lies inside the interval (closed on both ends,
+    /// with a small epsilon for float round-off).
+    pub fn contains(&self, ratio: f64) -> bool {
+        const EPS: f64 = 1e-12;
+        ratio >= self.lower - EPS && ratio <= self.upper + EPS
+    }
+
+    /// Fraction of the full trail that was observed:
+    /// `observed ÷ (observed + missing)`, 1 for an empty trail.
+    ///
+    /// This is the "completeness floor" quantity: refinement should not
+    /// mine rules from a trail whose completeness is below the
+    /// deployment's floor, because the missing entries could invalidate
+    /// any pattern's support count.
+    pub fn completeness(&self) -> f64 {
+        let total = self.observed + self.missing;
+        if total == 0 {
+            1.0
+        } else {
+            self.observed as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CompletenessBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "exact ({:.1}%)", self.lower * 100.0)
+        } else {
+            write!(
+                f,
+                "[{:.1}%, {:.1}%] ({} of {} entries observed)",
+                self.lower * 100.0,
+                self.upper * 100.0,
+                self.observed,
+                self.observed + self.missing
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bound_is_a_point() {
+        let b = CompletenessBound::exact(0.8, 10);
+        assert!(b.is_exact());
+        assert_eq!(b.width(), 0.0);
+        assert!(b.contains(0.8));
+        assert!(!b.contains(0.7));
+        assert_eq!(b.completeness(), 1.0);
+    }
+
+    #[test]
+    fn missing_entries_widen_the_interval() {
+        // 3 covered of 6 observed, 4 missing: true ratio in [3/10, 7/10].
+        let b = CompletenessBound::over(3, 6, 4);
+        assert!(!b.is_exact());
+        assert!((b.lower - 0.3).abs() < 1e-12);
+        assert!((b.upper - 0.7).abs() < 1e-12);
+        assert!((b.completeness() - 0.6).abs() < 1e-12);
+        // The interval contains every ratio the full trail could produce.
+        for extra_covered in 0..=4usize {
+            let true_ratio = (3 + extra_covered) as f64 / 10.0;
+            assert!(b.contains(true_ratio), "{true_ratio} in {b}");
+        }
+    }
+
+    #[test]
+    fn nothing_missing_collapses_to_observed_ratio() {
+        let b = CompletenessBound::over(3, 6, 0);
+        assert!(b.is_exact());
+        assert!((b.lower - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trail_is_vacuously_complete() {
+        let b = CompletenessBound::over(0, 0, 0);
+        assert!(b.is_exact());
+        assert_eq!(b.lower, 1.0);
+        assert_eq!(b.completeness(), 1.0);
+    }
+
+    #[test]
+    fn display_shows_interval_or_point() {
+        assert!(CompletenessBound::exact(0.5, 6)
+            .to_string()
+            .contains("exact"));
+        let s = CompletenessBound::over(3, 6, 4).to_string();
+        assert!(s.contains("[30.0%, 70.0%]"), "{s}");
+        assert!(s.contains("6 of 10"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = CompletenessBound::over(3, 6, 4);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: CompletenessBound = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod completeness;
 pub mod coverage;
 pub mod dsl;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod samples;
 pub mod simplify;
 pub mod term;
 
+pub use completeness::CompletenessBound;
 pub use coverage::{
     compute_coverage, CoverageEngine, CoverageReport, EntryCoverageReport, PolicyMatcher, Strategy,
 };

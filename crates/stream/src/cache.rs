@@ -91,6 +91,22 @@ impl DecisionCache {
         self.stats
     }
 
+    /// The memoized `(rule, verdict)` pairs (checkpoint export).
+    pub fn export_memo(&self) -> Vec<(GroundRule, bool)> {
+        self.verdicts.iter().map(|(g, v)| (g.clone(), *v)).collect()
+    }
+
+    /// Rebuilds a cache from a checkpoint: memo table, counters, and
+    /// epoch exactly as exported, so a recovered shard's hit/miss
+    /// accounting continues where the checkpoint left off.
+    pub fn restore(epoch: u64, memo: Vec<(GroundRule, bool)>, stats: CacheStats) -> Self {
+        Self {
+            verdicts: memo.into_iter().collect(),
+            epoch,
+            stats,
+        }
+    }
+
     /// Number of distinct ground rules memoized.
     pub fn len(&self) -> usize {
         self.verdicts.len()

@@ -25,6 +25,12 @@ pub struct StreamConfig {
     pub window_secs: Option<i64>,
     /// Fault-injection plan; [`FaultPlan::none`] in production.
     pub faults: FaultPlan,
+    /// Checkpoint every `n` accepted entries per shard, arming crash
+    /// recovery: the engine journals post-checkpoint entries and a dead
+    /// shard is respawned from its last checkpoint and replayed. `None`
+    /// (the default) keeps PR 1's degraded-mode behavior, where a dead
+    /// shard's queue is forfeit and counted as lost.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for StreamConfig {
@@ -34,6 +40,7 @@ impl Default for StreamConfig {
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
             window_secs: None,
             faults: FaultPlan::none(),
+            checkpoint_interval: None,
         }
     }
 }
@@ -65,6 +72,13 @@ impl StreamConfig {
         self.faults = faults;
         self
     }
+
+    /// Checkpoints each shard every `entries` accepted entries, arming
+    /// crash recovery (journal + respawn + replay).
+    pub fn checkpoint_every(mut self, entries: u64) -> Self {
+        self.checkpoint_interval = Some(entries.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -78,15 +92,18 @@ mod tests {
         assert_eq!(c.channel_capacity, DEFAULT_CHANNEL_CAPACITY);
         assert!(c.window_secs.is_none());
         assert!(!c.faults.any());
+        assert!(c.checkpoint_interval.is_none(), "recovery is opt-in");
     }
 
     #[test]
     fn builders_clamp_degenerate_values() {
         let c = StreamConfig::with_shards(0)
             .channel_capacity(0)
-            .window_secs(0);
+            .window_secs(0)
+            .checkpoint_every(0);
         assert_eq!(c.shards, 1);
         assert_eq!(c.channel_capacity, 1);
         assert_eq!(c.window_secs, Some(1));
+        assert_eq!(c.checkpoint_interval, Some(1));
     }
 }

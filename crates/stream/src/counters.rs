@@ -106,6 +106,22 @@ impl CoverageCounters {
     pub fn export(&self) -> Vec<(GroundRule, PatternStats)> {
         self.by_rule.iter().map(|(g, s)| (g.clone(), *s)).collect()
     }
+
+    /// Rebuilds a counter set from an export (checkpoint recovery). The
+    /// entry-weighted totals are recomputed from the per-pattern counts,
+    /// so a restored shard answers exactly as it did at the checkpoint.
+    pub fn from_export(patterns: Vec<(GroundRule, PatternStats)>) -> Self {
+        let mut totals = StreamTotals::default();
+        let mut by_rule = HashMap::with_capacity(patterns.len());
+        for (g, stats) in patterns {
+            totals.total_entries += stats.count;
+            if stats.covered {
+                totals.covered_entries += stats.count;
+            }
+            by_rule.insert(g, stats);
+        }
+        Self { by_rule, totals }
+    }
 }
 
 /// Merges per-shard exports into the batch engine's report shape.

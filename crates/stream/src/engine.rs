@@ -17,15 +17,17 @@
 use crate::cache::CacheStats;
 use crate::config::StreamConfig;
 use crate::counters::{merge_reports, StreamTotals};
-use crate::shard::{run_shard, ShardMsg};
+use crate::fault::FaultPlan;
+use crate::shard::{run_shard, ShardCheckpoint, ShardMsg, ShardState};
 use crate::window::{merge_windows, WindowSnapshot};
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use prima_audit::{AuditEntry, AuditStore};
 use prima_model::{CoverageReport, GroundRule, Policy, PolicyMatcher};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// What happened to one ingested entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,19 +78,36 @@ pub struct StreamSnapshot {
     pub poisoned: u64,
     /// Entries dropped because their shard died.
     pub lost: u64,
+    /// Shard workers respawned from a checkpoint (0 unless
+    /// [`crate::StreamConfig::checkpoint_every`] armed recovery).
+    pub recoveries: u64,
 }
 
 /// The online ingestion pipeline.
 pub struct StreamEngine {
     senders: Vec<Option<Sender<ShardMsg>>>,
     handles: Vec<Option<JoinHandle<()>>>,
-    /// Entries successfully sent per shard; a shard found dead forfeits
-    /// its whole count (workers only die before consuming anything, via
-    /// [`crate::FaultPlan::dropped`], so the queue *is* the loss).
+    /// Entries successfully sent per shard; without recovery, a shard
+    /// found dead forfeits its whole count (such workers die before
+    /// consuming anything, via [`crate::FaultPlan::dropped`], so the
+    /// queue *is* the loss).
     sent: Vec<u64>,
     matcher: Arc<PolicyMatcher>,
     epoch: u64,
     window_secs: Option<i64>,
+    channel_capacity: usize,
+    /// Live copy of the fault plan; recovery disarms a shard's script
+    /// when it respawns the worker, so each injected fault fires once.
+    faults: FaultPlan,
+    checkpoint_interval: Option<u64>,
+    /// Latest checkpoint per shard (recovery mode only).
+    checkpoints: Vec<Option<ShardCheckpoint>>,
+    /// Per-shard `(time, rule)` journal of entries accepted since the
+    /// shard's last checkpoint — exactly what a replacement worker must
+    /// replay on top of the checkpoint to reach the present.
+    journal: Vec<Vec<(i64, GroundRule)>>,
+    since_checkpoint: Vec<u64>,
+    recoveries: u64,
     sink: Option<AuditStore>,
     ingested: u64,
     poisoned: u64,
@@ -108,7 +127,7 @@ impl StreamEngine {
             let faults = config.faults.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("prima-stream-{shard}"))
-                .spawn(move || run_shard(shard, rx, m, window_secs, faults))
+                .spawn(move || run_shard(shard, rx, m, window_secs, faults, None))
                 .expect("spawn shard worker");
             senders.push(Some(tx));
             handles.push(Some(handle));
@@ -121,6 +140,13 @@ impl StreamEngine {
             matcher,
             epoch: 0,
             window_secs: config.window_secs,
+            channel_capacity: config.channel_capacity,
+            faults: config.faults,
+            checkpoint_interval: config.checkpoint_interval,
+            checkpoints: vec![None; shards],
+            journal: vec![Vec::new(); shards],
+            since_checkpoint: vec![0; shards],
+            recoveries: 0,
             sink: None,
             ingested: 0,
             poisoned: 0,
@@ -147,7 +173,10 @@ impl StreamEngine {
     }
 
     /// Routes one entry to its owning shard (blocking when the shard's
-    /// bounded channel is full — backpressure, not buffering).
+    /// bounded channel is full — backpressure, not buffering). With
+    /// recovery armed, a send that hits a dead shard triggers an
+    /// immediate respawn-and-replay and the entry is retried, so nothing
+    /// is lost.
     pub fn ingest(&mut self, entry: &AuditEntry) -> IngestOutcome {
         let ground = match entry.to_ground_rule() {
             Ok(g) => g,
@@ -157,32 +186,140 @@ impl StreamEngine {
             }
         };
         let shard = self.shard_of(&ground);
-        let msg = ShardMsg::Entry {
-            time: entry.time,
-            ground,
-        };
-        match self.senders[shard].as_ref().map(|tx| tx.send(msg)) {
-            Some(Ok(())) => {
-                if let Some(sink) = &self.sink {
-                    // The sink is append-only and idempotent per call; a
-                    // full table is a store-layer invariant violation, not
-                    // a stream condition, so surface it loudly.
-                    sink.append(entry).expect("audit sink append");
-                }
-                self.sent[shard] += 1;
-                self.ingested += 1;
-                IngestOutcome::Accepted
-            }
-            Some(Err(_)) => {
-                self.senders[shard] = None;
-                self.refused += 1;
-                IngestOutcome::Lost
-            }
-            None => {
-                self.refused += 1;
-                IngestOutcome::Lost
+        let mut delivered = self.try_send(shard, entry.time, &ground);
+        if !delivered && self.checkpoint_interval.is_some() {
+            self.recover(shard);
+            delivered = self.try_send(shard, entry.time, &ground);
+        }
+        if !delivered {
+            self.refused += 1;
+            return IngestOutcome::Lost;
+        }
+        if let Some(sink) = &self.sink {
+            // The sink is append-only and idempotent per call; a
+            // full table is a store-layer invariant violation, not
+            // a stream condition, so surface it loudly.
+            sink.append(entry).expect("audit sink append");
+        }
+        self.sent[shard] += 1;
+        self.ingested += 1;
+        if let Some(interval) = self.checkpoint_interval {
+            self.journal[shard].push((entry.time, ground));
+            self.since_checkpoint[shard] += 1;
+            if self.since_checkpoint[shard] >= interval {
+                self.checkpoint_shard(shard);
             }
         }
+        IngestOutcome::Accepted
+    }
+
+    /// One send attempt; a disconnect marks the shard dead.
+    fn try_send(&mut self, shard: usize, time: i64, ground: &GroundRule) -> bool {
+        let Some(tx) = self.senders[shard].as_ref() else {
+            return false;
+        };
+        let msg = ShardMsg::Entry {
+            time,
+            ground: ground.clone(),
+        };
+        if tx.send(msg).is_ok() {
+            true
+        } else {
+            self.senders[shard] = None;
+            false
+        }
+    }
+
+    /// Waits for a barrier reply without risking a hang. A worker that
+    /// crashes *after* the barrier message was enqueued leaves the
+    /// message — and the reply sender inside it — buffered in a queue
+    /// the engine's own sender keeps alive, so a blocking `recv()`
+    /// would never see a disconnect. Instead, short waits alternate
+    /// with a worker-liveness check, with one final non-blocking look
+    /// after the worker exits (it may have replied just before dying).
+    fn await_reply<T>(&self, shard: usize, reply_rx: &Receiver<T>) -> Option<T> {
+        loop {
+            match reply_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(v) => return Some(v),
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    let finished = match self.handles[shard].as_ref() {
+                        Some(h) => h.is_finished(),
+                        None => true,
+                    };
+                    if finished {
+                        return reply_rx.try_recv().ok();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes a checkpoint barrier on `shard`: the reply reflects every
+    /// entry sent before it (same-FIFO ordering), after which the
+    /// journal up to the barrier is no longer needed. A shard found dead
+    /// at the barrier is recovered instead; its journal stays armed.
+    fn checkpoint_shard(&mut self, shard: usize) {
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = match self.senders[shard].as_ref() {
+            Some(tx) => tx.send(ShardMsg::Checkpoint { reply: reply_tx }).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.senders[shard] = None;
+            self.recover(shard);
+            return;
+        }
+        match self.await_reply(shard, &reply_rx) {
+            Some(ckpt) => {
+                self.checkpoints[shard] = Some(ckpt);
+                self.journal[shard].clear();
+                self.since_checkpoint[shard] = 0;
+            }
+            None => {
+                self.senders[shard] = None;
+                self.recover(shard);
+            }
+        }
+    }
+
+    /// Respawns a dead shard worker, seeds it from its last checkpoint,
+    /// and replays the journal of entries accepted since — the
+    /// replacement ends up in the exact state the dead worker would have
+    /// reached, including its decision-cache books. The shard's fault
+    /// script is disarmed first so an injected crash fires once rather
+    /// than killing every replacement.
+    fn recover(&mut self, shard: usize) {
+        self.senders[shard] = None;
+        if let Some(h) = self.handles[shard].take() {
+            let _ = h.join();
+        }
+        self.faults.clear_shard(shard);
+        let (tx, rx) = bounded(self.channel_capacity);
+        let m = Arc::clone(&self.matcher);
+        let window_secs = self.window_secs;
+        let faults = self.faults.clone();
+        let seed = self.checkpoints[shard].clone();
+        let seed_epoch = seed.as_ref().map_or(0, |c| c.epoch);
+        let handle = std::thread::Builder::new()
+            .name(format!("prima-stream-{shard}-r{}", self.recoveries))
+            .spawn(move || run_shard(shard, rx, m, window_secs, faults, seed))
+            .expect("respawn shard worker");
+        // The checkpoint may predate a policy refresh the dead worker
+        // never installed; re-broadcast the current matcher before the
+        // replay so replayed entries classify under the live epoch.
+        if seed_epoch < self.epoch {
+            let _ = tx.send(ShardMsg::UpdatePolicy {
+                epoch: self.epoch,
+                matcher: Arc::clone(&self.matcher),
+            });
+        }
+        for (time, ground) in self.journal[shard].clone() {
+            let _ = tx.send(ShardMsg::Entry { time, ground });
+        }
+        self.senders[shard] = Some(tx);
+        self.handles[shard] = Some(handle);
+        self.recoveries += 1;
     }
 
     /// Ingests a batch, returning how many were accepted.
@@ -199,33 +336,50 @@ impl StreamEngine {
         (hasher.finish() % self.senders.len() as u64) as usize
     }
 
+    /// One snapshot barrier on `shard`; a disconnect marks it dead.
+    fn barrier(&mut self, shard: usize) -> Option<ShardState> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let tx = self.senders[shard].as_ref()?;
+        if tx.send(ShardMsg::Snapshot { reply: reply_tx }).is_err() {
+            self.senders[shard] = None;
+            return None;
+        }
+        let state = self.await_reply(shard, &reply_rx);
+        if state.is_none() {
+            self.senders[shard] = None;
+        }
+        state
+    }
+
+    /// Barrier `shard`, recovering-and-retrying once if it is found dead
+    /// and recovery is armed.
+    fn barrier_or_recover(&mut self, shard: usize) -> Option<ShardState> {
+        if let Some(state) = self.barrier(shard) {
+            return Some(state);
+        }
+        if self.checkpoint_interval.is_some() {
+            self.recover(shard);
+            return self.barrier(shard);
+        }
+        None
+    }
+
     /// Takes a consistent cut: a barrier message is enqueued behind all
     /// previously ingested entries on every live shard, and the replies
-    /// are merged into one [`StreamSnapshot`].
+    /// are merged into one [`StreamSnapshot`]. With recovery armed, a
+    /// shard found dead at the barrier is respawned from its checkpoint
+    /// and replayed first, so the cut reflects every accepted entry.
     pub fn snapshot(&mut self) -> StreamSnapshot {
         let window_duration = self.window_duration();
         let mut states = Vec::new();
         let mut health = Vec::with_capacity(self.senders.len());
-        for sender in self.senders.iter_mut() {
-            let Some(tx) = sender.as_ref() else {
-                health.push(ShardHealth::Dead);
-                continue;
-            };
-            let (reply_tx, reply_rx) = bounded(1);
-            if tx.send(ShardMsg::Snapshot { reply: reply_tx }).is_err() {
-                *sender = None;
-                health.push(ShardHealth::Dead);
-                continue;
-            }
-            match reply_rx.recv() {
-                Ok(state) => {
+        for shard in 0..self.senders.len() {
+            match self.barrier_or_recover(shard) {
+                Some(state) => {
                     health.push(ShardHealth::Live);
                     states.push(state);
                 }
-                Err(_) => {
-                    *sender = None;
-                    health.push(ShardHealth::Dead);
-                }
+                None => health.push(ShardHealth::Dead),
             }
         }
 
@@ -265,6 +419,7 @@ impl StreamEngine {
             ingested: self.ingested,
             poisoned: self.poisoned,
             lost: self.refused + queue_lost,
+            recoveries: self.recoveries,
         }
     }
 
@@ -277,17 +432,9 @@ impl StreamEngine {
     /// discarded). Returns the number of live shards that confirmed.
     pub fn drain(&mut self) -> usize {
         let mut confirmed = 0;
-        for sender in self.senders.iter_mut() {
-            let Some(tx) = sender.as_ref() else { continue };
-            let (reply_tx, reply_rx) = bounded(1);
-            if tx.send(ShardMsg::Snapshot { reply: reply_tx }).is_err() {
-                *sender = None;
-                continue;
-            }
-            if reply_rx.recv().is_ok() {
+        for shard in 0..self.senders.len() {
+            if self.barrier_or_recover(shard).is_some() {
                 confirmed += 1;
-            } else {
-                *sender = None;
             }
         }
         confirmed
@@ -304,14 +451,22 @@ impl StreamEngine {
             Arc::clone(self.matcher.vocab()),
         ));
         self.matcher = Arc::clone(&matcher);
-        for sender in self.senders.iter_mut() {
-            let Some(tx) = sender.as_ref() else { continue };
+        for shard in 0..self.senders.len() {
+            let Some(tx) = self.senders[shard].as_ref() else {
+                continue;
+            };
             let msg = ShardMsg::UpdatePolicy {
                 epoch: self.epoch,
                 matcher: Arc::clone(&matcher),
             };
             if tx.send(msg).is_err() {
-                *sender = None;
+                self.senders[shard] = None;
+                if self.checkpoint_interval.is_some() {
+                    // The replacement is seeded from a pre-refresh
+                    // checkpoint, so recovery re-broadcasts the matcher
+                    // just installed above.
+                    self.recover(shard);
+                }
             }
         }
     }
@@ -319,6 +474,11 @@ impl StreamEngine {
     /// The current policy epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Shard workers respawned from a checkpoint so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// Drains, takes a final snapshot, then stops and joins every
@@ -505,6 +665,132 @@ mod tests {
         assert!(w.window.contains(200));
         assert!(!w.window.contains(100), "outside the trailing window");
         assert_eq!(w.total(), 1);
+    }
+
+    #[test]
+    fn recovery_replays_crashed_shard_bit_for_bit() {
+        // Same traffic through a fault-free engine and a recovery-armed
+        // engine whose shard 0 crashes mid-stream: the final snapshots
+        // must agree exactly (coverage, totals, cache books, processed).
+        let shapes = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+            ("prescription", "billing", "clerk"),
+            ("referral", "registration", "nurse"),
+            ("prescription", "treatment", "nurse"),
+        ];
+        let mut clean = engine(StreamConfig::with_shards(2).checkpoint_every(5));
+        let mut faulty = engine(
+            StreamConfig::with_shards(2)
+                .checkpoint_every(5)
+                .faults(FaultPlan::none().with_crash_after(0, 7)),
+        );
+        for (i, (d, p, a)) in shapes.iter().cycle().take(60).enumerate() {
+            let e = entry(i as i64, d, p, a);
+            assert_eq!(clean.ingest(&e), IngestOutcome::Accepted);
+            assert_eq!(faulty.ingest(&e), IngestOutcome::Accepted, "entry {i}");
+        }
+        let want = clean.shutdown();
+        let got = faulty.shutdown();
+        assert!(got.recoveries >= 1, "the crash must have been recovered");
+        assert_eq!(got.health, vec![ShardHealth::Live; 2]);
+        assert_eq!(got.lost, 0, "recovery leaves nothing forfeit");
+        assert_eq!(got.processed, want.processed);
+        assert_eq!(got.totals, want.totals);
+        assert_eq!(got.cache, want.cache, "even the hit/miss books match");
+        assert_eq!(got.coverage, want.coverage);
+    }
+
+    #[test]
+    fn recovery_restarts_shard_dropped_at_startup() {
+        let mut eng = engine(
+            StreamConfig::with_shards(2)
+                .channel_capacity(4)
+                .checkpoint_every(4)
+                .faults(FaultPlan::dropped(0)),
+        );
+        let shapes = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+            ("prescription", "billing", "clerk"),
+        ];
+        for (i, (d, p, a)) in shapes.iter().cycle().take(40).enumerate() {
+            assert_eq!(
+                eng.ingest(&entry(i as i64, d, p, a)),
+                IngestOutcome::Accepted
+            );
+        }
+        let snap = eng.shutdown();
+        assert!(snap.recoveries >= 1);
+        assert_eq!(snap.lost, 0);
+        assert_eq!(snap.processed, 40, "every accepted entry was processed");
+        assert_eq!(snap.totals.total_entries, 40);
+    }
+
+    #[test]
+    fn composed_slow_and_dropped_faults_both_fire() {
+        // Satellite check: one plan arms a slow consumer on shard 1 AND a
+        // dead consumer on shard 0; recovery revives shard 0 while shard
+        // 1's backpressure still applies, and the books balance.
+        let mut eng = engine(
+            StreamConfig::with_shards(2)
+                .channel_capacity(2)
+                .checkpoint_every(8)
+                .faults(
+                    FaultPlan::none()
+                        .with_dropped(0)
+                        .with_slow(1, Duration::from_millis(1)),
+                ),
+        );
+        let shapes = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+            ("prescription", "billing", "clerk"),
+            ("referral", "registration", "nurse"),
+            ("prescription", "treatment", "nurse"),
+        ];
+        for (i, (d, p, a)) in shapes.iter().cycle().take(36).enumerate() {
+            assert_eq!(
+                eng.ingest(&entry(i as i64, d, p, a)),
+                IngestOutcome::Accepted
+            );
+        }
+        let snap = eng.shutdown();
+        assert!(snap.recoveries >= 1, "dropped shard recovered");
+        assert_eq!(snap.processed, 36, "slow shard finished under pressure");
+        assert_eq!(snap.lost, 0);
+    }
+
+    #[test]
+    fn recovery_preserves_policy_refresh_across_crash() {
+        // A worker that crashes holding a pre-refresh checkpoint must be
+        // replayed under the *current* policy.
+        let mut eng = engine(
+            StreamConfig::with_shards(1)
+                .checkpoint_every(2)
+                .faults(FaultPlan::none().with_crash_after(0, 3)),
+        );
+        for i in 0..2 {
+            eng.ingest(&entry(i, "referral", "registration", "nurse"));
+        }
+        let mut policy = figure_3_policy_store();
+        policy.push(prima_model::Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "registration"),
+            ("authorized", "nurse"),
+        ]));
+        eng.refresh_policy(&policy);
+        for i in 2..8 {
+            eng.ingest(&entry(i, "referral", "registration", "nurse"));
+        }
+        let snap = eng.shutdown();
+        assert!(snap.recoveries >= 1);
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.processed, 8);
+        assert_eq!(snap.totals.covered_entries, 8, "replay used the new policy");
     }
 
     #[test]

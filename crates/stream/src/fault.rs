@@ -1,22 +1,23 @@
 //! Fault injection for pipeline tests.
 //!
 //! Streaming failure modes are timing-dependent and hard to provoke from
-//! the outside, so the engine carries an explicit test-mode plan: a shard
-//! can be made artificially slow (exercising backpressure end to end) or
-//! dropped outright at startup (exercising degraded-mode accounting).
+//! the outside, so the engine carries an explicit test-mode plan. Faults
+//! compose: the same plan can make one shard slow (exercising
+//! backpressure), drop another at startup (dead consumer), and crash a
+//! third after *n* processed entries (exercising checkpoint recovery).
 //! Poisoned entries need no plan — any entry whose attributes fail
 //! [`prima_audit::AuditEntry::to_ground_rule`] exercises that path.
 
 use std::time::Duration;
 
-/// What to break, if anything.
+/// What to break, if anything. Build with the `with_*` combinators;
+/// [`FaultPlan::slow`] and [`FaultPlan::dropped`] remain as one-fault
+/// shorthands.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    /// Make shard `.0` sleep `.1` per processed entry (slow consumer).
-    pub slow_shard: Option<(usize, Duration)>,
-    /// Shard index whose worker exits immediately at startup, as if it
-    /// had crashed (dead consumer).
-    pub drop_shard: Option<usize>,
+    slow: Vec<(usize, Duration)>,
+    dropped: Vec<usize>,
+    crash_after: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -27,23 +28,66 @@ impl FaultPlan {
 
     /// True iff any fault is armed.
     pub fn any(&self) -> bool {
-        self.slow_shard.is_some() || self.drop_shard.is_some()
+        !self.slow.is_empty() || !self.dropped.is_empty() || !self.crash_after.is_empty()
     }
 
-    /// Plan with a slow consumer on `shard`.
+    /// Shorthand: a plan whose only fault is a slow consumer on `shard`.
     pub fn slow(shard: usize, per_entry: Duration) -> Self {
-        Self {
-            slow_shard: Some((shard, per_entry)),
-            drop_shard: None,
-        }
+        Self::none().with_slow(shard, per_entry)
     }
 
-    /// Plan with a dead consumer on `shard`.
+    /// Shorthand: a plan whose only fault is a dead consumer on `shard`.
     pub fn dropped(shard: usize) -> Self {
-        Self {
-            slow_shard: None,
-            drop_shard: Some(shard),
-        }
+        Self::none().with_dropped(shard)
+    }
+
+    /// Adds a slow consumer: shard `shard` sleeps `per_entry` per
+    /// processed entry.
+    pub fn with_slow(mut self, shard: usize, per_entry: Duration) -> Self {
+        self.slow.push((shard, per_entry));
+        self
+    }
+
+    /// Adds a dead consumer: shard `shard`'s worker exits immediately at
+    /// startup, as if it had crashed before consuming anything.
+    pub fn with_dropped(mut self, shard: usize) -> Self {
+        self.dropped.push(shard);
+        self
+    }
+
+    /// Adds a mid-stream crash: shard `shard`'s worker exits after
+    /// processing `entries` entries (checkpointed state and queued work
+    /// are abandoned, exactly like a real worker crash).
+    pub fn with_crash_after(mut self, shard: usize, entries: u64) -> Self {
+        self.crash_after.push((shard, entries));
+        self
+    }
+
+    /// The per-entry delay for `shard`, if it is a slow consumer.
+    pub fn slow_for(&self, shard: usize) -> Option<Duration> {
+        self.slow.iter().find(|(s, _)| *s == shard).map(|(_, d)| *d)
+    }
+
+    /// True iff `shard` dies at startup.
+    pub fn is_dropped(&self, shard: usize) -> bool {
+        self.dropped.contains(&shard)
+    }
+
+    /// The processed-entry count after which `shard` crashes, if armed.
+    pub fn crash_after_for(&self, shard: usize) -> Option<u64> {
+        self.crash_after
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, n)| *n)
+    }
+
+    /// Removes every fault armed for `shard` — the engine calls this
+    /// when it respawns a recovered worker, so a crash script fires
+    /// once rather than killing each replacement.
+    pub fn clear_shard(&mut self, shard: usize) {
+        self.slow.retain(|(s, _)| *s != shard);
+        self.dropped.retain(|s| *s != shard);
+        self.crash_after.retain(|(s, _)| *s != shard);
     }
 }
 
@@ -56,5 +100,35 @@ mod tests {
         assert!(!FaultPlan::none().any());
         assert!(FaultPlan::slow(0, Duration::from_millis(1)).any());
         assert!(FaultPlan::dropped(2).any());
+        assert!(FaultPlan::none().with_crash_after(1, 10).any());
+    }
+
+    #[test]
+    fn faults_compose_on_one_plan() {
+        // The old constructors were mutually exclusive; the combinator
+        // form arms several simultaneous faults.
+        let plan = FaultPlan::none()
+            .with_slow(0, Duration::from_millis(2))
+            .with_dropped(1)
+            .with_crash_after(2, 5);
+        assert_eq!(plan.slow_for(0), Some(Duration::from_millis(2)));
+        assert!(plan.is_dropped(1));
+        assert_eq!(plan.crash_after_for(2), Some(5));
+        // Unarmed shards are untouched.
+        assert_eq!(plan.slow_for(3), None);
+        assert!(!plan.is_dropped(0));
+        assert_eq!(plan.crash_after_for(0), None);
+    }
+
+    #[test]
+    fn clear_shard_disarms_only_that_shard() {
+        let mut plan = FaultPlan::none()
+            .with_dropped(1)
+            .with_crash_after(1, 3)
+            .with_slow(2, Duration::from_millis(1));
+        plan.clear_shard(1);
+        assert!(!plan.is_dropped(1));
+        assert_eq!(plan.crash_after_for(1), None);
+        assert_eq!(plan.slow_for(2), Some(Duration::from_millis(1)));
     }
 }

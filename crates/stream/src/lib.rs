@@ -15,7 +15,13 @@
 //! Fault tolerance is explicit and testable: poisoned entries (no ground
 //! rule) are counted and skipped, a dead shard degrades the pipeline
 //! instead of wedging it, and a slow shard exerts backpressure through
-//! its bounded channel. See [`FaultPlan`] for the injection hooks.
+//! its bounded channel. See [`FaultPlan`] for the injection hooks —
+//! faults compose, so one plan can arm several simultaneous failures.
+//! Arming [`StreamConfig::checkpoint_every`] upgrades degraded mode to
+//! *recovery*: shards periodically export checkpoints, the engine
+//! journals entries accepted since, and a dead shard is respawned from
+//! its last checkpoint and replayed — snapshots after recovery are
+//! bit-for-bit what a fault-free run would have produced.
 
 pub mod cache;
 pub mod config;
@@ -30,4 +36,5 @@ pub use config::StreamConfig;
 pub use counters::{CoverageCounters, PatternStats, StreamTotals};
 pub use engine::{IngestOutcome, ShardHealth, StreamEngine, StreamSnapshot};
 pub use fault::FaultPlan;
+pub use shard::ShardCheckpoint;
 pub use window::{SlidingWindow, WindowSnapshot};

@@ -21,6 +21,10 @@ pub enum ShardMsg {
     Entry { time: i64, ground: GroundRule },
     /// Epoch barrier: reply with a state snapshot on `reply`.
     Snapshot { reply: Sender<ShardState> },
+    /// Durability barrier: reply with a full state export on `reply`.
+    /// Because it rides the same FIFO channel, the checkpoint covers
+    /// exactly the entries sent before it.
+    Checkpoint { reply: Sender<ShardCheckpoint> },
     /// Install a new policy matcher for `epoch`; clears the decision
     /// cache and re-labels the counters.
     UpdatePolicy {
@@ -29,6 +33,28 @@ pub enum ShardMsg {
     },
     /// Finish outstanding work and exit the worker loop.
     Shutdown,
+}
+
+/// Everything needed to rebuild a shard worker mid-stream: counters,
+/// decision-cache memo and stats, retained window events, epoch, and the
+/// processed count. The engine keeps the latest checkpoint per shard and
+/// seeds a replacement worker from it after a crash; replaying the
+/// journal of post-checkpoint entries then reproduces the lost state
+/// bit-for-bit (same counts, same verdicts, same cache hit/miss books).
+#[derive(Debug, Clone)]
+pub struct ShardCheckpoint {
+    /// Per-pattern counters at the barrier.
+    pub patterns: Vec<(GroundRule, PatternStats)>,
+    /// Memoized `(rule, verdict)` pairs.
+    pub memo: Vec<(GroundRule, bool)>,
+    /// Cache hit/miss/invalidation counters.
+    pub cache: CacheStats,
+    /// Retained trailing-window events, if window tracking is on.
+    pub window: Option<Vec<(i64, GroundRule)>>,
+    /// Policy epoch the shard was on.
+    pub epoch: u64,
+    /// Entries processed up to the barrier.
+    pub processed: u64,
 }
 
 /// One shard's state at a snapshot barrier.
@@ -50,27 +76,50 @@ pub struct ShardState {
     pub processed: u64,
 }
 
-/// Runs one shard worker until `Shutdown` or channel disconnect.
+/// Runs one shard worker until `Shutdown`, channel disconnect, or an
+/// injected crash. `seed` restores a checkpointed state (recovery
+/// respawn); `None` starts fresh at epoch 0.
 pub fn run_shard(
     shard: usize,
     rx: Receiver<ShardMsg>,
     mut matcher: Arc<PolicyMatcher>,
     window_secs: Option<i64>,
     faults: FaultPlan,
+    seed: Option<ShardCheckpoint>,
 ) {
-    if faults.drop_shard == Some(shard) {
+    if faults.is_dropped(shard) {
         // Simulated crash: exit before consuming anything, so the
         // engine's sends start failing with a disconnect.
         return;
     }
-    let slow = faults
-        .slow_shard
-        .and_then(|(s, d)| (s == shard).then_some(d));
+    let slow = faults.slow_for(shard);
+    let crash_after = faults.crash_after_for(shard);
 
-    let mut cache = DecisionCache::new(0);
-    let mut counters = CoverageCounters::new();
-    let mut window = window_secs.map(SlidingWindow::new);
-    let mut processed = 0u64;
+    let (mut cache, mut counters, mut window, mut processed) = match seed {
+        Some(ckpt) => {
+            let mut window = window_secs.map(SlidingWindow::new);
+            if let (Some(w), Some(events)) = (window.as_mut(), ckpt.window) {
+                // Replaying the retained events in order rebuilds the
+                // same deque and watermark the checkpoint captured.
+                for (time, g) in events {
+                    w.observe(time, &g);
+                }
+            }
+            (
+                DecisionCache::restore(ckpt.epoch, ckpt.memo, ckpt.cache),
+                CoverageCounters::from_export(ckpt.patterns),
+                window,
+                ckpt.processed,
+            )
+        }
+        None => (
+            DecisionCache::new(0),
+            CoverageCounters::new(),
+            window_secs.map(SlidingWindow::new),
+            0u64,
+        ),
+    };
+    let mut processed_here = 0u64;
 
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -84,6 +133,13 @@ pub fn run_shard(
                     w.observe(time, &ground);
                 }
                 processed += 1;
+                processed_here += 1;
+                if crash_after == Some(processed_here) {
+                    // Simulated mid-stream crash: abandon in-memory state
+                    // and anything still queued, exactly like a real
+                    // worker death.
+                    return;
+                }
             }
             ShardMsg::Snapshot { reply } => {
                 let state = ShardState {
@@ -99,6 +155,17 @@ pub fn run_shard(
                 // timeout elsewhere); a closed reply channel is not the
                 // shard's problem.
                 let _ = reply.send(state);
+            }
+            ShardMsg::Checkpoint { reply } => {
+                let ckpt = ShardCheckpoint {
+                    patterns: counters.export(),
+                    memo: cache.export_memo(),
+                    cache: cache.stats(),
+                    window: window.as_ref().map(SlidingWindow::export),
+                    epoch: cache.epoch(),
+                    processed,
+                };
+                let _ = reply.send(ckpt);
             }
             ShardMsg::UpdatePolicy { epoch, matcher: m } => {
                 matcher = m;
@@ -141,7 +208,14 @@ mod tests {
     fn worker_classifies_and_snapshots() {
         let (tx, rx) = bounded(16);
         let handle = std::thread::spawn(move || {
-            run_shard(0, rx, matcher_for("referral"), Some(60), FaultPlan::none())
+            run_shard(
+                0,
+                rx,
+                matcher_for("referral"),
+                Some(60),
+                FaultPlan::none(),
+                None,
+            )
         });
         tx.send(ShardMsg::Entry {
             time: 10,
@@ -175,7 +249,14 @@ mod tests {
     fn policy_update_relabels_history() {
         let (tx, rx) = bounded(16);
         let handle = std::thread::spawn(move || {
-            run_shard(0, rx, matcher_for("referral"), None, FaultPlan::none())
+            run_shard(
+                0,
+                rx,
+                matcher_for("referral"),
+                None,
+                FaultPlan::none(),
+                None,
+            )
         });
         tx.send(ShardMsg::Entry {
             time: 1,
@@ -200,10 +281,105 @@ mod tests {
     fn dropped_shard_exits_immediately() {
         let (tx, rx) = bounded::<ShardMsg>(4);
         let handle = std::thread::spawn(move || {
-            run_shard(2, rx, matcher_for("referral"), None, FaultPlan::dropped(2))
+            run_shard(
+                2,
+                rx,
+                matcher_for("referral"),
+                None,
+                FaultPlan::dropped(2),
+                None,
+            )
         });
         handle.join().unwrap();
         // Receiver is gone: sends fail with a disconnect.
         assert!(tx.send(ShardMsg::Shutdown).is_err());
+    }
+
+    #[test]
+    fn crash_after_abandons_queue_mid_stream() {
+        let (tx, rx) = bounded::<ShardMsg>(16);
+        let handle = std::thread::spawn(move || {
+            run_shard(
+                0,
+                rx,
+                matcher_for("referral"),
+                None,
+                FaultPlan::none().with_crash_after(0, 2),
+                None,
+            )
+        });
+        for t in 0..5 {
+            tx.send(ShardMsg::Entry {
+                time: t,
+                ground: g("referral"),
+            })
+            .unwrap();
+        }
+        handle.join().unwrap();
+        assert!(tx.send(ShardMsg::Shutdown).is_err(), "worker is dead");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_state_bit_for_bit() {
+        // Run a shard, checkpoint it, kill it, seed a replacement from
+        // the checkpoint: the replacement's snapshot must match what the
+        // original would have reported — counters, cache books, window,
+        // and processed count.
+        let (tx, rx) = bounded(16);
+        let handle = std::thread::spawn(move || {
+            run_shard(
+                0,
+                rx,
+                matcher_for("referral"),
+                Some(60),
+                FaultPlan::none(),
+                None,
+            )
+        });
+        for (t, d) in [(10, "referral"), (11, "referral"), (12, "psychiatry")] {
+            tx.send(ShardMsg::Entry {
+                time: t,
+                ground: g(d),
+            })
+            .unwrap();
+        }
+        let (ck_tx, ck_rx) = bounded(1);
+        tx.send(ShardMsg::Checkpoint { reply: ck_tx }).unwrap();
+        let ckpt = ck_rx.recv().unwrap();
+        assert_eq!(ckpt.processed, 3);
+        tx.send(ShardMsg::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        let (tx2, rx2) = bounded(16);
+        let handle2 = std::thread::spawn(move || {
+            run_shard(
+                0,
+                rx2,
+                matcher_for("referral"),
+                Some(60),
+                FaultPlan::none(),
+                Some(ckpt),
+            )
+        });
+        let (reply_tx, reply_rx) = bounded(1);
+        tx2.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
+        let state = reply_rx.recv().unwrap();
+        assert_eq!(state.processed, 3);
+        assert_eq!(state.totals.covered_entries, 2);
+        assert_eq!(state.totals.total_entries, 3);
+        assert_eq!(state.cache.hits, 1, "hit/miss books survive recovery");
+        assert_eq!(state.cache.misses, 2);
+        assert_eq!(state.window.as_ref().unwrap().len(), 3);
+        // A replayed shape is a cache hit, as it would have been.
+        tx2.send(ShardMsg::Entry {
+            time: 13,
+            ground: g("referral"),
+        })
+        .unwrap();
+        let (reply_tx, reply_rx) = bounded(1);
+        tx2.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
+        assert_eq!(reply_rx.recv().unwrap().cache.hits, 2);
+        drop(tx2);
+        handle2.join().unwrap();
     }
 }

@@ -1,0 +1,132 @@
+//! Chaos suite: composed shard faults over the clinical simulator, on a
+//! fixed seed matrix (the same eight seeds CI pins in its `chaos` job).
+//!
+//! Each seed drives one realistic hospital trail through a
+//! recovery-armed engine that simultaneously loses one shard at startup,
+//! crashes another mid-stream, and slows a third — and the final
+//! snapshot must be bit-for-bit what the fault-free batch pipeline
+//! computes over the same trail. Gated behind the `chaos` feature so the
+//! default test run stays fast: `cargo test -p prima-stream --features
+//! chaos`.
+#![cfg(feature = "chaos")]
+
+use prima_audit::AuditStore;
+use prima_model::{compute_coverage, CoverageEngine, PolicyMatcher};
+use prima_stream::{FaultPlan, IngestOutcome, ShardHealth, StreamConfig, StreamEngine};
+use prima_workload::{Scenario, SimConfig};
+use std::time::Duration;
+
+/// The CI chaos matrix: eight fixed seeds, one process each in CI, all
+/// eight here so a local `--features chaos` run covers the whole matrix.
+const SEEDS: [u64; 8] = [11, 23, 47, 101, 977, 6151, 52_361, 999_983];
+
+fn run_seed(seed: u64) {
+    let scenario = Scenario::community_hospital();
+    let sim = scenario.simulator();
+    let config = SimConfig {
+        seed,
+        n_entries: 300,
+        ..SimConfig::default()
+    };
+    let labeled = sim.generate(&config);
+
+    // Derive per-seed fault placement so the matrix doesn't always
+    // punish the same shards.
+    let shards = 3 + (seed % 3) as usize; // 3..=5
+    let dropped = (seed % shards as u64) as usize;
+    let crashed = ((seed / 7) % shards as u64) as usize;
+    let slowed = ((seed / 13) % shards as u64) as usize;
+    let mut faults = FaultPlan::none().with_dropped(dropped);
+    if crashed != dropped {
+        faults = faults.with_crash_after(crashed, 5 + (seed % 17));
+    }
+    if slowed != dropped && slowed != crashed {
+        faults = faults.with_slow(slowed, Duration::from_micros(200));
+    }
+
+    let sink = AuditStore::new("chaos-sink");
+    let stream_config = StreamConfig::with_shards(shards)
+        .channel_capacity(8)
+        .checkpoint_every(4 + (seed % 9))
+        .faults(faults);
+    let mut engine = StreamEngine::start(
+        stream_config,
+        PolicyMatcher::new(&scenario.policy, &scenario.vocab),
+    )
+    .with_sink(sink.clone());
+
+    for l in &labeled {
+        assert_eq!(
+            engine.ingest(&l.entry),
+            IngestOutcome::Accepted,
+            "seed {seed}: recovery must accept every entry"
+        );
+    }
+    let snap = engine.shutdown();
+
+    assert!(snap.recoveries >= 1, "seed {seed}: a fault must have fired");
+    assert_eq!(snap.lost, 0, "seed {seed}: nothing forfeit under recovery");
+    assert_eq!(
+        snap.health,
+        vec![ShardHealth::Live; shards],
+        "seed {seed}: every shard ends alive"
+    );
+    assert_eq!(snap.processed, labeled.len() as u64, "seed {seed}");
+
+    // The oracle: bit-for-bit equality with the fault-free batch path.
+    let batch = compute_coverage(&scenario.policy, &sink.to_policy(), &scenario.vocab).unwrap();
+    assert_eq!(snap.coverage, batch, "seed {seed}: set coverage diverged");
+    let weighted = CoverageEngine::default().entry_coverage(
+        &scenario.policy,
+        &sink.ground_rules(),
+        &scenario.vocab,
+    );
+    assert_eq!(
+        snap.totals.covered_entries as usize, weighted.covered_entries,
+        "seed {seed}: covered-entry totals diverged"
+    );
+    assert_eq!(
+        snap.totals.total_entries as usize, weighted.total_entries,
+        "seed {seed}: total-entry totals diverged"
+    );
+}
+
+#[test]
+fn seed_11() {
+    run_seed(SEEDS[0]);
+}
+
+#[test]
+fn seed_23() {
+    run_seed(SEEDS[1]);
+}
+
+#[test]
+fn seed_47() {
+    run_seed(SEEDS[2]);
+}
+
+#[test]
+fn seed_101() {
+    run_seed(SEEDS[3]);
+}
+
+#[test]
+fn seed_977() {
+    run_seed(SEEDS[4]);
+}
+
+#[test]
+fn seed_6151() {
+    run_seed(SEEDS[5]);
+}
+
+#[test]
+fn seed_52361() {
+    run_seed(SEEDS[6]);
+}
+
+#[test]
+fn seed_999983() {
+    run_seed(SEEDS[7]);
+}

@@ -14,7 +14,7 @@
 
 use prima_audit::{AuditEntry, AuditStore};
 use prima_model::{compute_coverage, CoverageEngine, Policy, PolicyMatcher, Rule, StoreTag};
-use prima_stream::{StreamConfig, StreamEngine};
+use prima_stream::{FaultPlan, StreamConfig, StreamEngine};
 use prima_vocab::samples::figure_1;
 use prima_workload::{Scenario, SimConfig};
 use proptest::prelude::*;
@@ -200,5 +200,52 @@ proptest! {
             compute_coverage(&scenario.policy, &sink.to_policy(), &scenario.vocab).unwrap();
         prop_assert_eq!(&snap.coverage, &batch);
         prop_assert_eq!(snap.processed, n_entries as u64);
+    }
+
+    /// Recovery oracle: with checkpointing armed, a run that loses one
+    /// shard at startup AND crashes another mid-stream must still end
+    /// bit-for-bit equal to the fault-free batch computation — nothing
+    /// lost, every entry-weighted total intact.
+    #[test]
+    fn recovered_run_equals_fault_free_batch(
+        rule_picks in prop::collection::vec(0..POLICY_POOL.len(), 0..6),
+        entry_picks in prop::collection::vec(
+            (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
+            1..120,
+        ),
+        shards in 2..5usize,
+        crash_at in 1..20u64,
+        interval in 1..16u64,
+    ) {
+        let vocab = figure_1();
+        let policy = policy_from_picks(&rule_picks);
+        let entries: Vec<AuditEntry> = entry_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| entry_from_pick(i, pick))
+            .collect();
+
+        let sink = AuditStore::new("oracle-recovery");
+        let faults = FaultPlan::none()
+            .with_dropped(0)
+            .with_crash_after(1, crash_at);
+        let config = StreamConfig::with_shards(shards)
+            .channel_capacity(8)
+            .checkpoint_every(interval)
+            .faults(faults);
+        let mut engine = StreamEngine::start(config, PolicyMatcher::new(&policy, &vocab))
+            .with_sink(sink.clone());
+        let accepted = engine.ingest_all(&entries);
+        prop_assert_eq!(accepted, entries.len(), "recovery accepts everything");
+        let snap = engine.shutdown();
+
+        let batch = compute_coverage(&policy, &sink.to_policy(), &vocab).unwrap();
+        prop_assert_eq!(&snap.coverage, &batch);
+        let weighted = CoverageEngine::default()
+            .entry_coverage(&policy, &sink.ground_rules(), &vocab);
+        prop_assert_eq!(snap.totals.covered_entries as usize, weighted.covered_entries);
+        prop_assert_eq!(snap.totals.total_entries as usize, weighted.total_entries);
+        prop_assert_eq!(snap.processed, entries.len() as u64);
+        prop_assert_eq!(snap.lost, 0, "recovery turns loss into replay");
     }
 }

@@ -86,7 +86,9 @@ fn main() {
 
     // --- PRIMA closes the loop -------------------------------------------
     let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
-    prima.attach_store(cc.audit_store().clone());
+    prima
+        .attach_store(cc.audit_store().clone())
+        .expect("unique source name");
 
     let before = prima.entry_coverage();
     println!("coverage of today's practice: {:.0}%", before.percent());

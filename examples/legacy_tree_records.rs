@@ -86,7 +86,7 @@ fn main() {
     }
 
     let mut prima = PrimaSystem::new(figure_1(), enforcement.policy().clone());
-    prima.attach_store(store);
+    prima.attach_store(store).expect("unique source name");
     let round = prima
         .run_round(ReviewMode::AutoAccept)
         .expect("mines cleanly");

@@ -64,7 +64,7 @@ fn main() {
     // …but the federated view crosses the threshold.
     let mut prima = PrimaSystem::new(vocab, policy);
     for store in sites {
-        prima.attach_store(store);
+        prima.attach_store(store).expect("unique source name");
     }
     println!(
         "federation: {} entries across {} sites",

@@ -29,7 +29,7 @@ fn main() {
 
     // 3. Wire up PRIMA and look at the gap between ideal and real.
     let mut prima = PrimaSystem::new(vocab, policy);
-    prima.attach_store(store);
+    prima.attach_store(store).expect("unique source name");
 
     let before = prima.entry_coverage();
     println!(

@@ -134,7 +134,7 @@ fn cmd_demo() -> Result<(), String> {
     let mut system = prima::system::PrimaSystem::new(vocab, policy);
     let store = prima::audit::AuditStore::new("main");
     store.append_all(&trail).map_err(|e| e.to_string())?;
-    system.attach_store(store);
+    system.attach_store(store).expect("unique source name");
 
     let before = system.entry_coverage();
     println!(

@@ -59,7 +59,9 @@ fn break_the_glass_becomes_policy() {
     // PRIMA consumes the control center's audit store directly (they share
     // the same underlying trail).
     let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
-    prima.attach_store(cc.audit_store().clone());
+    prima
+        .attach_store(cc.audit_store().clone())
+        .expect("unique source name");
     let record = prima.run_round(ReviewMode::Manual).unwrap();
     assert_eq!(record.candidates_enqueued, 1);
 
@@ -100,7 +102,9 @@ fn rejected_candidate_stays_rejected() {
         .unwrap();
     }
     let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
-    prima.attach_store(cc.audit_store().clone());
+    prima
+        .attach_store(cc.audit_store().clone())
+        .expect("unique source name");
     prima.run_round(ReviewMode::Manual).unwrap();
     let id = prima.review().pending().next().unwrap().id;
     prima
@@ -132,7 +136,9 @@ fn denials_never_become_policy() {
     assert_eq!(cc.audit_store().len(), 10);
 
     let mut prima = PrimaSystem::new(figure_1(), cc.policy().clone());
-    prima.attach_store(cc.audit_store().clone());
+    prima
+        .attach_store(cc.audit_store().clone())
+        .expect("unique source name");
     let record = prima.run_round(ReviewMode::AutoAccept).unwrap();
     assert_eq!(
         record.practice_entries, 0,

@@ -53,7 +53,7 @@ fn section_5_use_case() {
     let mut system = PrimaSystem::new(figure_1(), figure_3_policy_store());
     let store = prima::audit::AuditStore::new("main");
     store.append_all(&table_1()).unwrap();
-    system.attach_store(store);
+    system.attach_store(store).expect("unique source name");
 
     let before = system.entry_coverage();
     assert_eq!((before.covered_entries, before.total_entries), (3, 10));
@@ -84,7 +84,7 @@ fn refinement_converges_on_table_1() {
     let mut system = PrimaSystem::new(figure_1(), figure_3_policy_store());
     let store = prima::audit::AuditStore::new("main");
     store.append_all(&table_1()).unwrap();
-    system.attach_store(store);
+    system.attach_store(store).expect("unique source name");
     system.run_round(ReviewMode::AutoAccept).unwrap();
     let second = system.run_round(ReviewMode::AutoAccept).unwrap();
     assert_eq!(second.patterns_useful, 0);

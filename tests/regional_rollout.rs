@@ -30,7 +30,7 @@ fn staged_rollout_with_windows_and_snapshots() {
     let mut system = PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone())
         .with_miner(Box::new(miner));
     for store in split_sites(&labeled, 4) {
-        system.attach_store(store);
+        system.attach_store(store).expect("unique source name");
     }
 
     // Period 1: refine over the first half only.
@@ -54,7 +54,7 @@ fn staged_rollout_with_windows_and_snapshots() {
     let mut restored =
         PrimaSystem::restore_json(scenario.vocab.clone(), &json).expect("snapshot restores");
     for store in split_sites(&labeled, 4) {
-        restored.attach_store(store);
+        restored.attach_store(store).expect("unique source name");
     }
     let rest = TrainingWindow::new(last_time / 2, last_time + 1);
     let second = restored

@@ -72,12 +72,14 @@ fn federation_is_transparent() {
 
     // One store.
     let mut single = PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone());
-    single.attach_store(prima::workload::sim::to_store(&labeled, "single"));
+    single
+        .attach_store(prima::workload::sim::to_store(&labeled, "single"))
+        .expect("unique source name");
 
     // Five federated sites.
     let mut federated = PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone());
     for s in split_sites(&labeled, 5) {
-        federated.attach_store(s);
+        federated.attach_store(s).expect("unique source name");
     }
 
     assert!((single.entry_coverage().ratio() - federated.entry_coverage().ratio()).abs() < 1e-12);
@@ -107,7 +109,9 @@ fn violations_are_not_absorbed() {
     });
     let mut system = PrimaSystem::new(scenario.vocab.clone(), scenario.policy.clone())
         .with_miner(Box::new(miner));
-    system.attach_store(prima::workload::sim::to_store(&labeled, "main"));
+    system
+        .attach_store(prima::workload::sim::to_store(&labeled, "main"))
+        .expect("unique source name");
     let record = system.run_round(ReviewMode::AutoAccept).unwrap();
     assert!(record.rules_added >= 3, "clusters absorbed");
 
