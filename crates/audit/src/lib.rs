@@ -37,6 +37,7 @@ pub mod entry;
 pub mod export;
 pub mod federation;
 pub mod health;
+pub mod obs;
 pub mod quarantine;
 pub mod resilience;
 pub mod retention;
@@ -50,6 +51,7 @@ pub use classify::{AccessClassifier, DenyPairClassifier, NoViolations};
 pub use entry::{AccessStatus, AuditEntry, Op};
 pub use federation::{AuditFederation, FederationError};
 pub use health::{FederationHealth, SourceHealth, SourceStatus};
+pub use obs::FederationObs;
 pub use quarantine::{Quarantine, QuarantineReason, QuarantinedRecord};
 pub use resilience::ResilientFederation;
 pub use retention::TrainingWindow;
@@ -58,5 +60,5 @@ pub use schema::audit_schema;
 pub use source::{
     FaultySource, FetchResponse, LogSource, RawRecord, SourceError, SourceFaults, StoreSource,
 };
-pub use stats::{glass_breakers, trail_stats, TrailStats};
+pub use stats::{glass_breakers, trail_stats, TrailObserver, TrailStats};
 pub use store::AuditStore;

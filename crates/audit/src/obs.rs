@@ -1,0 +1,192 @@
+//! Observability handles for the resilient federation.
+//!
+//! [`FederationObs`] routes the degraded-mode bookkeeping a
+//! [`crate::ResilientFederation`] already does — retry attempts, breaker
+//! transitions, quarantine verdicts, consolidation latency — into a
+//! shared `prima_obs::MetricsRegistry`, and wraps each sync round in a
+//! `federation.sync` span (one `federation.fetch` child per attempted
+//! source). Disabled by default: every update is then a single branch.
+//!
+//! Per-source series are looked up through the registry on each round
+//! rather than pre-registered, because sources attach dynamically; sync
+//! runs once per consolidation round, so the registry mutex is nowhere
+//! near a hot path.
+//!
+//! Metric catalog (see DESIGN.md for the workspace-wide table):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `prima_audit_sync_rounds_total` | counter | consolidation rounds completed |
+//! | `prima_audit_sync_seconds` | histogram | consolidation round latency |
+//! | `prima_audit_retry_attempts_total{source}` | counter | fetch attempts, retries included |
+//! | `prima_audit_fetch_total{source,outcome}` | counter | fetch outcomes (`ok`/`error`/`skipped`) |
+//! | `prima_audit_breaker_transitions_total{source,to}` | counter | breaker state changes |
+//! | `prima_audit_quarantined_total{source,reason}` | counter | records parked, by reason |
+//! | `prima_audit_completeness` | gauge | latest health report's completeness |
+//! | `prima_audit_quarantine_size` | gauge | records currently in quarantine |
+
+use crate::quarantine::QuarantineReason;
+use crate::retry::BreakerState;
+use prima_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard, Tracer};
+
+/// Observability sink for one [`crate::ResilientFederation`].
+///
+/// `Default` is fully disabled; [`FederationObs::over`] binds live
+/// handles to a registry and tracer shared with the rest of the
+/// pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct FederationObs {
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    sync_rounds: Counter,
+    sync_seconds: Histogram,
+    completeness: Gauge,
+    quarantine_size: Gauge,
+}
+
+impl FederationObs {
+    /// No-op handles (the default for uninstrumented federations).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Live handles over a shared registry and tracer.
+    pub fn over(registry: MetricsRegistry, tracer: Tracer) -> Self {
+        let sync_rounds = registry.counter(
+            "prima_audit_sync_rounds_total",
+            "Federation consolidation rounds completed.",
+        );
+        let sync_seconds = registry.histogram(
+            "prima_audit_sync_seconds",
+            "Consolidation round latency in seconds.",
+        );
+        let completeness = registry.gauge(
+            "prima_audit_completeness",
+            "Completeness of the latest degraded consolidated view.",
+        );
+        let quarantine_size = registry.gauge(
+            "prima_audit_quarantine_size",
+            "Records currently parked in the quarantine table.",
+        );
+        Self {
+            registry,
+            tracer,
+            sync_rounds,
+            sync_seconds,
+            completeness,
+            quarantine_size,
+        }
+    }
+
+    /// True when this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled() || self.tracer.is_enabled()
+    }
+
+    /// The tracer (disabled tracers issue free guards).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Opens the per-source fetch span.
+    pub(crate) fn fetch_span(&self, source: &str) -> SpanGuard {
+        self.tracer
+            .span("federation.fetch")
+            .with_field("source", source)
+    }
+
+    /// Records the attempts one source burned this round.
+    pub(crate) fn retry_attempts(&self, source: &str, attempts: u32) {
+        self.registry
+            .counter_with(
+                "prima_audit_retry_attempts_total",
+                "Fetch attempts per source, retries included.",
+                &[("source", source)],
+            )
+            .add(u64::from(attempts));
+    }
+
+    /// Records a fetch outcome (`ok`, `error`, or `skipped` for a
+    /// circuit-open round).
+    pub(crate) fn fetch_outcome(&self, source: &str, outcome: &str) {
+        self.registry
+            .counter_with(
+                "prima_audit_fetch_total",
+                "Fetch outcomes per source.",
+                &[("source", source), ("outcome", outcome)],
+            )
+            .inc();
+    }
+
+    /// Records a breaker state change (no-op when `from == to`).
+    pub(crate) fn breaker_transition(&self, source: &str, from: BreakerState, to: BreakerState) {
+        if from == to {
+            return;
+        }
+        self.registry
+            .counter_with(
+                "prima_audit_breaker_transitions_total",
+                "Circuit-breaker state transitions per source.",
+                &[("source", source), ("to", &to.to_string())],
+            )
+            .inc();
+    }
+
+    /// Records one quarantined record with its reason code.
+    pub(crate) fn quarantined(&self, source: &str, reason: QuarantineReason) {
+        self.registry
+            .counter_with(
+                "prima_audit_quarantined_total",
+                "Records quarantined instead of consolidated, by reason.",
+                &[("source", source), ("reason", &reason.to_string())],
+            )
+            .inc();
+    }
+
+    /// Closes the books on one sync round.
+    pub(crate) fn sync_complete(
+        &self,
+        elapsed: std::time::Duration,
+        completeness: f64,
+        quarantine_len: usize,
+    ) {
+        self.sync_rounds.inc();
+        self.sync_seconds.observe_duration(elapsed);
+        self.completeness.set(completeness);
+        self.quarantine_size.set(quarantine_len as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = FederationObs::disabled();
+        assert!(!obs.is_enabled());
+        obs.retry_attempts("icu", 3);
+        obs.fetch_outcome("icu", "ok");
+        obs.breaker_transition("icu", BreakerState::Closed, BreakerState::Open);
+        obs.quarantined("icu", QuarantineReason::BadEncoding);
+        obs.sync_complete(std::time::Duration::from_millis(1), 0.5, 2);
+    }
+
+    #[test]
+    fn same_state_transition_is_not_counted() {
+        let r = MetricsRegistry::new();
+        let obs = FederationObs::over(r.clone(), Tracer::disabled());
+        obs.breaker_transition("icu", BreakerState::Closed, BreakerState::Closed);
+        assert!(r
+            .gather()
+            .iter()
+            .all(|f| f.name != "prima_audit_breaker_transitions_total"));
+        obs.breaker_transition("icu", BreakerState::Closed, BreakerState::Open);
+        let fams = r.gather();
+        let fam = fams
+            .iter()
+            .find(|f| f.name == "prima_audit_breaker_transitions_total")
+            .unwrap();
+        assert_eq!(fam.samples.len(), 1);
+    }
+}

@@ -18,11 +18,12 @@
 use crate::entry::AuditEntry;
 use crate::federation::FederationError;
 use crate::health::{FederationHealth, SourceHealth, SourceStatus};
+use crate::obs::FederationObs;
 use crate::quarantine::{Quarantine, QuarantineReason};
 use crate::retry::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::source::{LogSource, RawRecord, SourceError};
 use prima_model::{GroundRule, Policy, StoreTag};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One registered source plus its degraded-mode state.
 #[derive(Debug)]
@@ -49,6 +50,7 @@ pub struct ResilientFederation {
     breaker_config: BreakerConfig,
     quarantine: Quarantine,
     round: u64,
+    obs: FederationObs,
 }
 
 impl Default for ResilientFederation {
@@ -66,7 +68,15 @@ impl ResilientFederation {
             breaker_config,
             quarantine: Quarantine::new(),
             round: 0,
+            obs: FederationObs::disabled(),
         }
+    }
+
+    /// Routes retry/breaker/quarantine accounting and `federation.sync`
+    /// spans into `obs` (see [`crate::obs`] for the metric catalog).
+    pub fn with_observability(mut self, obs: FederationObs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Registers a source. Names are the dedup key: a second source
@@ -115,25 +125,41 @@ impl ResilientFederation {
     /// it is fetched under the retry policy; failures fall back to the
     /// stale cache. Returns the round's health report.
     pub fn sync(&mut self) -> FederationHealth {
+        let started = Instant::now();
         self.round += 1;
         let round = self.round;
+        let mut span = self
+            .obs
+            .tracer()
+            .span("federation.sync")
+            .with_field("round", round)
+            .with_field("sources", self.slots.len());
         for slot in &mut self.slots {
+            let name = slot.source.name().to_string();
+            let state_before = slot.breaker.state();
             if !slot.breaker.allows(round) {
                 slot.status = SourceStatus::CircuitOpen;
                 slot.attempts = 0;
                 if let Some(hint) = slot.source.expected_len() {
                     slot.expected = slot.expected.max(hint);
                 }
+                self.obs.fetch_outcome(&name, "skipped");
                 continue;
             }
-            let name = slot.source.name().to_string();
+            let mut fetch_span = self.obs.fetch_span(&name);
             let (result, attempts) = fetch_with_retries(&mut *slot.source, &self.retry, &name);
+            fetch_span.field("attempts", attempts);
             slot.attempts = attempts;
+            self.obs.retry_attempts(&name, attempts);
             match result {
                 Ok(records) => {
                     slot.breaker.record_success();
+                    let parked_before = self.quarantine.len();
                     let (entries, quarantined) =
                         consolidate(&mut self.quarantine, &name, round, records.0);
+                    for parked in &self.quarantine.records()[parked_before..] {
+                        self.obs.quarantined(&name, parked.reason);
+                    }
                     slot.expected = records.1;
                     slot.quarantined = quarantined;
                     slot.cache = entries;
@@ -142,6 +168,7 @@ impl ResilientFederation {
                     } else {
                         SourceStatus::Degraded
                     };
+                    self.obs.fetch_outcome(&name, "ok");
                 }
                 Err(_) => {
                     slot.breaker.record_failure(round);
@@ -149,10 +176,21 @@ impl ResilientFederation {
                         slot.expected = slot.expected.max(hint);
                     }
                     slot.status = SourceStatus::Unavailable;
+                    self.obs.fetch_outcome(&name, "error");
                 }
             }
+            fetch_span.field("status", format!("{:?}", slot.status));
+            self.obs
+                .breaker_transition(&name, state_before, slot.breaker.state());
         }
-        self.health()
+        let health = self.health();
+        span.field("completeness", health.completeness());
+        self.obs.sync_complete(
+            started.elapsed(),
+            health.completeness(),
+            self.quarantine.len(),
+        );
+        health
     }
 
     /// The current health report (per-source status, fetched vs.
@@ -524,6 +562,100 @@ mod tests {
             f.ground_rules().len(),
             1,
             "coverage denominator excludes it"
+        );
+    }
+
+    #[test]
+    fn instrumented_sync_books_retries_breakers_and_quarantine() {
+        let registry = prima_obs::MetricsRegistry::new();
+        let tracer = prima_obs::Tracer::new();
+        let mut f = fed().with_observability(crate::obs::FederationObs::over(
+            registry.clone(),
+            tracer.clone(),
+        ));
+        f.attach(Box::new(FaultySource::new(
+            site("noisy", &[1, 2, 3, 4]),
+            SourceFaults::none().corrupt_every(2),
+        )))
+        .unwrap();
+        f.attach(Box::new(FaultySource::new(
+            site("down", &[9]),
+            SourceFaults::none().permanently_down(),
+        )))
+        .unwrap();
+        // Rounds 1-2: "down" burns 2 attempts each and opens the breaker
+        // (threshold 2); round 3 is skipped under cooldown.
+        f.sync();
+        f.sync();
+        let h3 = f.sync();
+        assert_eq!(h3.source("down").unwrap().status, SourceStatus::CircuitOpen);
+
+        let count =
+            |name: &str, labels: &[(&str, &str)]| registry.counter_with(name, "", labels).get();
+        assert_eq!(
+            count("prima_audit_retry_attempts_total", &[("source", "noisy")]),
+            3,
+            "one clean attempt per round"
+        );
+        assert_eq!(
+            count("prima_audit_retry_attempts_total", &[("source", "down")]),
+            4,
+            "two attempts in each of rounds 1-2, none under cooldown"
+        );
+        assert_eq!(
+            count(
+                "prima_audit_fetch_total",
+                &[("source", "down"), ("outcome", "error")]
+            ),
+            2
+        );
+        assert_eq!(
+            count(
+                "prima_audit_fetch_total",
+                &[("source", "down"), ("outcome", "skipped")]
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                "prima_audit_breaker_transitions_total",
+                &[("source", "down"), ("to", "open")]
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                "prima_audit_quarantined_total",
+                &[("source", "noisy"), ("reason", "malformed-record")]
+            ),
+            6,
+            "2 corrupt records per round, re-fetched each of 3 rounds"
+        );
+        assert_eq!(count("prima_audit_sync_rounds_total", &[]), 3);
+        let latencies = registry.histograms("prima_audit_sync_seconds");
+        assert_eq!(latencies.len(), 1);
+        assert_eq!(latencies[0].1.count(), 3);
+
+        let spans = tracer.drain();
+        let syncs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "federation.sync")
+            .collect();
+        let fetches: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "federation.fetch")
+            .collect();
+        assert_eq!(syncs.len(), 3);
+        assert_eq!(
+            fetches.len(),
+            5,
+            "noisy 3x, down 2x (cooldown skips the probe)"
+        );
+        assert!(
+            fetches
+                .iter()
+                .all(|s| syncs.iter().any(|p| p.id == s.parent)),
+            "fetch spans parent to their sync round"
         );
     }
 

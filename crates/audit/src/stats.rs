@@ -7,7 +7,8 @@
 //! experiments use them to sanity-check simulated workloads.
 
 use crate::entry::{AuditEntry, Op};
-use std::collections::HashMap;
+use prima_obs::{Counter, Gauge, MetricsRegistry};
+use std::collections::{HashMap, HashSet};
 
 /// Summary statistics for one trail.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,38 +41,115 @@ impl TrailStats {
     }
 }
 
-/// Computes [`TrailStats`].
-pub fn trail_stats(entries: &[AuditEntry]) -> TrailStats {
-    let mut regular = 0;
-    let mut exceptions = 0;
-    let mut denials = 0;
-    let mut users = std::collections::HashSet::new();
-    let mut min_t = i64::MAX;
-    let mut max_t = i64::MIN;
-    for e in entries {
-        if e.op == Op::Disallow {
-            denials += 1;
-        } else if e.is_exception() {
-            exceptions += 1;
-        } else {
-            regular += 1;
+/// Incremental trail statistics whose counts live on a prima-obs
+/// registry.
+///
+/// Every entry is classified exactly once, and the verdict lands
+/// directly in a registry counter
+/// (`prima_audit_trail_entries_total{class=...}`); [`Self::stats`] reads
+/// those same cells back. A `TrailStats` and a metrics scrape therefore
+/// describe the same trail by construction — there is no second set of
+/// ad-hoc counters to drift out of sync.
+///
+/// Metric catalog:
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `prima_audit_trail_entries_total{class}` | counter | entries by class (`regular`/`exception`/`denial`) |
+/// | `prima_audit_trail_distinct_users` | gauge | distinct users seen so far |
+///
+/// Set membership and the time span are not counter-shaped, so they stay
+/// in the observer; the class counts — the numbers stats and metrics
+/// could historically disagree on — are registry cells.
+#[derive(Debug)]
+pub struct TrailObserver {
+    regular: Counter,
+    exceptions: Counter,
+    denials: Counter,
+    distinct_users: Gauge,
+    users: HashSet<String>,
+    time_span: Option<(i64, i64)>,
+}
+
+impl TrailObserver {
+    /// An observer whose class counters live on `registry`. Over a
+    /// disabled registry the counters are no-ops and every count reads
+    /// 0 — use [`TrailObserver::standalone`] (or [`trail_stats`]) when
+    /// no shared registry is wired.
+    pub fn over(registry: &MetricsRegistry) -> Self {
+        let class = |class: &str| {
+            registry.counter_with(
+                "prima_audit_trail_entries_total",
+                "Audit-trail entries by class.",
+                &[("class", class)],
+            )
+        };
+        Self {
+            regular: class("regular"),
+            exceptions: class("exception"),
+            denials: class("denial"),
+            distinct_users: registry.gauge(
+                "prima_audit_trail_distinct_users",
+                "Distinct users seen in the observed trail.",
+            ),
+            users: HashSet::new(),
+            time_span: None,
         }
-        users.insert(e.user.as_str());
-        min_t = min_t.min(e.time);
-        max_t = max_t.max(e.time);
     }
-    TrailStats {
-        total: entries.len(),
-        regular,
-        exceptions,
-        denials,
-        distinct_users: users.len(),
-        time_span: if entries.is_empty() {
-            None
+
+    /// An observer over a private live registry (for one-shot stats).
+    pub fn standalone() -> Self {
+        Self::over(&MetricsRegistry::new())
+    }
+
+    /// Classifies one entry and updates the counters.
+    pub fn observe(&mut self, e: &AuditEntry) {
+        if e.op == Op::Disallow {
+            self.denials.inc();
+        } else if e.is_exception() {
+            self.exceptions.inc();
         } else {
-            Some((min_t, max_t))
-        },
+            self.regular.inc();
+        }
+        if self.users.insert(e.user.clone()) {
+            self.distinct_users.set(self.users.len() as f64);
+        }
+        self.time_span = Some(match self.time_span {
+            None => (e.time, e.time),
+            Some((lo, hi)) => (lo.min(e.time), hi.max(e.time)),
+        });
     }
+
+    /// Observes a whole slice.
+    pub fn observe_all(&mut self, entries: &[AuditEntry]) {
+        for e in entries {
+            self.observe(e);
+        }
+    }
+
+    /// The summary, read back from the registry cells.
+    pub fn stats(&self) -> TrailStats {
+        let regular = self.regular.get() as usize;
+        let exceptions = self.exceptions.get() as usize;
+        let denials = self.denials.get() as usize;
+        TrailStats {
+            total: regular + exceptions + denials,
+            regular,
+            exceptions,
+            denials,
+            distinct_users: self.users.len(),
+            time_span: self.time_span,
+        }
+    }
+}
+
+/// Computes [`TrailStats`] — one pass through a [`TrailObserver`] over a
+/// private registry, so the batch path and the metrics path share one
+/// counting routine.
+pub fn trail_stats(entries: &[AuditEntry]) -> TrailStats {
+    let mut obs = TrailObserver::standalone();
+    obs.observe_all(entries);
+    obs.stats()
 }
 
 /// Top-`k` values of an entry attribute among exception entries, with
@@ -162,6 +240,54 @@ mod tests {
             by_data,
             vec![("referral".to_string(), 2), ("psychiatry".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn observer_stats_and_registry_scrape_agree() {
+        let registry = MetricsRegistry::new();
+        let mut obs = TrailObserver::over(&registry);
+        obs.observe_all(&trail());
+        let s = obs.stats();
+        assert_eq!(s, trail_stats(&trail()), "one counting routine");
+        let fams = registry.gather();
+        let classes = fams
+            .iter()
+            .find(|f| f.name == "prima_audit_trail_entries_total")
+            .unwrap();
+        let count_of = |class: &str| {
+            classes
+                .samples
+                .iter()
+                .find(|smp| smp.labels == vec![("class".to_string(), class.to_string())])
+                .map(|smp| match smp.value {
+                    prima_obs::registry::SampleValue::Counter(n) => n as usize,
+                    _ => panic!("counter family"),
+                })
+                .unwrap()
+        };
+        assert_eq!(count_of("regular"), s.regular);
+        assert_eq!(count_of("exception"), s.exceptions);
+        assert_eq!(count_of("denial"), s.denials);
+        let users = fams
+            .iter()
+            .find(|f| f.name == "prima_audit_trail_distinct_users")
+            .unwrap();
+        match users.samples[0].value {
+            prima_obs::registry::SampleValue::Gauge(v) => {
+                assert_eq!(v as usize, s.distinct_users)
+            }
+            _ => panic!("gauge family"),
+        }
+    }
+
+    #[test]
+    fn incremental_observation_matches_batch() {
+        let entries = trail();
+        let mut obs = TrailObserver::standalone();
+        for e in &entries {
+            obs.observe(e);
+        }
+        assert_eq!(obs.stats(), trail_stats(&entries));
     }
 
     #[test]

@@ -26,8 +26,11 @@
 #![warn(missing_docs)]
 
 use prima_audit::AuditEntry;
+use prima_obs::PipelineReport;
 use prima_workload::sim::{entries, SimConfig};
 use prima_workload::Scenario;
+use serde_json::Value;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Times a closure, returning `(result, milliseconds)`.
@@ -87,6 +90,44 @@ pub fn standard_trail(n: usize, seed: u64) -> Vec<AuditEntry> {
 /// Section header for experiment output.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Absolute path of a machine-readable bench artifact at the repo root
+/// (where CI and the acceptance gates look for `BENCH_*.json`).
+pub fn bench_artifact_path(file_name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
+}
+
+/// Writes `value` as pretty JSON to `file_name` at the repo root and
+/// returns the path written.
+pub fn write_bench_json(file_name: &str, value: &Value) -> std::io::Result<PathBuf> {
+    let path = bench_artifact_path(file_name);
+    let text = serde_json::to_string_pretty(value).expect("bench summaries are plain value trees");
+    std::fs::write(&path, format!("{text}\n"))?;
+    Ok(path)
+}
+
+/// A [`PipelineReport`]'s stage profiles as a JSON sequence, for the
+/// `BENCH_*.json` artifacts.
+pub fn stage_profiles_json(report: &PipelineReport) -> Value {
+    Value::Seq(
+        report
+            .stages
+            .iter()
+            .map(|s| {
+                Value::Map(vec![
+                    ("stage".into(), Value::Str(s.stage.clone())),
+                    ("count".into(), Value::U64(s.count)),
+                    ("total_seconds".into(), Value::F64(s.total_seconds)),
+                    ("p50_seconds".into(), Value::F64(s.p50_seconds)),
+                    ("p95_seconds".into(), Value::F64(s.p95_seconds)),
+                    ("max_seconds".into(), Value::F64(s.max_seconds)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

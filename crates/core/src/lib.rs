@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod clinic;
+pub mod observe;
 pub mod snapshot;
 pub mod system;
 pub mod trajectory;
 
 pub use clinic::{run_clinic, ClinicProfile, ClinicReport};
+pub use observe::SystemObs;
 pub use snapshot::{SnapshotError, SystemSnapshot};
 pub use system::{PrimaSystem, ReviewMode, RoundRecord};
 pub use trajectory::{run_trajectory, TrajectoryConfig, TrajectoryPoint};

@@ -1,0 +1,171 @@
+//! Observability for the refinement loop: metrics and spans around
+//! [`crate::PrimaSystem`] rounds.
+//!
+//! [`SystemObs`] bundles a [`MetricsRegistry`] and a [`Tracer`] with the
+//! pre-registered handles a round touches, so the hot path never takes
+//! the registry mutex. The default is [`SystemObs::disabled`]: every
+//! handle is a no-op and a round pays one branch per would-be update.
+//!
+//! Metric catalog (all under the `prima_round_*` / `prima_coverage_*`
+//! prefix; see DESIGN.md for the full table):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `prima_round_stage_seconds{stage}` | histogram | per-stage wall time (`filter`, `mine`, `prune`, `propose`, `coverage`) |
+//! | `prima_rounds_total` | counter | refinement rounds run |
+//! | `prima_round_deferred_total` | counter | rounds that refused to mine below the completeness floor |
+//! | `prima_round_patterns_useful_total` | counter | patterns surviving Prune |
+//! | `prima_round_rules_added_total` | counter | rules folded into the policy |
+//! | `prima_coverage_entry_ratio` | gauge | latest entry-weighted coverage |
+//! | `prima_coverage_completeness_lower` | gauge | lower bound on true coverage |
+//! | `prima_coverage_completeness_upper` | gauge | upper bound on true coverage |
+
+use prima_obs::{Counter, Gauge, Histogram, MetricsRegistry, PipelineReport, Tracer};
+
+/// The histogram family holding per-stage round timings.
+pub const STAGE_METRIC: &str = "prima_round_stage_seconds";
+
+/// Pipeline stages recorded into [`STAGE_METRIC`], in execution order.
+pub const STAGES: [&str; 5] = ["filter", "mine", "prune", "propose", "coverage"];
+
+/// Metrics and tracing for one [`crate::PrimaSystem`].
+///
+/// Cloning shares the underlying registry and tracer, so a clone handed
+/// to an exporter reads the same cells the system writes.
+#[derive(Debug, Clone)]
+pub struct SystemObs {
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    pub(crate) rounds_total: Counter,
+    pub(crate) deferred_total: Counter,
+    pub(crate) patterns_useful_total: Counter,
+    pub(crate) rules_added_total: Counter,
+    pub(crate) coverage_ratio: Gauge,
+    pub(crate) completeness_lower: Gauge,
+    pub(crate) completeness_upper: Gauge,
+    /// Stage histograms, indexed like [`STAGES`].
+    pub(crate) stages: [Histogram; 5],
+}
+
+impl SystemObs {
+    /// Live observability over a fresh registry and tracer.
+    pub fn enabled() -> Self {
+        Self::over(MetricsRegistry::new(), Tracer::new())
+    }
+
+    /// No-op observability — the default wired into every system.
+    pub fn disabled() -> Self {
+        Self::over(MetricsRegistry::disabled(), Tracer::disabled())
+    }
+
+    /// Observability over an existing registry and tracer, so several
+    /// subsystems (stream engine, federation, rounds) can share one set
+    /// of books and a single span timeline.
+    pub fn over(registry: MetricsRegistry, tracer: Tracer) -> Self {
+        let stage = |name: &str| {
+            registry.histogram_with(
+                STAGE_METRIC,
+                "Wall-clock seconds per refinement-round stage.",
+                &[("stage", name)],
+                &prima_obs::DEFAULT_LATENCY_BUCKETS,
+            )
+        };
+        Self {
+            rounds_total: registry.counter("prima_rounds_total", "Refinement rounds run."),
+            deferred_total: registry.counter(
+                "prima_round_deferred_total",
+                "Rounds that refused to mine below the completeness floor.",
+            ),
+            patterns_useful_total: registry.counter(
+                "prima_round_patterns_useful_total",
+                "Patterns surviving Prune across all rounds.",
+            ),
+            rules_added_total: registry.counter(
+                "prima_round_rules_added_total",
+                "Rules folded into the policy across all rounds.",
+            ),
+            coverage_ratio: registry.gauge(
+                "prima_coverage_entry_ratio",
+                "Latest entry-weighted coverage of the policy over the trail.",
+            ),
+            completeness_lower: registry.gauge(
+                "prima_coverage_completeness_lower",
+                "Lower bound on the true coverage given unreachable entries.",
+            ),
+            completeness_upper: registry.gauge(
+                "prima_coverage_completeness_upper",
+                "Upper bound on the true coverage given unreachable entries.",
+            ),
+            stages: [
+                stage("filter"),
+                stage("mine"),
+                stage("prune"),
+                stage("propose"),
+                stage("coverage"),
+            ],
+            registry,
+            tracer,
+        }
+    }
+
+    /// True when metrics are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The shared metrics registry (for exporters and further handles).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The shared tracer (drain it for the JSONL span log).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Per-stage latency profile of every round so far.
+    pub fn pipeline_report(&self) -> PipelineReport {
+        PipelineReport::gather(&self.registry, STAGE_METRIC)
+    }
+}
+
+impl Default for SystemObs {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let obs = SystemObs::disabled();
+        assert!(!obs.is_enabled());
+        obs.rounds_total.inc();
+        obs.stages[0].observe(0.5);
+        assert!(obs.registry().gather().is_empty());
+        assert!(obs.pipeline_report().stages.is_empty());
+    }
+
+    #[test]
+    fn enabled_obs_gathers_stage_profiles() {
+        let obs = SystemObs::enabled();
+        for (i, _) in STAGES.iter().enumerate() {
+            obs.stages[i].observe(0.001 * (i + 1) as f64);
+        }
+        let report = obs.pipeline_report();
+        assert_eq!(report.stages.len(), STAGES.len());
+        assert!(report.all_stages_observed());
+    }
+
+    #[test]
+    fn clones_share_the_books() {
+        let obs = SystemObs::enabled();
+        let clone = obs.clone();
+        obs.rounds_total.inc();
+        clone.rounds_total.inc();
+        assert_eq!(obs.rounds_total.get(), 2);
+    }
+}

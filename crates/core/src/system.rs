@@ -12,6 +12,8 @@ use prima_model::{
 use prima_refine::{refinement_with_miner, ReviewQueue};
 use prima_vocab::Vocabulary;
 
+use crate::observe::SystemObs;
+
 /// How refinement candidates are decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReviewMode {
@@ -74,6 +76,8 @@ pub struct PrimaSystem {
     review: ReviewQueue,
     history: Vec<RoundRecord>,
     miner: Box<dyn Miner + Send + Sync>,
+    /// Metrics and spans around rounds; disabled (free) by default.
+    obs: SystemObs,
 }
 
 impl PrimaSystem {
@@ -89,6 +93,7 @@ impl PrimaSystem {
             review: ReviewQueue::new(),
             history: Vec::new(),
             miner: Box::new(SqlMiner::default()),
+            obs: SystemObs::disabled(),
         }
     }
 
@@ -96,6 +101,34 @@ impl PrimaSystem {
     pub fn with_miner(mut self, miner: Box<dyn Miner + Send + Sync>) -> Self {
         self.miner = miner;
         self
+    }
+
+    /// Installs observability: rounds record per-stage timings, coverage
+    /// gauges, and spans into `obs`. Pass [`SystemObs::enabled`] for a
+    /// fresh registry, or [`SystemObs::over`] to share a registry and
+    /// tracer with the stream engine and federation.
+    ///
+    /// The resilient source federation is rewired onto the same registry
+    /// and tracer, so one scrape covers rounds and federation alike.
+    /// (Stream engines share the books via
+    /// [`prima_stream::StreamConfig::observability`] at
+    /// [`Self::attach_stream`] time.)
+    pub fn with_observability(mut self, obs: SystemObs) -> Self {
+        self.resilient = std::mem::take(&mut self.resilient).with_observability(
+            prima_audit::FederationObs::over(obs.registry().clone(), obs.tracer().clone()),
+        );
+        self.obs = obs;
+        self
+    }
+
+    /// This system's observability handle (registry, tracer, profile).
+    pub fn obs(&self) -> &SystemObs {
+        &self.obs
+    }
+
+    /// Per-stage latency profile of every round run so far.
+    pub fn pipeline_report(&self) -> prima_obs::PipelineReport {
+        self.obs.pipeline_report()
     }
 
     /// Sets the completeness floor: a round whose consolidated trail is
@@ -300,6 +333,12 @@ impl PrimaSystem {
         mode: ReviewMode,
     ) -> Result<RoundRecord, MiningError> {
         let round = self.history.len() + 1;
+        let mut round_span = self
+            .obs
+            .tracer()
+            .span("round.run")
+            .with_field("round", round)
+            .with_field("entries", entries.len());
         let rules: Vec<prima_model::GroundRule> = entries
             .iter()
             .map(|e| {
@@ -307,9 +346,11 @@ impl PrimaSystem {
                     .expect("audit entries carry non-empty attributes")
             })
             .collect();
+        let coverage_start = std::time::Instant::now();
         let before = CoverageEngine::default()
             .entry_coverage(&self.policy, &rules, &self.vocab)
             .ratio();
+        let before_elapsed = coverage_start.elapsed();
 
         let health = self.federation_health();
         let deferred = health.completeness() < self.completeness_floor;
@@ -319,10 +360,31 @@ impl PrimaSystem {
                 // Below the floor: record the round, but don't mine — a
                 // pattern "frequent" in a half-visible trail may only be
                 // frequent because the other half is dark.
+                self.obs.deferred_total.inc();
+                drop(
+                    self.obs
+                        .tracer()
+                        .span("round.deferred")
+                        .with_field("completeness", health.completeness()),
+                );
                 (0, 0, 0, 0, 0)
             } else {
+                let mine_span = self.obs.tracer().span("round.refine");
                 let report =
                     refinement_with_miner(&self.policy, &entries, &self.vocab, &*self.miner)?;
+                drop(
+                    mine_span
+                        .with_field("practice", report.practice_entries)
+                        .with_field("patterns", report.raw_patterns.len()),
+                );
+                // The refine pipeline hands back its own stage clocks, so
+                // the histograms see the true per-stage split rather than
+                // one lump.
+                self.obs.stages[0].observe_duration(report.filter_duration);
+                self.obs.stages[1].observe_duration(report.mine_duration);
+                self.obs.stages[2].observe_duration(report.prune_duration);
+                let propose_span = self.obs.tracer().span("round.propose");
+                let propose_start = std::time::Instant::now();
                 let enqueued = self.review.propose(report.useful_patterns.clone(), round);
                 let added = match mode {
                     ReviewMode::AutoAccept => {
@@ -331,6 +393,12 @@ impl PrimaSystem {
                     }
                     ReviewMode::Manual => 0,
                 };
+                self.obs.stages[3].observe_duration(propose_start.elapsed());
+                drop(propose_span.with_field("enqueued", enqueued));
+                self.obs
+                    .patterns_useful_total
+                    .add(report.useful_patterns.len() as u64);
+                self.obs.rules_added_total.add(added as u64);
                 (
                     report.practice_entries,
                     report.raw_patterns.len(),
@@ -340,10 +408,22 @@ impl PrimaSystem {
                 )
             };
 
+        let after_span = self.obs.tracer().span("round.coverage");
+        let after_start = std::time::Instant::now();
         let after_report =
             CoverageEngine::default().entry_coverage(&self.policy, &rules, &self.vocab);
+        // The coverage stage is both passes over the trail (before and
+        // after the policy change), so the histogram sees their sum.
+        self.obs.stages[4].observe_duration(before_elapsed + after_start.elapsed());
+        drop(after_span);
         let after = after_report.ratio();
         let bound = health.bound_for(after_report.covered_entries, after_report.total_entries);
+
+        self.obs.rounds_total.inc();
+        self.obs.coverage_ratio.set(after);
+        self.obs.completeness_lower.set(bound.lower);
+        self.obs.completeness_upper.set(bound.upper);
+        round_span.field("coverage", format!("{after:.4}"));
 
         let record = RoundRecord {
             round,
@@ -632,6 +712,61 @@ mod tests {
         assert!(!healthy.refinement_deferred);
         assert_eq!(healthy.audit_entries, 20);
         assert!(healthy.rules_added >= 1, "registration pattern now mined");
+    }
+
+    #[test]
+    fn observed_round_profiles_every_stage() {
+        let mut sys = system_with_table_1().with_observability(SystemObs::enabled());
+        sys.run_round(ReviewMode::AutoAccept).unwrap();
+
+        let report = sys.pipeline_report();
+        assert_eq!(report.stages.len(), crate::observe::STAGES.len());
+        assert!(
+            report.all_stages_observed(),
+            "every stage observed at least once: {report}"
+        );
+        assert_eq!(sys.obs().rounds_total.get(), 1);
+        assert_eq!(sys.obs().rules_added_total.get(), 1);
+        let coverage = sys.obs().coverage_ratio.get();
+        assert!((coverage - 0.8).abs() < 1e-9, "gauge tracks the round");
+
+        let spans = sys.obs().tracer().drain();
+        let round = spans.iter().find(|s| s.name == "round.run").unwrap();
+        let refine = spans.iter().find(|s| s.name == "round.refine").unwrap();
+        assert_eq!(refine.parent, round.id, "refine nests under the round");
+        assert!(spans.iter().any(|s| s.name == "round.propose"));
+        assert!(spans.iter().any(|s| s.name == "round.coverage"));
+    }
+
+    #[test]
+    fn deferred_round_counts_and_skips_stage_timings() {
+        use prima_audit::{FaultySource, SourceFaults};
+        let site = AuditStore::new("site");
+        site.append_all(&table_1()).unwrap();
+        let mut sys = PrimaSystem::new(figure_1(), figure_3_policy_store())
+            .with_completeness_floor(0.75)
+            .with_observability(SystemObs::enabled());
+        sys.attach_source(Box::new(FaultySource::new(
+            site,
+            SourceFaults::none().permanently_down(),
+        )))
+        .unwrap();
+        sys.sync_sources();
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert!(record.refinement_deferred);
+        assert_eq!(sys.obs().deferred_total.get(), 1);
+        let report = sys.pipeline_report();
+        let mine = report.stage("mine").unwrap();
+        assert_eq!(mine.count, 0, "deferred rounds never mine");
+    }
+
+    #[test]
+    fn unobserved_round_exports_nothing() {
+        let mut sys = system_with_table_1();
+        sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert!(!sys.obs().is_enabled());
+        assert!(sys.pipeline_report().stages.is_empty());
+        assert!(sys.obs().tracer().drain().is_empty());
     }
 
     #[test]

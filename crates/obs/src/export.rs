@@ -1,0 +1,335 @@
+//! Exporters: Prometheus text exposition format and JSON lines.
+//!
+//! Both render from a [`MetricsRegistry::gather`] pass, so an export is
+//! a consistent-enough point-in-time read (each cell is read once,
+//! atomically). JSON is emitted by hand — this crate is intentionally
+//! dependency-free — with full string escaping; non-finite floats render
+//! as Prometheus spellings (`+Inf`, `-Inf`, `NaN`) in exposition output
+//! and as `null` in JSON.
+
+use crate::registry::{MetricFamily, MetricsRegistry, SampleValue};
+use crate::trace::SpanRecord;
+use std::fmt::Write as _;
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): per family a `# HELP` and `# TYPE` line, then one
+/// sample line per series, in gather order (sorted by name, then label
+/// set) so consecutive exports diff cleanly.
+pub fn prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for family in registry.gather() {
+        render_family(&mut out, &family);
+    }
+    out
+}
+
+fn render_family(out: &mut String, family: &MetricFamily) {
+    let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+    let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+    for sample in &family.samples {
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    family.name,
+                    label_block(&sample.labels, &[]),
+                    v
+                );
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    family.name,
+                    label_block(&sample.labels, &[]),
+                    number(*v)
+                );
+            }
+            SampleValue::Histogram(h) => {
+                // Cumulative buckets, then the +Inf bucket, _sum, _count.
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    let le = number(*bound);
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        family.name,
+                        label_block(&sample.labels, &[("le", &le)]),
+                        cumulative
+                    );
+                }
+                cumulative += h.overflow();
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    family.name,
+                    label_block(&sample.labels, &[("le", "+Inf")]),
+                    cumulative
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    family.name,
+                    label_block(&sample.labels, &[]),
+                    number(h.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    family.name,
+                    label_block(&sample.labels, &[]),
+                    cumulative
+                );
+            }
+        }
+    }
+}
+
+/// Renders `{k="v",…}` with exposition-format escaping, or nothing for
+/// an empty label set. `extra` pairs (e.g. `le`) come after the sorted
+/// sample labels.
+fn label_block(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts = Vec::with_capacity(labels.len() + extra.len());
+    for (k, v) in labels {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escapes a label value: backslash, double quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float the way Prometheus exposition expects: integral
+/// values without a trailing `.0` is *not* required, but `+Inf`/`-Inf`/
+/// `NaN` spellings are. Finite values use shortest-roundtrip `{}`.
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the registry as JSON lines: one object per series, shaped
+/// `{"metric": name, "kind": ..., "labels": {...}, ...value fields}`.
+pub fn metrics_jsonl(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for family in registry.gather() {
+        for sample in &family.samples {
+            let mut line = String::from("{");
+            push_json_str(&mut line, "metric", &family.name);
+            line.push(',');
+            push_json_str(&mut line, "kind", family.kind.as_str());
+            line.push(',');
+            line.push_str("\"labels\":{");
+            for (i, (k, v)) in sample.labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                push_json_str(&mut line, k, v);
+            }
+            line.push('}');
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    let _ = write!(line, ",\"value\":{v}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = write!(line, ",\"value\":{}", json_number(*v));
+                }
+                SampleValue::Histogram(h) => {
+                    let _ = write!(
+                        line,
+                        ",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count(),
+                        json_number(h.sum)
+                    );
+                    for (i, (bound, count)) in h.bounds.iter().zip(&h.counts).enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        let _ = write!(line, "[{},{}]", json_number(*bound), count);
+                    }
+                    if !h.bounds.is_empty() {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "[null,{}]]", h.overflow());
+                }
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders drained spans as JSON lines, one span per line:
+/// `{"span": name, "id": .., "parent": .., "start_us": ..,
+/// "duration_us": .., "fields": {...}}`.
+pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        let mut line = String::from("{");
+        push_json_str(&mut line, "span", &span.name);
+        let _ = write!(
+            line,
+            ",\"id\":{},\"parent\":{},\"start_us\":{},\"duration_us\":{},\"fields\":{{",
+            span.id, span.parent, span.start_us, span.duration_us
+        );
+        for (i, (k, v)) in span.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_json_str(&mut line, k, v);
+        }
+        line.push_str("}}");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string() // serde_json convention for non-finite floats
+    }
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    escape_json_into(out, key);
+    out.push_str("\":\"");
+    escape_json_into(out, value);
+    out.push('"');
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn counter_and_gauge_exposition() {
+        let r = MetricsRegistry::new();
+        r.counter_with("prima_x_total", "things", &[("site", "icu")])
+            .add(3);
+        r.gauge("prima_level", "level").set(0.5);
+        let text = prometheus(&r);
+        assert!(text.contains("# HELP prima_x_total things\n"));
+        assert!(text.contains("# TYPE prima_x_total counter\n"));
+        assert!(text.contains("prima_x_total{site=\"icu\"} 3\n"));
+        assert!(text.contains("prima_level 0.5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with("lat_seconds", "h", &[], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = prometheus(&r);
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_count 3\n"));
+        assert!(text.contains("lat_seconds_sum 5.55"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter_with("esc_total", "h", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = prometheus(&r);
+        assert!(text.contains("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn spans_jsonl_escapes_and_shapes() {
+        let t = Tracer::new();
+        drop(t.span("round.mine").with_field("note", "say \"hi\"\n"));
+        let out = spans_jsonl(&t.drain());
+        let line = out.lines().next().unwrap();
+        assert!(line.starts_with("{\"span\":\"round.mine\""));
+        assert!(line.contains("\"fields\":{\"note\":\"say \\\"hi\\\"\\n\"}"));
+        assert!(line.contains("\"duration_us\":"));
+    }
+
+    #[test]
+    fn metrics_jsonl_is_one_object_per_series() {
+        let r = MetricsRegistry::new();
+        r.counter_with("a_total", "h", &[("k", "v")]).inc();
+        r.histogram_with("b_seconds", "h", &[], &[1.0]).observe(2.0);
+        let out = metrics_jsonl(&r);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"metric\":\"a_total\",\"kind\":\"counter\",\"labels\":{\"k\":\"v\"},\"value\":1}"
+        );
+        assert!(lines[1].contains("\"buckets\":[[1,0],[null,1]]"));
+    }
+
+    #[test]
+    fn disabled_registry_exports_empty() {
+        let r = MetricsRegistry::disabled();
+        assert!(prometheus(&r).is_empty());
+        assert!(metrics_jsonl(&r).is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Fixed-bucket histograms with Prometheus-compatible semantics.
+//!
+//! A histogram owns a sorted list of upper bounds; an observation lands
+//! in the first bucket whose bound is ≥ the value, or in the implicit
+//! `+Inf` overflow bucket past the last bound. Values below the first
+//! bound — including negative ones — land in the first bucket, which
+//! therefore doubles as the underflow bucket (there is no value a
+//! Prometheus histogram refuses). Bucket counts are relaxed atomics;
+//! the sum is a CAS loop over `f64` bits, so concurrent observers never
+//! lose an observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default latency buckets in seconds: 1µs → 10s, roughly ×2.5 per step.
+/// Wide enough for a cache probe and a full 50k-entry pipeline round.
+pub const DEFAULT_LATENCY_BUCKETS: [f64; 14] = [
+    1e-6, 2.5e-6, 1e-5, 2.5e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2, 0.1, 0.5, 2.5, 10.0,
+];
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Sorted upper bounds; bucket `i` counts observations in
+    /// `(bounds[i-1], bounds[i]]` (first bucket: `(-inf, bounds[0]]`).
+    bounds: Vec<f64>,
+    /// One cell per bound, plus the trailing `+Inf` overflow cell.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// An `Arc`-shared fixed-bucket histogram handle (no-op when created
+/// from a disabled registry).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A no-op histogram: observations vanish, snapshots are empty.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.dedup();
+        if bounds.is_empty() {
+            bounds = DEFAULT_LATENCY_BUCKETS.to_vec();
+        }
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self(Some(Arc::new(HistogramCore {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        })))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let Some(core) = &self.0 else { return };
+        // partition_point: first bucket whose bound is >= v.
+        let idx = core.bounds.partition_point(|b| *b < v);
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a duration in seconds (the unit every `*_seconds` metric
+    /// in the workspace uses).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Times `f`, records its duration, and returns its result.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if self.0.is_none() {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        self.observe_duration(start.elapsed());
+        out
+    }
+
+    /// True when observations are recorded.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A point-in-time copy of the bucket state (empty snapshot for a
+    /// no-op handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::empty(&DEFAULT_LATENCY_BUCKETS),
+            Some(core) => HistogramSnapshot {
+                bounds: core.bounds.clone(),
+                counts: core
+                    .counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+            },
+        }
+    }
+}
+
+/// An immutable copy of a histogram's buckets, mergeable and queryable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Sorted finite upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// cell being the `+Inf` overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot over `bounds`.
+    pub fn empty(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count in the `+Inf` overflow bucket (observations past the last
+    /// finite bound).
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().expect("counts is never empty")
+    }
+
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum / n as f64)
+        }
+    }
+
+    /// Merges `other` into `self` component-wise. Returns `false` (and
+    /// leaves `self` untouched) when the bucket layouts differ — merging
+    /// histograms with different bounds would silently misattribute
+    /// counts.
+    #[must_use]
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        true
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// inside the target bucket — the same estimate Prometheus's
+    /// `histogram_quantile` computes. `None` when the histogram is
+    /// empty; the lowest bound is used as the lower edge of the first
+    /// bucket, and an overflow-bucket hit reports the highest finite
+    /// bound (the estimate cannot exceed what the buckets resolve).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let below = seen as f64;
+            seen += c;
+            if (seen as f64) < rank {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // Overflow bucket: unbounded above, report the last edge.
+                return Some(*self.bounds.last().expect("non-empty bounds"));
+            }
+            let upper = self.bounds[i];
+            let lower = if i == 0 {
+                0.0f64.min(upper)
+            } else {
+                self.bounds[i - 1]
+            };
+            let within = ((rank - below) / c as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * within);
+        }
+        Some(*self.bounds.last().expect("non-empty bounds"))
+    }
+
+    /// Largest bucket upper bound with at least one observation — the
+    /// histogram's resolution-limited "max". `None` when empty.
+    pub fn max_edge(&self) -> Option<f64> {
+        for (i, &c) in self.counts.iter().enumerate().rev() {
+            if c > 0 {
+                return Some(if i >= self.bounds.len() {
+                    f64::INFINITY
+                } else {
+                    self.bounds[i]
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[f64]) -> Histogram {
+        Histogram::live(bounds)
+    }
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = hist(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]); // ≤1, ≤2, ≤4, +Inf
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.overflow(), 1);
+        assert!((s.sum - 106.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_values_underflow_into_the_first_bucket() {
+        let h = hist(&[1.0, 2.0]);
+        h.observe(-5.0);
+        h.observe(0.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 0, 0]);
+        assert_eq!(s.overflow(), 0);
+        assert!((s.sum - (-5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_is_inclusive_upper() {
+        let h = hist(&[1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        assert_eq!(h.snapshot().counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn merge_requires_identical_layouts() {
+        let mut a = hist(&[1.0, 2.0]).snapshot();
+        let b = {
+            let h = hist(&[1.0, 2.0]);
+            h.observe(0.5);
+            h.observe(9.0);
+            h.snapshot()
+        };
+        assert!(a.merge(&b));
+        assert_eq!(a.counts, vec![1, 0, 1]);
+        assert!((a.sum - 9.5).abs() < 1e-12);
+
+        let other_layout = hist(&[1.0, 3.0]).snapshot();
+        let before = a.clone();
+        assert!(!a.merge(&other_layout));
+        assert_eq!(a, before, "failed merge must not half-apply");
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample() {
+        let empty = hist(&[1.0, 2.0]).snapshot();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.max_edge(), None);
+
+        let h = hist(&[1.0, 2.0, 4.0]);
+        h.observe(1.5);
+        let s = h.snapshot();
+        // A single sample in (1, 2]: every quantile interpolates inside
+        // that bucket, so estimates stay within its edges.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!((1.0..=2.0).contains(&est), "q={q} -> {est}");
+        }
+        assert_eq!(s.max_edge(), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let h = hist(&[10.0, 20.0]);
+        for _ in 0..100 {
+            h.observe(15.0); // all in (10, 20]
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 15.0).abs() < 1e-9, "midpoint of a uniform bucket");
+        let p95 = s.quantile(0.95).unwrap();
+        assert!((p95 - 19.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_overflow_reports_last_edge() {
+        let h = hist(&[1.0]);
+        h.observe(50.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.99), Some(1.0));
+        assert_eq!(s.max_edge(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn out_of_range_q_is_none() {
+        let h = hist(&[1.0]);
+        h.observe(0.5);
+        assert_eq!(h.snapshot().quantile(1.5), None);
+        assert_eq!(h.snapshot().quantile(-0.1), None);
+    }
+
+    #[test]
+    fn degenerate_bounds_fall_back_to_defaults() {
+        let h = Histogram::live(&[]);
+        h.observe(1e-7);
+        let s = h.snapshot();
+        assert_eq!(s.bounds, DEFAULT_LATENCY_BUCKETS.to_vec());
+        assert_eq!(s.counts[0], 1);
+
+        let nan = Histogram::live(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(nan.snapshot().bounds, DEFAULT_LATENCY_BUCKETS.to_vec());
+    }
+
+    #[test]
+    fn noop_histogram_records_nothing() {
+        let h = Histogram::noop();
+        h.observe(1.0);
+        h.observe_duration(Duration::from_secs(1));
+        assert_eq!(h.time(|| 7), 7);
+        assert_eq!(h.snapshot().count(), 0);
+        assert!(!h.is_live());
+    }
+
+    #[test]
+    fn unsorted_duplicate_bounds_are_normalized() {
+        let h = Histogram::live(&[2.0, 1.0, 2.0]);
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![1.0, 2.0]);
+        assert_eq!(s.counts.len(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Counters and gauges: the scalar metric primitives.
+//!
+//! Both are thin `Option<Arc<AtomicU64>>` wrappers. A live handle does
+//! one relaxed atomic RMW per update; a no-op handle (from a disabled
+//! registry) is a `None` whose update is a single predictable branch.
+//! Handles clone freely — every clone addresses the same cell, so a
+//! shard worker and the exporter always agree on the value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter: updates vanish, reads are 0.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live() -> Self {
+        Self(Some(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// True when updates are recorded (handle came from a live registry).
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A gauge: a value that can go up and down, stored as `f64` bits.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A no-op gauge: updates vanish, reads are 0.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live() -> Self {
+        Self(Some(Arc::new(AtomicU64::new(0f64.to_bits()))))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative). A compare-exchange loop keeps
+    /// concurrent adds lossless; gauges are not hot-path metrics, so the
+    /// loop's cost is irrelevant next to its correctness.
+    pub fn add(&self, delta: f64) {
+        if let Some(cell) = &self.0 {
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + delta).to_bits();
+                match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+
+    /// True when updates are recorded.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_clones_share() {
+        let c = Counter::live();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.get(), 5);
+        assert!(c.is_live());
+    }
+
+    #[test]
+    fn noop_counter_stays_zero() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_live());
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::live();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noop_gauge_stays_zero() {
+        let g = Gauge::noop();
+        g.set(3.0);
+        g.add(1.0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_lossless() {
+        let c = Counter::live();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,323 @@
+//! The metrics registry: named, labeled families of counters, gauges,
+//! and histograms.
+//!
+//! A registry is an `Arc`-shared handle; cloning it (or any metric
+//! handle it issues) addresses the same underlying cells, so the stream
+//! engine, the federation, and the exporter all read one set of books.
+//! Registration takes a short-lived mutex; updates afterwards are pure
+//! atomics. Asking twice for the same `(name, labels)` returns the same
+//! cell — two subsystems incrementing "the same" counter can never
+//! disagree, which is the whole point of routing the audit-stats
+//! satellite through here.
+
+use crate::histogram::{Histogram, HistogramSnapshot, DEFAULT_LATENCY_BUCKETS};
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered time series: a label set plus its cell.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Sorted `(label, value)` pairs.
+    pub labels: Vec<(String, String)>,
+    /// The cell's current value.
+    pub value: SampleValue,
+}
+
+/// A sampled value, by kind.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// All samples of one metric name, with help text and kind.
+#[derive(Debug, Clone)]
+pub struct MetricFamily {
+    /// Metric name (`prima_...`).
+    pub name: String,
+    /// Help text for the `# HELP` line.
+    pub help: String,
+    /// Kind (drives the `# TYPE` line and exposition shape).
+    pub kind: MetricKind,
+    /// Every registered label set, sorted by labels.
+    pub samples: Vec<MetricSample>,
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by the sorted label set.
+    cells: BTreeMap<Vec<(String, String)>, Cell>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    families: BTreeMap<String, Family>,
+}
+
+/// A shared registry of metric families. `Clone` shares the registry;
+/// [`MetricsRegistry::disabled`] yields a registry whose handles are
+/// all no-ops (and which exports nothing).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry(Option<Arc<Mutex<Inner>>>);
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Self(Some(Arc::new(Mutex::new(Inner::default()))))
+    }
+
+    /// A disabled registry: every handle it issues is a no-op, and
+    /// [`Self::gather`] returns nothing. This is the default wired into
+    /// the pipeline, so uninstrumented callers pay one `Option` branch
+    /// per would-be update.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// True when this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Cell,
+    ) -> Option<Cell> {
+        let inner = self.0.as_ref()?;
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let mut guard = inner.lock().expect("registry mutex");
+        let family = guard.families.entry(name.to_string()).or_insert(Family {
+            help: help.to_string(),
+            kind,
+            cells: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            // Re-registering a name with a different kind would corrupt
+            // the exposition; hand back a no-op instead of aliasing.
+            return None;
+        }
+        let cell = family.cells.entry(labels).or_insert_with(make);
+        Some(match cell {
+            Cell::Counter(c) => Cell::Counter(c.clone()),
+            Cell::Gauge(g) => Cell::Gauge(g.clone()),
+            Cell::Histogram(h) => Cell::Histogram(h.clone()),
+        })
+    }
+
+    /// A counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A counter with labels; the same `(name, labels)` always returns
+    /// the same cell.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, MetricKind::Counter, labels, || {
+            Cell::Counter(Counter::live())
+        }) {
+            Some(Cell::Counter(c)) => c,
+            Some(_) => Counter::noop(), // kind clash: refuse to alias
+            None => Counter::noop(),
+        }
+    }
+
+    /// A gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// A gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, MetricKind::Gauge, labels, || {
+            Cell::Gauge(Gauge::live())
+        }) {
+            Some(Cell::Gauge(g)) => g,
+            Some(_) => Gauge::noop(),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// A histogram with the default latency buckets (seconds).
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[], &DEFAULT_LATENCY_BUCKETS)
+    }
+
+    /// A histogram with explicit labels and bucket upper bounds.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.register(name, help, MetricKind::Histogram, labels, || {
+            Cell::Histogram(Histogram::live(bounds))
+        }) {
+            Some(Cell::Histogram(h)) => h,
+            Some(_) => Histogram::noop(),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Samples every family, sorted by name (and label set within a
+    /// family) — the stable order the exporters rely on.
+    pub fn gather(&self) -> Vec<MetricFamily> {
+        let Some(inner) = &self.0 else {
+            return Vec::new();
+        };
+        let guard = inner.lock().expect("registry mutex");
+        guard
+            .families
+            .iter()
+            .map(|(name, family)| MetricFamily {
+                name: name.clone(),
+                help: family.help.clone(),
+                kind: family.kind,
+                samples: family
+                    .cells
+                    .iter()
+                    .map(|(labels, cell)| MetricSample {
+                        labels: labels.clone(),
+                        value: match cell {
+                            Cell::Counter(c) => SampleValue::Counter(c.get()),
+                            Cell::Gauge(g) => SampleValue::Gauge(g.get()),
+                            Cell::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// All histogram samples of `name`, as `(labels, snapshot)` pairs —
+    /// the raw material of a [`crate::PipelineReport`].
+    pub fn histograms(&self, name: &str) -> Vec<(Vec<(String, String)>, HistogramSnapshot)> {
+        self.gather()
+            .into_iter()
+            .filter(|f| f.name == name)
+            .flat_map(|f| f.samples)
+            .filter_map(|s| match s.value {
+                SampleValue::Histogram(h) => Some((s.labels, h)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_a_cell() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with("prima_test_total", "help", &[("shard", "0")]);
+        let b = r.counter_with("prima_test_total", "help", &[("shard", "0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let other = r.counter_with("prima_test_total", "help", &[("shard", "1")]);
+        other.inc();
+        let fams = r.gather();
+        assert_eq!(fams.len(), 1);
+        assert_eq!(fams[0].samples.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_cells() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with("m_total", "h", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("m_total", "h", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_issues_noop_handles_and_gathers_nothing() {
+        let r = MetricsRegistry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x_total", "h");
+        c.inc();
+        assert!(!c.is_live());
+        r.gauge("g", "h").set(1.0);
+        r.histogram("h_seconds", "h").observe(1.0);
+        assert!(r.gather().is_empty());
+    }
+
+    #[test]
+    fn gather_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("zz_total", "h").inc();
+        r.gauge("aa", "h").set(1.0);
+        let names: Vec<String> = r.gather().into_iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["aa", "zz_total"]);
+    }
+
+    #[test]
+    fn histograms_accessor_filters_by_name() {
+        let r = MetricsRegistry::new();
+        r.histogram_with("stage_seconds", "h", &[("stage", "mine")], &[1.0])
+            .observe(0.5);
+        r.counter("other_total", "h").inc();
+        let hs = r.histograms("stage_seconds");
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].0, vec![("stage".to_string(), "mine".to_string())]);
+        assert_eq!(hs[0].1.count(), 1);
+    }
+
+    #[test]
+    fn kind_clash_yields_noop_not_alias() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("dual", "h");
+        assert!(c.is_live());
+        // Same name as a gauge: refuse rather than alias the counter cell.
+        let g = r.gauge("dual", "h");
+        assert!(!g.is_live());
+        g.set(5.0);
+        assert_eq!(c.get(), 0, "counter cell untouched");
+    }
+}

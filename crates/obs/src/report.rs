@@ -1,0 +1,196 @@
+//! Profiling summaries: per-stage latency profiles from histograms.
+//!
+//! The pipeline's stage timings live in one histogram family, labeled
+//! by `stage`. [`PipelineReport::gather`] pulls every labeled series of
+//! that family out of a registry and condenses each into a
+//! [`StageProfile`] (count, total, p50/p95, max edge) — the "which
+//! stage is slow" answer as a printable table, from `prima` main and
+//! the bench binaries alike.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricsRegistry;
+use std::fmt;
+
+/// Latency profile of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    /// Stage name (the `stage` label, or the joined label set).
+    pub stage: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Total seconds across observations.
+    pub total_seconds: f64,
+    /// Estimated median seconds (bucket-interpolated), 0 when empty.
+    pub p50_seconds: f64,
+    /// Estimated 95th-percentile seconds, 0 when empty.
+    pub p95_seconds: f64,
+    /// Upper edge of the highest non-empty bucket, 0 when empty.
+    pub max_seconds: f64,
+}
+
+impl StageProfile {
+    /// Builds a profile from one histogram snapshot.
+    pub fn from_snapshot(stage: &str, snapshot: &HistogramSnapshot) -> Self {
+        Self {
+            stage: stage.to_string(),
+            count: snapshot.count(),
+            total_seconds: snapshot.sum,
+            p50_seconds: snapshot.quantile(0.5).unwrap_or(0.0),
+            p95_seconds: snapshot.quantile(0.95).unwrap_or(0.0),
+            max_seconds: snapshot.max_edge().unwrap_or(0.0).min(f64::MAX),
+        }
+    }
+}
+
+/// A per-stage profiling summary over one histogram family.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The histogram family the stages came from.
+    pub metric: String,
+    /// One profile per labeled series, in gather (label-sorted) order.
+    pub stages: Vec<StageProfile>,
+}
+
+impl PipelineReport {
+    /// Collects every series of the histogram family `metric` from
+    /// `registry`. A series' stage name is its `stage` label when
+    /// present, otherwise all label values joined with `/` (or the
+    /// metric name itself for an unlabeled series).
+    pub fn gather(registry: &MetricsRegistry, metric: &str) -> Self {
+        let stages = registry
+            .histograms(metric)
+            .into_iter()
+            .map(|(labels, snapshot)| {
+                let stage = labels
+                    .iter()
+                    .find(|(k, _)| k == "stage")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| {
+                        if labels.is_empty() {
+                            metric.to_string()
+                        } else {
+                            labels
+                                .iter()
+                                .map(|(_, v)| v.as_str())
+                                .collect::<Vec<_>>()
+                                .join("/")
+                        }
+                    });
+                StageProfile::from_snapshot(&stage, &snapshot)
+            })
+            .collect();
+        Self {
+            metric: metric.to_string(),
+            stages,
+        }
+    }
+
+    /// True when every stage has at least one observation — the
+    /// "instrumentation is actually wired" acceptance check.
+    pub fn all_stages_observed(&self) -> bool {
+        !self.stages.is_empty() && self.stages.iter().all(|s| s.count > 0)
+    }
+
+    /// The profile of `stage`, if present.
+    pub fn stage(&self, stage: &str) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+}
+
+/// Seconds rendered at a human scale: µs below 1 ms, ms below 1 s.
+fn scaled(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3}s")
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pipeline profile ({}):", self.metric)?;
+        let width = self
+            .stages
+            .iter()
+            .map(|s| s.stage.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        writeln!(
+            f,
+            "  {:width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "stage", "count", "total", "p50", "p95", "max"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+                s.stage,
+                s.count,
+                scaled(s.total_seconds),
+                scaled(s.p50_seconds),
+                scaled(s.p95_seconds),
+                scaled(s.max_seconds),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_stages() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        for (stage, v) in [("filter", 0.002), ("mine", 0.02), ("prune", 0.0005)] {
+            let h = r.histogram_with(
+                "prima_round_stage_seconds",
+                "per-stage time",
+                &[("stage", stage)],
+                &crate::histogram::DEFAULT_LATENCY_BUCKETS,
+            );
+            h.observe(v);
+            h.observe(v * 2.0);
+        }
+        r
+    }
+
+    #[test]
+    fn gather_builds_one_profile_per_stage() {
+        let report = PipelineReport::gather(&registry_with_stages(), "prima_round_stage_seconds");
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.all_stages_observed());
+        let mine = report.stage("mine").unwrap();
+        assert_eq!(mine.count, 2);
+        assert!(mine.total_seconds > 0.0);
+        assert!(mine.p95_seconds >= mine.p50_seconds);
+        assert!(mine.max_seconds >= mine.p95_seconds);
+    }
+
+    #[test]
+    fn missing_family_is_empty_not_a_panic() {
+        let report = PipelineReport::gather(&MetricsRegistry::new(), "nope_seconds");
+        assert!(report.stages.is_empty());
+        assert!(!report.all_stages_observed());
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let report = PipelineReport::gather(&registry_with_stages(), "prima_round_stage_seconds");
+        let text = report.to_string();
+        assert!(text.contains("stage"));
+        assert!(text.contains("filter"));
+        assert!(text.contains("p95"));
+    }
+
+    #[test]
+    fn unlabeled_series_uses_the_metric_name() {
+        let r = MetricsRegistry::new();
+        r.histogram("solo_seconds", "h").observe(0.001);
+        let report = PipelineReport::gather(&r, "solo_seconds");
+        assert_eq!(report.stages[0].stage, "solo_seconds");
+    }
+}

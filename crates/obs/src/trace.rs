@@ -1,0 +1,300 @@
+//! Structured span tracing.
+//!
+//! A [`Tracer`] issues [`SpanGuard`]s: a guard records its start on
+//! creation, collects key/value fields while alive, and on drop writes a
+//! timed [`SpanRecord`] — parented to whatever span was active on the
+//! same thread when it started — into one of the tracer's striped
+//! buffers. Each thread hashes to its own stripe, so the mutex a worker
+//! takes at span end is essentially uncontended ("lock-free-ish"): the
+//! hot path is a push onto a pre-hashed `Vec`. Draining locks every
+//! stripe once and hands back the records sorted by start time, ready
+//! for [`crate::export::spans_jsonl`].
+//!
+//! Span names are dotted lowercase paths (`round.mine`,
+//! `stream.checkpoint`, `federation.sync`); fields carry the dimensions
+//! a metric label would (`shard`, `source`, `rows`).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Stripe count for the per-thread buffers (power of two).
+const STRIPES: usize = 16;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id, unique within the tracer (1-based; 0 means "no span").
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, 0 at the root.
+    pub parent: u64,
+    /// Dotted lowercase span name.
+    pub name: String,
+    /// Microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+    /// Key/value fields attached while the span was open.
+    pub fields: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct TracerCore {
+    /// Distinguishes tracers in the thread-local parent stack, so spans
+    /// from two tracers interleaved on one thread never mis-parent.
+    tracer_id: u64,
+    origin: Instant,
+    next_span: AtomicU64,
+    stripes: Vec<Mutex<Vec<SpanRecord>>>,
+}
+
+static NEXT_TRACER: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of `(tracer_id, span_id)` for the spans open on this thread.
+    static ACTIVE: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A shared span recorder; `Clone` shares the buffers. A tracer from
+/// [`Tracer::disabled`] records nothing and its guards are free.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Arc<TracerCore>>);
+
+impl Tracer {
+    /// A live tracer with its clock origin at "now".
+    pub fn new() -> Self {
+        Self(Some(Arc::new(TracerCore {
+            tracer_id: NEXT_TRACER.fetch_add(1, Ordering::Relaxed),
+            origin: Instant::now(),
+            next_span: AtomicU64::new(1),
+            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+        })))
+    }
+
+    /// A no-op tracer: spans cost a branch, drains are empty.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// True when spans are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a span; it records itself when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(core) = &self.0 else {
+            return SpanGuard { state: None };
+        };
+        let id = core.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == core.tracer_id)
+                .map_or(0, |(_, s)| *s);
+            stack.push((core.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            state: Some(OpenSpan {
+                core: Arc::clone(core),
+                id,
+                parent,
+                name: name.to_string(),
+                start_us: core.origin.elapsed().as_micros() as u64,
+                started: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Drains every finished span recorded so far, sorted by start time
+    /// (ties by id). Spans still open stay open and record later.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let Some(core) = &self.0 else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for stripe in &core.stripes {
+            out.append(&mut stripe.lock().expect("tracer stripe"));
+        }
+        out.sort_by_key(|s| (s.start_us, s.id));
+        out
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    core: Arc<TracerCore>,
+    id: u64,
+    parent: u64,
+    name: String,
+    start_us: u64,
+    started: Instant,
+    fields: Vec<(String, String)>,
+}
+
+/// An open span; drop it (or let it fall out of scope) to record.
+#[derive(Debug)]
+pub struct SpanGuard {
+    state: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value field.
+    pub fn field(&mut self, key: &str, value: impl ToString) {
+        if let Some(open) = &mut self.state {
+            open.fields.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Builder-style [`Self::field`].
+    pub fn with_field(mut self, key: &str, value: impl ToString) -> Self {
+        self.field(key, value);
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.state.take() else {
+            return;
+        };
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // The guard may be dropped out of LIFO order (moved across
+            // scopes); remove the exact entry rather than popping blind.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, s)| t == open.core.tracer_id && s == open.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start_us: open.start_us,
+            duration_us: open.started.elapsed().as_micros() as u64,
+            fields: open.fields,
+        };
+        let stripe = current_stripe();
+        open.core.stripes[stripe]
+            .lock()
+            .expect("tracer stripe")
+            .push(record);
+    }
+}
+
+/// This thread's stripe index, from the hash of its thread id.
+fn current_stripe() -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    (h.finish() as usize) % STRIPES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_fields() {
+        let t = Tracer::new();
+        {
+            let mut s = t.span("round.mine");
+            s.field("patterns", 3);
+        }
+        let spans = t.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "round.mine");
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(
+            spans[0].fields,
+            vec![("patterns".to_string(), "3".to_string())]
+        );
+    }
+
+    #[test]
+    fn nesting_parents_spans_on_the_same_thread() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("round");
+            let _inner = t.span("round.filter");
+        }
+        let spans = t.drain();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "round").unwrap();
+        let inner = spans.iter().find(|s| s.name == "round.filter").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+    }
+
+    #[test]
+    fn drain_empties_and_sorts_by_start() {
+        let t = Tracer::new();
+        drop(t.span("a"));
+        drop(t.span("b"));
+        let first = t.drain();
+        assert_eq!(first.len(), 2);
+        assert!(first[0].start_us <= first[1].start_us);
+        assert!(t.drain().is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn spans_from_worker_threads_are_collected() {
+        let t = Tracer::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let _s = t.span("worker.step").with_field("worker", i);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.drain().len(), 4);
+    }
+
+    #[test]
+    fn disabled_tracer_is_free() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut s = t.span("x");
+        s.field("k", "v");
+        drop(s);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn two_tracers_on_one_thread_do_not_mis_parent() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        let _root_a = a.span("a.root");
+        let inner_b = b.span("b.inner");
+        drop(inner_b);
+        let spans_b = b.drain();
+        assert_eq!(spans_b[0].parent, 0, "b's span has no parent in a");
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_stack_consistent() {
+        let t = Tracer::new();
+        let outer = t.span("outer");
+        let inner = t.span("inner");
+        drop(outer); // dropped before inner, deliberately
+        let sibling = t.span("sibling");
+        drop(sibling);
+        drop(inner);
+        let spans = t.drain();
+        let sibling = spans.iter().find(|s| s.name == "sibling").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(sibling.parent, inner.id, "inner was still open");
+    }
+}

@@ -1,0 +1,341 @@
+//! Golden-file test for the Prometheus text exposition exporter.
+//!
+//! Two layers of defense: the rendered text must match the checked-in
+//! golden byte for byte (catches accidental format drift), and it must
+//! round-trip through a strict exposition-format parser whose checks
+//! encode the rules scrape targets rely on — name syntax, HELP/TYPE
+//! lines preceding samples, label escaping, cumulative histogram
+//! buckets ending at `+Inf`, and stable family ordering.
+//!
+//! Regenerate the golden after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test -p prima-obs --test prometheus_golden`.
+
+use prima_obs::export::prometheus;
+use prima_obs::MetricsRegistry;
+use std::collections::HashMap;
+
+/// A registry whose exposition exercises every shape: bare counter,
+/// labeled counters, gauge, escaping-hostile label values, and a
+/// histogram with exactly representable sums.
+fn demo_registry() -> MetricsRegistry {
+    let r = MetricsRegistry::new();
+    r.counter("prima_demo_rounds_total", "Refinement rounds run.")
+        .add(2);
+    r.counter_with(
+        "prima_demo_requests_total",
+        "Requests served, by site.",
+        &[("site", "icu")],
+    )
+    .add(3);
+    r.counter_with(
+        "prima_demo_requests_total",
+        "Requests served, by site.",
+        &[("site", "ward")],
+    )
+    .inc();
+    r.gauge("prima_demo_queue_depth", "Entries waiting in the queue.")
+        .set(7.0);
+    r.counter_with(
+        "prima_demo_quarantined_total",
+        "Quarantined records, by reason.",
+        &[("reason", "bad \"quote\""), ("source", "lab\\nightly")],
+    )
+    .inc();
+    let h = r.histogram_with(
+        "prima_demo_latency_seconds",
+        "Demo latencies.",
+        &[("stage", "mine")],
+        &[0.5, 1.0, 2.0],
+    );
+    // Sums of powers of two stay exact in binary, keeping the golden
+    // file's `_sum` line stable across platforms.
+    for v in [0.25, 0.75, 1.5, 8.0] {
+        h.observe(v);
+    }
+    r
+}
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_metrics.prom");
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let text = prometheus(&demo_registry());
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, golden,
+        "exposition drifted from the golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn exposition_round_trips_through_the_parser() {
+    let registry = demo_registry();
+    let text = prometheus(&registry);
+    let parsed = parse_exposition(&text).expect("exporter output must parse");
+
+    // Families appear in sorted order, each exactly once.
+    let names: Vec<&str> = parsed.families.iter().map(|f| f.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(names, sorted, "families must be sorted and contiguous");
+
+    // Round-trip: every sample the registry holds appears with the same
+    // value once parsed back.
+    let counter = parsed.sample("prima_demo_requests_total", &[("site", "icu")]);
+    assert_eq!(counter, Some(3.0));
+    let escaped = parsed.sample(
+        "prima_demo_quarantined_total",
+        &[("reason", "bad \"quote\""), ("source", "lab\\nightly")],
+    );
+    assert_eq!(escaped, Some(1.0), "escaped labels survive the round trip");
+    assert_eq!(parsed.sample("prima_demo_queue_depth", &[]), Some(7.0));
+
+    // Histogram invariants: cumulative buckets, +Inf terminal, count/sum.
+    let hist = parsed
+        .families
+        .iter()
+        .find(|f| f.name == "prima_demo_latency_seconds")
+        .expect("histogram family present");
+    assert_eq!(hist.kind, "histogram");
+    let buckets: Vec<(&str, f64)> = hist
+        .samples
+        .iter()
+        .filter(|s| s.suffix == "_bucket")
+        .map(|s| (s.label("le").expect("every bucket has le"), s.value))
+        .collect();
+    assert_eq!(buckets.last().map(|(le, _)| *le), Some("+Inf"));
+    let counts: Vec<f64> = buckets.iter().map(|(_, v)| *v).collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] <= w[1]),
+        "bucket counts must be cumulative: {counts:?}"
+    );
+    let count_line = hist
+        .samples
+        .iter()
+        .find(|s| s.suffix == "_count")
+        .expect("_count present");
+    assert_eq!(count_line.value, *counts.last().unwrap());
+    let sum_line = hist
+        .samples
+        .iter()
+        .find(|s| s.suffix == "_sum")
+        .expect("_sum present");
+    assert!((sum_line.value - 10.5).abs() < 1e-12, "exact binary sum");
+}
+
+// ---------------------------------------------------------------------
+// A strict text exposition (0.0.4) parser. Returns Err on any violation
+// of the format rules, which is the point: the exporter must never emit
+// something a real scraper would reject.
+// ---------------------------------------------------------------------
+
+struct ParsedSample {
+    /// `""`, `_bucket`, `_sum`, or `_count` relative to the family name.
+    suffix: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl ParsedSample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct ParsedFamily {
+    name: String,
+    kind: String,
+    samples: Vec<ParsedSample>,
+}
+
+struct Parsed {
+    families: Vec<ParsedFamily>,
+}
+
+impl Parsed {
+    /// Value of the plain (suffix-free) sample with exactly `labels`.
+    fn sample(&self, family: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.families
+            .iter()
+            .find(|f| f.name == family)?
+            .samples
+            .iter()
+            .find(|s| s.suffix.is_empty() && s.labels == want)
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse()
+            .map_err(|e| format!("bad value '{other}': {e}")),
+    }
+}
+
+/// Parses `name{k="v",...} value` after the name has been split off.
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label name '{key}'"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value must be quoted")?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                '\n' => return Err("raw newline in label value".into()),
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(labels)
+}
+
+fn parse_exposition(text: &str) -> Result<Parsed, String> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut pending_help: Option<String> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().ok_or("HELP without name")?;
+            if !valid_name(name) {
+                return Err(format!("bad metric name '{name}'"));
+            }
+            pending_help = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().ok_or("TYPE without name")?;
+            let kind = parts.next().ok_or("TYPE without kind")?;
+            if pending_help.as_deref() != Some(name) {
+                return Err(format!("TYPE for '{name}' not preceded by its HELP"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("unknown TYPE '{kind}'"));
+            }
+            if seen.contains_key(name) {
+                return Err(format!("family '{name}' declared twice"));
+            }
+            seen.insert(name.to_string(), families.len());
+            families.push(ParsedFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            pending_help = None;
+        } else if !line.is_empty() {
+            // A sample line: name[{labels}] value
+            let (series, value) = match line.find('{') {
+                Some(open) => {
+                    let close = line.rfind('}').ok_or("unterminated label block")?;
+                    let labels = parse_labels(&line[open + 1..close])?;
+                    let value = line[close + 1..].trim();
+                    ((line[..open].to_string(), labels), parse_value(value)?)
+                }
+                None => {
+                    let mut parts = line.rsplitn(2, ' ');
+                    let value = parts.next().ok_or("sample without value")?;
+                    let name = parts.next().ok_or("sample without name")?;
+                    ((name.to_string(), Vec::new()), parse_value(value)?)
+                }
+            };
+            let (series_name, mut labels) = series;
+            if !valid_name(&series_name) {
+                return Err(format!("bad series name '{series_name}'"));
+            }
+            // Attribute the sample to its family (strip histogram suffixes).
+            let (family_name, suffix) = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| {
+                    series_name
+                        .strip_suffix(suf)
+                        .filter(|base| seen.contains_key(*base))
+                        .map(|base| (base.to_string(), suf.to_string()))
+                })
+                .unwrap_or((series_name.clone(), String::new()));
+            let idx = *seen
+                .get(&family_name)
+                .ok_or(format!("sample '{series_name}' before its TYPE line"))?;
+            if suffix != "_bucket" {
+                labels.retain(|(k, _)| k != "le");
+            }
+            labels.sort();
+            families[idx].samples.push(ParsedSample {
+                suffix,
+                labels,
+                value,
+            });
+        }
+    }
+    Ok(Parsed { families })
+}
+
+#[test]
+fn parser_rejects_malformed_exposition() {
+    assert!(parse_exposition("bad name 1\n").is_err());
+    assert!(
+        parse_exposition("x_total 1\n").is_err(),
+        "sample before TYPE"
+    );
+    assert!(
+        parse_exposition("# HELP x h\n# TYPE x bogus\n").is_err(),
+        "unknown kind"
+    );
+    assert!(
+        parse_exposition("# TYPE x counter\n").is_err(),
+        "TYPE without HELP"
+    );
+    assert!(
+        parse_exposition("# HELP x h\n# TYPE x counter\nx{k=\"v} 1\n").is_err(),
+        "unterminated label value"
+    );
+}

@@ -3,6 +3,7 @@
 
 use crate::ast::{AggArg, AggFunc, Expr, SortDir};
 use crate::error::QueryError;
+use crate::obs::QueryObs;
 use crate::plan::PlannedQuery;
 use crate::result::QueryResult;
 use prima_store::{Row, Schema, Table, Value};
@@ -10,65 +11,101 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Runs a planned query against its table.
 pub fn run(plan: &PlannedQuery, table: &Table) -> Result<QueryResult, QueryError> {
+    run_observed(plan, table, &QueryObs::disabled())
+}
+
+/// [`run`] with per-node timings, row-flow counters, and a `query.run`
+/// span routed into `obs` (see [`crate::obs`] for the catalog). The
+/// disabled sink makes this identical to `run`.
+pub fn run_observed(
+    plan: &PlannedQuery,
+    table: &Table,
+    obs: &QueryObs,
+) -> Result<QueryResult, QueryError> {
+    let mut span = obs
+        .tracer
+        .span("query.run")
+        .with_field("table", table.name());
     let schema = table.schema();
     // WHERE.
-    let mut input: Vec<&Row> = Vec::new();
-    for row in table.scan() {
-        let keep = match &plan.where_clause {
-            Some(w) => truthy(&eval_scalar(w, schema, row)?),
-            None => true,
-        };
-        if keep {
-            input.push(row);
-        }
-    }
+    let mut scanned = 0usize;
+    let input = obs
+        .filter_seconds
+        .time(|| -> Result<Vec<&Row>, QueryError> {
+            let mut input: Vec<&Row> = Vec::new();
+            for row in table.scan() {
+                scanned += 1;
+                let keep = match &plan.where_clause {
+                    Some(w) => truthy(&eval_scalar(w, schema, row)?),
+                    None => true,
+                };
+                if keep {
+                    input.push(row);
+                }
+            }
+            Ok(input)
+        })?;
 
-    if plan.is_aggregate {
-        run_aggregate(plan, schema, &input)
+    let result = if plan.is_aggregate {
+        run_aggregate(plan, schema, &input, obs)
     } else {
-        run_plain(plan, schema, &input)
-    }
+        run_plain(plan, schema, &input, obs)
+    }?;
+    obs.statements.inc();
+    obs.rows_scanned.add(scanned as u64);
+    obs.rows_returned.add(result.rows.len() as u64);
+    span.field("rows_scanned", scanned);
+    span.field("rows_returned", result.rows.len());
+    Ok(result)
 }
 
 fn run_plain(
     plan: &PlannedQuery,
     schema: &Schema,
     input: &[&Row],
+    obs: &QueryObs,
 ) -> Result<QueryResult, QueryError> {
     // Compute sort keys against the *source* rows (SQL allows ordering by
     // columns that are not projected).
-    let mut keyed: Vec<(Vec<Value>, &Row)> = Vec::with_capacity(input.len());
-    for row in input {
-        let mut keys = Vec::with_capacity(plan.order_by.len());
-        for (e, _) in &plan.order_by {
-            keys.push(eval_scalar(e, schema, row)?);
-        }
-        keyed.push((keys, row));
-    }
-    sort_by_keys(&mut keyed, &plan.order_by);
-    let mut rows = Vec::new();
-    // DISTINCT dedups projected rows in (sorted) arrival order, before
-    // LIMIT, matching SQL's DISTINCT-then-LIMIT semantics.
-    let mut seen: HashSet<Row> = HashSet::new();
-    for (_, row) in keyed {
-        let mut out = Vec::with_capacity(plan.projections.len());
-        for p in &plan.projections {
-            out.push(eval_scalar(&p.expr, schema, row)?);
-        }
-        let out = Row::new(out);
-        if plan.distinct && !seen.insert(out.clone()) {
-            continue;
-        }
-        rows.push(out);
-        if let Some(limit) = plan.limit {
-            if rows.len() == limit {
-                break;
+    let keyed = obs
+        .sort_seconds
+        .time(|| -> Result<Vec<(Vec<Value>, &Row)>, QueryError> {
+            let mut keyed: Vec<(Vec<Value>, &Row)> = Vec::with_capacity(input.len());
+            for row in input {
+                let mut keys = Vec::with_capacity(plan.order_by.len());
+                for (e, _) in &plan.order_by {
+                    keys.push(eval_scalar(e, schema, row)?);
+                }
+                keyed.push((keys, row));
+            }
+            sort_by_keys(&mut keyed, &plan.order_by);
+            Ok(keyed)
+        })?;
+    obs.project_seconds.time(|| {
+        let mut rows = Vec::new();
+        // DISTINCT dedups projected rows in (sorted) arrival order, before
+        // LIMIT, matching SQL's DISTINCT-then-LIMIT semantics.
+        let mut seen: HashSet<Row> = HashSet::new();
+        for (_, row) in keyed {
+            let mut out = Vec::with_capacity(plan.projections.len());
+            for p in &plan.projections {
+                out.push(eval_scalar(&p.expr, schema, row)?);
+            }
+            let out = Row::new(out);
+            if plan.distinct && !seen.insert(out.clone()) {
+                continue;
+            }
+            rows.push(out);
+            if let Some(limit) = plan.limit {
+                if rows.len() == limit {
+                    break;
+                }
             }
         }
-    }
-    Ok(QueryResult {
-        columns: plan.output_columns.clone(),
-        rows,
+        Ok(QueryResult {
+            columns: plan.output_columns.clone(),
+            rows,
+        })
     })
 }
 
@@ -200,6 +237,7 @@ fn run_aggregate(
     plan: &PlannedQuery,
     schema: &Schema,
     input: &[&Row],
+    obs: &QueryObs,
 ) -> Result<QueryResult, QueryError> {
     // Which aggregates do we need?
     let mut agg_keys: Vec<AggKey> = Vec::new();
@@ -219,74 +257,82 @@ fn run_aggregate(
         .map(|g| schema.index_of(g).expect("validated by the planner"))
         .collect();
 
-    // BTreeMap gives canonical (sorted-by-key) group order for free, which
-    // keeps experiment output reproducible without an explicit ORDER BY.
-    let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
-    for row in input {
-        let key: Vec<Value> = group_indices.iter().map(|&i| row.get(i).clone()).collect();
-        let accs = groups.entry(key).or_insert_with(|| {
-            (0..agg_keys.len())
-                .map(|_| Accumulator::default())
-                .collect()
-        });
-        for (acc, (func, arg)) in accs.iter_mut().zip(&agg_keys) {
-            acc.update(*func, arg, schema, row)?;
-        }
-    }
-    // A global aggregate over zero rows still yields one group (SQL).
-    if groups.is_empty() && plan.group_by.is_empty() {
-        groups.insert(
-            Vec::new(),
-            (0..agg_keys.len())
-                .map(|_| Accumulator::default())
-                .collect(),
-        );
-    }
-
-    // Evaluate per group.
-    let mut keyed_rows: Vec<(Vec<Value>, Row)> = Vec::new();
-    for (key, accs) in &groups {
-        let agg_values: HashMap<&AggKey, Value> = agg_keys
-            .iter()
-            .zip(accs)
-            .map(|(k, acc)| (k, acc.finish(k.0, &k.1)))
-            .collect();
-        let ctx = GroupContext {
-            group_by: &plan.group_by,
-            key,
-            agg_values: &agg_values,
-        };
-        if let Some(h) = &plan.having {
-            if !truthy(&eval_group(h, &ctx)?) {
-                continue;
+    let groups = obs.group_seconds.time(
+        || -> Result<BTreeMap<Vec<Value>, Vec<Accumulator>>, QueryError> {
+            // BTreeMap gives canonical (sorted-by-key) group order for free,
+            // which keeps experiment output reproducible without an explicit
+            // ORDER BY.
+            let mut groups: BTreeMap<Vec<Value>, Vec<Accumulator>> = BTreeMap::new();
+            for row in input {
+                let key: Vec<Value> = group_indices.iter().map(|&i| row.get(i).clone()).collect();
+                let accs = groups.entry(key).or_insert_with(|| {
+                    (0..agg_keys.len())
+                        .map(|_| Accumulator::default())
+                        .collect()
+                });
+                for (acc, (func, arg)) in accs.iter_mut().zip(&agg_keys) {
+                    acc.update(*func, arg, schema, row)?;
+                }
             }
-        }
-        let mut out = Vec::with_capacity(plan.projections.len());
-        for p in &plan.projections {
-            out.push(eval_group(&p.expr, &ctx)?);
-        }
-        let mut sort_key = Vec::with_capacity(plan.order_by.len());
-        for (e, _) in &plan.order_by {
-            sort_key.push(eval_group(e, &ctx)?);
-        }
-        keyed_rows.push((sort_key, Row::new(out)));
-    }
+            // A global aggregate over zero rows still yields one group (SQL).
+            if groups.is_empty() && plan.group_by.is_empty() {
+                groups.insert(
+                    Vec::new(),
+                    (0..agg_keys.len())
+                        .map(|_| Accumulator::default())
+                        .collect(),
+                );
+            }
+            Ok(groups)
+        },
+    )?;
 
-    let mut keyed: Vec<(Vec<Value>, Row)> = keyed_rows;
-    sort_by_keys(&mut keyed, &plan.order_by);
-    let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
-    if plan.distinct {
-        // Groups are distinct on their keys, but a projection of fewer
-        // columns than keys can still repeat.
-        let mut seen: HashSet<Row> = HashSet::new();
-        rows.retain(|r| seen.insert(r.clone()));
-    }
-    if let Some(limit) = plan.limit {
-        rows.truncate(limit);
-    }
-    Ok(QueryResult {
-        columns: plan.output_columns.clone(),
-        rows,
+    obs.finalize_seconds.time(|| {
+        // Evaluate per group.
+        let mut keyed_rows: Vec<(Vec<Value>, Row)> = Vec::new();
+        for (key, accs) in &groups {
+            let agg_values: HashMap<&AggKey, Value> = agg_keys
+                .iter()
+                .zip(accs)
+                .map(|(k, acc)| (k, acc.finish(k.0, &k.1)))
+                .collect();
+            let ctx = GroupContext {
+                group_by: &plan.group_by,
+                key,
+                agg_values: &agg_values,
+            };
+            if let Some(h) = &plan.having {
+                if !truthy(&eval_group(h, &ctx)?) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(plan.projections.len());
+            for p in &plan.projections {
+                out.push(eval_group(&p.expr, &ctx)?);
+            }
+            let mut sort_key = Vec::with_capacity(plan.order_by.len());
+            for (e, _) in &plan.order_by {
+                sort_key.push(eval_group(e, &ctx)?);
+            }
+            keyed_rows.push((sort_key, Row::new(out)));
+        }
+
+        let mut keyed: Vec<(Vec<Value>, Row)> = keyed_rows;
+        sort_by_keys(&mut keyed, &plan.order_by);
+        let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+        if plan.distinct {
+            // Groups are distinct on their keys, but a projection of fewer
+            // columns than keys can still repeat.
+            let mut seen: HashSet<Row> = HashSet::new();
+            rows.retain(|r| seen.insert(r.clone()));
+        }
+        if let Some(limit) = plan.limit {
+            rows.truncate(limit);
+        }
+        Ok(QueryResult {
+            columns: plan.output_columns.clone(),
+            rows,
+        })
     })
 }
 

@@ -38,11 +38,13 @@ pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod lexer;
+pub mod obs;
 pub mod parser;
 pub mod plan;
 pub mod result;
 
 pub use error::QueryError;
+pub use obs::QueryObs;
 pub use result::QueryResult;
 
 use prima_store::Table;
@@ -53,14 +55,30 @@ use prima_store::Table;
 /// honest about what it reads while the audit federation decides what the
 /// "one big table" contains.
 pub fn execute(table: &Table, sql: &str) -> Result<QueryResult, QueryError> {
-    let stmt = parser::parse(sql)?;
-    if stmt.from != table.name() {
-        return Err(QueryError::UnknownTable {
-            name: stmt.from.clone(),
-        });
-    }
-    let plan = plan::plan(&stmt, table.schema())?;
-    exec::run(&plan, table)
+    execute_observed(table, sql, &QueryObs::disabled())
+}
+
+/// [`execute`] with plan-node timings, rows-scanned/returned counters,
+/// and a `query.run` span routed into `obs` (see [`obs`] for the metric
+/// catalog). Parse + validation time lands in
+/// `prima_query_node_seconds{node="plan"}`.
+pub fn execute_observed(
+    table: &Table,
+    sql: &str,
+    obs: &QueryObs,
+) -> Result<QueryResult, QueryError> {
+    let plan = obs
+        .plan_seconds
+        .time(|| -> Result<plan::PlannedQuery, QueryError> {
+            let stmt = parser::parse(sql)?;
+            if stmt.from != table.name() {
+                return Err(QueryError::UnknownTable {
+                    name: stmt.from.clone(),
+                });
+            }
+            plan::plan(&stmt, table.schema())
+        })?;
+    exec::run_observed(&plan, table, obs)
 }
 
 #[cfg(test)]
@@ -114,5 +132,66 @@ mod tests {
         let t = audit_table();
         let err = execute(&t, "SELECT * FROM other").unwrap_err();
         assert!(matches!(err, QueryError::UnknownTable { .. }));
+    }
+
+    #[test]
+    fn observed_execution_times_nodes_and_counts_rows() {
+        let registry = prima_obs::MetricsRegistry::new();
+        let tracer = prima_obs::Tracer::new();
+        let obs = QueryObs::over(&registry, tracer.clone());
+        let t = audit_table();
+        let r = execute_observed(
+            &t,
+            "SELECT data, COUNT(*) AS n FROM practice GROUP BY data",
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        execute_observed(&t, "SELECT user FROM practice ORDER BY user LIMIT 2", &obs).unwrap();
+
+        let count = |name: &str| registry.counter(name, "").get();
+        assert_eq!(count("prima_query_statements_total"), 2);
+        assert_eq!(
+            count("prima_query_rows_scanned_total"),
+            14,
+            "7 rows x 2 scans"
+        );
+        assert_eq!(
+            count("prima_query_rows_returned_total"),
+            5,
+            "3 groups + 2 rows"
+        );
+
+        let nodes = registry.histograms("prima_query_node_seconds");
+        let node_count = |node: &str| {
+            nodes
+                .iter()
+                .find(|(labels, _)| labels == &vec![("node".to_string(), node.to_string())])
+                .map(|(_, snap)| snap.count())
+                .unwrap_or(0)
+        };
+        assert_eq!(node_count("plan"), 2);
+        assert_eq!(node_count("filter"), 2);
+        assert_eq!(node_count("group"), 1, "aggregate statement only");
+        assert_eq!(node_count("finalize"), 1);
+        assert_eq!(node_count("sort"), 1, "plain statement only");
+        assert_eq!(node_count("project"), 1);
+
+        let spans = tracer.drain();
+        let runs: Vec<_> = spans.iter().filter(|s| s.name == "query.run").collect();
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|s| s
+            .fields
+            .iter()
+            .any(|(k, v)| k == "rows_scanned" && v == "7")));
+    }
+
+    #[test]
+    fn disabled_obs_matches_plain_execution() {
+        let t = audit_table();
+        let sql = "SELECT DISTINCT data FROM practice ORDER BY data";
+        let plain = execute(&t, sql).unwrap();
+        let observed = execute_observed(&t, sql, &QueryObs::disabled()).unwrap();
+        assert_eq!(plain.rows, observed.rows);
     }
 }

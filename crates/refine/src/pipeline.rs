@@ -60,6 +60,12 @@ pub struct RefinementReport {
     pub useful_patterns: Vec<Pattern>,
     /// The miner description, for the audit trail of the refinement itself.
     pub miner_description: String,
+    /// Wall-clock duration of the Filter stage (line 1).
+    pub filter_duration: std::time::Duration,
+    /// Wall-clock duration of the mining stage (line 2).
+    pub mine_duration: std::time::Duration,
+    /// Wall-clock duration of the Prune stage (line 3).
+    pub prune_duration: std::time::Duration,
 }
 
 /// Runs Algorithm 2 with default configuration (SQL miner, no violations).
@@ -108,21 +114,31 @@ pub fn refinement_with(
     vocab: &Vocabulary,
     config: &RefinementConfig<'_>,
 ) -> Result<RefinementReport, MiningError> {
+    // Stage durations ride along in the report so callers (prima-core's
+    // observability layer) can record them without this crate growing a
+    // metrics dependency.
+    let stage_start = std::time::Instant::now();
+
     // Line 1: Practice ← Filter(P_AL).
     let FilterOutcome {
         practice,
         suspected_violations,
         dropped,
     } = filter_with(audit_entries, &ObjAdapter(config.classifier));
+    let filter_duration = stage_start.elapsed();
 
     // Line 2: Patterns ← extractPatterns(Practice, V).
+    let mine_start = std::time::Instant::now();
     let raw_patterns = extract_patterns(&practice, config.miner)?;
+    let mine_duration = mine_start.elapsed();
 
     // Line 3: usefulPatterns ← Prune(Patterns, P_PS, V).
+    let prune_start = std::time::Instant::now();
     let PruneOutcome {
         useful,
         already_covered,
     } = prune(raw_patterns.clone(), policy_store, vocab);
+    let prune_duration = prune_start.elapsed();
 
     Ok(RefinementReport {
         input_entries: audit_entries.len(),
@@ -133,6 +149,9 @@ pub fn refinement_with(
         already_covered,
         useful_patterns: useful,
         miner_description: config.miner.describe(),
+        filter_duration,
+        mine_duration,
+        prune_duration,
     })
 }
 

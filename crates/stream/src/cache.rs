@@ -66,14 +66,21 @@ impl DecisionCache {
 
     /// Classifies `g` under `matcher`, memoizing the verdict.
     pub fn classify(&mut self, matcher: &PolicyMatcher, g: &GroundRule) -> bool {
+        self.classify_traced(matcher, g).0
+    }
+
+    /// [`Self::classify`], also reporting whether the verdict came from
+    /// the memo table (`true` = hit) so callers can feed live hit/miss
+    /// counters without diffing [`Self::stats`] per entry.
+    pub fn classify_traced(&mut self, matcher: &PolicyMatcher, g: &GroundRule) -> (bool, bool) {
         if let Some(&verdict) = self.verdicts.get(g) {
             self.stats.hits += 1;
-            return verdict;
+            return (verdict, true);
         }
         self.stats.misses += 1;
         let verdict = matcher.covers(g);
         self.verdicts.insert(g.clone(), verdict);
-        verdict
+        (verdict, false)
     }
 
     /// Installs a new policy epoch, dropping every memoized verdict.

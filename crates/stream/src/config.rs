@@ -1,6 +1,7 @@
 //! Pipeline configuration.
 
 use crate::fault::FaultPlan;
+use prima_obs::{MetricsRegistry, Tracer};
 
 /// Default bounded-channel capacity per shard.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
@@ -31,6 +32,12 @@ pub struct StreamConfig {
     /// (the default) keeps PR 1's degraded-mode behavior, where a dead
     /// shard's queue is forfeit and counted as lost.
     pub checkpoint_interval: Option<u64>,
+    /// Metrics registry the engine records into; disabled by default,
+    /// costing one branch per would-be update.
+    pub metrics: MetricsRegistry,
+    /// Tracer for engine spans (`stream.checkpoint`, `stream.recover`);
+    /// disabled by default.
+    pub tracer: Tracer,
 }
 
 impl Default for StreamConfig {
@@ -41,6 +48,8 @@ impl Default for StreamConfig {
             window_secs: None,
             faults: FaultPlan::none(),
             checkpoint_interval: None,
+            metrics: MetricsRegistry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -79,6 +88,15 @@ impl StreamConfig {
         self.checkpoint_interval = Some(entries.max(1));
         self
     }
+
+    /// Routes the engine's metrics and spans into `metrics`/`tracer` —
+    /// typically the registry a `prima_core::SystemObs` shares, so the
+    /// stream and the refinement rounds keep one set of books.
+    pub fn observability(mut self, metrics: MetricsRegistry, tracer: Tracer) -> Self {
+        self.metrics = metrics;
+        self.tracer = tracer;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +111,15 @@ mod tests {
         assert!(c.window_secs.is_none());
         assert!(!c.faults.any());
         assert!(c.checkpoint_interval.is_none(), "recovery is opt-in");
+        assert!(!c.metrics.is_enabled(), "observability is opt-in");
+        assert!(!c.tracer.is_enabled());
+    }
+
+    #[test]
+    fn observability_installs_live_handles() {
+        let c = StreamConfig::default().observability(MetricsRegistry::new(), Tracer::new());
+        assert!(c.metrics.is_enabled());
+        assert!(c.tracer.is_enabled());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::cache::CacheStats;
 use crate::config::StreamConfig;
 use crate::counters::{merge_reports, StreamTotals};
 use crate::fault::FaultPlan;
+use crate::obs::StreamObs;
 use crate::shard::{run_shard, ShardCheckpoint, ShardMsg, ShardState};
 use crate::window::{merge_windows, WindowSnapshot};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -112,12 +113,16 @@ pub struct StreamEngine {
     ingested: u64,
     poisoned: u64,
     refused: u64,
+    /// Metric and span handles (no-ops unless the config installed a
+    /// live registry via [`StreamConfig::observability`]).
+    obs: StreamObs,
 }
 
 impl StreamEngine {
     /// Starts `config.shards` workers classifying under `matcher`.
     pub fn start(config: StreamConfig, matcher: PolicyMatcher) -> Self {
         let matcher = Arc::new(matcher);
+        let obs = StreamObs::new(&config.metrics, config.tracer.clone(), config.shards);
         let mut senders = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
@@ -125,9 +130,10 @@ impl StreamEngine {
             let m = Arc::clone(&matcher);
             let window_secs = config.window_secs;
             let faults = config.faults.clone();
+            let shard_obs = obs.shards[shard].clone();
             let handle = std::thread::Builder::new()
                 .name(format!("prima-stream-{shard}"))
-                .spawn(move || run_shard(shard, rx, m, window_secs, faults, None))
+                .spawn(move || run_shard(shard, rx, m, window_secs, faults, None, shard_obs))
                 .expect("spawn shard worker");
             senders.push(Some(tx));
             handles.push(Some(handle));
@@ -151,6 +157,7 @@ impl StreamEngine {
             ingested: 0,
             poisoned: 0,
             refused: 0,
+            obs,
         }
     }
 
@@ -182,6 +189,7 @@ impl StreamEngine {
             Ok(g) => g,
             Err(_) => {
                 self.poisoned += 1;
+                self.obs.poisoned.inc();
                 return IngestOutcome::Poisoned;
             }
         };
@@ -193,6 +201,7 @@ impl StreamEngine {
         }
         if !delivered {
             self.refused += 1;
+            self.obs.lost.inc();
             return IngestOutcome::Lost;
         }
         if let Some(sink) = &self.sink {
@@ -203,6 +212,7 @@ impl StreamEngine {
         }
         self.sent[shard] += 1;
         self.ingested += 1;
+        self.obs.ingested.inc();
         if let Some(interval) = self.checkpoint_interval {
             self.journal[shard].push((entry.time, ground));
             self.since_checkpoint[shard] += 1;
@@ -223,6 +233,9 @@ impl StreamEngine {
             ground: ground.clone(),
         };
         if tx.send(msg).is_ok() {
+            // Post-send channel occupancy: the closest cheap proxy for
+            // "how far behind is this worker".
+            self.obs.queue_depth[shard].set(tx.len() as f64);
             true
         } else {
             self.senders[shard] = None;
@@ -260,6 +273,21 @@ impl StreamEngine {
     /// journal up to the barrier is no longer needed. A shard found dead
     /// at the barrier is recovered instead; its journal stays armed.
     fn checkpoint_shard(&mut self, shard: usize) {
+        // The span and histogram cover the whole barrier round trip,
+        // including a recovery taken in its place.
+        let _span = self
+            .obs
+            .tracer
+            .span("stream.checkpoint")
+            .with_field("shard", shard);
+        let started = std::time::Instant::now();
+        self.checkpoint_barrier(shard);
+        self.obs
+            .checkpoint_seconds
+            .observe_duration(started.elapsed());
+    }
+
+    fn checkpoint_barrier(&mut self, shard: usize) {
         let (reply_tx, reply_rx) = bounded(1);
         let sent = match self.senders[shard].as_ref() {
             Some(tx) => tx.send(ShardMsg::Checkpoint { reply: reply_tx }).is_ok(),
@@ -290,6 +318,13 @@ impl StreamEngine {
     /// script is disarmed first so an injected crash fires once rather
     /// than killing every replacement.
     fn recover(&mut self, shard: usize) {
+        let _span = self
+            .obs
+            .tracer
+            .span("stream.recover")
+            .with_field("shard", shard)
+            .with_field("replayed", self.journal[shard].len());
+        let started = std::time::Instant::now();
         self.senders[shard] = None;
         if let Some(h) = self.handles[shard].take() {
             let _ = h.join();
@@ -301,9 +336,10 @@ impl StreamEngine {
         let faults = self.faults.clone();
         let seed = self.checkpoints[shard].clone();
         let seed_epoch = seed.as_ref().map_or(0, |c| c.epoch);
+        let shard_obs = self.obs.shards[shard].clone();
         let handle = std::thread::Builder::new()
             .name(format!("prima-stream-{shard}-r{}", self.recoveries))
-            .spawn(move || run_shard(shard, rx, m, window_secs, faults, seed))
+            .spawn(move || run_shard(shard, rx, m, window_secs, faults, seed, shard_obs))
             .expect("respawn shard worker");
         // The checkpoint may predate a policy refresh the dead worker
         // never installed; re-broadcast the current matcher before the
@@ -320,6 +356,10 @@ impl StreamEngine {
         self.senders[shard] = Some(tx);
         self.handles[shard] = Some(handle);
         self.recoveries += 1;
+        self.obs.recoveries.inc();
+        self.obs
+            .recovery_seconds
+            .observe_duration(started.elapsed());
     }
 
     /// Ingests a batch, returning how many were accepted.
@@ -791,6 +831,86 @@ mod tests {
         assert_eq!(snap.epoch, 1);
         assert_eq!(snap.processed, 8);
         assert_eq!(snap.totals.covered_entries, 8, "replay used the new policy");
+    }
+
+    #[test]
+    fn instrumented_engine_keeps_books_that_match_the_snapshot() {
+        use prima_obs::{MetricsRegistry, Tracer};
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::new();
+        let mut eng = engine(
+            StreamConfig::with_shards(2)
+                .checkpoint_every(3)
+                .observability(registry.clone(), tracer.clone()),
+        );
+        let shapes = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+        ];
+        for (i, (d, p, a)) in shapes.iter().cycle().take(12).enumerate() {
+            eng.ingest(&entry(i as i64, d, p, a));
+        }
+        eng.ingest(&entry(99, "", "treatment", "nurse")); // poisoned
+        let snap = eng.shutdown();
+
+        // Counters and snapshot fields are two views of the same events.
+        let value = |name: &str| -> u64 {
+            registry
+                .gather()
+                .iter()
+                .find(|f| f.name == name)
+                .map(|f| {
+                    f.samples
+                        .iter()
+                        .map(|s| match s.value {
+                            prima_obs::registry::SampleValue::Counter(v) => v,
+                            _ => 0,
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(value("prima_stream_ingested_total"), snap.ingested);
+        assert_eq!(value("prima_stream_poisoned_total"), snap.poisoned);
+        assert_eq!(value("prima_stream_processed_total"), snap.processed);
+        let hits = value("prima_stream_cache_hits_total");
+        let misses = value("prima_stream_cache_misses_total");
+        assert_eq!(hits, snap.cache.hits);
+        assert_eq!(misses, snap.cache.misses);
+        assert_eq!(hits + misses, snap.processed);
+
+        // Checkpoints at interval 3 over 12 entries: at least one barrier
+        // landed in the timing histogram.
+        let ckpt = registry.histograms("prima_stream_checkpoint_seconds");
+        assert!(ckpt[0].1.count() >= 1, "checkpoint timings recorded");
+
+        let spans = tracer.drain();
+        assert!(spans.iter().any(|s| s.name == "stream.checkpoint"));
+    }
+
+    #[test]
+    fn instrumented_recovery_times_the_replay() {
+        use prima_obs::{MetricsRegistry, Tracer};
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::new();
+        let mut eng = engine(
+            StreamConfig::with_shards(1)
+                .checkpoint_every(2)
+                .faults(FaultPlan::none().with_crash_after(0, 3))
+                .observability(registry.clone(), tracer.clone()),
+        );
+        for i in 0..8 {
+            assert_eq!(
+                eng.ingest(&entry(i, "referral", "treatment", "nurse")),
+                IngestOutcome::Accepted
+            );
+        }
+        let snap = eng.shutdown();
+        assert!(snap.recoveries >= 1);
+        let rec = registry.histograms("prima_stream_recovery_seconds");
+        assert_eq!(rec[0].1.count(), snap.recoveries, "one timing per respawn");
+        assert!(tracer.drain().iter().any(|s| s.name == "stream.recover"));
     }
 
     #[test]

@@ -23,11 +23,18 @@
 //! its last checkpoint and replayed — snapshots after recovery are
 //! bit-for-bit what a fault-free run would have produced.
 
+//! Observability: [`StreamConfig::observability`] routes per-shard
+//! ingest/processed counts, queue-depth gauges, decision-cache hit/miss
+//! counters, and checkpoint/recovery timings into a shared
+//! `prima_obs::MetricsRegistry` (disabled, and effectively free, by
+//! default).
+
 pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod fault;
+pub mod obs;
 pub mod shard;
 pub mod window;
 
@@ -36,5 +43,6 @@ pub use config::StreamConfig;
 pub use counters::{CoverageCounters, PatternStats, StreamTotals};
 pub use engine::{IngestOutcome, ShardHealth, StreamEngine, StreamSnapshot};
 pub use fault::FaultPlan;
+pub use obs::ShardObs;
 pub use shard::ShardCheckpoint;
 pub use window::{SlidingWindow, WindowSnapshot};

@@ -9,6 +9,7 @@
 use crate::cache::{CacheStats, DecisionCache};
 use crate::counters::{CoverageCounters, PatternStats};
 use crate::fault::FaultPlan;
+use crate::obs::ShardObs;
 use crate::window::SlidingWindow;
 use crossbeam::channel::{Receiver, Sender};
 use prima_model::{GroundRule, PolicyMatcher};
@@ -86,6 +87,7 @@ pub fn run_shard(
     window_secs: Option<i64>,
     faults: FaultPlan,
     seed: Option<ShardCheckpoint>,
+    obs: ShardObs,
 ) {
     if faults.is_dropped(shard) {
         // Simulated crash: exit before consuming anything, so the
@@ -127,13 +129,19 @@ pub fn run_shard(
                 if let Some(delay) = slow {
                     std::thread::sleep(delay);
                 }
-                let covered = cache.classify(&matcher, &ground);
+                let (covered, hit) = cache.classify_traced(&matcher, &ground);
+                if hit {
+                    obs.cache_hits.inc();
+                } else {
+                    obs.cache_misses.inc();
+                }
                 counters.observe(&ground, covered);
                 if let Some(w) = window.as_mut() {
                     w.observe(time, &ground);
                 }
                 processed += 1;
                 processed_here += 1;
+                obs.processed.inc();
                 if crash_after == Some(processed_here) {
                     // Simulated mid-stream crash: abandon in-memory state
                     // and anything still queued, exactly like a real
@@ -215,6 +223,7 @@ mod tests {
                 Some(60),
                 FaultPlan::none(),
                 None,
+                ShardObs::disabled(),
             )
         });
         tx.send(ShardMsg::Entry {
@@ -256,6 +265,7 @@ mod tests {
                 None,
                 FaultPlan::none(),
                 None,
+                ShardObs::disabled(),
             )
         });
         tx.send(ShardMsg::Entry {
@@ -288,6 +298,7 @@ mod tests {
                 None,
                 FaultPlan::dropped(2),
                 None,
+                ShardObs::disabled(),
             )
         });
         handle.join().unwrap();
@@ -306,6 +317,7 @@ mod tests {
                 None,
                 FaultPlan::none().with_crash_after(0, 2),
                 None,
+                ShardObs::disabled(),
             )
         });
         for t in 0..5 {
@@ -334,6 +346,7 @@ mod tests {
                 Some(60),
                 FaultPlan::none(),
                 None,
+                ShardObs::disabled(),
             )
         });
         for (t, d) in [(10, "referral"), (11, "referral"), (12, "psychiatry")] {
@@ -359,6 +372,7 @@ mod tests {
                 Some(60),
                 FaultPlan::none(),
                 Some(ckpt),
+                ShardObs::disabled(),
             )
         });
         let (reply_tx, reply_rx) = bounded(1);

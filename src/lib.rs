@@ -16,6 +16,7 @@ pub use prima_hdb as hdb;
 pub use prima_hier as hier;
 pub use prima_mining as mining;
 pub use prima_model as model;
+pub use prima_obs as obs;
 pub use prima_query as query;
 pub use prima_refine as refine;
 pub use prima_store as store;

@@ -27,7 +27,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("demo") => cmd_demo(),
+        Some("demo") => cmd_demo(&args[1..]),
         Some("vocab") => cmd_vocab(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("coverage") => cmd_coverage(&args[1..]),
@@ -52,7 +52,10 @@ fn print_usage() {
     println!(
         "prima — privacy policy coverage & refinement (PRIMA reproduction)\n\n\
          commands:\n  \
-         demo                         run the paper's Section 5 use case\n  \
+         demo                         run the paper's Section 5 use case\n    \
+           [--profile] [--metrics-out FILE] [--trace-out FILE]\n      \
+             (--profile prints the per-stage PipelineReport; the --*-out\n      \
+              flags export Prometheus text / span JSONL)\n  \
          vocab [figure1|hospital]     print a sample vocabulary\n  \
          simulate --out FILE          generate a labelled clinical trail\n    \
            [--entries N] [--seed S] [--scenario community|paper]\n  \
@@ -76,7 +79,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             return Err(format!("unknown flag '--{key}'"));
         }
         // Boolean flags take no value.
-        if key == "set" || key == "generalize" {
+        if key == "set" || key == "generalize" || key == "profile" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -126,12 +129,19 @@ fn load_audit(flags: &HashMap<String, String>) -> Result<Vec<AuditEntry>, String
     prima::audit::export::import_jsonl(BufReader::new(file)).map_err(|e| e.to_string())
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["profile", "metrics-out", "trace-out"])?;
+    let observe = flags.contains_key("profile")
+        || flags.contains_key("metrics-out")
+        || flags.contains_key("trace-out");
     let vocab = vocab_samples::figure_1();
     let policy = prima::model::samples::figure_3_policy_store();
     let trail = prima::workload::fixtures::table_1();
 
     let mut system = prima::system::PrimaSystem::new(vocab, policy);
+    if observe {
+        system = system.with_observability(prima::system::SystemObs::enabled());
+    }
     let store = prima::audit::AuditStore::new("main");
     store.append_all(&trail).map_err(|e| e.to_string())?;
     system.attach_store(store).expect("unique source name");
@@ -158,6 +168,20 @@ fn cmd_demo() -> Result<(), String> {
         after.percent()
     );
     println!("\nrefined policy:\n{}", render_policy(system.policy()));
+    if flags.contains_key("profile") {
+        println!("\n{}", system.pipeline_report());
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        let text = prima::obs::export::prometheus(system.obs().registry());
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("metrics (Prometheus text) written to {path}");
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let spans = system.obs().tracer().drain();
+        let text = prima::obs::export::spans_jsonl(&spans);
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("trace ({} spans, JSONL) written to {path}", spans.len());
+    }
     Ok(())
 }
 
