@@ -1,0 +1,77 @@
+//! `PA004` — expansion blowup: composite rules whose Cartesian ground
+//! expansion exceeds a configurable budget.
+//!
+//! Materializing engines (range construction, coverage strategy A) pay
+//! the full expansion; a rule like `(data, medical) ∧ (purpose, *) ∧
+//! (authorized, *)` over a production vocabulary multiplies into
+//! millions of ground rules. The lint fires on the *product* computed
+//! from per-term `RT'` counts — nothing is materialized to diagnose it.
+
+use prima_model::diag::{DiagCode, DiagLocation, Diagnostic};
+use prima_model::Policy;
+use prima_vocab::Vocabulary;
+
+/// Runs the blowup lint over one policy.
+pub fn blowup_pass(policy: &Policy, vocab: &Vocabulary, budget: u128) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, rule) in policy.rules().iter().enumerate() {
+        let size = rule.expansion_size(vocab);
+        if size > budget {
+            let factors: Vec<String> = rule
+                .terms()
+                .iter()
+                .map(|t| format!("{}: {} ({})", t.attr, t.value, t.ground_term_count(vocab)))
+                .collect();
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::ExpansionBlowup,
+                    DiagLocation::rule(i).in_policy(policy.tag()),
+                    format!(
+                        "ground expansion has {size} ground rules, over the budget of \
+                         {budget} — materializing engines will pay this in full; \
+                         consider narrower terms or the lazy coverage strategy"
+                    ),
+                )
+                .with_witness(factors.join(" × ")),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::{Rule, StoreTag};
+    use prima_vocab::samples::figure_1;
+
+    #[test]
+    fn small_rules_stay_under_budget() {
+        let v = figure_1();
+        let p = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[("data", "medical"), ("authorized", "nurse")])],
+        );
+        assert!(blowup_pass(&p, &v, 100).is_empty());
+    }
+
+    #[test]
+    fn broad_rule_trips_a_small_budget() {
+        let v = figure_1();
+        // medical (5 leaves) × administering-healthcare (3) × medical-staff (2) = 30.
+        let p = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[
+                ("data", "medical"),
+                ("purpose", "administering-healthcare"),
+                ("authorized", "medical-staff"),
+            ])],
+        );
+        let diags = blowup_pass(&p, &v, 10);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ExpansionBlowup);
+        let witness = diags[0].witness.as_deref().unwrap();
+        assert!(witness.contains("×"), "{witness}");
+        assert!(blowup_pass(&p, &v, 1_000).is_empty(), "budget respected");
+    }
+}

@@ -1,0 +1,159 @@
+//! `PA002` — cross-policy conflict: a `P_PS` rule whose ground range
+//! intersects accesses the enforcement layer *denied*.
+//!
+//! The paper's two stores are the policy store (`P_PS`, intent) and the
+//! audit log (`P_AL`, observed operation). Refinement reasons only about
+//! served accesses; denied entries (`Op::Disallow`) carry the opposite
+//! intent. When a `P_PS` rule's range contains a denied access, the
+//! written policy and the enforcement point disagree about that access —
+//! one of them is wrong, and until a human decides which, the policy
+//! cannot be trusted on that range.
+//!
+//! The range-intersection test is [`prima_model::Rule::ranges_intersect`]
+//! — same attribute set plus per-attribute relatedness — so it also works
+//! when the denied side is composite (e.g. a hand-written deny-list
+//! policy rather than raw audit entries).
+
+use prima_audit::{AuditEntry, Op};
+use prima_model::diag::{DiagCode, DiagLocation, Diagnostic};
+use prima_model::{Policy, Rule};
+use prima_vocab::Vocabulary;
+
+/// Conflicts between a policy and the denied entries of an audit trail.
+///
+/// Denied entries are grounded and deduplicated, then each policy rule is
+/// tested for range intersection. One diagnostic per conflicting rule,
+/// carrying the number of distinct denied accesses in its range and one
+/// example as witness.
+pub fn conflict_pass(
+    policy: &Policy,
+    entries: &[AuditEntry],
+    vocab: &Vocabulary,
+) -> Vec<Diagnostic> {
+    let mut denied: Vec<Rule> = Vec::new();
+    for e in entries.iter().filter(|e| e.op == Op::Disallow) {
+        if let Ok(g) = e.to_ground_rule() {
+            let r = Rule::from_ground(&g);
+            if !denied.contains(&r) {
+                denied.push(r);
+            }
+        }
+    }
+    conflict_pass_against(policy, &denied, vocab)
+}
+
+/// Conflicts between a policy and an explicit denied range (possibly
+/// composite rules).
+pub fn conflict_pass_against(
+    policy: &Policy,
+    denied: &[Rule],
+    vocab: &Vocabulary,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, rule) in policy.rules().iter().enumerate() {
+        let hits: Vec<&Rule> = denied
+            .iter()
+            .filter(|d| rule.ranges_intersect(d, vocab))
+            .collect();
+        if let Some(example) = hits.first() {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::CrossPolicyConflict,
+                    DiagLocation::rule(i).in_policy(policy.tag()),
+                    format!(
+                        "authorizes {} access(es) the enforcement layer denied — the \
+                         written policy and the enforcement point contradict on this \
+                         range",
+                        hits.len()
+                    ),
+                )
+                .with_witness(format!("denied access in range: {example}")),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::StoreTag;
+    use prima_vocab::samples::figure_1;
+
+    fn ps(rules: Vec<Rule>) -> Policy {
+        Policy::with_rules(StoreTag::PolicyStore, rules)
+    }
+
+    fn denied_entry(data: &str, purpose: &str, authorized: &str) -> AuditEntry {
+        let mut e = AuditEntry::regular(0, "u1", data, purpose, authorized);
+        e.op = Op::Disallow;
+        e
+    }
+
+    #[test]
+    fn no_denied_entries_means_no_conflicts() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[
+            ("data", "medical"),
+            ("purpose", "treatment"),
+            ("authorized", "medical-staff"),
+        ])]);
+        let served = vec![AuditEntry::regular(
+            0,
+            "u1",
+            "referral",
+            "treatment",
+            "nurse",
+        )];
+        assert!(conflict_pass(&p, &served, &v).is_empty());
+    }
+
+    #[test]
+    fn denied_access_inside_umbrella_is_a_conflict() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[
+            ("data", "medical"),
+            ("purpose", "treatment"),
+            ("authorized", "medical-staff"),
+        ])]);
+        let entries = vec![
+            denied_entry("referral", "treatment", "nurse"),
+            denied_entry("referral", "treatment", "nurse"), // duplicate, deduped
+            denied_entry("name", "marketing", "clerk"),     // outside the range
+        ];
+        let diags = conflict_pass(&p, &entries, &v);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::CrossPolicyConflict);
+        assert!(diags[0].message.contains("1 access(es)"), "{}", diags[0]);
+        assert!(diags[0].witness.as_deref().unwrap().contains("referral"));
+    }
+
+    #[test]
+    fn denied_access_outside_every_rule_is_fine() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[
+            ("data", "demographic"),
+            ("purpose", "billing"),
+            ("authorized", "clerk"),
+        ])]);
+        let entries = vec![denied_entry("psychiatry", "research", "registrar")];
+        assert!(conflict_pass(&p, &entries, &v).is_empty());
+    }
+
+    #[test]
+    fn composite_denied_range_works() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "treatment"),
+            ("authorized", "nurse"),
+        ])]);
+        let denied = vec![Rule::of(&[
+            ("data", "medical"),
+            ("purpose", "administering-healthcare"),
+            ("authorized", "medical-staff"),
+        ])];
+        let diags = conflict_pass_against(&p, &denied, &v);
+        assert_eq!(diags.len(), 1);
+    }
+}

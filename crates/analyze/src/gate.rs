@@ -1,0 +1,198 @@
+//! `PA005` — the refinement-safety gate: no candidate may widen
+//! privileges beyond the umbrella envelope.
+//!
+//! Refinement promotes mined patterns into `P_PS`. The prune stage only
+//! removes patterns *already covered* by `P_PS` — it never checks that a
+//! surviving candidate stays inside the authorizations stakeholders
+//! signed off on. A buggy miner (or adversarial audit data) could
+//! propose `(data, medical) ∧ (purpose, marketing) ∧ (authorized,
+//! administrative-staff)` and auto-accept would silently fold it in.
+//!
+//! [`SafetyGate`] holds an **envelope** policy: the broad umbrella
+//! authorizations that bound what refinement may ever specialize. A
+//! candidate is admitted iff some envelope rule subsumes it — i.e. the
+//! candidate is a narrowing of an authorization that already existed.
+//! Note the envelope is deliberately *separate* from the evolving
+//! `P_PS`: prune removes every pattern `P_PS` covers, so surviving
+//! candidates are by construction **not** subsumed by the current
+//! `P_PS`; gating against it would reject every useful refinement,
+//! including the paper's own Section 5 example.
+
+use prima_model::diag::{DiagCode, DiagLocation, Diagnostic};
+use prima_model::{rule_subsumes, Policy, Rule};
+use prima_vocab::Vocabulary;
+
+/// The refinement-safety gate. See the module docs for the envelope
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct SafetyGate {
+    envelope: Policy,
+    strict: bool,
+}
+
+impl SafetyGate {
+    /// A gate admitting candidates subsumed by some `envelope` rule
+    /// (an exact match of an envelope rule is admitted — re-stating an
+    /// authorization is not a widening).
+    pub fn new(envelope: Policy) -> Self {
+        Self {
+            envelope,
+            strict: false,
+        }
+    }
+
+    /// Requires candidates to be **strictly** narrower than the subsuming
+    /// envelope rule: an exact restatement of an umbrella rule is
+    /// rejected too, since it refines nothing.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// The envelope policy.
+    pub fn envelope(&self) -> &Policy {
+        &self.envelope
+    }
+
+    /// True iff the gate admits `candidate`.
+    pub fn admits(&self, candidate: &Rule, vocab: &Vocabulary) -> bool {
+        self.envelope.rules().iter().any(|u| {
+            rule_subsumes(u, candidate, vocab)
+                && (!self.strict || candidate.expansion_size(vocab) < u.expansion_size(vocab))
+        })
+    }
+
+    /// Checks one candidate, returning the `PA005` diagnostic on
+    /// rejection. `index` locates the candidate in whatever queue the
+    /// caller holds.
+    // Rejection is the interesting outcome and callers consume the
+    // diagnostic immediately; boxing it would only add noise.
+    #[allow(clippy::result_large_err)]
+    pub fn check(
+        &self,
+        index: usize,
+        candidate: &Rule,
+        vocab: &Vocabulary,
+    ) -> Result<(), Diagnostic> {
+        if self.admits(candidate, vocab) {
+            return Ok(());
+        }
+        let detail = if self.strict
+            && self
+                .envelope
+                .rules()
+                .iter()
+                .any(|u| rule_subsumes(u, candidate, vocab))
+        {
+            "it restates an umbrella rule exactly instead of narrowing it"
+        } else {
+            "no umbrella rule subsumes it, so promoting it would widen the \
+             authorized range beyond what stakeholders approved"
+        };
+        Err(Diagnostic::new(
+            DiagCode::WideningCandidate,
+            DiagLocation::rule(index).in_policy("envelope"),
+            format!("candidate {candidate} rejected by the safety gate — {detail}"),
+        )
+        .with_witness(format!(
+            "envelope has {} umbrella rule(s); none strictly subsumes the candidate",
+            self.envelope.cardinality()
+        )))
+    }
+
+    /// Checks many candidates; returns the diagnostics of every rejected
+    /// one (indexes refer to positions in `candidates`).
+    pub fn check_all(&self, candidates: &[Rule], vocab: &Vocabulary) -> Vec<Diagnostic> {
+        candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| self.check(i, c, vocab).err())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::StoreTag;
+    use prima_vocab::samples::figure_1;
+
+    fn envelope() -> Policy {
+        Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "medical"),
+                ("purpose", "administering-healthcare"),
+                ("authorized", "medical-staff"),
+            ])],
+        )
+    }
+
+    #[test]
+    fn narrowing_candidate_is_admitted() {
+        let v = figure_1();
+        let gate = SafetyGate::new(envelope());
+        // The paper's Section 5 refinement result.
+        let cand = Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "registration"),
+            ("authorized", "nurse"),
+        ]);
+        assert!(gate.admits(&cand, &v));
+        assert!(gate.check(0, &cand, &v).is_ok());
+    }
+
+    #[test]
+    fn widening_candidate_is_rejected_with_pa005() {
+        let v = figure_1();
+        let gate = SafetyGate::new(envelope());
+        // marketing is outside administering-healthcare.
+        let cand = Rule::of(&[
+            ("data", "referral"),
+            ("purpose", "marketing"),
+            ("authorized", "nurse"),
+        ]);
+        let diag = gate.check(3, &cand, &v).unwrap_err();
+        assert_eq!(diag.code, DiagCode::WideningCandidate);
+        assert!(diag.is_error());
+        assert_eq!(diag.location.rule_index, Some(3));
+        assert!(diag.message.contains("widen"), "{diag}");
+    }
+
+    #[test]
+    fn strict_gate_rejects_exact_restatement() {
+        let v = figure_1();
+        let umbrella = Rule::of(&[
+            ("data", "medical"),
+            ("purpose", "administering-healthcare"),
+            ("authorized", "medical-staff"),
+        ]);
+        let lax = SafetyGate::new(envelope());
+        let strict = SafetyGate::new(envelope()).strict();
+        assert!(lax.admits(&umbrella, &v));
+        assert!(!strict.admits(&umbrella, &v));
+        let diag = strict.check(0, &umbrella, &v).unwrap_err();
+        assert!(diag.message.contains("restates"), "{diag}");
+    }
+
+    #[test]
+    fn check_all_reports_only_rejections() {
+        let v = figure_1();
+        let gate = SafetyGate::new(envelope());
+        let cands = vec![
+            Rule::of(&[
+                ("data", "referral"),
+                ("purpose", "treatment"),
+                ("authorized", "nurse"),
+            ]),
+            Rule::of(&[
+                ("data", "insurance"), // financial: outside medical
+                ("purpose", "treatment"),
+                ("authorized", "nurse"),
+            ]),
+        ];
+        let diags = gate.check_all(&cands, &v);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].location.rule_index, Some(1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Observability for the static analyzer: counters and per-pass timings
+//! on the shared `prima-obs` registry.
+//!
+//! Metric catalog (see DESIGN.md §10):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `prima_analyze_runs_total` | counter | analyzer invocations |
+//! | `prima_analyze_diagnostics_total{severity}` | counter | findings by severity |
+//! | `prima_analyze_gate_rejections_total` | counter | candidates rejected by the safety gate |
+//! | `prima_analyze_pass_seconds{pass}` | histogram | wall time per analysis pass |
+
+use prima_obs::{Counter, Histogram, MetricsRegistry};
+
+/// The histogram family holding per-pass timings.
+pub const PASS_METRIC: &str = "prima_analyze_pass_seconds";
+
+/// Analysis passes recorded into [`PASS_METRIC`], in execution order.
+pub const PASSES: [&str; 5] = ["lint", "shadow", "vacuity", "blowup", "conflict"];
+
+/// Pre-registered metric handles for one [`crate::Analyzer`]. Cloning
+/// shares the underlying registry.
+#[derive(Debug, Clone)]
+pub struct AnalyzerObs {
+    registry: MetricsRegistry,
+    pub(crate) runs_total: Counter,
+    pub(crate) errors_total: Counter,
+    pub(crate) warnings_total: Counter,
+    pub(crate) notes_total: Counter,
+    /// Gate rejections; public so the refinement layer (which owns the
+    /// gate call sites) can count rejections on the same books.
+    pub gate_rejections_total: Counter,
+    /// Pass histograms, indexed like [`PASSES`].
+    pub(crate) passes: [Histogram; 5],
+}
+
+impl AnalyzerObs {
+    /// Live observability over a fresh registry.
+    pub fn enabled() -> Self {
+        Self::over(MetricsRegistry::new())
+    }
+
+    /// No-op observability — the default.
+    pub fn disabled() -> Self {
+        Self::over(MetricsRegistry::disabled())
+    }
+
+    /// Observability over an existing registry, so the analyzer shares
+    /// the books with the rest of the pipeline.
+    pub fn over(registry: MetricsRegistry) -> Self {
+        let sev = |label: &str| {
+            registry.counter_with(
+                "prima_analyze_diagnostics_total",
+                "Diagnostics produced, by severity.",
+                &[("severity", label)],
+            )
+        };
+        let pass = |name: &str| {
+            registry.histogram_with(
+                PASS_METRIC,
+                "Wall-clock seconds per static-analysis pass.",
+                &[("pass", name)],
+                &prima_obs::DEFAULT_LATENCY_BUCKETS,
+            )
+        };
+        Self {
+            runs_total: registry.counter("prima_analyze_runs_total", "Analyzer invocations."),
+            errors_total: sev("error"),
+            warnings_total: sev("warning"),
+            notes_total: sev("note"),
+            gate_rejections_total: registry.counter(
+                "prima_analyze_gate_rejections_total",
+                "Candidates rejected by the refinement-safety gate.",
+            ),
+            passes: [
+                pass("lint"),
+                pass("shadow"),
+                pass("vacuity"),
+                pass("blowup"),
+                pass("conflict"),
+            ],
+            registry,
+        }
+    }
+
+    /// True when metrics are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl Default for AnalyzerObs {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let obs = AnalyzerObs::disabled();
+        assert!(!obs.is_enabled());
+        obs.runs_total.inc();
+        obs.passes[0].observe(0.1);
+        assert!(obs.registry().gather().is_empty());
+    }
+
+    #[test]
+    fn enabled_obs_counts_by_severity() {
+        let obs = AnalyzerObs::enabled();
+        obs.errors_total.inc();
+        obs.warnings_total.inc();
+        obs.warnings_total.inc();
+        assert_eq!(obs.errors_total.get(), 1);
+        assert_eq!(obs.warnings_total.get(), 2);
+        assert!(obs.is_enabled());
+    }
+}

@@ -1,0 +1,117 @@
+//! `PA003` — vacuous rules: rules that can never match an audit entry.
+//!
+//! Two ways a rule is vacuous:
+//!
+//! 1. **Empty ground expansion** — some term expands to zero ground
+//!    values, so the rule's range is empty. (The current `Vocabulary`
+//!    treats unknown values as out-of-vocabulary ground atoms, so this
+//!    cannot arise today; the check is kept because it is cheap and
+//!    guards future vocabulary semantics.)
+//! 2. **Audit-schema mismatch** — coverage matches a rule against an
+//!    audit entry's ground rule only when the attribute sets agree
+//!    (`Rule::expansion_contains`). A rule whose attribute set differs
+//!    from the schema audit entries carry — e.g. `{data, ward}` against
+//!    entries grounding `{authorized, data, purpose}` — can never match
+//!    anything, silently.
+
+use crate::config::AnalyzeConfig;
+use prima_model::diag::{DiagCode, DiagLocation, Diagnostic};
+use prima_model::Policy;
+use prima_vocab::Vocabulary;
+
+/// Runs the vacuity pass over one policy.
+pub fn vacuity_pass(
+    policy: &Policy,
+    vocab: &Vocabulary,
+    config: &AnalyzeConfig,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, rule) in policy.rules().iter().enumerate() {
+        if rule.expansion_size(vocab) == 0 {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::VacuousRule,
+                    DiagLocation::rule(i).in_policy(policy.tag()),
+                    "rule has an empty ground expansion — its range is empty and it \
+                     can never match an audit entry",
+                )
+                .with_witness(format!("{rule}")),
+            );
+            continue;
+        }
+        if let Some(schema) = &config.audit_schema {
+            let attrs: Vec<&str> = rule.terms().iter().map(|t| t.attr.as_str()).collect();
+            let matches_schema =
+                attrs.len() == schema.len() && attrs.iter().zip(schema).all(|(a, s)| *a == s);
+            if !matches_schema {
+                diags.push(
+                    Diagnostic::new(
+                        DiagCode::VacuousRule,
+                        DiagLocation::rule(i).in_policy(policy.tag()),
+                        format!(
+                            "attribute set {{{}}} can never match the audit schema \
+                             {{{}}} — coverage requires the attribute sets to agree, \
+                             so this rule matches no audit entry",
+                            attrs.join(", "),
+                            schema.join(", ")
+                        ),
+                    )
+                    .with_witness(format!("{rule}")),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_model::{Rule, StoreTag};
+    use prima_vocab::samples::figure_1;
+
+    fn ps(rules: Vec<Rule>) -> Policy {
+        Policy::with_rules(StoreTag::PolicyStore, rules)
+    }
+
+    fn dpa(data: &str, purpose: &str, authorized: &str) -> Rule {
+        Rule::of(&[
+            ("data", data),
+            ("purpose", purpose),
+            ("authorized", authorized),
+        ])
+    }
+
+    #[test]
+    fn schema_conforming_rules_are_not_vacuous() {
+        let v = figure_1();
+        let p = ps(vec![dpa("referral", "treatment", "nurse")]);
+        assert!(vacuity_pass(&p, &v, &AnalyzeConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_is_vacuous() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[("data", "referral"), ("ward", "icu")])]);
+        let diags = vacuity_pass(&p, &v, &AnalyzeConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::VacuousRule);
+        assert!(diags[0].message.contains("{data, ward}"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn missing_attribute_is_vacuous() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[("data", "referral")])]);
+        let diags = vacuity_pass(&p, &v, &AnalyzeConfig::default());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn schema_check_can_be_disabled() {
+        let v = figure_1();
+        let p = ps(vec![Rule::of(&[("data", "referral"), ("ward", "icu")])]);
+        let config = AnalyzeConfig::default().without_schema_check();
+        assert!(vacuity_pass(&p, &v, &config).is_empty());
+    }
+}

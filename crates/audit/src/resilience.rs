@@ -569,10 +569,7 @@ mod tests {
     fn instrumented_sync_books_retries_breakers_and_quarantine() {
         let registry = prima_obs::MetricsRegistry::new();
         let tracer = prima_obs::Tracer::new();
-        let mut f = fed().with_observability(crate::obs::FederationObs::over(
-            registry.clone(),
-            tracer.clone(),
-        ));
+        let mut f = fed().with_observability(FederationObs::over(registry.clone(), tracer.clone()));
         f.attach(Box::new(FaultySource::new(
             site("noisy", &[1, 2, 3, 4]),
             SourceFaults::none().corrupt_every(2),

@@ -274,7 +274,7 @@ mod tests {
             .unwrap();
         match users.samples[0].value {
             prima_obs::registry::SampleValue::Gauge(v) => {
-                assert_eq!(v as usize, s.distinct_users)
+                assert_eq!(v as usize, s.distinct_users);
             }
             _ => panic!("gauge family"),
         }

@@ -21,11 +21,11 @@ fn bench_figure3(c: &mut Criterion) {
     let al = figure_3_audit_policy();
     c.bench_function("coverage/figure3/materialize", |b| {
         let engine = CoverageEngine::new(Strategy::MaterializeHash);
-        b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+        b.iter(|| engine.coverage(&ps, &al, &v).unwrap());
     });
     c.bench_function("coverage/figure3/lazy", |b| {
         let engine = CoverageEngine::new(Strategy::Lazy);
-        b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+        b.iter(|| engine.coverage(&ps, &al, &v).unwrap());
     });
 }
 
@@ -57,7 +57,7 @@ fn bench_strategies_on_trails(c: &mut Criterion) {
                     engine
                         .coverage(&scenario.policy, al, &scenario.vocab)
                         .unwrap()
-                })
+                });
             });
         }
         // Entry-weighted variant (always lazy).
@@ -67,7 +67,7 @@ fn bench_strategies_on_trails(c: &mut Criterion) {
             .collect();
         group.bench_with_input(BenchmarkId::new("entry-weighted", n), &rules, |b, rules| {
             let engine = CoverageEngine::default();
-            b.iter(|| engine.entry_coverage(&scenario.policy, rules, &scenario.vocab))
+            b.iter(|| engine.entry_coverage(&scenario.policy, rules, &scenario.vocab));
         });
     }
     group.finish();
@@ -111,7 +111,7 @@ fn bench_range_explosion(c: &mut Criterion) {
         if ps.expansion_size(&v) <= prima_model::range::DEFAULT_RANGE_BUDGET as u128 {
             group.bench_with_input(BenchmarkId::new("materialize", fan_out), &(), |b, _| {
                 let engine = CoverageEngine::new(Strategy::MaterializeHash);
-                b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+                b.iter(|| engine.coverage(&ps, &al, &v).unwrap());
             });
         } else {
             let err = CoverageEngine::new(Strategy::MaterializeHash)
@@ -121,7 +121,7 @@ fn bench_range_explosion(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::new("lazy", fan_out), &(), |b, _| {
             let engine = CoverageEngine::new(Strategy::Lazy);
-            b.iter(|| engine.coverage(&ps, &al, &v).unwrap())
+            b.iter(|| engine.coverage(&ps, &al, &v).unwrap());
         });
     }
     group.finish();

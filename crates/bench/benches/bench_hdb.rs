@@ -24,7 +24,7 @@ fn bench_enforcement(c: &mut Criterion) {
         cc.opt_out("p2", "treatment", Some("general-care"));
 
         group.bench_with_input(BenchmarkId::new("raw-projection", n), &raw, |b, t| {
-            b.iter(|| t.project(&["referral", "prescription"]).unwrap().len())
+            b.iter(|| t.project(&["referral", "prescription"]).unwrap().len());
         });
 
         group.bench_with_input(BenchmarkId::new("enforced-query", n), &cc, |b, cc| {
@@ -40,7 +40,7 @@ fn bench_enforcement(c: &mut Criterion) {
                     &["referral", "prescription"],
                 );
                 cc.query(&req).unwrap().rows.len()
-            })
+            });
         });
 
         group.bench_with_input(BenchmarkId::new("break-the-glass", n), &cc, |b, cc| {
@@ -56,7 +56,7 @@ fn bench_enforcement(c: &mut Criterion) {
                     &["referral"],
                 );
                 cc.query(&req).unwrap().rows.len()
-            })
+            });
         });
     }
     group.finish();

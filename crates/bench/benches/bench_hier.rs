@@ -50,11 +50,11 @@ fn bench_tree(c: &mut Criterion) {
         let doc = big_document(regions);
         let xml = doc.to_xml();
         group.bench_with_input(BenchmarkId::new("parse-xml", regions), &xml, |b, xml| {
-            b.iter(|| Document::parse_xml(xml).unwrap())
+            b.iter(|| Document::parse_xml(xml).unwrap());
         });
         let e = enforcement(regions);
         group.bench_with_input(BenchmarkId::new("redact", regions), &doc, |b, doc| {
-            b.iter(|| e.enforce(doc, 1, "tim", "nurse", "treatment", TreeAccessMode::Chosen))
+            b.iter(|| e.enforce(doc, 1, "tim", "nurse", "treatment", TreeAccessMode::Chosen));
         });
     }
     group.finish();
@@ -86,7 +86,7 @@ fn bench_generalize(c: &mut Criterion) {
         ));
     }
     c.bench_function("hier/generalize-lattice", |b| {
-        b.iter(|| generalize(&patterns, &v))
+        b.iter(|| generalize(&patterns, &v));
     });
 }
 

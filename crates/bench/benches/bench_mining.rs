@@ -28,7 +28,7 @@ fn bench_miners(c: &mut Criterion) {
             ..MinerConfig::default()
         });
         group.bench_with_input(BenchmarkId::new("sql-groupby", n), &table, |b, t| {
-            b.iter(|| sql.mine(t).unwrap())
+            b.iter(|| sql.mine(t).unwrap());
         });
 
         let apriori = AprioriMiner::new(AprioriConfig {
@@ -36,10 +36,10 @@ fn bench_miners(c: &mut Criterion) {
             ..AprioriConfig::default()
         });
         group.bench_with_input(BenchmarkId::new("apriori-full", n), &table, |b, t| {
-            b.iter(|| apriori.mine(t).unwrap())
+            b.iter(|| apriori.mine(t).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("apriori-lattice", n), &table, |b, t| {
-            b.iter(|| apriori.frequent_itemsets(t).unwrap())
+            b.iter(|| apriori.frequent_itemsets(t).unwrap());
         });
     }
     group.finish();

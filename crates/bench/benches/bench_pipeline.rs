@@ -31,7 +31,7 @@ fn bench_full_round(c: &mut Criterion) {
                     system.attach_store(store).expect("unique source name");
                 }
                 system.run_round(ReviewMode::AutoAccept).unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -14,7 +14,7 @@ fn bench_table1(c: &mut Criterion) {
     let ps = figure_3_policy_store();
     let trail = table_1();
     c.bench_function("refinement/table1", |b| {
-        b.iter(|| refinement(&ps, &trail, &v).unwrap())
+        b.iter(|| refinement(&ps, &trail, &v).unwrap());
     });
 }
 
@@ -30,7 +30,7 @@ fn bench_simulated(c: &mut Criterion) {
             ..SimConfig::default()
         }));
         group.bench_with_input(BenchmarkId::from_parameter(n), &trail, |b, trail| {
-            b.iter(|| refinement(&scenario.policy, trail, &scenario.vocab).unwrap())
+            b.iter(|| refinement(&scenario.policy, trail, &scenario.vocab).unwrap());
         });
     }
     group.finish();

@@ -45,7 +45,7 @@ fn bench_ingest(c: &mut Criterion) {
                 let mut engine = start_engine(shards, &scenario);
                 engine.ingest_all(trail.iter());
                 engine.drain()
-            })
+            });
         });
     }
     group.finish();

@@ -1,15 +1,16 @@
 //! The long-lived PRIMA system object.
 
+use prima_analyze::SafetyGate;
 use prima_audit::{
     AuditEntry, AuditFederation, AuditStore, FederationError, FederationHealth, LogSource,
-    ResilientFederation,
+    NoViolations, ResilientFederation,
 };
 use prima_mining::{Miner, MiningError, SqlMiner};
 use prima_model::{
-    CompletenessBound, CoverageEngine, CoverageReport, EntryCoverageReport, ModelError, Policy,
-    Strategy,
+    CompletenessBound, CoverageEngine, CoverageReport, Diagnostic, EntryCoverageReport, ModelError,
+    Policy, Strategy,
 };
-use prima_refine::{refinement_with_miner, ReviewQueue};
+use prima_refine::{refinement_with, RefinementConfig, ReviewQueue};
 use prima_vocab::Vocabulary;
 
 use crate::observe::SystemObs;
@@ -76,6 +77,13 @@ pub struct PrimaSystem {
     review: ReviewQueue,
     history: Vec<RoundRecord>,
     miner: Box<dyn Miner + Send + Sync>,
+    /// Refinement-safety gate: when set, mined candidates must be strictly
+    /// subsumed by the gate's umbrella envelope or they are rejected with
+    /// a `PA005` diagnostic instead of widening the policy.
+    gate: Option<SafetyGate>,
+    /// `PA005` diagnostics from the most recent round (or manual apply);
+    /// reset at the start of each.
+    last_gate_diagnostics: Vec<Diagnostic>,
     /// Metrics and spans around rounds; disabled (free) by default.
     obs: SystemObs,
 }
@@ -93,6 +101,8 @@ impl PrimaSystem {
             review: ReviewQueue::new(),
             history: Vec::new(),
             miner: Box::new(SqlMiner::default()),
+            gate: None,
+            last_gate_diagnostics: Vec::new(),
             obs: SystemObs::disabled(),
         }
     }
@@ -101,6 +111,33 @@ impl PrimaSystem {
     pub fn with_miner(mut self, miner: Box<dyn Miner + Send + Sync>) -> Self {
         self.miner = miner;
         self
+    }
+
+    /// Installs a refinement-safety envelope: mined candidates must be
+    /// strictly subsumed by some rule of `envelope` or they are rejected
+    /// with a `PA005` diagnostic — in auto-accept rounds the rule is not
+    /// added, and in manual mode an accept decision on a widening
+    /// candidate is overturned at apply time. The diagnostics of the most
+    /// recent round are available via [`Self::last_gate_diagnostics`].
+    ///
+    /// The envelope is a *separate* umbrella policy, not the evolving
+    /// `P_PS`: Prune already removes patterns the policy store covers, so
+    /// gating against `P_PS` itself would reject every surviving pattern.
+    pub fn with_safety_envelope(mut self, envelope: Policy) -> Self {
+        self.gate = Some(SafetyGate::new(envelope));
+        self
+    }
+
+    /// The installed refinement-safety gate, if any.
+    pub fn safety_gate(&self) -> Option<&SafetyGate> {
+        self.gate.as_ref()
+    }
+
+    /// `PA005` diagnostics produced by the most recent
+    /// [`Self::run_round`] / [`Self::apply_review_decisions`] call (empty
+    /// when no gate is installed or nothing widened).
+    pub fn last_gate_diagnostics(&self) -> &[Diagnostic] {
+        &self.last_gate_diagnostics
     }
 
     /// Installs observability: rounds record per-stage timings, coverage
@@ -333,6 +370,7 @@ impl PrimaSystem {
         mode: ReviewMode,
     ) -> Result<RoundRecord, MiningError> {
         let round = self.history.len() + 1;
+        self.last_gate_diagnostics.clear();
         let mut round_span = self
             .obs
             .tracer()
@@ -370,13 +408,21 @@ impl PrimaSystem {
                 (0, 0, 0, 0, 0)
             } else {
                 let mine_span = self.obs.tracer().span("round.refine");
-                let report =
-                    refinement_with_miner(&self.policy, &entries, &self.vocab, &*self.miner)?;
+                let classifier = NoViolations;
+                let mut config = RefinementConfig::new(&*self.miner, &classifier);
+                if let Some(gate) = self.gate.as_ref() {
+                    config = config.with_gate(gate);
+                }
+                let report = refinement_with(&self.policy, &entries, &self.vocab, &config)?;
                 drop(
                     mine_span
                         .with_field("practice", report.practice_entries)
                         .with_field("patterns", report.raw_patterns.len()),
                 );
+                // Widening patterns the gate diverted never reach the
+                // review queue; keep their diagnostics for the caller.
+                self.last_gate_diagnostics
+                    .extend(report.gate_rejected.iter().map(|(_, d)| d.clone()));
                 // The refine pipeline hands back its own stage clocks, so
                 // the histograms see the true per-stage split rather than
                 // one lump.
@@ -389,7 +435,18 @@ impl PrimaSystem {
                 let added = match mode {
                     ReviewMode::AutoAccept => {
                         self.review.accept_all_pending();
-                        self.review.apply_accepted(&mut self.policy)
+                        match self.gate.as_ref() {
+                            Some(gate) => {
+                                let (added, diags) = self.review.apply_accepted_gated(
+                                    &mut self.policy,
+                                    gate,
+                                    &self.vocab,
+                                );
+                                self.last_gate_diagnostics.extend(diags);
+                                added
+                            }
+                            None => self.review.apply_accepted(&mut self.policy),
+                        }
                     }
                     ReviewMode::Manual => 0,
                 };
@@ -445,9 +502,21 @@ impl PrimaSystem {
     }
 
     /// Applies accepted manual-review decisions to the policy, returning
-    /// the number of rules added.
+    /// the number of rules added. When a safety envelope is installed, an
+    /// accepted candidate the gate rejects is *not* applied: its state is
+    /// overturned to Rejected with the `PA005` diagnostic as the note,
+    /// and the diagnostic lands in [`Self::last_gate_diagnostics`].
     pub fn apply_review_decisions(&mut self) -> usize {
-        self.review.apply_accepted(&mut self.policy)
+        match self.gate.as_ref() {
+            Some(gate) => {
+                let (added, diags) =
+                    self.review
+                        .apply_accepted_gated(&mut self.policy, gate, &self.vocab);
+                self.last_gate_diagnostics = diags;
+                added
+            }
+            None => self.review.apply_accepted(&mut self.policy),
+        }
     }
 
     /// Installs restored review/history state (used by
@@ -519,6 +588,90 @@ mod tests {
         let second = sys.run_round(ReviewMode::Manual).unwrap();
         assert_eq!(second.patterns_useful, 1, "still mined");
         assert_eq!(second.candidates_enqueued, 0, "but not re-proposed");
+    }
+
+    #[test]
+    fn safety_envelope_rejects_widening_round_with_pa005() {
+        use prima_model::{Rule, StoreTag};
+        // Envelope allows only administrative-staff billing access to
+        // demographic data; the Table 1 mined pattern
+        // referral:registration:nurse widens past it.
+        let envelope = Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "demographic"),
+                ("purpose", "billing"),
+                ("authorized", "administrative-staff"),
+            ])],
+        );
+        let mut sys = system_with_table_1().with_safety_envelope(envelope);
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.patterns_useful, 0, "gate diverted the pattern");
+        assert_eq!(record.rules_added, 0);
+        assert_eq!(sys.policy().cardinality(), 3, "policy unchanged");
+        let diags = sys.last_gate_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code.as_str(), "PA005");
+        assert!(diags[0].is_error());
+        // Coverage stays at the paper's starting 30%.
+        assert!((record.entry_coverage_after - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn safety_envelope_admits_specializing_round() {
+        use prima_model::{Rule, StoreTag};
+        // Generous umbrella: medical-staff access to medical data for
+        // administering healthcare. referral:registration:nurse is a
+        // strict specialization, so the Section 5 round goes through.
+        let envelope = Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "medical"),
+                ("purpose", "administering-healthcare"),
+                ("authorized", "medical-staff"),
+            ])],
+        );
+        let mut sys = system_with_table_1().with_safety_envelope(envelope);
+        let record = sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert_eq!(record.rules_added, 1);
+        assert!((record.entry_coverage_after - 0.8).abs() < 1e-9);
+        assert!(sys.last_gate_diagnostics().is_empty());
+        assert!(sys.safety_gate().is_some());
+    }
+
+    #[test]
+    fn manual_accept_of_widening_candidate_is_overturned_at_apply() {
+        use prima_model::{Rule, StoreTag};
+        let envelope = Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "demographic"),
+                ("purpose", "billing"),
+                ("authorized", "administrative-staff"),
+            ])],
+        );
+        let mut sys = system_with_table_1();
+        // Run the round *without* a gate so the candidate reaches the
+        // queue, then install the envelope before the reviewer applies —
+        // the gated apply must overturn the stale accept.
+        let record = sys.run_round(ReviewMode::Manual).unwrap();
+        assert_eq!(record.candidates_enqueued, 1);
+        let id = sys.review().pending().next().unwrap().id;
+        sys.review_mut()
+            .decide(id, CandidateState::Accepted, Some("looks fine"));
+        sys = sys.with_safety_envelope(envelope);
+        assert_eq!(sys.apply_review_decisions(), 0);
+        assert_eq!(sys.policy().cardinality(), 3, "widening rule blocked");
+        assert_eq!(sys.last_gate_diagnostics().len(), 1);
+        assert_eq!(sys.last_gate_diagnostics()[0].code.as_str(), "PA005");
+        let overturned = sys
+            .review()
+            .candidates()
+            .iter()
+            .find(|c| c.id == id)
+            .unwrap();
+        assert_eq!(overturned.state, CandidateState::Rejected);
+        assert!(overturned.note.as_deref().unwrap().contains("PA005"));
     }
 
     #[test]

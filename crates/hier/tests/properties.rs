@@ -10,7 +10,7 @@ use proptest::prelude::*;
 /// a fixed repertoire.
 fn arb_document() -> impl Strategy<Value = Document> {
     // Each element: (region kind 0..4, leaf count 1..4)
-    proptest::collection::vec((0..4usize, 1..4usize), 0..6).prop_map(|regions| {
+    collection::vec((0..4usize, 1..4usize), 0..6).prop_map(|regions| {
         let mut d = Document::new("patient");
         for (i, (kind, leaves)) in regions.into_iter().enumerate() {
             match kind {

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 /// Random practice tables (exception entries over small domains).
 fn arb_practice() -> impl Strategy<Value = Table> {
     let entry = (0..5usize, 0..4usize, 0..3usize, 0..3usize);
-    proptest::collection::vec(entry, 0..80).prop_map(|rows| {
+    collection::vec(entry, 0..80).prop_map(|rows| {
         let mut t = Table::new("practice", audit_schema());
         for (i, (u, d, p, a)) in rows.into_iter().enumerate() {
             let e = AuditEntry::exception(

@@ -509,12 +509,12 @@ mod tests {
     #[test]
     fn entry_coverage_weights_duplicates() {
         let v = figure_1();
-        let covered = crate::GroundRule::of(&[
+        let covered = GroundRule::of(&[
             ("data", "referral"),
             ("purpose", "treatment"),
             ("authorized", "nurse"),
         ]);
-        let uncovered = crate::GroundRule::of(&[
+        let uncovered = GroundRule::of(&[
             ("data", "referral"),
             ("purpose", "registration"),
             ("authorized", "nurse"),

@@ -1,0 +1,419 @@
+//! The unified diagnostic framework shared by the policy linter
+//! (`crate::lint`) and the static analyzer (`prima-analyze`).
+//!
+//! Every finding any policy analysis produces is a [`Diagnostic`]: a
+//! stable `PAxxx` code, a severity, a location inside a policy (rule
+//! index, optionally attribute/value), a human message, and an optional
+//! machine-checkable witness. One type means one rendering pipeline —
+//! the CLI prints a single uniform stream whether a finding came from
+//! the typo linter or the shadowing pass — and one JSON schema for
+//! tooling.
+//!
+//! ## Code catalog
+//!
+//! | code | severity | pass | meaning |
+//! |---|---|---|---|
+//! | `PA001` | warning | shadowing | rule fully subsumed by another rule of the same policy |
+//! | `PA002` | error | conflict | authorized range intersects accesses the enforcement layer denied |
+//! | `PA003` | error | vacuity | rule can never match an audit entry (schema mismatch / empty expansion) |
+//! | `PA004` | warning | blowup | Cartesian ground expansion exceeds the configured budget |
+//! | `PA005` | error | safety gate | candidate not strictly subsumed by any umbrella rule (privilege widening) |
+//! | `PA010` | warning | lint | attribute not in the vocabulary |
+//! | `PA011` | warning | lint | value not in the attribute's taxonomy (typo suggestion when close) |
+//! | `PA012` | note | lint | very broad composite value (umbrella-authorization smell) |
+//!
+//! Codes are append-only: a released code never changes meaning or
+//! severity class, so scripts grepping `PA003` keep working.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of a diagnostic, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The policy is broken: a rule is unenforceable, contradicted, or a
+    /// candidate would widen privileges. CI gates fail on these.
+    Error,
+    /// Probably a mistake (typo, shadowed rule, expansion blow-up).
+    Warning,
+    /// Worth knowing (umbrella authorizations and similar smells).
+    Note,
+}
+
+impl Severity {
+    /// Lowercase label used by renderers (`error`, `warning`, `note`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Serialize for Severity {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for Severity {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v.as_str() {
+            Some("error") => Ok(Severity::Error),
+            Some("warning") => Ok(Severity::Warning),
+            Some("note") => Ok(Severity::Note),
+            other => Err(serde::Error::custom(format!("unknown severity {other:?}"))),
+        }
+    }
+}
+
+/// Stable diagnostic codes (see the module-level catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// `PA001` — rule fully subsumed by another rule of the same policy.
+    ShadowedRule,
+    /// `PA002` — authorized range intersects denied accesses.
+    CrossPolicyConflict,
+    /// `PA003` — rule can never match an audit entry.
+    VacuousRule,
+    /// `PA004` — ground expansion exceeds the configured budget.
+    ExpansionBlowup,
+    /// `PA005` — candidate widens privileges beyond every umbrella rule.
+    WideningCandidate,
+    /// `PA010` — attribute not in the vocabulary.
+    UnknownAttribute,
+    /// `PA011` — value not in the attribute's taxonomy.
+    UnknownValue,
+    /// `PA012` — very broad composite value.
+    BroadTerm,
+}
+
+impl DiagCode {
+    /// The stable `PAxxx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::ShadowedRule => "PA001",
+            DiagCode::CrossPolicyConflict => "PA002",
+            DiagCode::VacuousRule => "PA003",
+            DiagCode::ExpansionBlowup => "PA004",
+            DiagCode::WideningCandidate => "PA005",
+            DiagCode::UnknownAttribute => "PA010",
+            DiagCode::UnknownValue => "PA011",
+            DiagCode::BroadTerm => "PA012",
+        }
+    }
+
+    /// The severity this code always carries (part of the code's
+    /// stability contract).
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::CrossPolicyConflict | DiagCode::VacuousRule | DiagCode::WideningCandidate => {
+                Severity::Error
+            }
+            DiagCode::ShadowedRule
+            | DiagCode::ExpansionBlowup
+            | DiagCode::UnknownAttribute
+            | DiagCode::UnknownValue => Severity::Warning,
+            DiagCode::BroadTerm => Severity::Note,
+        }
+    }
+
+    /// One-line catalog description (used by `--explain`-style surfaces
+    /// and the docs table).
+    pub fn describe(self) -> &'static str {
+        match self {
+            DiagCode::ShadowedRule => "rule is fully subsumed by another rule of the same policy",
+            DiagCode::CrossPolicyConflict => {
+                "authorized range intersects accesses the enforcement layer denied"
+            }
+            DiagCode::VacuousRule => "rule can never match an audit entry",
+            DiagCode::ExpansionBlowup => "Cartesian ground expansion exceeds the configured budget",
+            DiagCode::WideningCandidate => {
+                "candidate is not strictly subsumed by any umbrella rule (privilege widening)"
+            }
+            DiagCode::UnknownAttribute => "attribute is not in the vocabulary",
+            DiagCode::UnknownValue => "value is not in the attribute's taxonomy",
+            DiagCode::BroadTerm => "very broad composite value (umbrella authorization)",
+        }
+    }
+
+    /// Every code, in catalog order.
+    pub fn all() -> [DiagCode; 8] {
+        [
+            DiagCode::ShadowedRule,
+            DiagCode::CrossPolicyConflict,
+            DiagCode::VacuousRule,
+            DiagCode::ExpansionBlowup,
+            DiagCode::WideningCandidate,
+            DiagCode::UnknownAttribute,
+            DiagCode::UnknownValue,
+            DiagCode::BroadTerm,
+        ]
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for DiagCode {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for DiagCode {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected diagnostic code string"))?;
+        DiagCode::all()
+            .into_iter()
+            .find(|c| c.as_str() == s)
+            .ok_or_else(|| serde::Error::custom(format!("unknown diagnostic code `{s}`")))
+    }
+}
+
+/// Where inside a policy a diagnostic points.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiagLocation {
+    /// Tag of the policy the finding is about (e.g. `PS`, `AL`), when the
+    /// analysis had one.
+    pub policy: Option<String>,
+    /// 0-based index of the rule in that policy.
+    pub rule_index: Option<usize>,
+    /// The offending attribute, for term-level findings.
+    pub attr: Option<String>,
+    /// The offending value, for term-level findings.
+    pub value: Option<String>,
+}
+
+impl DiagLocation {
+    /// A rule-level location.
+    pub fn rule(index: usize) -> Self {
+        Self {
+            rule_index: Some(index),
+            ..Self::default()
+        }
+    }
+
+    /// A term-level location.
+    pub fn term(index: usize, attr: &str, value: &str) -> Self {
+        Self {
+            rule_index: Some(index),
+            attr: Some(attr.to_string()),
+            value: Some(value.to_string()),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches the owning policy's tag.
+    pub fn in_policy(mut self, tag: impl fmt::Display) -> Self {
+        self.policy = Some(tag.to_string());
+        self
+    }
+}
+
+impl fmt::Display for DiagLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(p) = &self.policy {
+            write!(f, "P_{p}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.rule_index {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "rule {}", i + 1)?;
+            wrote = true;
+        }
+        if let (Some(a), Some(v)) = (&self.attr, &self.value) {
+            if wrote {
+                write!(f, ": ")?;
+            }
+            write!(f, "({a}, {v})")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding of a policy analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (`PA001`…).
+    pub code: DiagCode,
+    /// Severity (always `code.severity()`; duplicated so JSON consumers
+    /// need not carry the catalog).
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: DiagLocation,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Machine-checkable evidence, when the pass can produce one — e.g.
+    /// the subsuming rule for `PA001`, a denied ground rule for `PA002`,
+    /// or the hierarchy chain that proves a subsumption.
+    pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity comes from the code.
+    pub fn new(code: DiagCode, location: DiagLocation, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            location,
+            message: message.into(),
+            witness: None,
+        }
+    }
+
+    /// Attaches a witness string.
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Self {
+        self.witness = Some(witness.into());
+        self
+    }
+
+    /// True iff this diagnostic is error-severity (what CI gates on).
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: ", self.severity, self.code)?;
+        let loc = self.location.to_string();
+        if !loc.is_empty() {
+            write!(f, "{loc}: ")?;
+        }
+        write!(f, "{}", self.message)?;
+        if let Some(w) = &self.witness {
+            write!(f, "\n  witness: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders diagnostics as the human-readable stream the CLI prints: one
+/// finding per line (witnesses indented), then a severity summary line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let (e, w, n) = count_severities(diags);
+    out.push_str(&format!(
+        "{} diagnostic(s): {e} error(s), {w} warning(s), {n} note(s)\n",
+        diags.len()
+    ));
+    out
+}
+
+/// Renders diagnostics as a JSON array (the `--format json` surface).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    serde_json::to_string_pretty(&diags.to_vec()).expect("diagnostic serialization cannot fail")
+}
+
+/// Counts `(errors, warnings, notes)`.
+pub fn count_severities(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => counts.0 += 1,
+            Severity::Warning => counts.1 += 1,
+            Severity::Note => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(DiagCode::ShadowedRule.as_str(), "PA001");
+        assert_eq!(DiagCode::CrossPolicyConflict.as_str(), "PA002");
+        assert_eq!(DiagCode::VacuousRule.as_str(), "PA003");
+        assert_eq!(DiagCode::ExpansionBlowup.as_str(), "PA004");
+        assert_eq!(DiagCode::WideningCandidate.as_str(), "PA005");
+        assert_eq!(DiagCode::UnknownAttribute.as_str(), "PA010");
+        assert_eq!(DiagCode::UnknownValue.as_str(), "PA011");
+        assert_eq!(DiagCode::BroadTerm.as_str(), "PA012");
+    }
+
+    #[test]
+    fn all_codes_unique_and_described() {
+        let codes = DiagCode::all();
+        for (i, a) in codes.iter().enumerate() {
+            assert!(!a.describe().is_empty());
+            for b in &codes[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Note);
+    }
+
+    #[test]
+    fn display_formats_like_a_compiler() {
+        let d = Diagnostic::new(
+            DiagCode::VacuousRule,
+            DiagLocation::rule(2).in_policy("PS"),
+            "attribute set {data, ward} can never match the audit schema",
+        )
+        .with_witness("audit entries carry exactly (authorized, data, purpose)");
+        let text = d.to_string();
+        assert!(text.starts_with("error[PA003]: P_PS rule 3: "), "{text}");
+        assert!(text.contains("\n  witness: audit entries"));
+    }
+
+    #[test]
+    fn term_location_renders_attr_value() {
+        let d = Diagnostic::new(
+            DiagCode::UnknownValue,
+            DiagLocation::term(0, "data", "referal"),
+            "did you mean 'referral'?",
+        );
+        assert_eq!(
+            d.to_string(),
+            "warning[PA011]: rule 1: (data, referal): did you mean 'referral'?"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = Diagnostic::new(DiagCode::ShadowedRule, DiagLocation::rule(0), "shadowed");
+        let json = render_json(std::slice::from_ref(&d));
+        let back: Vec<Diagnostic> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, vec![d]);
+        assert!(json.contains("\"PA001\"") || json.contains("ShadowedRule"));
+    }
+
+    #[test]
+    fn human_rendering_summarizes() {
+        let diags = vec![
+            Diagnostic::new(DiagCode::VacuousRule, DiagLocation::rule(0), "x"),
+            Diagnostic::new(DiagCode::BroadTerm, DiagLocation::rule(1), "y"),
+        ];
+        let text = render_human(&diags);
+        assert!(text.ends_with("2 diagnostic(s): 1 error(s), 0 warning(s), 1 note(s)\n"));
+        assert_eq!(count_severities(&diags), (1, 0, 1));
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod completeness;
 pub mod coverage;
+pub mod diag;
 pub mod dsl;
 pub mod error;
 pub mod ground;
@@ -45,9 +46,10 @@ pub use completeness::CompletenessBound;
 pub use coverage::{
     compute_coverage, CoverageEngine, CoverageReport, EntryCoverageReport, PolicyMatcher, Strategy,
 };
+pub use diag::{DiagCode, DiagLocation, Diagnostic, Severity};
 pub use error::ModelError;
 pub use ground::GroundRule;
-pub use lint::{lint_policy, LintFinding, LintLevel};
+pub use lint::lint_policy;
 pub use policy::{Policy, StoreTag};
 pub use range::RangeSet;
 pub use rule::Rule;

@@ -7,73 +7,35 @@
 //! (`allow nurse to use referal …` matches nothing, silently). The linter
 //! surfaces those cases before a policy goes live, with a
 //! nearest-concept suggestion.
+//!
+//! Findings are emitted as [`Diagnostic`]s (codes `PA010`–`PA012`) so the
+//! CLI prints one uniform stream across the linter and the static
+//! analyzer (`prima-analyze`).
 
+use crate::diag::{DiagCode, DiagLocation, Diagnostic};
 use crate::policy::Policy;
 use prima_vocab::Vocabulary;
-use std::fmt;
-
-/// Severity of a lint finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LintLevel {
-    /// Probably a mistake (typo'd value, unknown attribute).
-    Warning,
-    /// Worth knowing (very broad composite value).
-    Note,
-}
-
-/// One lint finding.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LintFinding {
-    /// Severity.
-    pub level: LintLevel,
-    /// 0-based index of the rule in the policy.
-    pub rule_index: usize,
-    /// The offending attribute.
-    pub attr: String,
-    /// The offending value.
-    pub value: String,
-    /// Human-readable message (includes a suggestion when one exists).
-    pub message: String,
-}
-
-impl fmt::Display for LintFinding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let tag = match self.level {
-            LintLevel::Warning => "warning",
-            LintLevel::Note => "note",
-        };
-        write!(
-            f,
-            "{tag}: rule {}: ({}, {}): {}",
-            self.rule_index + 1,
-            self.attr,
-            self.value,
-            self.message
-        )
-    }
-}
 
 /// Threshold above which a composite value is flagged as very broad.
 const BROAD_GROUND_VALUES: usize = 8;
 
 /// Lints a policy against a vocabulary.
-pub fn lint_policy(policy: &Policy, vocab: &Vocabulary) -> Vec<LintFinding> {
+pub fn lint_policy(policy: &Policy, vocab: &Vocabulary) -> Vec<Diagnostic> {
     let mut findings = Vec::new();
     for (rule_index, rule) in policy.rules().iter().enumerate() {
         for term in rule.terms() {
+            let location = DiagLocation::term(rule_index, &term.attr, &term.value);
             let attr_known = vocab.attribute(&term.attr).is_some();
             if !attr_known {
-                findings.push(LintFinding {
-                    level: LintLevel::Warning,
-                    rule_index,
-                    attr: term.attr.clone(),
-                    value: term.value.clone(),
-                    message: format!(
+                findings.push(Diagnostic::new(
+                    DiagCode::UnknownAttribute,
+                    location,
+                    format!(
                         "attribute '{}' is not in the vocabulary; the term only matches \
                          audit entries with this exact attribute",
                         term.attr
                     ),
-                });
+                ));
                 continue;
             }
             if vocab.resolve(&term.attr, &term.value).is_none() {
@@ -89,26 +51,18 @@ pub fn lint_policy(policy: &Policy, vocab: &Vocabulary) -> Vec<LintFinding> {
                         term.attr
                     ),
                 };
-                findings.push(LintFinding {
-                    level: LintLevel::Warning,
-                    rule_index,
-                    attr: term.attr.clone(),
-                    value: term.value.clone(),
-                    message,
-                });
+                findings.push(Diagnostic::new(DiagCode::UnknownValue, location, message));
             } else {
                 let breadth = vocab.ground_value_count(&term.attr, &term.value);
                 if breadth >= BROAD_GROUND_VALUES {
-                    findings.push(LintFinding {
-                        level: LintLevel::Note,
-                        rule_index,
-                        attr: term.attr.clone(),
-                        value: term.value.clone(),
-                        message: format!(
+                    findings.push(Diagnostic::new(
+                        DiagCode::BroadTerm,
+                        location,
+                        format!(
                             "very broad: covers {breadth} ground values — the paper's \
                              'umbrella authorization' smell; consider a narrower concept"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -152,6 +106,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diag::Severity;
     use crate::policy::StoreTag;
     use crate::rule::Rule;
     use prima_vocab::samples::{figure_1, hospital};
@@ -189,9 +144,10 @@ mod tests {
         ])]);
         let findings = lint_policy(&p, &v);
         assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].level, LintLevel::Warning);
+        assert_eq!(findings[0].code, DiagCode::UnknownValue);
+        assert_eq!(findings[0].severity, Severity::Warning);
         assert!(findings[0].message.contains("did you mean 'referral'"));
-        assert_eq!(findings[0].rule_index, 0);
+        assert_eq!(findings[0].location.rule_index, Some(0));
     }
 
     #[test]
@@ -213,6 +169,7 @@ mod tests {
         let p = policy(vec![Rule::of(&[("ward", "icu"), ("data", "referral")])]);
         let findings = lint_policy(&p, &v);
         assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, DiagCode::UnknownAttribute);
         assert!(findings[0].message.contains("attribute 'ward'"));
     }
 
@@ -228,10 +185,13 @@ mod tests {
         let findings = lint_policy(&p, &v);
         let notes: Vec<_> = findings
             .iter()
-            .filter(|f| f.level == LintLevel::Note)
+            .filter(|f| f.code == DiagCode::BroadTerm)
             .collect();
         assert!(!notes.is_empty(), "findings: {findings:?}");
-        assert!(notes.iter().any(|f| f.value == "medical"));
+        assert!(notes
+            .iter()
+            .any(|f| f.location.value.as_deref() == Some("medical")));
+        assert!(notes.iter().all(|f| f.severity == Severity::Note));
     }
 
     #[test]
@@ -239,6 +199,9 @@ mod tests {
         let v = figure_1();
         let p = policy(vec![Rule::of(&[("data", "referal")])]);
         let text = lint_policy(&p, &v)[0].to_string();
-        assert!(text.starts_with("warning: rule 1: (data, referal)"));
+        assert!(
+            text.starts_with("warning[PA011]: rule 1: (data, referal)"),
+            "{text}"
+        );
     }
 }

@@ -113,6 +113,26 @@ impl Rule {
             .all(|(rt, gt)| rt.subsumes(gt, vocab))
     }
 
+    /// Whether the ground ranges of two rules intersect — i.e. some ground
+    /// rule is in both expansions.
+    ///
+    /// With canonical one-term-per-attribute rules this reduces to: equal
+    /// attribute sets, and per-attribute *related* values (one value's
+    /// subtree contains the other's, in either direction). A shared ground
+    /// rule must ground every attribute of both rules, which forces the
+    /// attribute sets to agree; per attribute, two concepts share a ground
+    /// descendant iff one subsumes the other in the taxonomy forest.
+    pub fn ranges_intersect(&self, other: &Rule, vocab: &Vocabulary) -> bool {
+        if self.cardinality() != other.cardinality() {
+            return false;
+        }
+        // Both are attribute-sorted, so pairwise zip aligns attributes.
+        self.terms
+            .iter()
+            .zip(other.terms())
+            .all(|(a, b)| a.attr == b.attr && vocab.values_equivalent(&a.attr, &a.value, &b.value))
+    }
+
     /// Definition 6: rule equivalence. `R_1 ≈ R_2` iff the ground versions
     /// have equal cardinality and every term of `R_1` is equivalent
     /// (Definition 4) to some term of `R_2`.
@@ -327,6 +347,24 @@ mod tests {
         // Cardinality mismatch.
         let single = Rule::of(&[("data", "address")]);
         assert!(!broad.equivalent(&single, &v));
+    }
+
+    #[test]
+    fn ranges_intersect_is_pairwise_relatedness() {
+        let v = figure_1();
+        let broad = Rule::of(&[("data", "medical"), ("authorized", "medical-staff")]);
+        let narrow = Rule::of(&[("data", "referral"), ("authorized", "nurse")]);
+        assert!(broad.ranges_intersect(&narrow, &v));
+        assert!(narrow.ranges_intersect(&broad, &v), "symmetric");
+        // Disjoint subtrees on one attribute → no shared ground rule.
+        let disjoint = Rule::of(&[("data", "demographic"), ("authorized", "nurse")]);
+        assert!(!broad.ranges_intersect(&disjoint, &v));
+        // Attribute-set mismatch → no shared ground rule.
+        let other_attrs = Rule::of(&[("data", "referral"), ("purpose", "treatment")]);
+        assert!(!broad.ranges_intersect(&other_attrs, &v));
+        // Agrees with brute-force expansion comparison.
+        let a: std::collections::HashSet<_> = broad.ground_expansion(&v).collect();
+        assert!(narrow.ground_expansion(&v).any(|g| a.contains(&g)));
     }
 
     #[test]

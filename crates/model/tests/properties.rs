@@ -30,7 +30,7 @@ fn arb_rule(v: &Vocabulary) -> impl Strategy<Value = Rule> {
         .map(|(_, names)| 0..names.len())
         .collect::<Vec<_>>();
     (
-        proptest::collection::vec(any::<prop::sample::Index>(), per_attr.len()),
+        collection::vec(any::<sample::Index>(), per_attr.len()),
         Just(per_attr),
     )
         .prop_map(move |(indices, per_attr)| {
@@ -45,7 +45,7 @@ fn arb_rule(v: &Vocabulary) -> impl Strategy<Value = Rule> {
 }
 
 fn arb_policy(v: &Vocabulary, tag: StoreTag, max_rules: usize) -> impl Strategy<Value = Policy> {
-    proptest::collection::vec(arb_rule(v), 1..=max_rules)
+    collection::vec(arb_rule(v), 1..=max_rules)
         .prop_map(move |rules| Policy::with_rules(tag.clone(), rules))
 }
 
@@ -176,8 +176,8 @@ proptest! {
 
     #[test]
     fn strategies_agree_on_synthetic_vocabulary(
-        seed_px in proptest::collection::vec((0usize..30, 0usize..30, 0usize..30), 1..4),
-        seed_py in proptest::collection::vec((0usize..30, 0usize..30, 0usize..30), 1..6),
+        seed_px in collection::vec((0usize..30, 0usize..30, 0usize..30), 1..4),
+        seed_py in collection::vec((0usize..30, 0usize..30, 0usize..30), 1..6),
     ) {
         let spec = SyntheticSpec { attributes: 3, fan_out: 3, depth: 2, roots: 2 };
         let v = synthetic_vocabulary(spec);

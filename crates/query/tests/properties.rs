@@ -12,7 +12,7 @@ fn arb_table() -> impl Strategy<Value = Table> {
         0..3usize, // purpose
         0..2i64,   // status
     );
-    proptest::collection::vec(row, 0..60).prop_map(|rows| {
+    collection::vec(row, 0..60).prop_map(|rows| {
         let schema = Schema::new(vec![
             Column::required("user", DataType::Str),
             Column::required("data", DataType::Str),

@@ -3,9 +3,10 @@
 use crate::extract::extract_patterns;
 use crate::filter::{filter_with, FilterOutcome};
 use crate::prune::{prune, PruneOutcome};
+use prima_analyze::SafetyGate;
 use prima_audit::{AccessClassifier, AuditEntry, NoViolations};
 use prima_mining::{Miner, MiningError, Pattern, SqlMiner};
-use prima_model::Policy;
+use prima_model::{Diagnostic, Policy, Rule};
 use prima_vocab::Vocabulary;
 
 /// Configuration of one refinement run.
@@ -17,6 +18,30 @@ pub struct RefinementConfig<'a> {
     /// Violation/practice separation (defaults to the Section 5 assumption
     /// that no exceptions are violations).
     pub classifier: &'a dyn AccessClassifierObj,
+    /// The refinement-safety gate. When set, every pattern surviving
+    /// Prune is additionally checked against the gate's umbrella
+    /// envelope; widening patterns are diverted out of `useful_patterns`
+    /// into [`RefinementReport::gate_rejected`] with a `PA005`
+    /// diagnostic instead of being proposed.
+    pub gate: Option<&'a SafetyGate>,
+}
+
+impl<'a> RefinementConfig<'a> {
+    /// A config with the given miner and classifier and no safety gate —
+    /// the paper-faithful Algorithm 2.
+    pub fn new(miner: &'a dyn Miner, classifier: &'a dyn AccessClassifierObj) -> Self {
+        Self {
+            miner,
+            classifier,
+            gate: None,
+        }
+    }
+
+    /// Attaches the refinement-safety gate.
+    pub fn with_gate(mut self, gate: &'a SafetyGate) -> Self {
+        self.gate = Some(gate);
+        self
+    }
 }
 
 /// Object-safe wrapper over [`AccessClassifier`] so configs can hold
@@ -58,6 +83,10 @@ pub struct RefinementReport {
     pub already_covered: Vec<Pattern>,
     /// Algorithm 2's return value: the `usefulPatterns`.
     pub useful_patterns: Vec<Pattern>,
+    /// Patterns the refinement-safety gate rejected as privilege-widening
+    /// (empty when no gate is configured), with the `PA005` diagnostic
+    /// explaining each rejection.
+    pub gate_rejected: Vec<(Pattern, Diagnostic)>,
     /// The miner description, for the audit trail of the refinement itself.
     pub miner_description: String,
     /// Wall-clock duration of the Filter stage (line 1).
@@ -80,10 +109,7 @@ pub fn refinement(
         policy_store,
         audit_entries,
         vocab,
-        &RefinementConfig {
-            miner: &miner,
-            classifier: &classifier,
-        },
+        &RefinementConfig::new(&miner, &classifier),
     )
 }
 
@@ -100,10 +126,7 @@ pub fn refinement_with_miner(
         policy_store,
         audit_entries,
         vocab,
-        &RefinementConfig {
-            miner,
-            classifier: &classifier,
-        },
+        &RefinementConfig::new(miner, &classifier),
     )
 }
 
@@ -140,6 +163,23 @@ pub fn refinement_with(
     } = prune(raw_patterns.clone(), policy_store, vocab);
     let prune_duration = prune_start.elapsed();
 
+    // Safety gate: divert privilege-widening patterns before proposal.
+    let (useful, gate_rejected) = match config.gate {
+        Some(gate) => {
+            let mut admitted = Vec::new();
+            let mut rejected = Vec::new();
+            for (i, p) in useful.into_iter().enumerate() {
+                let rule = Rule::from_ground(&p.rule);
+                match gate.check(i, &rule, vocab) {
+                    Ok(()) => admitted.push(p),
+                    Err(diag) => rejected.push((p, diag)),
+                }
+            }
+            (admitted, rejected)
+        }
+        None => (useful, Vec::new()),
+    };
+
     Ok(RefinementReport {
         input_entries: audit_entries.len(),
         practice_entries: practice.len(),
@@ -148,6 +188,7 @@ pub fn refinement_with(
         raw_patterns,
         already_covered,
         useful_patterns: useful,
+        gate_rejected,
         miner_description: config.miner.describe(),
         filter_duration,
         mine_duration,
@@ -210,10 +251,7 @@ mod tests {
             &figure_3_policy_store(),
             &table_1(),
             &v,
-            &RefinementConfig {
-                miner: &miner,
-                classifier: &classifier,
-            },
+            &RefinementConfig::new(&miner, &classifier),
         )
         .unwrap();
         assert_eq!(report.suspected_violations.len(), 5);
@@ -226,7 +264,7 @@ mod tests {
         // Add the mined rule to the policy first; rerunning refinement must
         // prune it.
         let mut ps = figure_3_policy_store();
-        ps.push(prima_model::Rule::of(&[
+        ps.push(Rule::of(&[
             ("data", "referral"),
             ("purpose", "registration"),
             ("authorized", "nurse"),
@@ -234,6 +272,49 @@ mod tests {
         let report = refinement(&ps, &table_1(), &v).unwrap();
         assert!(report.useful_patterns.is_empty());
         assert_eq!(report.already_covered.len(), 1);
+    }
+
+    #[test]
+    fn gate_diverts_widening_patterns_with_pa005() {
+        let v = figure_1();
+        // Envelope: mined practice may only specialize medical-staff access
+        // to medical data for administering healthcare. The Table 1 mined
+        // pattern referral:registration:nurse fits inside it.
+        let inside = SafetyGate::new(Policy::with_rules(
+            prima_model::StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "medical"),
+                ("purpose", "administering-healthcare"),
+                ("authorized", "medical-staff"),
+            ])],
+        ));
+        let miner = SqlMiner::default();
+        let classifier = NoViolations;
+        let config = RefinementConfig::new(&miner, &classifier).with_gate(&inside);
+        let report = refinement_with(&figure_3_policy_store(), &table_1(), &v, &config).unwrap();
+        assert_eq!(report.useful_patterns.len(), 1);
+        assert!(report.gate_rejected.is_empty());
+
+        // Shrink the envelope so the same pattern becomes a widening.
+        let outside = SafetyGate::new(Policy::with_rules(
+            prima_model::StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "demographic"),
+                ("purpose", "billing"),
+                ("authorized", "administrative-staff"),
+            ])],
+        ));
+        let config = RefinementConfig::new(&miner, &classifier).with_gate(&outside);
+        let report = refinement_with(&figure_3_policy_store(), &table_1(), &v, &config).unwrap();
+        assert!(report.useful_patterns.is_empty());
+        assert_eq!(report.gate_rejected.len(), 1);
+        let (pattern, diag) = &report.gate_rejected[0];
+        assert_eq!(
+            pattern.compact(&["data", "purpose", "authorized"]),
+            "referral:registration:nurse"
+        );
+        assert_eq!(diag.code.as_str(), "PA005");
+        assert!(diag.is_error());
     }
 
     #[test]

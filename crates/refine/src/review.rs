@@ -149,6 +149,43 @@ impl ReviewQueue {
         added
     }
 
+    /// [`ReviewQueue::apply_accepted`] with the refinement-safety gate
+    /// enforced: an accepted candidate the gate rejects is **not** folded
+    /// into the policy — its state is flipped to
+    /// [`CandidateState::Rejected`] with the `PA005` diagnostic as the
+    /// reviewer note, so the unsafe promotion is blocked *and* the
+    /// pattern is never re-proposed. Returns how many rules were added
+    /// and the diagnostics of every blocked candidate.
+    pub fn apply_accepted_gated(
+        &mut self,
+        policy: &mut Policy,
+        gate: &prima_analyze::SafetyGate,
+        vocab: &prima_vocab::Vocabulary,
+    ) -> (usize, Vec<prima_model::Diagnostic>) {
+        let mut added = 0;
+        let mut diags = Vec::new();
+        for (i, c) in self.candidates.iter_mut().enumerate() {
+            if c.state != CandidateState::Accepted {
+                continue;
+            }
+            match gate.check(i, &c.proposed_rule, vocab) {
+                Ok(()) => {
+                    if policy.push_unique(c.proposed_rule.clone()) {
+                        added += 1;
+                    }
+                }
+                Err(diag) => {
+                    c.state = CandidateState::Rejected;
+                    c.note = Some(diag.to_string());
+                    self.decided_cache
+                        .insert(c.proposed_rule.clone(), CandidateState::Rejected);
+                    diags.push(diag);
+                }
+            }
+        }
+        (added, diags)
+    }
+
     /// Rebuilds the decided-rule cache (after deserialization).
     pub fn rebuild_cache(&mut self) {
         self.decided_cache = self
@@ -243,6 +280,48 @@ mod tests {
         assert_eq!(q.accept_all_pending(), 2);
         let mut policy = Policy::new(StoreTag::PolicyStore);
         assert_eq!(q.apply_accepted(&mut policy), 2);
+    }
+
+    #[test]
+    fn gated_apply_blocks_widening_and_remembers_the_verdict() {
+        use prima_analyze::SafetyGate;
+        use prima_vocab::samples::figure_1;
+        let v = figure_1();
+        let gate = SafetyGate::new(Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "medical"),
+                ("purpose", "administering-healthcare"),
+                ("authorized", "medical-staff"),
+            ])],
+        ));
+        let mut q = ReviewQueue::new();
+        q.propose(
+            vec![
+                pattern("referral", "registration", "nurse"), // inside the envelope
+                pattern("insurance", "marketing", "clerk"),   // widening
+            ],
+            1,
+        );
+        q.accept_all_pending();
+        let mut policy = Policy::new(StoreTag::PolicyStore);
+        let (added, diags) = q.apply_accepted_gated(&mut policy, &gate, &v);
+        assert_eq!(added, 1);
+        assert_eq!(policy.cardinality(), 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code.as_str(), "PA005");
+        // The blocked candidate is now Rejected, with the diagnostic as note…
+        let blocked = q
+            .candidates()
+            .iter()
+            .find(|c| c.state == CandidateState::Rejected)
+            .unwrap();
+        assert!(blocked.note.as_deref().unwrap().contains("PA005"));
+        // …and will not be re-proposed.
+        assert_eq!(
+            q.propose(vec![pattern("insurance", "marketing", "clerk")], 2),
+            0
+        );
     }
 
     #[test]

@@ -130,9 +130,9 @@ impl Table {
     /// Approximate heap footprint in bytes (schema excluded). Used by the
     /// audit-storage experiment (E6) to report bytes/entry.
     pub fn approx_bytes(&self) -> usize {
-        let mut total = self.rows.capacity() * std::mem::size_of::<Row>();
+        let mut total = self.rows.capacity() * size_of::<Row>();
         for row in &self.rows {
-            total += std::mem::size_of_val(row.values());
+            total += size_of_val(row.values());
             for v in row.values() {
                 if let Value::Str(s) = v {
                     total += s.capacity();

@@ -19,17 +19,30 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub enum ShardMsg {
     /// One classified-to-be entry: event time plus its ground rule.
-    Entry { time: i64, ground: GroundRule },
+    Entry {
+        /// Event time (epoch seconds) of the access.
+        time: i64,
+        /// The access as a ground rule.
+        ground: GroundRule,
+    },
     /// Epoch barrier: reply with a state snapshot on `reply`.
-    Snapshot { reply: Sender<ShardState> },
+    Snapshot {
+        /// Channel the snapshot is sent back on.
+        reply: Sender<ShardState>,
+    },
     /// Durability barrier: reply with a full state export on `reply`.
     /// Because it rides the same FIFO channel, the checkpoint covers
     /// exactly the entries sent before it.
-    Checkpoint { reply: Sender<ShardCheckpoint> },
+    Checkpoint {
+        /// Channel the checkpoint is sent back on.
+        reply: Sender<ShardCheckpoint>,
+    },
     /// Install a new policy matcher for `epoch`; clears the decision
     /// cache and re-labels the counters.
     UpdatePolicy {
+        /// The policy epoch the new matcher belongs to.
         epoch: u64,
+        /// Matcher compiled from the new policy.
         matcher: Arc<PolicyMatcher>,
     },
     /// Finish outstanding work and exit the worker loop.
@@ -224,7 +237,7 @@ mod tests {
                 FaultPlan::none(),
                 None,
                 ShardObs::disabled(),
-            )
+            );
         });
         tx.send(ShardMsg::Entry {
             time: 10,
@@ -266,7 +279,7 @@ mod tests {
                 FaultPlan::none(),
                 None,
                 ShardObs::disabled(),
-            )
+            );
         });
         tx.send(ShardMsg::Entry {
             time: 1,
@@ -299,7 +312,7 @@ mod tests {
                 FaultPlan::dropped(2),
                 None,
                 ShardObs::disabled(),
-            )
+            );
         });
         handle.join().unwrap();
         // Receiver is gone: sends fail with a disconnect.
@@ -318,7 +331,7 @@ mod tests {
                 FaultPlan::none().with_crash_after(0, 2),
                 None,
                 ShardObs::disabled(),
-            )
+            );
         });
         for t in 0..5 {
             tx.send(ShardMsg::Entry {
@@ -347,7 +360,7 @@ mod tests {
                 FaultPlan::none(),
                 None,
                 ShardObs::disabled(),
-            )
+            );
         });
         for (t, d) in [(10, "referral"), (11, "referral"), (12, "psychiatry")] {
             tx.send(ShardMsg::Entry {
@@ -373,7 +386,7 @@ mod tests {
                 FaultPlan::none(),
                 Some(ckpt),
                 ShardObs::disabled(),
-            )
+            );
         });
         let (reply_tx, reply_rx) = bounded(1);
         tx2.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();

@@ -96,8 +96,8 @@ proptest! {
     /// blocking, so the equality is also exercised under contention.
     #[test]
     fn snapshot_equals_batch_coverage(
-        rule_picks in prop::collection::vec(0..POLICY_POOL.len(), 0..6),
-        entry_picks in prop::collection::vec(
+        rule_picks in collection::vec(0..POLICY_POOL.len(), 0..6),
+        entry_picks in collection::vec(
             (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
             0..120,
         ),
@@ -137,9 +137,9 @@ proptest! {
     /// policy over the *whole* trail.
     #[test]
     fn mid_stream_refresh_equals_batch_under_new_policy(
-        old_picks in prop::collection::vec(0..POLICY_POOL.len(), 0..4),
-        new_picks in prop::collection::vec(0..POLICY_POOL.len(), 1..6),
-        entry_picks in prop::collection::vec(
+        old_picks in collection::vec(0..POLICY_POOL.len(), 0..4),
+        new_picks in collection::vec(0..POLICY_POOL.len(), 1..6),
+        entry_picks in collection::vec(
             (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
             1..80,
         ),
@@ -208,8 +208,8 @@ proptest! {
     /// lost, every entry-weighted total intact.
     #[test]
     fn recovered_run_equals_fault_free_batch(
-        rule_picks in prop::collection::vec(0..POLICY_POOL.len(), 0..6),
-        entry_picks in prop::collection::vec(
+        rule_picks in collection::vec(0..POLICY_POOL.len(), 0..6),
+        entry_picks in collection::vec(
             (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
             1..120,
         ),

@@ -1,0 +1,4 @@
+# Seeded defect: the umbrella grant expands to 5 x 3 x 2 = 30 ground
+# rules — over any review budget tighter than that, the analyzer must
+# flag it with PA004 so a reviewer sees the true breadth of the grant.
+allow medical-staff to use medical for administering-healthcare;

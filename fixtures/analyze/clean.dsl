@@ -1,0 +1,5 @@
+# Figure 3's policy store — the analyzer's clean baseline: no shadowing,
+# no vacuous rules, expansions well under budget, every name in Figure 1.
+allow nurse to use general-care for treatment;
+allow physician to use mental-health for treatment;
+allow clerk to use demographic for billing;

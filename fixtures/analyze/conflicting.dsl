@@ -1,0 +1,5 @@
+# Seeded defect against fixtures/analyze/denied.jsonl: the mental-health
+# grant's range contains the denied psychiatry and counseling accesses,
+# so the analyzer's cross-policy pass must flag it with PA002.
+allow nurse to use mental-health for treatment;
+allow clerk to use demographic for billing;

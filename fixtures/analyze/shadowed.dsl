@@ -1,0 +1,6 @@
+# Seeded defect: rule 2 is strictly inside rule 1's range (referral is a
+# general-care document, nurse is medical staff) and rule 3 duplicates
+# rule 2 exactly. The analyzer must flag rules 2 and 3 with PA001.
+allow medical-staff to use medical for treatment;
+allow nurse to use referral for treatment;
+allow nurse to use referral for treatment;

@@ -1,0 +1,3 @@
+# Seeded defect: 'referal' is not in Figure 1 — the linter must flag it
+# with PA011 and suggest the nearest concept, 'referral'.
+allow nurse to use referal for registration;

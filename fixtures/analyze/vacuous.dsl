@@ -1,0 +1,5 @@
+# Seeded defect: the second statement's attribute set {data, ward} can
+# never match an audit entry's {authorized, data, purpose} schema, so the
+# rule grants nothing — PA003 (and PA010 for the unknown 'ward' attribute).
+allow nurse to use general-care for treatment;
+rule data=lab-result, ward=icu;

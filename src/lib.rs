@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use prima_analyze as analyze;
 pub use prima_audit as audit;
 pub use prima_core as system;
 pub use prima_hdb as hdb;

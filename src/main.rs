@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         Some("coverage") => cmd_coverage(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("refine") => cmd_refine(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -63,7 +64,11 @@ fn print_usage() {
          coverage --policy FILE --audit FILE   measure policy coverage\n    \
            [--vocab FILE] [--set]     (--set: Definition 9 range semantics)\n  \
          refine --policy FILE --audit FILE     run one refinement round\n    \
-           [--vocab FILE] [--f N] [--users N] [--generalize] [--apply OUT.dsl]"
+           [--vocab FILE] [--f N] [--users N] [--generalize] [--apply OUT.dsl]\n  \
+         analyze --policy FILE        static policy analysis (PA0xx diagnostics)\n    \
+           [--vocab FILE] [--audit FILE] [--format human|json] [--budget N]\n      \
+             (--audit enables the cross-policy conflict pass against denied\n      \
+              accesses; exits non-zero when error-severity diagnostics exist)"
     );
 }
 
@@ -299,6 +304,35 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["policy", "vocab", "audit", "format", "budget"])?;
+    let vocab = load_vocab(&flags)?;
+    let policy = load_policy(&flags)?;
+    let mut config = prima::analyze::AnalyzeConfig::default();
+    if let Some(b) = flags.get("budget") {
+        config.expansion_budget = b.parse().map_err(|_| format!("bad --budget '{b}'"))?;
+    }
+    let analyzer = prima::analyze::Analyzer::new(&vocab).with_config(config);
+    let diags = match flags.get("audit") {
+        Some(_) => {
+            let entries = load_audit(&flags)?;
+            analyzer.analyze_with_audit(&policy, &entries)
+        }
+        None => analyzer.analyze(&policy),
+    };
+    match flags.get("format").map(String::as_str) {
+        Some("json") => println!("{}", prima::model::diag::render_json(&diags)),
+        Some("human") | None => print!("{}", prima::model::diag::render_human(&diags)),
+        Some(other) => return Err(format!("unknown format '{other}' (human|json)")),
+    }
+    let (errors, _, _) = prima::model::diag::count_severities(&diags);
+    if errors > 0 {
+        Err(format!("{errors} error-severity diagnostic(s)"))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_refine(args: &[String]) -> Result<(), String> {

@@ -190,6 +190,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target registered in this group.
         pub fn $group() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+
