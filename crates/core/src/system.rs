@@ -236,6 +236,41 @@ impl PrimaSystem {
         prima_stream::StreamEngine::start(config, matcher).with_sink(store)
     }
 
+    /// Attaches the serving layer: starts a [`prima_serve::PolicyService`]
+    /// answering decision requests against the current policy, sharing
+    /// this system's metrics registry and tracer so one scrape covers
+    /// refinement rounds and serving alike. The caller owns the returned
+    /// service and its transports; after a refinement round changes the
+    /// policy, [`Self::refresh_serve`] (or [`Self::run_served_round`])
+    /// republishes it and invalidates the service's decision cache.
+    pub fn attach_serve(&self, config: prima_serve::ServeConfig) -> prima_serve::PolicyService {
+        let config = config
+            .metrics(self.obs.registry().clone())
+            .tracer(self.obs.tracer().clone());
+        prima_serve::PolicyService::start(config, &self.policy, &self.vocab)
+    }
+
+    /// Republishes the current policy store into a serving instance.
+    /// Returns `true` when the install took effect (the policy actually
+    /// changed since the service last saw it) — every cached decision
+    /// from older revisions is invalidated at that instant.
+    pub fn refresh_serve(&self, service: &prima_serve::PolicyService) -> bool {
+        service.install_policy(&self.policy)
+    }
+
+    /// Runs one refinement round, then immediately republishes the
+    /// (possibly refined) policy to the serving layer so in-flight
+    /// traffic never sees a verdict from the superseded revision.
+    pub fn run_served_round(
+        &mut self,
+        service: &prima_serve::PolicyService,
+        mode: ReviewMode,
+    ) -> Result<RoundRecord, MiningError> {
+        let record = self.run_round(mode)?;
+        self.refresh_serve(service);
+        Ok(record)
+    }
+
     /// Runs one refinement round over the stream's trailing training
     /// window, then pushes the (possibly refined) policy back into the
     /// engine so its decision caches re-key against the new epoch.
@@ -920,6 +955,63 @@ mod tests {
         assert!(!sys.obs().is_enabled());
         assert!(sys.pipeline_report().stages.is_empty());
         assert!(sys.obs().tracer().drain().is_empty());
+    }
+
+    #[test]
+    fn served_round_republishes_the_refined_policy() {
+        use prima_serve::{DecisionRequest, ServeConfig, Transport};
+        let mut sys = system_with_table_1();
+        let service = sys.attach_serve(ServeConfig::new().workers(2));
+        let handle = service.handle();
+
+        // Before refinement, the Section 5 informal workflow is denied.
+        let req = DecisionRequest::new("u3", "nurse", "referral", "registration", "granted");
+        let before = handle.decide(req.clone()).unwrap();
+        assert!(!before.verdict.is_allow());
+        assert_eq!(before.policy_revision, sys.policy().revision());
+
+        // The auto-accept round promotes referral:registration:nurse and
+        // pushes it straight to the serving layer: the very next decision
+        // (which would otherwise hit the cached denial) allows.
+        let record = sys
+            .run_served_round(&service, ReviewMode::AutoAccept)
+            .unwrap();
+        assert_eq!(record.rules_added, 1);
+        let after = handle.decide(req).unwrap();
+        assert!(after.verdict.is_allow(), "refined rule visible immediately");
+        assert_eq!(after.policy_revision, sys.policy().revision());
+        assert!(after.policy_revision > before.policy_revision);
+
+        let snap = service.shutdown();
+        assert!(snap.cache.invalidations >= 1, "republish invalidated");
+    }
+
+    #[test]
+    fn refresh_serve_is_idempotent_until_the_policy_changes() {
+        use prima_serve::ServeConfig;
+        let mut sys = system_with_table_1();
+        let service = sys.attach_serve(ServeConfig::new().workers(1));
+        assert!(!sys.refresh_serve(&service), "unchanged policy: no-op");
+        sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert!(sys.refresh_serve(&service), "refined policy installs");
+        assert!(!sys.refresh_serve(&service), "and only once");
+        service.shutdown();
+    }
+
+    #[test]
+    fn attached_service_shares_the_system_metrics_registry() {
+        use prima_serve::{DecisionRequest, ServeConfig};
+        let sys = system_with_table_1().with_observability(SystemObs::enabled());
+        let service = sys.attach_serve(ServeConfig::new().workers(1));
+        let req = DecisionRequest::new("u1", "nurse", "prescription", "treatment", "granted");
+        service.engine().decide(&req);
+        service.shutdown();
+        // The decision counter landed in the *system's* registry.
+        let rendered = prima_obs::export::prometheus(sys.obs().registry());
+        assert!(
+            rendered.contains("prima_serve_decisions_total 1"),
+            "serve metrics share the system registry:\n{rendered}"
+        );
     }
 
     #[test]

@@ -39,10 +39,24 @@ impl fmt::Display for StoreTag {
 /// the empty policy as the natural identity (its range is empty and its
 /// coverage of anything is 0), which the refinement loop needs as a starting
 /// point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Policy {
     tag: StoreTag,
     rules: Vec<Rule>,
+    /// Monotonic mutation counter: every change to the rule set (or an
+    /// explicit [`Policy::touch`]) bumps it exactly once. Decision caches
+    /// key their validity on this, so a promoted or revoked rule is
+    /// visible to the very next decision. Not part of policy equality —
+    /// two policies with the same rules are the same policy regardless of
+    /// their edit history.
+    #[serde(default)]
+    revision: u64,
+}
+
+impl PartialEq for Policy {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag && self.rules == other.rules
+    }
 }
 
 impl Policy {
@@ -51,12 +65,17 @@ impl Policy {
         Self {
             tag,
             rules: Vec::new(),
+            revision: 0,
         }
     }
 
     /// Creates a policy from rules.
     pub fn with_rules(tag: StoreTag, rules: Vec<Rule>) -> Self {
-        Self { tag, rules }
+        Self {
+            tag,
+            rules,
+            revision: 0,
+        }
     }
 
     /// The store this policy is tied to.
@@ -80,9 +99,26 @@ impl Policy {
         &self.rules
     }
 
+    /// The policy's revision: a monotonic counter bumped exactly once by
+    /// every mutation ([`Self::push`], a successful [`Self::push_unique`],
+    /// a removing [`Self::dedup`], [`Self::touch`]). Freshly constructed
+    /// policies start at revision 0.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Marks the policy as mutated without changing its rules — used when
+    /// an external decision about the policy changes (e.g. a stale accept
+    /// is overturned at apply time) and downstream decision caches must
+    /// drop verdicts derived under the old understanding.
+    pub fn touch(&mut self) {
+        self.revision += 1;
+    }
+
     /// Appends a rule (the pseudocode's `append`).
     pub fn push(&mut self, rule: Rule) {
         self.rules.push(rule);
+        self.revision += 1;
     }
 
     /// Appends a rule unless an identical rule is already present; returns
@@ -93,6 +129,7 @@ impl Policy {
             false
         } else {
             self.rules.push(rule);
+            self.revision += 1;
             true
         }
     }
@@ -103,6 +140,7 @@ impl Policy {
         Self {
             tag,
             rules: rules.into_iter().map(|g| Rule::from_ground(&g)).collect(),
+            revision: 0,
         }
     }
 
@@ -125,7 +163,11 @@ impl Policy {
         let mut seen = std::collections::HashSet::new();
         let before = self.rules.len();
         self.rules.retain(|r| seen.insert(r.clone()));
-        before - self.rules.len()
+        let removed = before - self.rules.len();
+        if removed > 0 {
+            self.revision += 1;
+        }
+        removed
     }
 
     /// Serializes to pretty JSON.
@@ -227,6 +269,55 @@ mod tests {
         assert_eq!(StoreTag::PolicyStore.to_string(), "PS");
         assert_eq!(StoreTag::AuditLog.to_string(), "AL");
         assert_eq!(StoreTag::Named("site-b".into()).to_string(), "site-b");
+    }
+
+    #[test]
+    fn every_mutation_site_bumps_revision_exactly_once() {
+        let mut p = ps();
+        assert_eq!(p.revision(), 0, "constructors start at revision 0");
+
+        // push: +1.
+        p.push(Rule::of(&[("data", "psychiatry")]));
+        assert_eq!(p.revision(), 1);
+
+        // push_unique that adds: +1.
+        assert!(p.push_unique(Rule::of(&[("data", "lab-results")])));
+        assert_eq!(p.revision(), 2);
+
+        // push_unique that is a duplicate: no bump.
+        assert!(!p.push_unique(Rule::of(&[("data", "lab-results")])));
+        assert_eq!(p.revision(), 2);
+
+        // dedup with nothing to remove: no bump.
+        assert_eq!(p.dedup(), 0);
+        assert_eq!(p.revision(), 2);
+
+        // dedup that removes: exactly one bump however many are removed.
+        let dup = p.rules()[0].clone();
+        p.push(dup.clone());
+        p.push(dup);
+        assert_eq!(p.revision(), 4);
+        assert_eq!(p.dedup(), 2);
+        assert_eq!(p.revision(), 5);
+
+        // touch: +1 with no rule change.
+        let cardinality = p.cardinality();
+        p.touch();
+        assert_eq!(p.revision(), 6);
+        assert_eq!(p.cardinality(), cardinality);
+    }
+
+    #[test]
+    fn revision_is_not_part_of_equality_but_survives_json() {
+        let mut a = ps();
+        let b = ps();
+        a.touch();
+        assert_eq!(a, b, "same rules, different edit history: equal");
+        let back = Policy::from_json(&a.to_json()).unwrap();
+        assert_eq!(back.revision(), a.revision(), "revision round-trips");
+        // Old serialized policies without the field default to 0.
+        let legacy = Policy::from_json(&ps().to_json()).unwrap();
+        assert_eq!(legacy.revision(), 0);
     }
 
     #[test]

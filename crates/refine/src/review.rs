@@ -179,6 +179,11 @@ impl ReviewQueue {
                     c.note = Some(diag.to_string());
                     self.decided_cache
                         .insert(c.proposed_rule.clone(), CandidateState::Rejected);
+                    // An overturned accept is a policy-level decision even
+                    // though no rule text changed: bump the revision so
+                    // decision caches cannot keep serving verdicts made
+                    // while the promotion was still considered accepted.
+                    policy.touch();
                     diags.push(diag);
                 }
             }
@@ -322,6 +327,37 @@ mod tests {
             q.propose(vec![pattern("insurance", "marketing", "clerk")], 2),
             0
         );
+    }
+
+    #[test]
+    fn gated_apply_bumps_revision_once_per_promotion_and_once_per_overturn() {
+        use prima_analyze::SafetyGate;
+        use prima_vocab::samples::figure_1;
+        let v = figure_1();
+        let gate = SafetyGate::new(Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "medical"),
+                ("purpose", "administering-healthcare"),
+                ("authorized", "medical-staff"),
+            ])],
+        ));
+        let mut q = ReviewQueue::new();
+        q.propose(
+            vec![
+                pattern("referral", "registration", "nurse"), // promoted
+                pattern("insurance", "marketing", "clerk"),   // overturned
+            ],
+            1,
+        );
+        q.accept_all_pending();
+        let mut policy = Policy::new(StoreTag::PolicyStore);
+        assert_eq!(policy.revision(), 0);
+        let (added, diags) = q.apply_accepted_gated(&mut policy, &gate, &v);
+        assert_eq!((added, diags.len()), (1, 1));
+        // One bump for the promotion (push_unique), one for the overturn
+        // (touch): caches keyed on the old revision must re-decide.
+        assert_eq!(policy.revision(), 2);
     }
 
     #[test]

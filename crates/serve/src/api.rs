@@ -1,0 +1,338 @@
+//! The wire types: small typed request/reply pairs.
+//!
+//! Every exchange the service supports is one request struct paired with
+//! one reply struct, both plain serializable data — the flight-style
+//! surface a remote transport would carry verbatim. Two exchanges exist:
+//!
+//! * [`DecisionRequest`] → [`DecisionReply`] — "may `role` perform `op`
+//!   on behalf of `purpose`, given this consent assertion?" The hot-path
+//!   unit the decision cache is keyed on.
+//! * [`RewriteRequest`] → [`RewriteReply`] — the HDB Active-Enforcement
+//!   contract: a multi-column query is rewritten so only
+//!   policy-consistent columns survive, each suppressed column carrying
+//!   its structured reason.
+//!
+//! Denials are never errors: a malformed consent token, an unknown role,
+//! or a policy miss all come back as [`Verdict::Deny`] with a stable
+//! [`DenyReason`] code, so the service fails closed without panicking on
+//! hostile input.
+
+use prima_hdb::HdbError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed consent assertion accompanying a request.
+///
+/// The wire carries consent as a free-form token (upstream consent
+/// registries disagree on spelling); the service parses it strictly and
+/// maps anything unrecognized to a [`DenyReason::MalformedConsent`]
+/// denial rather than guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Consent {
+    /// The patient consented to this (category, purpose) use.
+    Granted,
+    /// The patient opted out: policy permission alone must not serve.
+    OptedOut,
+    /// No consent information accompanies the request (served under
+    /// policy alone, like a row with no opt-out on file).
+    Unspecified,
+}
+
+impl Consent {
+    /// Strictly parses a wire token (case- and whitespace-insensitive).
+    /// Unrecognized tokens yield `None` — the caller maps it to a
+    /// structured denial, never a panic.
+    pub fn parse(token: &str) -> Option<Self> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "granted" | "consented" | "yes" => Some(Consent::Granted),
+            "opted-out" | "opted_out" | "withheld" | "no" => Some(Consent::OptedOut),
+            "unspecified" | "none" | "" => Some(Consent::Unspecified),
+            _ => None,
+        }
+    }
+
+    /// Canonical wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Consent::Granted => "granted",
+            Consent::OptedOut => "opted-out",
+            Consent::Unspecified => "unspecified",
+        }
+    }
+}
+
+/// A policy-decision request: may `role` perform `op` for `purpose`?
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecisionRequest {
+    /// The acting principal (audit `user`); not part of the decision —
+    /// decisions are role-based — but carried for audit trails.
+    pub principal: String,
+    /// The principal's authorization category (vocabulary `authorized`).
+    pub role: String,
+    /// The requested operation: the data category being accessed
+    /// (vocabulary `data`).
+    pub op: String,
+    /// The declared purpose of access (vocabulary `purpose`).
+    pub purpose: String,
+    /// Raw consent assertion token; parsed strictly (see [`Consent`]).
+    pub consent: String,
+}
+
+impl DecisionRequest {
+    /// Convenience constructor.
+    pub fn new(principal: &str, role: &str, op: &str, purpose: &str, consent: &str) -> Self {
+        Self {
+            principal: principal.into(),
+            role: role.into(),
+            op: op.into(),
+            purpose: purpose.into(),
+            consent: consent.into(),
+        }
+    }
+}
+
+/// Why a request (or one column of a rewrite) was denied. Codes are
+/// stable: downstream alerting keys on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// No policy-store rule sanctions `(op, purpose, role)`.
+    PolicyDenied,
+    /// Policy sanctions the access but the patient opted out.
+    ConsentWithheld,
+    /// The role is not a concept of the `authorized` taxonomy.
+    UnknownRole,
+    /// The op is not a concept of the `data` taxonomy.
+    UnknownOp,
+    /// The purpose is not a concept of the `purpose` taxonomy.
+    UnknownPurpose,
+    /// The consent token did not parse; the service fails closed.
+    MalformedConsent,
+    /// A required request field was empty.
+    EmptyField,
+    /// A rewrite column is absent from the table schema.
+    UnknownColumn,
+    /// A rewrite column has no column→category mapping; enforcement
+    /// refuses to guess.
+    UnmappedColumn,
+    /// The enforcement backend failed (storage, configuration); the
+    /// request is denied rather than served un-checked.
+    Internal,
+}
+
+impl DenyReason {
+    /// The stable reason code (`SRV-xxx`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            DenyReason::PolicyDenied => "SRV-001",
+            DenyReason::ConsentWithheld => "SRV-002",
+            DenyReason::UnknownRole => "SRV-003",
+            DenyReason::UnknownOp => "SRV-004",
+            DenyReason::UnknownPurpose => "SRV-005",
+            DenyReason::MalformedConsent => "SRV-006",
+            DenyReason::EmptyField => "SRV-007",
+            DenyReason::UnknownColumn => "SRV-008",
+            DenyReason::UnmappedColumn => "SRV-009",
+            DenyReason::Internal => "SRV-010",
+        }
+    }
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            DenyReason::PolicyDenied => "policy denies the access",
+            DenyReason::ConsentWithheld => "patient consent withheld",
+            DenyReason::UnknownRole => "unknown role",
+            DenyReason::UnknownOp => "unknown operation/data category",
+            DenyReason::UnknownPurpose => "unknown purpose",
+            DenyReason::MalformedConsent => "malformed consent token",
+            DenyReason::EmptyField => "empty request field",
+            DenyReason::UnknownColumn => "unknown column",
+            DenyReason::UnmappedColumn => "column has no data-category mapping",
+            DenyReason::Internal => "enforcement backend failure",
+        };
+        write!(f, "{} ({what})", self.code())
+    }
+}
+
+/// Maps enforcement-layer errors onto structured denial reasons: every
+/// [`HdbError`] the request path can surface becomes a fail-closed
+/// denial instead of a panic or an opaque error.
+impl From<&HdbError> for DenyReason {
+    fn from(e: &HdbError) -> Self {
+        match e {
+            HdbError::PolicyDenied { .. } => DenyReason::PolicyDenied,
+            HdbError::UnknownColumn { .. } => DenyReason::UnknownColumn,
+            HdbError::UnmappedColumn { .. } => DenyReason::UnmappedColumn,
+            HdbError::MissingPatientColumn { .. } | HdbError::Store(_) => DenyReason::Internal,
+        }
+    }
+}
+
+/// The decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The access is sanctioned (policy allows, consent does not refuse).
+    Allow,
+    /// The access is refused, with its structured reason.
+    Deny(DenyReason),
+}
+
+impl Verdict {
+    /// True iff the verdict is [`Verdict::Allow`].
+    pub fn is_allow(&self) -> bool {
+        matches!(self, Verdict::Allow)
+    }
+}
+
+/// The reply to a [`DecisionRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionReply {
+    /// Allow, or deny with a reason code.
+    pub verdict: Verdict,
+    /// The policy-consistent rewritten query (AE's contract rendered as
+    /// SQL-ish text); `None` on denial.
+    pub rewritten_query: Option<String>,
+    /// The [`prima_model::Policy::revision`] the decision was made under.
+    pub policy_revision: u64,
+}
+
+/// An HDB query-rewrite request: a multi-column read of one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewriteRequest {
+    /// The acting principal.
+    pub principal: String,
+    /// The principal's authorization category.
+    pub role: String,
+    /// The declared purpose.
+    pub purpose: String,
+    /// The table being queried.
+    pub table: String,
+    /// Requested columns, in desired output order.
+    pub columns: Vec<String>,
+    /// Raw consent assertion token (applies to the whole request).
+    pub consent: String,
+}
+
+impl RewriteRequest {
+    /// Convenience constructor.
+    pub fn new(
+        principal: &str,
+        role: &str,
+        purpose: &str,
+        table: &str,
+        columns: &[&str],
+        consent: &str,
+    ) -> Self {
+        Self {
+            principal: principal.into(),
+            role: role.into(),
+            purpose: purpose.into(),
+            table: table.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            consent: consent.into(),
+        }
+    }
+}
+
+/// The reply to a [`RewriteRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewriteReply {
+    /// Columns the rewritten query serves, in request order.
+    pub served: Vec<String>,
+    /// Suppressed columns with their structured reasons.
+    pub suppressed: Vec<(String, DenyReason)>,
+    /// The rewritten query; `None` when everything was suppressed.
+    pub rewritten_query: Option<String>,
+    /// The policy revision the rewrite was decided under.
+    pub policy_revision: u64,
+}
+
+impl RewriteReply {
+    /// True iff no column survived.
+    pub fn denied(&self) -> bool {
+        self.served.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consent_parses_strictly() {
+        assert_eq!(Consent::parse("granted"), Some(Consent::Granted));
+        assert_eq!(Consent::parse("  GRANTED "), Some(Consent::Granted));
+        assert_eq!(Consent::parse("opted-out"), Some(Consent::OptedOut));
+        assert_eq!(Consent::parse(""), Some(Consent::Unspecified));
+        assert_eq!(Consent::parse("none"), Some(Consent::Unspecified));
+        assert!(Consent::parse("maybe?").is_none());
+        assert!(Consent::parse("granted; drop table").is_none());
+    }
+
+    #[test]
+    fn reason_codes_are_stable_and_distinct() {
+        let all = [
+            DenyReason::PolicyDenied,
+            DenyReason::ConsentWithheld,
+            DenyReason::UnknownRole,
+            DenyReason::UnknownOp,
+            DenyReason::UnknownPurpose,
+            DenyReason::MalformedConsent,
+            DenyReason::EmptyField,
+            DenyReason::UnknownColumn,
+            DenyReason::UnmappedColumn,
+            DenyReason::Internal,
+        ];
+        let codes: std::collections::BTreeSet<&str> = all.iter().map(|r| r.code()).collect();
+        assert_eq!(codes.len(), all.len(), "codes are distinct");
+        assert_eq!(DenyReason::PolicyDenied.code(), "SRV-001");
+        assert!(DenyReason::MalformedConsent.to_string().contains("SRV-006"));
+    }
+
+    #[test]
+    fn hdb_errors_map_to_structured_reasons() {
+        let cases = [
+            (
+                HdbError::PolicyDenied {
+                    role: "r".into(),
+                    purpose: "p".into(),
+                },
+                DenyReason::PolicyDenied,
+            ),
+            (
+                HdbError::UnknownColumn { column: "c".into() },
+                DenyReason::UnknownColumn,
+            ),
+            (
+                HdbError::UnmappedColumn { column: "c".into() },
+                DenyReason::UnmappedColumn,
+            ),
+            (
+                HdbError::MissingPatientColumn { column: "p".into() },
+                DenyReason::Internal,
+            ),
+            (HdbError::Store("io".into()), DenyReason::Internal),
+        ];
+        for (err, want) in cases {
+            assert_eq!(DenyReason::from(&err), want, "{err}");
+        }
+    }
+
+    #[test]
+    fn wire_types_roundtrip_as_json() {
+        let req = DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted");
+        let back: DecisionRequest =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        let reply = DecisionReply {
+            verdict: Verdict::Deny(DenyReason::UnknownRole),
+            rewritten_query: None,
+            policy_revision: 7,
+        };
+        let back: DecisionReply =
+            serde_json::from_str(&serde_json::to_string(&reply).unwrap()).unwrap();
+        assert_eq!(back, reply);
+    }
+}

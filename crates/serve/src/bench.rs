@@ -1,0 +1,488 @@
+//! The Zipf-driven load benchmark behind `prima serve-bench`.
+//!
+//! Simulates a hospital-scale request stream against a running
+//! [`PolicyService`]: a Zipf-ranked population of ≥1M principals (a few
+//! workhorse clinicians dominate, per the access-log literature), each
+//! bound to a ground role of the scenario vocabulary, issuing decision
+//! requests with a realistic consent mix — including a trickle of
+//! malformed tokens the service must deny structurally, never panic on.
+//!
+//! While clients hammer the service, a *promoter* thread replays the
+//! refinement loop: every `promote_every` decisions it pushes one more
+//! mined rule into the policy and installs it, bumping the revision and
+//! invalidating the decision cache — so the measured hit rate includes
+//! realistic invalidation churn, not an idealized warm cache.
+//!
+//! Clients also audit coherence online: every `coherence_sample`-th
+//! reply is re-derived through the uncached oracle path and compared.
+//! Replies that raced a concurrent install (revisions differ) are
+//! skipped-and-counted rather than compared — the verdict legitimately
+//! changed under the request.
+
+use crate::api::DecisionRequest;
+use crate::service::{PolicyService, ServeConfig, Transport};
+use prima_model::Rule;
+use prima_obs::{MetricsRegistry, Tracer};
+use prima_vocab::{ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+use prima_workload::{Scenario, ZipfPopulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Simulated principal population (the acceptance floor is 1M).
+    pub principals: usize,
+    /// Total decision requests across all clients.
+    pub requests: usize,
+    /// Client threads driving the service.
+    pub clients: usize,
+    /// Worker threads serving it.
+    pub workers: usize,
+    /// Decision-cache shard count.
+    pub cache_shards: usize,
+    /// Requests per batched transport call (1 = unbatched round-trips).
+    pub batch: usize,
+    /// Zipf exponent of the principal population.
+    pub zipf: f64,
+    /// RNG seed (request streams are deterministic given the seed).
+    pub seed: u64,
+    /// Install one promoted rule every this many decisions (0 = never).
+    pub promote_every: usize,
+    /// Audit one of every this many replies against the uncached oracle
+    /// (0 = no auditing).
+    pub coherence_sample: usize,
+    /// Smoke mode: relaxes the throughput gate (CI machines vary); the
+    /// correctness and hit-rate gates still apply.
+    pub smoke: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            principals: 1_000_000,
+            requests: 2_000_000,
+            clients: 4,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_shards: 64,
+            batch: 64,
+            zipf: 1.05,
+            seed: 42,
+            promote_every: 250_000,
+            coherence_sample: 1_000,
+            smoke: false,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// A small preset for CI smoke runs: the full machinery (promotions,
+    /// coherence auditing, gates) over a population and request count
+    /// that finish in seconds on a shared runner.
+    pub fn smoke() -> Self {
+        Self {
+            principals: 10_000,
+            requests: 150_000,
+            clients: 2,
+            promote_every: 40_000,
+            coherence_sample: 500,
+            smoke: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configuration that produced this report.
+    pub config: LoadConfig,
+    /// Wall-clock seconds over the request phase.
+    pub elapsed_secs: f64,
+    /// Sustained decisions per second.
+    pub decisions_per_sec: f64,
+    /// Decisions served (must equal `config.requests`).
+    pub decisions: u64,
+    /// Allow verdicts.
+    pub allows: u64,
+    /// Deny verdicts.
+    pub denials: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Whole-cache invalidations observed.
+    pub invalidations: u64,
+    /// Rules promoted (policy installs that took effect).
+    pub promotions: u64,
+    /// Final policy revision.
+    pub policy_revision: u64,
+    /// Median decision latency in microseconds (histogram estimate).
+    pub p50_us: f64,
+    /// 99th-percentile decision latency in microseconds.
+    pub p99_us: f64,
+    /// Replies audited against the uncached oracle.
+    pub coherence_checked: u64,
+    /// Audits skipped because an install raced the reply.
+    pub coherence_skipped: u64,
+    /// Audited replies that disagreed with the oracle (must be 0).
+    pub coherence_mismatches: u64,
+}
+
+impl LoadReport {
+    /// Cache hit fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// No audited reply disagreed with the uncached oracle.
+    pub fn coherent(&self) -> bool {
+        self.coherence_mismatches == 0 && self.coherence_checked > 0
+    }
+
+    /// Every decision was counted and timed by the serve metrics.
+    pub fn instrumented(&self) -> bool {
+        self.decisions == self.config.requests as u64
+            && self.allows + self.denials == self.decisions
+            && self.p99_us > 0.0
+    }
+
+    /// The acceptance gates. Throughput is only gated in full mode —
+    /// smoke runs on shared CI hardware measure correctness, not speed.
+    pub fn gates(&self) -> Vec<(&'static str, bool)> {
+        let mut gates = vec![
+            ("coherent", self.coherent()),
+            ("hit_rate_ge_90", self.hit_rate() >= 0.90),
+            ("instrumented", self.instrumented()),
+            ("invalidations_observed", self.invalidations > 0),
+        ];
+        if !self.config.smoke {
+            gates.push(("throughput_ge_100k", self.decisions_per_sec >= 100_000.0));
+            gates.push(("population_ge_1m", self.config.principals >= 1_000_000));
+        }
+        gates
+    }
+
+    /// True iff every gate passes.
+    pub fn passed(&self) -> bool {
+        self.gates().iter().all(|(_, ok)| *ok)
+    }
+
+    /// The report as a JSON value tree (the `BENCH_serve.json` shape).
+    pub fn to_json(&self) -> Value {
+        let gates = self
+            .gates()
+            .into_iter()
+            .map(|(name, ok)| (name.to_string(), Value::Bool(ok)))
+            .collect();
+        Value::Map(vec![
+            ("bench".into(), Value::Str("serve_load".into())),
+            (
+                "config".into(),
+                Value::Map(vec![
+                    (
+                        "principals".into(),
+                        Value::U64(self.config.principals as u64),
+                    ),
+                    ("requests".into(), Value::U64(self.config.requests as u64)),
+                    ("clients".into(), Value::U64(self.config.clients as u64)),
+                    ("workers".into(), Value::U64(self.config.workers as u64)),
+                    (
+                        "cache_shards".into(),
+                        Value::U64(self.config.cache_shards as u64),
+                    ),
+                    ("batch".into(), Value::U64(self.config.batch as u64)),
+                    ("zipf_exponent".into(), Value::F64(self.config.zipf)),
+                    ("seed".into(), Value::U64(self.config.seed)),
+                    (
+                        "promote_every".into(),
+                        Value::U64(self.config.promote_every as u64),
+                    ),
+                    (
+                        "coherence_sample".into(),
+                        Value::U64(self.config.coherence_sample as u64),
+                    ),
+                    ("smoke".into(), Value::Bool(self.config.smoke)),
+                ]),
+            ),
+            ("elapsed_secs".into(), Value::F64(self.elapsed_secs)),
+            (
+                "decisions_per_sec".into(),
+                Value::F64(self.decisions_per_sec),
+            ),
+            ("decisions".into(), Value::U64(self.decisions)),
+            ("allows".into(), Value::U64(self.allows)),
+            ("denials".into(), Value::U64(self.denials)),
+            ("cache_hits".into(), Value::U64(self.cache_hits)),
+            ("cache_misses".into(), Value::U64(self.cache_misses)),
+            ("hit_rate".into(), Value::F64(self.hit_rate())),
+            ("invalidations".into(), Value::U64(self.invalidations)),
+            ("promotions".into(), Value::U64(self.promotions)),
+            ("policy_revision".into(), Value::U64(self.policy_revision)),
+            ("p50_us".into(), Value::F64(self.p50_us)),
+            ("p99_us".into(), Value::F64(self.p99_us)),
+            (
+                "coherence".into(),
+                Value::Map(vec![
+                    ("checked".into(), Value::U64(self.coherence_checked)),
+                    (
+                        "skipped_racing_install".into(),
+                        Value::U64(self.coherence_skipped),
+                    ),
+                    ("mismatches".into(), Value::U64(self.coherence_mismatches)),
+                ]),
+            ),
+            ("gates".into(), Value::Map(gates)),
+        ])
+    }
+}
+
+/// One client's share of the request stream plus its audit tallies.
+struct ClientTally {
+    checked: u64,
+    skipped: u64,
+    mismatches: u64,
+}
+
+/// Builds the pool of promotable rules: ground cluster rules the
+/// scenario's policy is missing (the very rules the refinement loop
+/// would mine), cycled if the run promotes more than exist.
+fn promotion_pool(scenario: &Scenario) -> Vec<Rule> {
+    scenario
+        .ground_truth()
+        .iter()
+        .map(Rule::from_ground)
+        .collect()
+}
+
+/// Runs the load benchmark and returns the measured report.
+pub fn run_load(config: LoadConfig) -> LoadReport {
+    let scenario = Scenario::community_hospital();
+    let registry = MetricsRegistry::new();
+    let service = PolicyService::start(
+        ServeConfig::new()
+            .workers(config.workers)
+            .cache_shards(config.cache_shards)
+            .queue_capacity(config.clients * 4)
+            .metrics(registry.clone())
+            .tracer(Tracer::disabled()),
+        &scenario.policy,
+        &scenario.vocab,
+    );
+
+    // Ground leaves of each decision dimension, by name.
+    let leaves = |attr: &str| -> Vec<String> {
+        let t = scenario.vocab.attribute(attr).expect("scenario attribute");
+        t.all_leaves()
+            .iter()
+            .map(|&id| t.name(id).to_string())
+            .collect()
+    };
+    let roles = Arc::new(leaves(ATTR_AUTHORIZED));
+    let ops = Arc::new(leaves(ATTR_DATA));
+    let purposes = Arc::new(leaves(ATTR_PURPOSE));
+
+    let population = Arc::new(ZipfPopulation::new(config.principals, config.zipf));
+    // Access categories and purposes are heavily skewed too (a ward's
+    // day is referrals and vitals, not one-off audit pulls); the skew is
+    // what concentrates the decision-key working set and lets the cache
+    // earn its hit rate against invalidation churn.
+    let op_skew = Arc::new(ZipfPopulation::new(ops.len(), 1.8));
+    let purpose_skew = Arc::new(ZipfPopulation::new(purposes.len(), 1.8));
+    let engine = Arc::clone(service.engine());
+
+    // The promoter replays the refinement loop while clients run: one
+    // mined rule installed every `promote_every` decisions.
+    let stop = Arc::new(AtomicBool::new(false));
+    let promotions = Arc::new(AtomicU64::new(0));
+    let promoter = if config.promote_every > 0 {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let promotions = Arc::clone(&promotions);
+        let decisions = engine.obs().decisions.clone();
+        let pool = promotion_pool(&scenario);
+        let mut policy = scenario.policy.clone();
+        let every = config.promote_every as u64;
+        Some(std::thread::spawn(move || {
+            let mut next = every;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                if decisions.get() >= next {
+                    policy.push(pool[i % pool.len()].clone());
+                    if engine.install_policy(&policy) {
+                        promotions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                    next += every;
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+        }))
+    } else {
+        None
+    };
+
+    let per_client = config.requests / config.clients.max(1);
+    let remainder = config.requests - per_client * config.clients.max(1);
+    let start = Instant::now();
+    let clients: Vec<_> = (0..config.clients.max(1))
+        .map(|c| {
+            let transport = service.handle();
+            let engine = Arc::clone(&engine);
+            let population = Arc::clone(&population);
+            let (roles, ops, purposes) =
+                (Arc::clone(&roles), Arc::clone(&ops), Arc::clone(&purposes));
+            let (op_skew, purpose_skew) = (Arc::clone(&op_skew), Arc::clone(&purpose_skew));
+            let quota = per_client + if c == 0 { remainder } else { 0 };
+            let batch = config.batch.max(1);
+            let sample_every = config.coherence_sample;
+            let seed = config.seed.wrapping_add(c as u64);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut tally = ClientTally {
+                    checked: 0,
+                    skipped: 0,
+                    mismatches: 0,
+                };
+                let mut sent = 0usize;
+                while sent < quota {
+                    let n = batch.min(quota - sent);
+                    let reqs: Vec<DecisionRequest> = (0..n)
+                        .map(|_| {
+                            let rank = population.sample(&mut rng);
+                            // Role is a stable property of the principal.
+                            let role = &roles[rank % roles.len()];
+                            let op = &ops[op_skew.sample(&mut rng)];
+                            let purpose = &purposes[purpose_skew.sample(&mut rng)];
+                            // Realistic consent mix, including malformed
+                            // tokens the service must absorb structurally.
+                            let p: f64 = rng.gen();
+                            let consent = if p < 0.90 {
+                                "granted"
+                            } else if p < 0.95 {
+                                "opted-out"
+                            } else if p < 0.99 {
+                                "unspecified"
+                            } else {
+                                "malformed-⚠"
+                            };
+                            DecisionRequest::new(
+                                &ZipfPopulation::principal_name(rank),
+                                role,
+                                op,
+                                purpose,
+                                consent,
+                            )
+                        })
+                        .collect();
+                    let replies = transport
+                        .decide_batch(reqs.clone())
+                        .expect("service up for the whole run");
+                    sent += n;
+                    if sample_every > 0 {
+                        for (i, reply) in replies.iter().enumerate() {
+                            if !(sent + i).is_multiple_of(sample_every) {
+                                continue;
+                            }
+                            // Oracle probe: recompute uncached and compare.
+                            let fresh = engine.decide_uncached(&reqs[i]);
+                            if fresh.policy_revision != reply.policy_revision {
+                                tally.skipped += 1; // raced an install
+                            } else {
+                                tally.checked += 1;
+                                if fresh.verdict != reply.verdict {
+                                    tally.mismatches += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut checked = 0u64;
+    let mut skipped = 0u64;
+    let mut mismatches = 0u64;
+    for c in clients {
+        let t = c.join().expect("client thread");
+        checked += t.checked;
+        skipped += t.skipped;
+        mismatches += t.mismatches;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    if let Some(p) = promoter {
+        let _ = p.join();
+    }
+
+    let obs = engine.obs().clone();
+    let qps = obs.decisions.get() as f64 / elapsed.max(1e-9);
+    obs.qps.set(qps);
+    let latency = obs.decision_latency.snapshot();
+    let snapshot = service.shutdown();
+
+    LoadReport {
+        elapsed_secs: elapsed,
+        decisions_per_sec: qps,
+        decisions: snapshot.decisions,
+        allows: obs.allows.get(),
+        denials: obs.denials.get(),
+        cache_hits: snapshot.cache.hits,
+        cache_misses: snapshot.cache.misses,
+        invalidations: snapshot.cache.invalidations,
+        promotions: promotions.load(Ordering::Relaxed),
+        policy_revision: snapshot.policy_revision,
+        p50_us: latency.quantile(0.50).unwrap_or(0.0) * 1e6,
+        p99_us: latency.quantile(0.99).unwrap_or(0.0) * 1e6,
+        coherence_checked: checked,
+        coherence_skipped: skipped,
+        coherence_mismatches: mismatches,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_load_run_passes_every_gate() {
+        let mut config = LoadConfig::smoke();
+        config.requests = 60_000;
+        config.promote_every = 20_000;
+        config.coherence_sample = 200;
+        let report = run_load(config);
+        assert_eq!(report.decisions, 60_000);
+        assert!(report.invalidations > 0, "promoter must have fired");
+        assert!(report.coherence_checked > 0);
+        assert_eq!(report.coherence_mismatches, 0);
+        assert!(report.passed(), "gates: {:?}", report.gates());
+    }
+
+    #[test]
+    fn report_json_carries_the_gates() {
+        let mut config = LoadConfig::smoke();
+        config.requests = 5_000;
+        config.principals = 1_000;
+        config.promote_every = 1_000;
+        let report = run_load(config);
+        let json = serde_json::to_string_pretty(&report.to_json()).unwrap();
+        assert!(json.contains("\"bench\": \"serve_load\""));
+        assert!(json.contains("hit_rate_ge_90"));
+        assert!(json.contains("decisions_per_sec"));
+    }
+}

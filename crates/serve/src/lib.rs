@@ -1,0 +1,43 @@
+//! # prima-serve — the high-QPS policy-decision service
+//!
+//! The serving layer of the PRIMA pipeline: the refinement loop improves
+//! the policy offline, and this crate answers "may this access proceed,
+//! right now?" at enforcement-point rates. The design (DESIGN.md §11)
+//! is a worker pool behind a [`Transport`] trait whose hot path runs
+//! through a sharded decision cache keyed on
+//! `(role, op, purpose, consent)` with epoch-based invalidation:
+//!
+//! * [`api`] — the typed request/reply surface, with structured
+//!   fail-closed denial codes (`SRV-xxx`).
+//! * [`cache`] — the sharded cache; `O(1)` whole-cache invalidation.
+//! * [`engine`] — validated request → cached verdict; installs policy
+//!   snapshots under the revision/fingerprint protocol.
+//! * [`service`] — the worker pool, the transport trait, and the
+//!   in-process transports.
+//! * [`obs`] — the serve metric catalog on `prima-obs`.
+//! * [`bench`] — the Zipf-driven load benchmark behind
+//!   `prima serve-bench` (emits `BENCH_serve.json`).
+//!
+//! The coherence contract: a refinement promotion or a gated overturn
+//! bumps `Policy::revision`, the install advances the cache epoch, and
+//! the *very next* decision reflects the new policy — property-tested in
+//! `tests/coherence.rs` under arbitrary interleavings.
+
+pub mod api;
+pub mod bench;
+pub mod cache;
+pub mod engine;
+pub mod obs;
+pub mod service;
+
+pub use api::{
+    Consent, DecisionReply, DecisionRequest, DenyReason, RewriteReply, RewriteRequest, Verdict,
+};
+pub use bench::{run_load, LoadConfig, LoadReport};
+pub use cache::{DecisionKey, ServeCacheStats, ShardedDecisionCache};
+pub use engine::DecisionEngine;
+pub use obs::{ServeObs, DECISION_LATENCY_BUCKETS};
+pub use service::{
+    DirectTransport, InProcessTransport, PolicyService, ServeConfig, ServeError, ServeSnapshot,
+    Transport,
+};

@@ -1,0 +1,453 @@
+//! The service: a worker pool behind a transport trait.
+//!
+//! [`Transport`] is the request/reply seam a remote carrier (HTTP, gRPC,
+//! a message bus) would implement; this crate ships two in-process
+//! implementations:
+//!
+//! * [`InProcessTransport`] — the real service shape: requests flow over
+//!   a bounded crossbeam channel to a pool of worker threads, each
+//!   request carrying its own rendezvous reply channel. Clone the handle
+//!   freely; it is the client stub.
+//! * [`DirectTransport`] — calls the engine inline on the caller's
+//!   thread. Zero queueing; the harness for tests and for measuring the
+//!   engine floor without channel overhead.
+//!
+//! Both share one [`DecisionEngine`], so a policy install through the
+//! service is visible to every worker's next decision.
+
+use crate::api::{DecisionReply, DecisionRequest, RewriteReply, RewriteRequest};
+use crate::cache::ServeCacheStats;
+use crate::engine::DecisionEngine;
+use crate::obs::ServeObs;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use prima_hdb::ColumnMap;
+use prima_model::Policy;
+use prima_obs::{MetricsRegistry, Tracer};
+use prima_vocab::Vocabulary;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Service configuration. Builder-style; the defaults serve a test
+/// deployment (workers = available parallelism, 64 shards).
+#[derive(Debug)]
+pub struct ServeConfig {
+    workers: usize,
+    cache_shards: usize,
+    queue_capacity: usize,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+    columns: Option<ColumnMap>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self {
+            workers,
+            cache_shards: 64,
+            queue_capacity: 1024,
+            metrics: MetricsRegistry::disabled(),
+            tracer: Tracer::disabled(),
+            columns: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker-pool size (clamped to ≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Decision-cache shard count.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.cache_shards = n;
+        self
+    }
+
+    /// Request-queue depth before senders block (back-pressure bound).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Registers serve metrics on `registry`.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = registry;
+        self
+    }
+
+    /// Emits serve spans to `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Installs a column→category schema map for rewrite requests.
+    pub fn columns(mut self, map: ColumnMap) -> Self {
+        self.columns = Some(map);
+        self
+    }
+}
+
+/// Transport-level failures: the service is unreachable (shut down), not
+/// a decision outcome — decisions themselves always reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The worker pool has shut down; the request was not served.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "policy-decision service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The request/reply seam. Implementations must be shareable across
+/// client threads.
+pub trait Transport: Send + Sync {
+    /// Decides one request.
+    fn decide(&self, req: DecisionRequest) -> Result<DecisionReply, ServeError>;
+
+    /// Decides a batch in request order. The default round-trips one by
+    /// one; [`InProcessTransport`] ships the whole batch in one message.
+    fn decide_batch(&self, reqs: Vec<DecisionRequest>) -> Result<Vec<DecisionReply>, ServeError> {
+        reqs.into_iter().map(|r| self.decide(r)).collect()
+    }
+
+    /// Rewrites a multi-column query.
+    fn rewrite(&self, req: RewriteRequest) -> Result<RewriteReply, ServeError>;
+}
+
+/// One queued unit of work, carrying its rendezvous reply channel.
+enum Job {
+    Decide(DecisionRequest, Sender<DecisionReply>),
+    DecideBatch(Vec<DecisionRequest>, Sender<Vec<DecisionReply>>),
+    Rewrite(RewriteRequest, Sender<RewriteReply>),
+    /// Poison pill: the receiving worker exits. One is queued per worker
+    /// on shutdown, behind all in-flight requests.
+    Shutdown,
+}
+
+/// The cloneable client stub of a running [`PolicyService`].
+#[derive(Clone)]
+pub struct InProcessTransport {
+    queue: Sender<Job>,
+}
+
+impl Transport for InProcessTransport {
+    fn decide(&self, req: DecisionRequest) -> Result<DecisionReply, ServeError> {
+        let (tx, rx) = bounded(1);
+        self.queue
+            .send(Job::Decide(req, tx))
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    fn decide_batch(&self, reqs: Vec<DecisionRequest>) -> Result<Vec<DecisionReply>, ServeError> {
+        let (tx, rx) = bounded(1);
+        self.queue
+            .send(Job::DecideBatch(reqs, tx))
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    fn rewrite(&self, req: RewriteRequest) -> Result<RewriteReply, ServeError> {
+        let (tx, rx) = bounded(1);
+        self.queue
+            .send(Job::Rewrite(req, tx))
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// A transport that calls the engine inline on the caller's thread — no
+/// queue, no workers. Shares the engine (and cache) with the pool.
+#[derive(Clone)]
+pub struct DirectTransport {
+    engine: Arc<DecisionEngine>,
+}
+
+impl Transport for DirectTransport {
+    fn decide(&self, req: DecisionRequest) -> Result<DecisionReply, ServeError> {
+        Ok(self.engine.decide(&req))
+    }
+
+    fn rewrite(&self, req: RewriteRequest) -> Result<RewriteReply, ServeError> {
+        Ok(self.engine.rewrite(&req))
+    }
+}
+
+/// A point-in-time view of service health, taken by [`PolicyService::snapshot`]
+/// (and returned once more by [`PolicyService::shutdown`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSnapshot {
+    /// Cache counters.
+    pub cache: ServeCacheStats,
+    /// Total decisions served.
+    pub decisions: u64,
+    /// The revision of the installed policy.
+    pub policy_revision: u64,
+}
+
+/// The running service: engine + worker pool.
+pub struct PolicyService {
+    engine: Arc<DecisionEngine>,
+    queue: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn worker_loop(engine: Arc<DecisionEngine>, jobs: Receiver<Job>) {
+    // Runs until a poison pill arrives or every sender is dropped;
+    // replies to dead clients are silently discarded.
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Decide(req, reply) => {
+                let _ = reply.send(engine.decide(&req));
+            }
+            Job::DecideBatch(reqs, reply) => {
+                let out = reqs.iter().map(|r| engine.decide(r)).collect();
+                let _ = reply.send(out);
+            }
+            Job::Rewrite(req, reply) => {
+                let _ = reply.send(engine.rewrite(&req));
+            }
+            Job::Shutdown => break,
+        }
+    }
+}
+
+impl PolicyService {
+    /// Builds the engine over `policy`/`vocab` and starts the worker pool.
+    pub fn start(config: ServeConfig, policy: &Policy, vocab: &Vocabulary) -> Self {
+        let obs = ServeObs::over(&config.metrics, config.tracer.clone());
+        let engine = Arc::new(DecisionEngine::new(
+            policy,
+            Arc::new(vocab.clone()),
+            config.cache_shards,
+            config.columns,
+            obs,
+        ));
+        // The vendored bounded channel blocks senders at capacity, giving
+        // natural back-pressure; unbounded would hide overload.
+        let (tx, rx) = if config.queue_capacity == usize::MAX {
+            unbounded()
+        } else {
+            bounded(config.queue_capacity)
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("prima-serve-{i}"))
+                    .spawn(move || worker_loop(engine, rx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            engine,
+            queue: tx,
+            workers,
+        }
+    }
+
+    /// A cloneable client stub over the worker pool.
+    pub fn handle(&self) -> InProcessTransport {
+        InProcessTransport {
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// A transport that bypasses the pool and calls the shared engine
+    /// inline (tests; engine-floor measurements).
+    pub fn direct(&self) -> DirectTransport {
+        DirectTransport {
+            engine: Arc::clone(&self.engine),
+        }
+    }
+
+    /// The shared engine (for installs and uncached oracle probes).
+    pub fn engine(&self) -> &Arc<DecisionEngine> {
+        &self.engine
+    }
+
+    /// Installs a new policy snapshot; every worker's next decision sees
+    /// it. Returns `true` when the snapshot differed.
+    pub fn install_policy(&self, policy: &Policy) -> bool {
+        self.engine.install_policy(policy)
+    }
+
+    /// Samples service health.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            cache: self.engine.cache_stats(),
+            decisions: self.engine.obs().decisions.get(),
+            policy_revision: self.engine.policy_revision(),
+        }
+    }
+
+    /// Drains the pool: queues one poison pill per worker (behind all
+    /// in-flight requests), joins them, and returns the final snapshot.
+    /// Once every worker has exited the channel is fully disconnected,
+    /// so surviving handles fail closed with [`ServeError::Closed`].
+    pub fn shutdown(self) -> ServeSnapshot {
+        let Self {
+            engine,
+            queue,
+            workers,
+        } = self;
+        for _ in 0..workers.len() {
+            let _ = queue.send(Job::Shutdown);
+        }
+        drop(queue);
+        for w in workers {
+            let _ = w.join();
+        }
+        ServeSnapshot {
+            cache: engine.cache_stats(),
+            decisions: engine.obs().decisions.get(),
+            policy_revision: engine.policy_revision(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{DenyReason, Verdict};
+    use prima_model::{Rule, StoreTag};
+    use prima_vocab::{ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+
+    fn fixture() -> (Policy, Vocabulary) {
+        let vocab = Vocabulary::builder()
+            .attribute(ATTR_DATA)
+            .category("clinical", &["referral", "lab-result"])
+            .attribute(ATTR_PURPOSE)
+            .category("care", &["treatment"])
+            .attribute(ATTR_AUTHORIZED)
+            .category("staff", &["nurse", "physician"])
+            .build()
+            .expect("test vocabulary");
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[
+                (ATTR_DATA, "referral"),
+                (ATTR_PURPOSE, "treatment"),
+                (ATTR_AUTHORIZED, "nurse"),
+            ])],
+        );
+        (policy, vocab)
+    }
+
+    fn allow_req() -> DecisionRequest {
+        DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted")
+    }
+
+    #[test]
+    fn pool_serves_decisions_from_many_clients() {
+        let (policy, vocab) = fixture();
+        let service = PolicyService::start(
+            ServeConfig::new()
+                .workers(4)
+                .metrics(MetricsRegistry::new()),
+            &policy,
+            &vocab,
+        );
+        let handle = service.handle();
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| h.decide(allow_req()).expect("service up"))
+                        .filter(|r| r.verdict.is_allow())
+                        .count()
+                })
+            })
+            .collect();
+        let allowed: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(allowed, 400);
+        let snap = service.shutdown();
+        assert_eq!(snap.decisions, 400);
+        // Concurrent cold misses can race before the first insert lands,
+        // but once warm every decision hits.
+        assert!(snap.cache.hits >= 390, "cache hits: {}", snap.cache.hits);
+    }
+
+    #[test]
+    fn batch_replies_preserve_request_order() {
+        let (policy, vocab) = fixture();
+        let service = PolicyService::start(ServeConfig::new().workers(2), &policy, &vocab);
+        let batch = vec![
+            allow_req(),
+            DecisionRequest::new("p-2", "physician", "referral", "treatment", "granted"),
+            DecisionRequest::new("p-3", "nurse", "referral", "treatment", "opted-out"),
+        ];
+        let replies = service.handle().decide_batch(batch).expect("service up");
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0].verdict, Verdict::Allow);
+        assert_eq!(replies[1].verdict, Verdict::Deny(DenyReason::PolicyDenied));
+        assert_eq!(
+            replies[2].verdict,
+            Verdict::Deny(DenyReason::ConsentWithheld)
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn install_through_the_service_reaches_every_worker() {
+        let (mut policy, vocab) = fixture();
+        let service = PolicyService::start(ServeConfig::new().workers(3), &policy, &vocab);
+        let handle = service.handle();
+        let denied = DecisionRequest::new("p-1", "physician", "lab-result", "treatment", "granted");
+        assert!(!handle.decide(denied.clone()).unwrap().verdict.is_allow());
+
+        policy.push(Rule::of(&[
+            (ATTR_DATA, "lab-result"),
+            (ATTR_PURPOSE, "treatment"),
+            (ATTR_AUTHORIZED, "physician"),
+        ]));
+        assert!(service.install_policy(&policy));
+        // Every subsequent decision — from any worker — sees the new rule.
+        for _ in 0..20 {
+            assert!(handle.decide(denied.clone()).unwrap().verdict.is_allow());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn requests_after_shutdown_fail_closed() {
+        let (policy, vocab) = fixture();
+        let service = PolicyService::start(ServeConfig::new().workers(1), &policy, &vocab);
+        let handle = service.handle();
+        service.shutdown();
+        assert_eq!(handle.decide(allow_req()), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn direct_transport_shares_the_pool_cache() {
+        let (policy, vocab) = fixture();
+        let service = PolicyService::start(ServeConfig::new().workers(1), &policy, &vocab);
+        service.handle().decide(allow_req()).unwrap(); // warm via pool
+        let direct = service.direct();
+        direct.decide(allow_req()).unwrap(); // hit via direct path
+        let snap = service.shutdown();
+        assert_eq!(snap.cache.hits, 1);
+        assert_eq!(snap.cache.misses, 1);
+    }
+}

@@ -25,8 +25,10 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
+pub mod population;
 pub mod scenario;
 pub mod sim;
 
+pub use population::{ZipfPopulation, ZipfSampler};
 pub use scenario::Scenario;
 pub use sim::{EntryLabel, LabeledEntry, PracticeCluster, SimConfig, Simulator};

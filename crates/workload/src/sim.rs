@@ -1,5 +1,6 @@
 //! The clinical workflow generator.
 
+use crate::population::ZipfPopulation;
 use prima_audit::{AuditEntry, AuditStore};
 use prima_model::{GroundRule, Policy, Rule};
 use prima_vocab::{Vocabulary, ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
@@ -88,6 +89,11 @@ pub struct SimConfig {
     pub start_time: i64,
     /// Mean seconds between consecutive entries.
     pub mean_gap_secs: i64,
+    /// Optional Zipf exponent for staff activity within a role: when
+    /// set, staff member `k` of a role acts with probability ∝
+    /// `1/(k+1)^s` (a few workhorses, a long tail) instead of uniformly.
+    /// `None` preserves the historical uniform draw bit-for-bit.
+    pub staff_zipf: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -100,6 +106,7 @@ impl Default for SimConfig {
             violation_share: 0.02,
             start_time: 0,
             mean_gap_secs: 30,
+            staff_zipf: None,
         }
     }
 }
@@ -160,6 +167,9 @@ impl Simulator {
             ground_purposes: self.ground_values(ATTR_PURPOSE),
             cluster_rules: self.ground_truth(),
             total_weight: self.clusters.iter().map(|c| c.weight).sum(),
+            staff_skew: config
+                .staff_zipf
+                .map(|s| ZipfPopulation::new(config.staff_per_role.max(1), s)),
         }
     }
 
@@ -174,8 +184,16 @@ impl Simulator {
         }
     }
 
-    fn staff_name(rng: &mut StdRng, role: &str, config: &SimConfig) -> String {
-        let i = rng.gen_range(0..config.staff_per_role.max(1));
+    fn staff_name(
+        rng: &mut StdRng,
+        role: &str,
+        config: &SimConfig,
+        skew: Option<&ZipfPopulation>,
+    ) -> String {
+        let i = match skew {
+            Some(pop) => pop.sample(rng),
+            None => rng.gen_range(0..config.staff_per_role.max(1)),
+        };
         format!("{role}-{i:02}")
     }
 
@@ -188,7 +206,13 @@ impl Simulator {
             .unwrap_or_else(|| value.to_string())
     }
 
-    fn gen_sanctioned(&self, rng: &mut StdRng, time: i64, config: &SimConfig) -> LabeledEntry {
+    fn gen_sanctioned(
+        &self,
+        rng: &mut StdRng,
+        time: i64,
+        config: &SimConfig,
+        skew: Option<&ZipfPopulation>,
+    ) -> LabeledEntry {
         // Fallback for an empty policy: a generic administrative touch.
         let Some(rule) = self.pick_rule(rng) else {
             let entry = AuditEntry::regular(time, "admin-00", "name", "registration", "registrar");
@@ -208,7 +232,7 @@ impl Simulator {
             ATTR_AUTHORIZED,
             rule.value_of(ATTR_AUTHORIZED).unwrap_or("nurse"),
         );
-        let user = Self::staff_name(rng, &role, config);
+        let user = Self::staff_name(rng, &role, config, skew);
         LabeledEntry {
             entry: AuditEntry::regular(time, &user, &data, &purpose, &role),
             label: EntryLabel::Sanctioned,
@@ -230,6 +254,7 @@ impl Simulator {
         time: i64,
         config: &SimConfig,
         total_weight: f64,
+        skew: Option<&ZipfPopulation>,
     ) -> LabeledEntry {
         // Weighted cluster choice.
         let mut pick = rng.gen::<f64>() * total_weight;
@@ -246,7 +271,7 @@ impl Simulator {
         let data = self.narrow(rng, ATTR_DATA, &c.data);
         let purpose = self.narrow(rng, ATTR_PURPOSE, &c.purpose);
         let role = self.narrow(rng, ATTR_AUTHORIZED, &c.role);
-        let user = Self::staff_name(rng, &role, config);
+        let user = Self::staff_name(rng, &role, config, skew);
         LabeledEntry {
             entry: AuditEntry::exception(time, &user, &data, &purpose, &role),
             label: EntryLabel::InformalPractice(idx),
@@ -263,6 +288,7 @@ impl Simulator {
         purposes: &[String],
         roles: &[String],
         cluster_rules: &[GroundRule],
+        skew: Option<&ZipfPopulation>,
     ) -> LabeledEntry {
         // Rejection-sample a combination that is neither sanctioned nor an
         // informal-practice cluster, so labels stay mutually exclusive.
@@ -279,7 +305,7 @@ impl Simulator {
             if covered || cluster_rules.contains(&g) {
                 continue;
             }
-            let user = Self::staff_name(rng, r, config);
+            let user = Self::staff_name(rng, r, config, skew);
             return LabeledEntry {
                 entry: AuditEntry::exception(time, &user, d, p, r),
                 label: EntryLabel::Violation,
@@ -306,6 +332,7 @@ pub struct EventSource<'a> {
     ground_purposes: Vec<String>,
     cluster_rules: Vec<GroundRule>,
     total_weight: f64,
+    staff_skew: Option<ZipfPopulation>,
 }
 
 impl EventSource<'_> {
@@ -323,6 +350,7 @@ impl Iterator for EventSource<'_> {
         let config = &self.config;
         self.time += self.rng.gen_range(1..=config.mean_gap_secs.max(1) * 2);
         let draw: f64 = self.rng.gen();
+        let skew = self.staff_skew.as_ref();
         let labeled = if draw < config.violation_share && !self.ground_data.is_empty() {
             self.sim.gen_violation(
                 &mut self.rng,
@@ -332,14 +360,16 @@ impl Iterator for EventSource<'_> {
                 &self.ground_purposes,
                 &self.ground_roles,
                 &self.cluster_rules,
+                skew,
             )
         } else if draw < config.violation_share + config.informal_share
             && !self.sim.clusters.is_empty()
         {
             self.sim
-                .gen_informal(&mut self.rng, self.time, config, self.total_weight)
+                .gen_informal(&mut self.rng, self.time, config, self.total_weight, skew)
         } else {
-            self.sim.gen_sanctioned(&mut self.rng, self.time, config)
+            self.sim
+                .gen_sanctioned(&mut self.rng, self.time, config, skew)
         };
         Some(labeled)
     }
@@ -497,6 +527,30 @@ mod tests {
         for w in trail.windows(2) {
             assert!(w[1].entry.time > w[0].entry.time);
         }
+    }
+
+    #[test]
+    fn zipf_staff_skew_concentrates_users_deterministically() {
+        let s = sim();
+        let cfg = SimConfig {
+            staff_per_role: 32,
+            staff_zipf: Some(1.2),
+            ..config(4_000)
+        };
+        let a = s.generate(&cfg);
+        assert_eq!(a, s.generate(&cfg), "skewed generation stays seeded");
+
+        // Index-00 staff (the hottest rank in every role) must dominate:
+        // under a uniform draw they would hold ~1/32 ≈ 3% of entries.
+        let hot =
+            a.iter().filter(|l| l.entry.user.ends_with("-00")).count() as f64 / a.len() as f64;
+        assert!(
+            hot > 0.15,
+            "zipf head share {hot} should dwarf uniform 1/32"
+        );
+
+        let uniform = s.generate(&config(4_000));
+        assert_ne!(a, uniform, "skew changes the trail");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub use prima_model as model;
 pub use prima_obs as obs;
 pub use prima_query as query;
 pub use prima_refine as refine;
+pub use prima_serve as serve;
 pub use prima_store as store;
 pub use prima_stream as stream;
 pub use prima_vocab as vocab;

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("refine") => cmd_refine(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -68,7 +69,12 @@ fn print_usage() {
          analyze --policy FILE        static policy analysis (PA0xx diagnostics)\n    \
            [--vocab FILE] [--audit FILE] [--format human|json] [--budget N]\n      \
              (--audit enables the cross-policy conflict pass against denied\n      \
-              accesses; exits non-zero when error-severity diagnostics exist)"
+              accesses; exits non-zero when error-severity diagnostics exist)\n  \
+         serve-bench                  load-test the policy-decision service\n    \
+           [--smoke] [--principals N] [--requests N] [--clients N] [--workers N]\n    \
+           [--shards N] [--batch N] [--zipf S] [--seed S] [--promote-every N]\n    \
+           [--out FILE]               (writes the gate report as JSON; exits\n      \
+              non-zero when any acceptance gate fails)"
     );
 }
 
@@ -84,7 +90,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             return Err(format!("unknown flag '--{key}'"));
         }
         // Boolean flags take no value.
-        if key == "set" || key == "generalize" || key == "profile" {
+        if key == "set" || key == "generalize" || key == "profile" || key == "smoke" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -332,6 +338,94 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         Err(format!("{errors} error-severity diagnostic(s)"))
     } else {
         Ok(())
+    }
+}
+
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    use prima::serve::LoadConfig;
+    let flags = parse_flags(
+        args,
+        &[
+            "smoke",
+            "principals",
+            "requests",
+            "clients",
+            "workers",
+            "shards",
+            "batch",
+            "zipf",
+            "seed",
+            "promote-every",
+            "out",
+        ],
+    )?;
+    let mut config = if flags.contains_key("smoke") {
+        LoadConfig::smoke()
+    } else {
+        LoadConfig::default()
+    };
+    fn num<T: std::str::FromStr>(
+        flags: &HashMap<String, String>,
+        key: &str,
+        into: &mut T,
+    ) -> Result<(), String> {
+        if let Some(s) = flags.get(key) {
+            *into = s.parse().map_err(|_| format!("bad --{key} '{s}'"))?;
+        }
+        Ok(())
+    }
+    num(&flags, "principals", &mut config.principals)?;
+    num(&flags, "requests", &mut config.requests)?;
+    num(&flags, "clients", &mut config.clients)?;
+    num(&flags, "workers", &mut config.workers)?;
+    num(&flags, "shards", &mut config.cache_shards)?;
+    num(&flags, "batch", &mut config.batch)?;
+    num(&flags, "zipf", &mut config.zipf)?;
+    num(&flags, "seed", &mut config.seed)?;
+    num(&flags, "promote-every", &mut config.promote_every)?;
+
+    println!(
+        "serve-bench: {} request(s) over {} principal(s), {} client(s) x {} worker(s), \
+         {} shard(s), zipf {} ({} mode)",
+        config.requests,
+        config.principals,
+        config.clients,
+        config.workers,
+        config.cache_shards,
+        config.zipf,
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let report = prima::serve::run_load(config);
+    println!(
+        "{:.0} decisions/s ({} decisions in {:.2}s); hit rate {:.1}%, \
+         {} invalidation(s), {} promotion(s), p50 {:.1}us, p99 {:.1}us",
+        report.decisions_per_sec,
+        report.decisions,
+        report.elapsed_secs,
+        report.hit_rate() * 100.0,
+        report.invalidations,
+        report.promotions,
+        report.p50_us,
+        report.p99_us
+    );
+    println!(
+        "coherence: {} audited, {} skipped (revision raced), {} mismatch(es)",
+        report.coherence_checked, report.coherence_skipped, report.coherence_mismatches
+    );
+    for (gate, ok) in report.gates() {
+        println!("gate {gate}: {}", if ok { "pass" } else { "FAIL" });
+    }
+
+    if let Some(path) = flags.get("out") {
+        let text = serde_json::to_string_pretty(&report.to_json())
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("report written to {path}");
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("serve-bench acceptance gate(s) failed".to_string())
     }
 }
 
