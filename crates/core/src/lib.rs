@@ -39,5 +39,5 @@ pub mod trajectory;
 pub use clinic::{run_clinic, ClinicProfile, ClinicReport};
 pub use observe::SystemObs;
 pub use snapshot::{SnapshotError, SystemSnapshot};
-pub use system::{PrimaSystem, ReviewMode, RoundRecord};
+pub use system::{PrimaSystem, ReviewMode, RoundRecord, ServedRound};
 pub use trajectory::{run_trajectory, TrajectoryConfig, TrajectoryPoint};

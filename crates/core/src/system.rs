@@ -63,6 +63,22 @@ pub struct RoundRecord {
     pub refinement_deferred: bool,
 }
 
+/// The outcome of [`PrimaSystem::run_served_round`]: the refinement
+/// round plus the serving layer's state after the republish.
+#[derive(Debug)]
+pub struct ServedRound {
+    /// What the refinement round did.
+    pub record: RoundRecord,
+    /// Whether the republish actually changed the serving policy (an
+    /// unchanged snapshot is a no-op; a rejected or held install also
+    /// reports `false` — see `health`).
+    pub refreshed: bool,
+    /// Service health sampled right after the republish: degraded
+    /// (pinned last-known-good), install holds, breaker state, worker
+    /// pool status, overload counters.
+    pub health: prima_serve::ServeHealth,
+}
+
 /// The PRIMA system: Figure 4 as an object.
 pub struct PrimaSystem {
     vocab: Vocabulary,
@@ -261,14 +277,24 @@ impl PrimaSystem {
     /// Runs one refinement round, then immediately republishes the
     /// (possibly refined) policy to the serving layer so in-flight
     /// traffic never sees a verdict from the superseded revision.
+    ///
+    /// The returned [`ServedRound`] carries the service's health sampled
+    /// right after the republish: a rejected install (the service pins
+    /// last-known-good and serves degraded) or an install hold (crash-
+    /// loop breaker open) shows up here instead of vanishing into a
+    /// swallowed boolean.
     pub fn run_served_round(
         &mut self,
         service: &prima_serve::PolicyService,
         mode: ReviewMode,
-    ) -> Result<RoundRecord, MiningError> {
+    ) -> Result<ServedRound, MiningError> {
         let record = self.run_round(mode)?;
-        self.refresh_serve(service);
-        Ok(record)
+        let refreshed = self.refresh_serve(service);
+        Ok(ServedRound {
+            record,
+            refreshed,
+            health: service.health(),
+        })
     }
 
     /// Runs one refinement round over the stream's trailing training
@@ -973,10 +999,17 @@ mod tests {
         // The auto-accept round promotes referral:registration:nurse and
         // pushes it straight to the serving layer: the very next decision
         // (which would otherwise hit the cached denial) allows.
-        let record = sys
+        let outcome = sys
             .run_served_round(&service, ReviewMode::AutoAccept)
             .unwrap();
-        assert_eq!(record.rules_added, 1);
+        assert_eq!(outcome.record.rules_added, 1);
+        assert!(outcome.refreshed, "the refined policy was republished");
+        assert!(
+            outcome.health.healthy(),
+            "clean round leaves full service: {:?}",
+            outcome.health
+        );
+        assert_eq!(outcome.health.policy_revision, sys.policy().revision());
         let after = handle.decide(req).unwrap();
         assert!(after.verdict.is_allow(), "refined rule visible immediately");
         assert_eq!(after.policy_revision, sys.policy().revision());

@@ -76,10 +76,20 @@ pub struct DecisionRequest {
     pub purpose: String,
     /// Raw consent assertion token; parsed strictly (see [`Consent`]).
     pub consent: String,
+    /// Scheduling lane. [`Priority::Emergency`] (break-the-glass) bypasses
+    /// load shedding; [`Priority::Bulk`] is dropped first under overload.
+    #[serde(default)]
+    pub priority: Priority,
+    /// Per-request deadline budget, in microseconds from admission.
+    /// `None` means no deadline. Work whose deadline has expired is
+    /// abandoned with [`DenyReason::DeadlineExceeded`] instead of
+    /// occupying a worker.
+    #[serde(default)]
+    pub deadline_us: Option<u64>,
 }
 
 impl DecisionRequest {
-    /// Convenience constructor.
+    /// Convenience constructor: a bulk-lane request with no deadline.
     pub fn new(principal: &str, role: &str, op: &str, purpose: &str, consent: &str) -> Self {
         Self {
             principal: principal.into(),
@@ -87,8 +97,36 @@ impl DecisionRequest {
             op: op.into(),
             purpose: purpose.into(),
             consent: consent.into(),
+            priority: Priority::Bulk,
+            deadline_us: None,
         }
     }
+
+    /// Marks the request as break-the-glass traffic: it is admitted on
+    /// the emergency lane and never load-shed.
+    pub fn emergency(mut self) -> Self {
+        self.priority = Priority::Emergency;
+        self
+    }
+
+    /// Attaches a deadline budget (microseconds from admission).
+    pub fn with_deadline_us(mut self, us: u64) -> Self {
+        self.deadline_us = Some(us);
+        self
+    }
+}
+
+/// The scheduling lane of a [`DecisionRequest`]. Under overload the
+/// service sheds bulk traffic first so emergency (break-the-glass)
+/// requests keep being decided — a hospital's surge traffic is exactly
+/// the traffic that must not be dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Priority {
+    /// Routine traffic: admitted while capacity remains, shed first.
+    #[default]
+    Bulk,
+    /// Break-the-glass / emergency traffic: bypasses the shedder.
+    Emergency,
 }
 
 /// Why a request (or one column of a rewrite) was denied. Codes are
@@ -117,6 +155,13 @@ pub enum DenyReason {
     /// The enforcement backend failed (storage, configuration); the
     /// request is denied rather than served un-checked.
     Internal,
+    /// The service shed the request under overload before deciding it
+    /// (admission control). Retry with backoff; escalate to
+    /// [`Priority::Emergency`] only for genuine break-the-glass access.
+    Overloaded,
+    /// The request's deadline expired before a verdict was computed; the
+    /// work was abandoned rather than served late.
+    DeadlineExceeded,
 }
 
 impl DenyReason {
@@ -133,8 +178,29 @@ impl DenyReason {
             DenyReason::UnknownColumn => "SRV-008",
             DenyReason::UnmappedColumn => "SRV-009",
             DenyReason::Internal => "SRV-010",
+            DenyReason::Overloaded => "SRV-011",
+            DenyReason::DeadlineExceeded => "SRV-012",
         }
     }
+
+    /// Every reason, in code order. Exhaustive by construction: adding a
+    /// variant without extending this list is a compile error via the
+    /// match in [`DenyReason::code`] plus the api test that asserts the
+    /// count here matches the variant count.
+    pub const ALL: [DenyReason; 12] = [
+        DenyReason::PolicyDenied,
+        DenyReason::ConsentWithheld,
+        DenyReason::UnknownRole,
+        DenyReason::UnknownOp,
+        DenyReason::UnknownPurpose,
+        DenyReason::MalformedConsent,
+        DenyReason::EmptyField,
+        DenyReason::UnknownColumn,
+        DenyReason::UnmappedColumn,
+        DenyReason::Internal,
+        DenyReason::Overloaded,
+        DenyReason::DeadlineExceeded,
+    ];
 }
 
 impl fmt::Display for DenyReason {
@@ -150,6 +216,8 @@ impl fmt::Display for DenyReason {
             DenyReason::UnknownColumn => "unknown column",
             DenyReason::UnmappedColumn => "column has no data-category mapping",
             DenyReason::Internal => "enforcement backend failure",
+            DenyReason::Overloaded => "request shed under overload",
+            DenyReason::DeadlineExceeded => "deadline expired before a verdict",
         };
         write!(f, "{} ({what})", self.code())
     }
@@ -272,59 +340,85 @@ mod tests {
 
     #[test]
     fn reason_codes_are_stable_and_distinct() {
-        let all = [
-            DenyReason::PolicyDenied,
-            DenyReason::ConsentWithheld,
-            DenyReason::UnknownRole,
-            DenyReason::UnknownOp,
-            DenyReason::UnknownPurpose,
-            DenyReason::MalformedConsent,
-            DenyReason::EmptyField,
-            DenyReason::UnknownColumn,
-            DenyReason::UnmappedColumn,
-            DenyReason::Internal,
-        ];
-        let codes: std::collections::BTreeSet<&str> = all.iter().map(|r| r.code()).collect();
-        assert_eq!(codes.len(), all.len(), "codes are distinct");
+        let codes: std::collections::BTreeSet<&str> =
+            DenyReason::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes.len(), DenyReason::ALL.len(), "codes are distinct");
         assert_eq!(DenyReason::PolicyDenied.code(), "SRV-001");
+        assert_eq!(DenyReason::Overloaded.code(), "SRV-011");
+        assert_eq!(DenyReason::DeadlineExceeded.code(), "SRV-012");
         assert!(DenyReason::MalformedConsent.to_string().contains("SRV-006"));
+        for reason in DenyReason::ALL {
+            assert!(reason.code().starts_with("SRV-0"), "{reason:?}");
+            assert!(reason.to_string().contains(reason.code()), "{reason:?}");
+        }
+    }
+
+    /// One sample per [`HdbError`] variant. The inner match is
+    /// exhaustive on purpose: a new variant fails to compile here,
+    /// forcing this list — and with it the `From<&HdbError>` mapping
+    /// assertions below — to grow in the same change.
+    fn every_hdb_error() -> Vec<HdbError> {
+        fn witness(e: &HdbError) {
+            match e {
+                HdbError::PolicyDenied { .. }
+                | HdbError::UnknownColumn { .. }
+                | HdbError::UnmappedColumn { .. }
+                | HdbError::MissingPatientColumn { .. }
+                | HdbError::Store(_) => {}
+            }
+        }
+        let all = vec![
+            HdbError::PolicyDenied {
+                role: "r".into(),
+                purpose: "p".into(),
+            },
+            HdbError::UnknownColumn { column: "c".into() },
+            HdbError::UnmappedColumn { column: "c".into() },
+            HdbError::MissingPatientColumn { column: "p".into() },
+            HdbError::Store("io".into()),
+        ];
+        all.iter().for_each(witness);
+        all
     }
 
     #[test]
     fn hdb_errors_map_to_structured_reasons() {
-        let cases = [
-            (
-                HdbError::PolicyDenied {
-                    role: "r".into(),
-                    purpose: "p".into(),
-                },
-                DenyReason::PolicyDenied,
-            ),
-            (
-                HdbError::UnknownColumn { column: "c".into() },
-                DenyReason::UnknownColumn,
-            ),
-            (
-                HdbError::UnmappedColumn { column: "c".into() },
-                DenyReason::UnmappedColumn,
-            ),
-            (
-                HdbError::MissingPatientColumn { column: "p".into() },
-                DenyReason::Internal,
-            ),
-            (HdbError::Store("io".into()), DenyReason::Internal),
+        let wanted = [
+            DenyReason::PolicyDenied,
+            DenyReason::UnknownColumn,
+            DenyReason::UnmappedColumn,
+            DenyReason::Internal,
+            DenyReason::Internal,
         ];
-        for (err, want) in cases {
-            assert_eq!(DenyReason::from(&err), want, "{err}");
+        let all = every_hdb_error();
+        assert_eq!(all.len(), wanted.len(), "one expectation per variant");
+        for (err, want) in all.iter().zip(wanted) {
+            assert_eq!(DenyReason::from(err), want, "{err}");
+        }
+    }
+
+    #[test]
+    fn every_hdb_error_variant_maps_to_a_stable_code() {
+        // No variant may fall through to a panic or an unstable code:
+        // the mapping must land inside the published SRV catalog.
+        let catalog: std::collections::BTreeSet<&str> =
+            DenyReason::ALL.iter().map(|r| r.code()).collect();
+        for err in every_hdb_error() {
+            let reason = DenyReason::from(&err);
+            assert!(catalog.contains(reason.code()), "{err} → {reason:?}");
         }
     }
 
     #[test]
     fn wire_types_roundtrip_as_json() {
-        let req = DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted");
+        let req = DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted")
+            .emergency()
+            .with_deadline_us(2_500);
         let back: DecisionRequest =
             serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
         assert_eq!(back, req);
+        assert_eq!(back.priority, Priority::Emergency);
+        assert_eq!(back.deadline_us, Some(2_500));
 
         let reply = DecisionReply {
             verdict: Verdict::Deny(DenyReason::UnknownRole),

@@ -36,10 +36,53 @@ use prima_hdb::ColumnMap;
 use prima_model::{GroundRule, Policy, PolicyMatcher};
 use prima_vocab::{Vocabulary, ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
 use std::collections::hash_map::DefaultHasher;
+use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Why a policy install was refused. The engine pins the last-known-good
+/// snapshot either way: a failed install never degrades what is already
+/// serving, it only blocks the *new* snapshot from taking effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// A rule term names a concept absent from the serving vocabulary —
+    /// installing it would turn every affected decision into an
+    /// unanswerable probe. The engine enters degraded mode (cache
+    /// read-only) until a valid snapshot arrives.
+    UnknownConcept {
+        /// The attribute of the offending term.
+        attr: String,
+        /// The unresolvable concept name.
+        concept: String,
+    },
+    /// Installs are administratively held — the service-level circuit
+    /// breaker is open after a worker crash loop, so widening promotions
+    /// wait until the service proves stable again.
+    InstallsHeld,
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::UnknownConcept { attr, concept } => {
+                write!(
+                    f,
+                    "policy rule names unknown concept '{concept}' (attribute '{attr}')"
+                )
+            }
+            InstallError::InstallsHeld => {
+                write!(
+                    f,
+                    "policy installs are held while the service breaker is open"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
 
 /// The installed policy snapshot. Guarded by one `RwLock` so matcher,
 /// revision and epoch always change together.
@@ -62,6 +105,13 @@ pub struct DecisionEngine {
     revision: AtomicU64,
     cache: ShardedDecisionCache,
     columns: Option<ColumnMap>,
+    /// Degraded mode: a policy install failed validation. The pinned
+    /// last-known-good snapshot keeps answering, but the cache goes
+    /// read-only (no new inserts) until a valid snapshot installs.
+    degraded: AtomicBool,
+    /// Installs administratively held (service breaker open): widening
+    /// promotions wait; decisions keep flowing from the pinned snapshot.
+    installs_held: AtomicBool,
     obs: ServeObs,
 }
 
@@ -94,6 +144,8 @@ impl DecisionEngine {
             revision: AtomicU64::new(policy.revision()),
             cache: ShardedDecisionCache::new(shards),
             columns,
+            degraded: AtomicBool::new(false),
+            installs_held: AtomicBool::new(false),
             obs,
         }
     }
@@ -103,10 +155,81 @@ impl DecisionEngine {
         self.revision.load(Ordering::Acquire)
     }
 
+    /// True while the engine serves in degraded mode: a policy install
+    /// failed, the last-known-good snapshot is pinned, and the decision
+    /// cache is read-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// True while installs are administratively held (service breaker
+    /// open after a worker crash loop).
+    pub fn installs_held(&self) -> bool {
+        self.installs_held.load(Ordering::Acquire)
+    }
+
+    /// Holds or releases policy installs. While held,
+    /// [`Self::try_install_policy`] refuses with
+    /// [`InstallError::InstallsHeld`] and the cache is read-only — the
+    /// supervisor flips this when the service-level breaker opens and
+    /// closes.
+    pub fn hold_installs(&self, hold: bool) {
+        self.installs_held.store(hold, Ordering::Release);
+    }
+
     /// Installs a new policy snapshot, invalidating the whole cache iff
     /// the policy actually changed. Returns `true` when an install took
-    /// effect.
+    /// effect; an install rejected by validation or a hold counts as
+    /// "no install" (`false`) and pins the last-known-good snapshot.
     pub fn install_policy(&self, policy: &Policy) -> bool {
+        self.try_install_policy(policy).unwrap_or(false)
+    }
+
+    /// Fallible install: validates the snapshot before swapping it in.
+    ///
+    /// Validation requires every rule term to resolve in the serving
+    /// vocabulary — a rule over unknown concepts can never match a
+    /// request and would silently widen or narrow nothing while claiming
+    /// a fresh revision. On failure the engine keeps answering from the
+    /// pinned `(matcher, revision)` and enters degraded mode: cached
+    /// verdicts are still served, new verdicts are computed but not
+    /// cached, and [`crate::ServeHealth`] surfaces the state. The next
+    /// valid install clears degradation.
+    pub fn try_install_policy(&self, policy: &Policy) -> Result<bool, InstallError> {
+        if self.installs_held.load(Ordering::Acquire) {
+            self.obs.install_failures.inc();
+            return Err(InstallError::InstallsHeld);
+        }
+        if let Some((attr, concept)) = self.first_unknown_concept(policy) {
+            self.degraded.store(true, Ordering::Release);
+            self.obs.install_failures.inc();
+            self.obs.degraded.set(1.0);
+            let mut span = self.obs.tracer.span("serve.install_rejected");
+            span.field("attr", attr.clone());
+            span.field("concept", concept.clone());
+            return Err(InstallError::UnknownConcept { attr, concept });
+        }
+        let effective = self.install_validated(policy);
+        // A valid snapshot (even an unchanged one) restores full service.
+        if self.degraded.swap(false, Ordering::AcqRel) {
+            self.obs.degraded.set(0.0);
+        }
+        Ok(effective)
+    }
+
+    /// The first rule term that does not resolve in the vocabulary.
+    fn first_unknown_concept(&self, policy: &Policy) -> Option<(String, String)> {
+        for rule in policy.rules() {
+            for term in rule.terms() {
+                if self.vocab.resolve(&term.attr, &term.value).is_none() {
+                    return Some((term.attr.clone(), term.value.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    fn install_validated(&self, policy: &Policy) -> bool {
         let fp = fingerprint(policy);
         {
             let state = self.state.read();
@@ -213,7 +336,10 @@ impl DecisionEngine {
         } else {
             Verdict::Allow
         };
-        if use_cache {
+        // Degraded / held service keeps the cache read-only: existing
+        // coherent entries still hit, but nothing new is admitted while
+        // the policy plane is suspect.
+        if use_cache && !self.is_degraded() && !self.installs_held() {
             self.cache.insert(key, stamp, verdict);
         }
         self.reply(req, verdict, revision)
@@ -268,6 +394,8 @@ impl DecisionEngine {
                 op: category,
                 purpose: req.purpose.clone(),
                 consent: req.consent.clone(),
+                priority: crate::api::Priority::Bulk,
+                deadline_us: None,
             });
             match decision.verdict {
                 Verdict::Allow => served.push(column.clone()),
@@ -446,6 +574,79 @@ mod tests {
         assert!(e.install_policy(&other));
         let reply = e.decide(&req("physician", "lab-result", "treatment", "granted"));
         assert_eq!(reply.verdict, Verdict::Allow);
+    }
+
+    #[test]
+    fn rejected_install_pins_last_known_good_and_suspends_caching() {
+        let e = engine();
+        let good_revision = e.policy_revision();
+        let allowed = req("nurse", "referral", "treatment", "granted");
+        assert_eq!(e.decide(&allowed).verdict, Verdict::Allow);
+
+        // An install referencing a concept the vocabulary cannot resolve
+        // must be rejected wholesale, not partially applied.
+        let mut bad = policy();
+        bad.push(Rule::of(&[
+            (ATTR_DATA, "quantum-flux"),
+            (ATTR_PURPOSE, "treatment"),
+            (ATTR_AUTHORIZED, "nurse"),
+        ]));
+        let err = e.try_install_policy(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            InstallError::UnknownConcept {
+                attr: ATTR_DATA.to_string(),
+                concept: "quantum-flux".to_string(),
+            }
+        );
+        assert!(e.is_degraded());
+        // Pinned: decisions keep answering at the last-known-good
+        // revision, and cached verdicts still serve.
+        let pinned = e.decide(&allowed);
+        assert_eq!(pinned.verdict, Verdict::Allow);
+        assert_eq!(pinned.policy_revision, good_revision);
+        // Read-only cache: a fresh key decided while degraded is NOT
+        // inserted — deciding it twice misses twice.
+        let fresh = req("physician", "referral", "treatment", "granted");
+        let misses_before = e.cache_stats().misses;
+        e.decide(&fresh);
+        e.decide(&fresh);
+        assert_eq!(e.cache_stats().misses, misses_before + 2);
+
+        // The next valid install (even the unchanged snapshot) restores
+        // full service, caching included.
+        assert_eq!(e.try_install_policy(&policy()), Ok(false));
+        assert!(!e.is_degraded());
+        e.decide(&fresh); // miss + insert
+        let hits_before = e.cache_stats().hits;
+        e.decide(&fresh); // hit
+        assert_eq!(e.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn held_installs_refuse_and_keep_the_cache_read_only() {
+        let e = engine();
+        e.hold_installs(true);
+        assert!(e.installs_held());
+        let mut p = policy();
+        p.push(Rule::of(&[
+            (ATTR_DATA, "lab-result"),
+            (ATTR_PURPOSE, "treatment"),
+            (ATTR_AUTHORIZED, "physician"),
+        ]));
+        assert_eq!(e.try_install_policy(&p), Err(InstallError::InstallsHeld));
+        // Decisions still serve, but nothing new is cached while held.
+        let fresh = req("nurse", "referral", "treatment", "granted");
+        e.decide(&fresh);
+        e.decide(&fresh);
+        assert_eq!(e.cache_stats().misses, 2);
+        assert_eq!(e.cache_stats().hits, 0);
+        // Released: the held install now takes effect and caching resumes.
+        e.hold_installs(false);
+        assert_eq!(e.try_install_policy(&p), Ok(true));
+        e.decide(&fresh);
+        e.decide(&fresh);
+        assert_eq!(e.cache_stats().hits, 1);
     }
 
     #[test]

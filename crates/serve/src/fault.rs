@@ -1,0 +1,228 @@
+//! Chaos harness: [`FaultyTransport`] wraps any [`Transport`] and
+//! injects a deterministic, composable fault script.
+//!
+//! Four fault kinds, each firing on a counter period so a script is
+//! reproducible from `(faults, phase)` alone — no wall clock, no RNG on
+//! the injection path:
+//!
+//! * **drop** — the request never reaches the service; the caller gets
+//!   [`ServeError::Dropped`] (models a lost datagram / reset stream).
+//! * **delay** — the request is held for a fixed duration before
+//!   forwarding (models network jitter and slow proxies).
+//! * **duplicate** — the request is delivered twice and the second reply
+//!   is returned (models at-least-once transports; decisions are
+//!   idempotent, so the duplicate must be harmless).
+//! * **panic-inject** — the request's principal is rewritten to the
+//!   service's configured [`ServeConfig::panic_token`], so the worker
+//!   that dequeues it panics (models a poison request that crashes the
+//!   handler; the supervision layer must contain it).
+//!
+//! The seeded chaos suite (`tests/chaos.rs`, `--features chaos`) drives
+//! a small service through these scripts concurrently with policy
+//! installs and asserts the service never deadlocks, never answers a
+//! stale `Allow`, and recovers once faults cease.
+//!
+//! [`ServeConfig::panic_token`]: crate::service::ServeConfig::panic_token
+
+use crate::api::{DecisionReply, DecisionRequest, RewriteReply, RewriteRequest};
+use crate::service::{ServeError, Transport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A composable fault script. Each kind fires when the transport's
+/// request counter (offset by `phase`) is divisible by its period;
+/// `None` disables the kind. Periods must be ≥ 1.
+#[derive(Debug, Clone, Default)]
+pub struct TransportFaults {
+    drop_every: Option<u64>,
+    delay: Option<(u64, Duration)>,
+    duplicate_every: Option<u64>,
+    panic_every: Option<(u64, String)>,
+    phase: u64,
+}
+
+impl TransportFaults {
+    /// No faults; the identity script.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Drops every `period`-th request with [`ServeError::Dropped`].
+    pub fn drop_every(mut self, period: u64) -> Self {
+        self.drop_every = Some(period.max(1));
+        self
+    }
+
+    /// Delays every `period`-th request by `delay` before forwarding.
+    pub fn delay_every(mut self, period: u64, delay: Duration) -> Self {
+        self.delay = Some((period.max(1), delay));
+        self
+    }
+
+    /// Delivers every `period`-th request twice (second reply returned).
+    pub fn duplicate_every(mut self, period: u64) -> Self {
+        self.duplicate_every = Some(period.max(1));
+        self
+    }
+
+    /// Rewrites every `period`-th request's principal to `token` — the
+    /// service's panic token — crashing the worker that picks it up.
+    pub fn panic_every(mut self, period: u64, token: &str) -> Self {
+        self.panic_every = Some((period.max(1), token.to_string()));
+        self
+    }
+
+    /// Offsets the counter so independent clients sharing one script
+    /// fire at different points (seed the phase per client).
+    pub fn phase(mut self, phase: u64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    fn fires(&self, period: Option<u64>, n: u64) -> bool {
+        period.is_some_and(|p| (n + self.phase).is_multiple_of(p))
+    }
+}
+
+/// A [`Transport`] decorator executing a [`TransportFaults`] script.
+/// Deterministic: the `k`-th call through a given wrapper always sees
+/// the same faults.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    faults: TransportFaults,
+    counter: AtomicU64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the given fault script.
+    pub fn new(inner: T, faults: TransportFaults) -> Self {
+        Self {
+            inner,
+            faults,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Requests the script has seen (including dropped ones).
+    pub fn requests_seen(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn decide(&self, mut req: DecisionRequest) -> Result<DecisionReply, ServeError> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        if self.faults.fires(self.faults.drop_every, n) {
+            return Err(ServeError::Dropped);
+        }
+        if let Some((period, token)) = &self.faults.panic_every {
+            if self.faults.fires(Some(*period), n) {
+                req.principal = token.clone();
+            }
+        }
+        if let Some((period, delay)) = self.faults.delay {
+            if self.faults.fires(Some(period), n) {
+                std::thread::sleep(delay);
+            }
+        }
+        if self.faults.fires(self.faults.duplicate_every, n) {
+            let _first = self.inner.decide(req.clone())?;
+        }
+        self.inner.decide(req)
+    }
+
+    fn rewrite(&self, req: RewriteRequest) -> Result<RewriteReply, ServeError> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        if self.faults.fires(self.faults.drop_every, n) {
+            return Err(ServeError::Dropped);
+        }
+        if let Some((period, delay)) = self.faults.delay {
+            if self.faults.fires(Some(period), n) {
+                std::thread::sleep(delay);
+            }
+        }
+        self.inner.rewrite(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{DenyReason, Verdict};
+    use crate::service::{PolicyService, ServeConfig};
+    use prima_model::{Policy, Rule, StoreTag};
+    use prima_vocab::{Vocabulary, ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+
+    fn service(config: ServeConfig) -> PolicyService {
+        let config = config.metrics(prima_obs::MetricsRegistry::new());
+        let vocab = Vocabulary::builder()
+            .attribute(ATTR_DATA)
+            .category("clinical", &["referral"])
+            .attribute(ATTR_PURPOSE)
+            .category("care", &["treatment"])
+            .attribute(ATTR_AUTHORIZED)
+            .category("staff", &["nurse"])
+            .build()
+            .expect("test vocabulary");
+        let policy = Policy::with_rules(
+            StoreTag::PolicyStore,
+            vec![Rule::of(&[
+                (ATTR_DATA, "referral"),
+                (ATTR_PURPOSE, "treatment"),
+                (ATTR_AUTHORIZED, "nurse"),
+            ])],
+        );
+        PolicyService::start(config, &policy, &vocab)
+    }
+
+    fn req() -> DecisionRequest {
+        DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted")
+    }
+
+    #[test]
+    fn drop_script_is_deterministic() {
+        let svc = service(ServeConfig::new().workers(1));
+        let faulty = FaultyTransport::new(svc.handle(), TransportFaults::none().drop_every(3));
+        let outcomes: Vec<bool> = (0..9).map(|_| faulty.decide(req()).is_ok()).collect();
+        // Calls 0, 3, 6 drop; the rest deliver.
+        assert_eq!(
+            outcomes,
+            [false, true, true, false, true, true, false, true, true]
+        );
+        assert_eq!(faulty.requests_seen(), 9);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let svc = service(ServeConfig::new().workers(1));
+        let faulty = FaultyTransport::new(svc.handle(), TransportFaults::none().duplicate_every(1));
+        for _ in 0..5 {
+            assert_eq!(faulty.decide(req()).unwrap().verdict, Verdict::Allow);
+        }
+        // Every call delivered twice: 10 decisions served for 5 calls.
+        let snap = svc.shutdown();
+        assert_eq!(snap.decisions, 10);
+    }
+
+    #[test]
+    fn panic_injection_is_contained_by_supervision() {
+        let svc = service(ServeConfig::new().workers(2).panic_token("☠"));
+        let faulty = FaultyTransport::new(
+            svc.handle(),
+            TransportFaults::none().panic_every(2, "☠").phase(1),
+        );
+        // Call 0 (phase 1): clean. Call 1 (phase 2): injected panic.
+        assert_eq!(faulty.decide(req()).unwrap().verdict, Verdict::Allow);
+        let poisoned = faulty.decide(req()).unwrap();
+        assert_eq!(poisoned.verdict, Verdict::Deny(DenyReason::Internal));
+        // The service keeps answering.
+        assert_eq!(faulty.decide(req()).unwrap().verdict, Verdict::Allow);
+        svc.shutdown();
+    }
+}

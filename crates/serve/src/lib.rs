@@ -12,32 +12,49 @@
 //! * [`cache`] — the sharded cache; `O(1)` whole-cache invalidation.
 //! * [`engine`] — validated request → cached verdict; installs policy
 //!   snapshots under the revision/fingerprint protocol.
-//! * [`service`] — the worker pool, the transport trait, and the
-//!   in-process transports.
+//! * [`service`] — the worker pool, the transport trait, the in-process
+//!   transports, and the overload/supervision machinery (two-lane
+//!   admission, load shedding, deadline propagation, worker respawn,
+//!   crash-loop breaker, [`ServeHealth`]).
+//! * [`fault`] — [`FaultyTransport`], a chaos wrapper injecting scripted
+//!   drops, delays, duplicates and worker panics into any transport.
 //! * [`obs`] — the serve metric catalog on `prima-obs`.
 //! * [`bench`] — the Zipf-driven load benchmark behind
 //!   `prima serve-bench` (emits `BENCH_serve.json`).
+//! * [`surge`] — the overload benchmark behind `prima serve-bench
+//!   --surge`: 10–100× bursts with elevated break-the-glass rates.
 //!
 //! The coherence contract: a refinement promotion or a gated overturn
 //! bumps `Policy::revision`, the install advances the cache epoch, and
 //! the *very next* decision reflects the new policy — property-tested in
 //! `tests/coherence.rs` under arbitrary interleavings.
+//!
+//! The overload contract (DESIGN.md §11): under load beyond capacity the
+//! service *degrades*, never collapses — bulk work is shed early with
+//! `SRV-011`, expired work is abandoned with `SRV-012`, emergency
+//! (break-the-glass) traffic bypasses the shedder, and worker crashes
+//! answer fail-closed while the supervisor respawns the pool.
 
 pub mod api;
 pub mod bench;
 pub mod cache;
 pub mod engine;
+pub mod fault;
 pub mod obs;
 pub mod service;
+pub mod surge;
 
 pub use api::{
-    Consent, DecisionReply, DecisionRequest, DenyReason, RewriteReply, RewriteRequest, Verdict,
+    Consent, DecisionReply, DecisionRequest, DenyReason, Priority, RewriteReply, RewriteRequest,
+    Verdict,
 };
 pub use bench::{run_load, LoadConfig, LoadReport};
 pub use cache::{DecisionKey, ServeCacheStats, ShardedDecisionCache};
-pub use engine::DecisionEngine;
+pub use engine::{DecisionEngine, InstallError};
+pub use fault::{FaultyTransport, TransportFaults};
 pub use obs::{ServeObs, DECISION_LATENCY_BUCKETS};
 pub use service::{
-    DirectTransport, InProcessTransport, PolicyService, ServeConfig, ServeError, ServeSnapshot,
-    Transport,
+    DirectTransport, InProcessTransport, PolicyService, ServeConfig, ServeError, ServeHealth,
+    ServeSnapshot, ServiceState, Transport,
 };
+pub use surge::{run_surge, LaneOutcomes, SurgeConfig, SurgeReport};

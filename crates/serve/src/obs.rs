@@ -14,6 +14,14 @@
 //! | `prima_serve_policy_installs_total` | counter | policy snapshots installed |
 //! | `prima_serve_decisions_per_sec` | gauge | sustained QPS, set by the bench |
 //! | `prima_serve_decision_seconds` | histogram | per-decision latency |
+//! | `prima_serve_shed_total` | counter | requests shed under overload (`SRV-011`) |
+//! | `prima_serve_deadline_expired_total` | counter | requests abandoned past deadline (`SRV-012`) |
+//! | `prima_serve_emergency_total` | counter | emergency-lane (break-the-glass) decisions served |
+//! | `prima_serve_worker_panics_total` | counter | worker panics caught |
+//! | `prima_serve_worker_restarts_total` | counter | workers respawned by the supervisor |
+//! | `prima_serve_install_failures_total` | counter | policy installs rejected (validation or hold) |
+//! | `prima_serve_breaker_open_total` | counter | service-level breaker openings (crash loops) |
+//! | `prima_serve_degraded` | gauge | 1 while serving degraded (pinned last-known-good) |
 //!
 //! The latency histogram uses sub-microsecond buckets: a cache hit is a
 //! hash probe under an uncontended mutex and lands well below the 1µs
@@ -49,6 +57,24 @@ pub struct ServeObs {
     pub qps: Gauge,
     /// Per-decision latency.
     pub decision_latency: Histogram,
+    /// Requests shed under overload (answered `SRV-011`).
+    pub shed: Counter,
+    /// Requests abandoned past their deadline (answered `SRV-012`).
+    pub deadline_expired: Counter,
+    /// Emergency-lane (break-the-glass) decisions served.
+    pub emergency: Counter,
+    /// Worker panics caught by the supervision layer.
+    pub worker_panics: Counter,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: Counter,
+    /// Policy installs rejected (failed validation, or held while the
+    /// service breaker is open).
+    pub install_failures: Counter,
+    /// Service-level circuit-breaker openings (worker crash loops).
+    pub breaker_open: Counter,
+    /// 1 while the engine serves degraded from the pinned
+    /// last-known-good snapshot, 0 otherwise.
+    pub degraded: Gauge,
     /// Span source for install/coherence events.
     pub tracer: Tracer,
 }
@@ -88,6 +114,38 @@ impl ServeObs {
                 "Per-decision latency (cache hits and misses)",
                 &[],
                 &DECISION_LATENCY_BUCKETS,
+            ),
+            shed: registry.counter(
+                "prima_serve_shed_total",
+                "Requests shed under overload (SRV-011)",
+            ),
+            deadline_expired: registry.counter(
+                "prima_serve_deadline_expired_total",
+                "Requests abandoned past their deadline (SRV-012)",
+            ),
+            emergency: registry.counter(
+                "prima_serve_emergency_total",
+                "Emergency-lane (break-the-glass) decisions served",
+            ),
+            worker_panics: registry.counter(
+                "prima_serve_worker_panics_total",
+                "Worker panics caught by the supervision layer",
+            ),
+            worker_restarts: registry.counter(
+                "prima_serve_worker_restarts_total",
+                "Workers respawned by the supervisor",
+            ),
+            install_failures: registry.counter(
+                "prima_serve_install_failures_total",
+                "Policy installs rejected by validation or an install hold",
+            ),
+            breaker_open: registry.counter(
+                "prima_serve_breaker_open_total",
+                "Service-level circuit-breaker openings (worker crash loops)",
+            ),
+            degraded: registry.gauge(
+                "prima_serve_degraded",
+                "1 while serving degraded from the pinned last-known-good policy",
             ),
             tracer,
         }

@@ -28,7 +28,9 @@ pub mod fixtures;
 pub mod population;
 pub mod scenario;
 pub mod sim;
+pub mod surge;
 
 pub use population::{ZipfPopulation, ZipfSampler};
 pub use scenario::Scenario;
 pub use sim::{EntryLabel, LabeledEntry, PracticeCluster, SimConfig, Simulator};
+pub use surge::SurgeProfile;

@@ -74,7 +74,12 @@ fn print_usage() {
            [--smoke] [--principals N] [--requests N] [--clients N] [--workers N]\n    \
            [--shards N] [--batch N] [--zipf S] [--seed S] [--promote-every N]\n    \
            [--out FILE]               (writes the gate report as JSON; exits\n      \
-              non-zero when any acceptance gate fails)"
+              non-zero when any acceptance gate fails)\n    \
+           [--surge]                  overload run instead: 10-100x burst with\n      \
+              an elevated break-the-glass rate; gates graceful degradation\n      \
+              (SRV-011 shedding, SRV-012 deadlines, emergency certainty)\n    \
+           [--suite]                  full sweep: load at workers=1 and =4 plus\n      \
+              the surge run, written as one aggregate report (BENCH_serve.json)"
     );
 }
 
@@ -90,7 +95,13 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             return Err(format!("unknown flag '--{key}'"));
         }
         // Boolean flags take no value.
-        if key == "set" || key == "generalize" || key == "profile" || key == "smoke" {
+        if key == "set"
+            || key == "generalize"
+            || key == "profile"
+            || key == "smoke"
+            || key == "surge"
+            || key == "suite"
+        {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -347,6 +358,8 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         args,
         &[
             "smoke",
+            "surge",
+            "suite",
             "principals",
             "requests",
             "clients",
@@ -359,6 +372,12 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             "out",
         ],
     )?;
+    if flags.contains_key("suite") {
+        return serve_bench_suite(&flags);
+    }
+    if flags.contains_key("surge") {
+        return serve_bench_surge(&flags);
+    }
     let mut config = if flags.contains_key("smoke") {
         LoadConfig::smoke()
     } else {
@@ -426,6 +445,132 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("serve-bench acceptance gate(s) failed".to_string())
+    }
+}
+
+fn flag_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    into: &mut T,
+) -> Result<(), String> {
+    if let Some(s) = flags.get(key) {
+        *into = s.parse().map_err(|_| format!("bad --{key} '{s}'"))?;
+    }
+    Ok(())
+}
+
+fn surge_config_from(flags: &HashMap<String, String>) -> Result<prima::serve::SurgeConfig, String> {
+    let mut config = if flags.contains_key("smoke") {
+        prima::serve::SurgeConfig::smoke()
+    } else {
+        prima::serve::SurgeConfig::default()
+    };
+    flag_num(flags, "principals", &mut config.principals)?;
+    flag_num(flags, "clients", &mut config.bulk_clients)?;
+    flag_num(flags, "workers", &mut config.workers)?;
+    flag_num(flags, "zipf", &mut config.zipf)?;
+    flag_num(flags, "seed", &mut config.seed)?;
+    Ok(config)
+}
+
+fn print_surge_report(report: &prima::serve::SurgeReport) {
+    println!(
+        "capacity {:.0}/s, offered {:.0}/s — surge factor {:.1}x over {:.2}s",
+        report.capacity_per_sec, report.offered_per_sec, report.surge_factor, report.elapsed_secs
+    );
+    let lane = |name: &str, o: &prima::serve::LaneOutcomes| {
+        println!(
+            "{name}: {} offered, {} decided, {} shed (SRV-011), {} expired (SRV-012), \
+             {} unexpected",
+            o.offered, o.decided, o.shed, o.expired, o.unexpected
+        );
+    };
+    lane("bulk", &report.bulk);
+    lane("emergency", &report.emergency);
+    println!(
+        "coherence: {} audited, {} mismatch(es)",
+        report.coherence_checked, report.coherence_mismatches
+    );
+    for (gate, ok) in report.gates() {
+        println!("gate {gate}: {}", if ok { "pass" } else { "FAIL" });
+    }
+}
+
+fn serve_bench_surge(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = surge_config_from(flags)?;
+    println!(
+        "serve-bench --surge: {} bulk + {} emergency client(s) for {}ms, \
+         {} worker(s) at {}us/decision ({} mode)",
+        config.bulk_clients,
+        config.emergency_clients,
+        config.duration_ms,
+        config.workers,
+        config.decision_delay_us,
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let report = prima::serve::run_surge(config);
+    print_surge_report(&report);
+    if let Some(path) = flags.get("out") {
+        let text = serde_json::to_string_pretty(&report.to_json())
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("report written to {path}");
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("serve-bench surge gate(s) failed".to_string())
+    }
+}
+
+fn serve_bench_suite(flags: &HashMap<String, String>) -> Result<(), String> {
+    use prima::serve::LoadConfig;
+    let smoke = flags.contains_key("smoke");
+    let base = if smoke {
+        LoadConfig::smoke()
+    } else {
+        LoadConfig::default()
+    };
+    let mut load_reports = Vec::new();
+    for workers in [1usize, 4] {
+        let config = LoadConfig {
+            workers,
+            ..base.clone()
+        };
+        println!("suite: load bench, {workers} worker(s) …");
+        let report = prima::serve::run_load(config);
+        println!(
+            "  {:.0} decisions/s, hit rate {:.1}%, {} coherence mismatch(es): {}",
+            report.decisions_per_sec,
+            report.hit_rate() * 100.0,
+            report.coherence_mismatches,
+            if report.passed() { "pass" } else { "FAIL" }
+        );
+        load_reports.push(report);
+    }
+    println!("suite: surge bench …");
+    let surge = prima::serve::run_surge(surge_config_from(flags)?);
+    print_surge_report(&surge);
+
+    let passed = load_reports.iter().all(|r| r.passed()) && surge.passed();
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::Value::Map(vec![
+            ("bench".into(), serde_json::Value::Str("serve_suite".into())),
+            (
+                "load".into(),
+                serde_json::Value::Seq(load_reports.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("surge".into(), surge.to_json()),
+        ]);
+        let text = serde_json::to_string_pretty(&json)
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("report written to {path}");
+    }
+    if passed {
+        Ok(())
+    } else {
+        Err("serve-bench suite gate(s) failed".to_string())
     }
 }
 
