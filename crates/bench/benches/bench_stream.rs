@@ -1,48 +1,39 @@
 //! E10 — streaming ingestion: sustained entries/sec through the
-//! prima-stream pipeline at 1, 2, 4 and 8 shards over the community
-//! hospital trail, plus the decision-cache hit rate at each width.
+//! block-based prima-stream pipeline at 1, 2, 4 and 8 shards over the
+//! community hospital trail, plus the decision-cache hit rate at each
+//! width.
 //!
-//! Besides the Criterion timings, the bench prints a one-object JSON
-//! summary (`stream-throughput-summary`) so the acceptance gate
-//! (≥ 100k entries/sec at 4 shards) can be checked mechanically, and
-//! writes `BENCH_stream.json` at the repo root with throughput, the
-//! metrics-enabled overhead comparison (acceptance: within 5% of the
-//! uninstrumented baseline), and checkpoint latencies from the
-//! `prima_stream_checkpoint_seconds` histogram.
+//! Besides the Criterion timings, the bench runs the shared
+//! `prima_stream::loadbench` ladder (the same harness behind
+//! `prima stream-bench` and the CI `stream-bench` job), prints its
+//! one-object JSON summary, and writes `BENCH_stream.json` at the repo
+//! root. Acceptance travels with the report as machine-checkable gates:
+//! wide-over-narrow scaling floored by the host's core count, ≥1M
+//! entries/sec at the widest width, cache hit rate within half a point
+//! of the standard trail's 98.144%, and metrics-enabled overhead within
+//! 5% of the uninstrumented baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prima_audit::AuditEntry;
-use prima_bench::{stage_profiles_json, standard_trail, write_bench_json};
+use prima_bench::{standard_trail, write_bench_json};
 use prima_model::PolicyMatcher;
-use prima_obs::{MetricsRegistry, PipelineReport, Tracer};
-use prima_stream::{StreamConfig, StreamEngine};
+use prima_stream::loadbench::{STANDARD_SEED, STANDARD_TRAIL_LEN};
+use prima_stream::{run_stream_bench, StreamBenchConfig, StreamConfig, StreamEngine};
 use prima_workload::Scenario;
-use serde_json::Value;
-use std::time::Instant;
 
-const TRAIL_LEN: usize = 50_000;
 const SHARD_WIDTHS: [usize; 4] = [1, 2, 4, 8];
-
-fn start_engine(shards: usize, scenario: &Scenario) -> StreamEngine {
-    start_engine_with(StreamConfig::with_shards(shards), scenario)
-}
-
-fn start_engine_with(config: StreamConfig, scenario: &Scenario) -> StreamEngine {
-    StreamEngine::start(
-        config,
-        PolicyMatcher::new(&scenario.policy, &scenario.vocab),
-    )
-}
 
 fn bench_ingest(c: &mut Criterion) {
     let scenario = Scenario::community_hospital();
-    let trail = standard_trail(TRAIL_LEN, 23);
+    let trail = standard_trail(STANDARD_TRAIL_LEN, STANDARD_SEED);
     let mut group = c.benchmark_group("stream/ingest-50k");
     group.sample_size(10);
     for shards in SHARD_WIDTHS {
         group.bench_with_input(BenchmarkId::from_parameter(shards), &trail, |b, trail| {
             b.iter(|| {
-                let mut engine = start_engine(shards, &scenario);
+                let mut engine = StreamEngine::start(
+                    StreamConfig::with_shards(shards),
+                    PolicyMatcher::new(&scenario.policy, &scenario.vocab),
+                );
                 engine.ingest_all(trail.iter());
                 engine.drain()
             });
@@ -51,114 +42,18 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-/// One measured pass: ingest the whole trail, drain, and read the final
-/// snapshot for cache statistics. Returns `(entries_per_sec, hit_rate)`.
-fn measured_pass(shards: usize, scenario: &Scenario, trail: &[AuditEntry]) -> (f64, f64) {
-    measured_pass_with(StreamConfig::with_shards(shards), scenario, trail)
-}
-
-/// [`measured_pass`] with an explicit config (for the instrumented run).
-fn measured_pass_with(
-    config: StreamConfig,
-    scenario: &Scenario,
-    trail: &[AuditEntry],
-) -> (f64, f64) {
-    let mut engine = start_engine_with(config, scenario);
-    let start = Instant::now();
-    engine.ingest_all(trail.iter());
-    engine.drain();
-    let secs = start.elapsed().as_secs_f64();
-    let snap = engine.shutdown();
-    (trail.len() as f64 / secs, snap.cache.hit_rate())
-}
-
-/// Best of `n` measured passes (entries/sec) under `make_config` —
-/// best-of damps scheduler noise, which single passes at these
-/// durations are well inside of.
-fn best_eps(
-    n: usize,
-    scenario: &Scenario,
-    trail: &[AuditEntry],
-    make_config: impl Fn() -> StreamConfig,
-) -> f64 {
-    (0..n)
-        .map(|_| measured_pass_with(make_config(), scenario, trail).0)
-        .fold(0.0, f64::max)
-}
-
 fn emit_summary(_c: &mut Criterion) {
-    let scenario = Scenario::community_hospital();
-    let trail = standard_trail(TRAIL_LEN, 23);
-    let mut per_width = Vec::new();
-    let mut at_4_shards = 0.0;
-    for shards in SHARD_WIDTHS {
-        // Warm pass (thread spawn, allocator), then the measured one.
-        measured_pass(shards, &scenario, &trail[..trail.len() / 10]);
-        let (eps, hit_rate) = measured_pass(shards, &scenario, &trail);
-        if shards == 4 {
-            at_4_shards = eps;
-        }
-        per_width.push(Value::Map(vec![
-            ("shards".into(), Value::U64(shards as u64)),
-            ("entries_per_sec".into(), Value::F64(eps.round())),
-            ("cache_hit_rate".into(), Value::F64(hit_rate)),
-        ]));
-    }
-    // Metrics-enabled overhead at 4 shards: identical configs except for
-    // the live registry/tracer. Acceptance: instrumented within 5% of
-    // the uninstrumented baseline.
-    let baseline_eps = best_eps(3, &scenario, &trail, || StreamConfig::with_shards(4));
-    let instrumented_eps = best_eps(3, &scenario, &trail, || {
-        StreamConfig::with_shards(4).observability(MetricsRegistry::new(), Tracer::new())
-    });
-    let overhead_pct = (1.0 - instrumented_eps / baseline_eps) * 100.0;
-
-    // One checkpointing + instrumented pass, so the checkpoint-latency
-    // histogram in BENCH_stream.json is non-empty.
-    let registry = MetricsRegistry::new();
-    measured_pass_with(
-        StreamConfig::with_shards(4)
-            .checkpoint_every(5_000)
-            .observability(registry.clone(), Tracer::disabled()),
-        &scenario,
-        &trail,
-    );
-    let checkpoints = PipelineReport::gather(&registry, "prima_stream_checkpoint_seconds");
-
-    let summary = Value::Map(vec![
-        (
-            "bench".into(),
-            Value::Str("stream-throughput-summary".into()),
-        ),
-        ("trail_entries".into(), Value::U64(TRAIL_LEN as u64)),
-        ("widths".into(), Value::Seq(per_width)),
-        (
-            "meets_100k_at_4_shards".into(),
-            Value::Bool(at_4_shards >= 100_000.0),
-        ),
-        (
-            "metrics_overhead".into(),
-            Value::Map(vec![
-                ("baseline_eps".into(), Value::F64(baseline_eps.round())),
-                (
-                    "instrumented_eps".into(),
-                    Value::F64(instrumented_eps.round()),
-                ),
-                ("overhead_pct".into(), Value::F64(overhead_pct)),
-                ("within_5pct".into(), Value::Bool(overhead_pct <= 5.0)),
-            ]),
-        ),
-        (
-            "checkpoint_latency".into(),
-            stage_profiles_json(&checkpoints),
-        ),
-    ]);
+    let report = run_stream_bench(StreamBenchConfig::default());
+    let summary = report.to_json();
     println!(
         "{}",
         serde_json::to_string_pretty(&summary).expect("summary is a plain value tree")
     );
     let path = write_bench_json("BENCH_stream.json", &summary).expect("repo root is writable");
     println!("wrote {}", path.display());
+    for (gate, ok) in report.gates() {
+        println!("gate {gate}: {}", if ok { "pass" } else { "FAIL" });
+    }
 }
 
 criterion_group!(benches, bench_ingest, emit_summary);

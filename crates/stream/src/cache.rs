@@ -7,9 +7,15 @@
 //! stamped: a policy refinement bumps the engine epoch, and a shard
 //! clears its memo table the moment it installs the new matcher, so no
 //! verdict from policy version `n` ever answers for version `n + 1`.
+//!
+//! Keys are `Arc<GroundRule>` (blocks ship shared rules), and the
+//! block-processing loop probes once per *run* of identical consecutive
+//! rules via [`DecisionCache::classify_run`] — the hit/miss books it
+//! keeps are bit-for-bit what per-entry probing would have recorded.
 
 use prima_model::{GroundRule, PolicyMatcher};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Hit/miss counters for one cache (or an aggregate of several).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,7 +50,7 @@ impl CacheStats {
 /// Per-shard memoized classifier.
 #[derive(Debug)]
 pub struct DecisionCache {
-    verdicts: HashMap<GroundRule, bool>,
+    verdicts: HashMap<Arc<GroundRule>, bool>,
     epoch: u64,
     stats: CacheStats,
 }
@@ -79,8 +85,31 @@ impl DecisionCache {
         }
         self.stats.misses += 1;
         let verdict = matcher.covers(g);
-        self.verdicts.insert(g.clone(), verdict);
+        self.verdicts.insert(Arc::new(g.clone()), verdict);
         (verdict, false)
+    }
+
+    /// Classifies a run of `n` entries that all carry the same rule with
+    /// one memo probe, returning `(verdict, hits, misses)` charged to the
+    /// books — exactly what `n` sequential [`Self::classify_traced`]
+    /// calls would have charged: a memoized rule is `n` hits; an unseen
+    /// one is 1 miss (the probe that fills the memo) plus `n − 1` hits.
+    pub fn classify_run(
+        &mut self,
+        matcher: &PolicyMatcher,
+        g: &Arc<GroundRule>,
+        n: u64,
+    ) -> (bool, u64, u64) {
+        debug_assert!(n >= 1);
+        if let Some(&verdict) = self.verdicts.get(g) {
+            self.stats.hits += n;
+            return (verdict, n, 0);
+        }
+        let verdict = matcher.covers(g);
+        self.verdicts.insert(Arc::clone(g), verdict);
+        self.stats.misses += 1;
+        self.stats.hits += n - 1;
+        (verdict, n - 1, 1)
     }
 
     /// Installs a new policy epoch, dropping every memoized verdict.
@@ -100,7 +129,10 @@ impl DecisionCache {
 
     /// The memoized `(rule, verdict)` pairs (checkpoint export).
     pub fn export_memo(&self) -> Vec<(GroundRule, bool)> {
-        self.verdicts.iter().map(|(g, v)| (g.clone(), *v)).collect()
+        self.verdicts
+            .iter()
+            .map(|(g, v)| ((**g).clone(), *v))
+            .collect()
     }
 
     /// Rebuilds a cache from a checkpoint: memo table, counters, and
@@ -108,7 +140,7 @@ impl DecisionCache {
     /// accounting continues where the checkpoint left off.
     pub fn restore(epoch: u64, memo: Vec<(GroundRule, bool)>, stats: CacheStats) -> Self {
         Self {
-            verdicts: memo.into_iter().collect(),
+            verdicts: memo.into_iter().map(|(g, v)| (Arc::new(g), v)).collect(),
             epoch,
             stats,
         }
@@ -163,6 +195,35 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(cache.len(), 2);
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_probe_books_match_sequential_probes() {
+        // One cache classifies runs, the other the same entries one at a
+        // time: verdicts and hit/miss books must be identical.
+        let m = matcher();
+        let mut runs = DecisionCache::new(0);
+        let mut seq = DecisionCache::new(0);
+        for (data, n) in [("referral", 5u64), ("psychiatry", 1), ("referral", 3)] {
+            let rule = Arc::new(g(data));
+            let (verdict, _, _) = runs.classify_run(&m, &rule, n);
+            for _ in 0..n {
+                assert_eq!(seq.classify(&m, &rule), verdict);
+            }
+        }
+        assert_eq!(runs.stats(), seq.stats());
+        assert_eq!(runs.len(), seq.len());
+    }
+
+    #[test]
+    fn run_probe_reports_charged_hits_and_misses() {
+        let m = matcher();
+        let mut cache = DecisionCache::new(0);
+        let rule = Arc::new(g("referral"));
+        assert_eq!(cache.classify_run(&m, &rule, 4), (true, 3, 1));
+        assert_eq!(cache.classify_run(&m, &rule, 2), (true, 2, 0));
+        assert_eq!(cache.stats().hits, 5);
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

@@ -3,11 +3,16 @@
 use crate::fault::FaultPlan;
 use prima_obs::{MetricsRegistry, Tracer};
 
-/// Default bounded-channel capacity per shard.
-pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+/// Default bounded-channel capacity per shard, denominated in *entries*
+/// (the engine converts it to whole blocks, keeping at least one slot).
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 8192;
 
 /// Default shard count.
 pub const DEFAULT_SHARDS: usize = 4;
+
+/// Default entries accumulated per [`crate::EntryBlock`] before the
+/// engine ships it to the owning shard.
+pub const DEFAULT_BLOCK_SIZE: usize = 512;
 
 /// Configuration for a [`crate::StreamEngine`].
 #[derive(Debug, Clone)]
@@ -16,10 +21,18 @@ pub struct StreamConfig {
     /// shards, so each distinct access shape is owned by exactly one
     /// shard (which is what makes snapshot merging a concatenation).
     pub shards: usize,
-    /// Bounded capacity of each shard's input channel; a full channel
-    /// blocks the producer (backpressure) rather than buffering without
-    /// limit.
+    /// Bounded capacity of each shard's input channel, in entries; a
+    /// full channel blocks the producer (backpressure) rather than
+    /// buffering without limit. The engine rounds this to whole blocks
+    /// (`max(1, channel_capacity / block_size)` block slots).
     pub channel_capacity: usize,
+    /// Entries accumulated per shard before a block is flushed into the
+    /// shard's channel. 1 reproduces row-at-a-time shipping; larger
+    /// blocks amortize channel synchronization, cache probes, and
+    /// queue-depth accounting across the block. Barriers (snapshot,
+    /// checkpoint, policy refresh, drain, shutdown) flush partial blocks
+    /// first, so block size never changes what a snapshot observes.
+    pub block_size: usize,
     /// Sliding-window duration in seconds for per-pattern windowed
     /// stats. `None` disables window tracking (snapshots then carry no
     /// [`crate::WindowSnapshot`]).
@@ -45,6 +58,7 @@ impl Default for StreamConfig {
         Self {
             shards: DEFAULT_SHARDS,
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            block_size: DEFAULT_BLOCK_SIZE,
             window_secs: None,
             faults: FaultPlan::none(),
             checkpoint_interval: None,
@@ -63,9 +77,15 @@ impl StreamConfig {
         }
     }
 
-    /// Sets the per-shard channel capacity.
+    /// Sets the per-shard channel capacity (in entries).
     pub fn channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets how many entries accumulate per shard before a block ships.
+    pub fn block_size(mut self, entries: usize) -> Self {
+        self.block_size = entries.max(1);
         self
     }
 
@@ -108,6 +128,11 @@ mod tests {
         let c = StreamConfig::default();
         assert_eq!(c.shards, DEFAULT_SHARDS);
         assert_eq!(c.channel_capacity, DEFAULT_CHANNEL_CAPACITY);
+        assert_eq!(c.block_size, DEFAULT_BLOCK_SIZE);
+        assert!(
+            c.channel_capacity >= 2 * c.block_size,
+            "default capacity holds at least two blocks in flight"
+        );
         assert!(c.window_secs.is_none());
         assert!(!c.faults.any());
         assert!(c.checkpoint_interval.is_none(), "recovery is opt-in");
@@ -126,10 +151,12 @@ mod tests {
     fn builders_clamp_degenerate_values() {
         let c = StreamConfig::with_shards(0)
             .channel_capacity(0)
+            .block_size(0)
             .window_secs(0)
             .checkpoint_every(0);
         assert_eq!(c.shards, 1);
         assert_eq!(c.channel_capacity, 1);
+        assert_eq!(c.block_size, 1);
         assert_eq!(c.window_secs, Some(1));
         assert_eq!(c.checkpoint_interval, Some(1));
     }

@@ -3,12 +3,14 @@
 //! Each shard keeps one counter per distinct ground rule it owns; every
 //! entry updates exactly one counter, so maintaining both the set view
 //! (Definition 9's `CoverageReport`) and the entry-weighted view is O(1)
-//! per entry. Because ground rules are hash-partitioned, per-shard key
-//! sets are disjoint and a snapshot merge is a concatenation followed by
-//! one sort — no cross-shard reconciliation.
+//! per entry — and a run of identical consecutive entries inside a block
+//! is one `observe_run` bump. Because ground rules are hash-partitioned,
+//! per-shard key sets are disjoint and a snapshot merge is a
+//! concatenation followed by one sort — no cross-shard reconciliation.
 
 use prima_model::{CoverageReport, GroundRule};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Running totals for one distinct ground rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +51,7 @@ impl StreamTotals {
 /// One shard's counters.
 #[derive(Debug, Default)]
 pub struct CoverageCounters {
-    by_rule: HashMap<GroundRule, PatternStats>,
+    by_rule: HashMap<Arc<GroundRule>, PatternStats>,
     totals: StreamTotals,
 }
 
@@ -65,12 +67,28 @@ impl CoverageCounters {
             Some(stats) => stats.count += 1,
             None => {
                 self.by_rule
-                    .insert(g.clone(), PatternStats { count: 1, covered });
+                    .insert(Arc::new(g.clone()), PatternStats { count: 1, covered });
             }
         }
         self.totals.total_entries += 1;
         if covered {
             self.totals.covered_entries += 1;
+        }
+    }
+
+    /// Records a run of `n` entries sharing one rule — one counter bump,
+    /// identical end state to `n` [`Self::observe`] calls.
+    pub fn observe_run(&mut self, g: &Arc<GroundRule>, covered: bool, n: u64) {
+        match self.by_rule.get_mut(g) {
+            Some(stats) => stats.count += n,
+            None => {
+                self.by_rule
+                    .insert(Arc::clone(g), PatternStats { count: n, covered });
+            }
+        }
+        self.totals.total_entries += n;
+        if covered {
+            self.totals.covered_entries += n;
         }
     }
 
@@ -84,7 +102,7 @@ impl CoverageCounters {
     pub fn relabel<F: FnMut(&GroundRule) -> bool>(&mut self, mut covers: F) {
         let mut covered_entries = 0u64;
         for (g, stats) in self.by_rule.iter_mut() {
-            stats.covered = covers(g);
+            stats.covered = covers(g.as_ref());
             if stats.covered {
                 covered_entries += stats.count;
             }
@@ -104,7 +122,10 @@ impl CoverageCounters {
 
     /// Drains this shard's per-pattern state for a snapshot merge.
     pub fn export(&self) -> Vec<(GroundRule, PatternStats)> {
-        self.by_rule.iter().map(|(g, s)| (g.clone(), *s)).collect()
+        self.by_rule
+            .iter()
+            .map(|(g, s)| ((**g).clone(), *s))
+            .collect()
     }
 
     /// Rebuilds a counter set from an export (checkpoint recovery). The
@@ -118,7 +139,7 @@ impl CoverageCounters {
             if stats.covered {
                 totals.covered_entries += stats.count;
             }
-            by_rule.insert(g, stats);
+            by_rule.insert(Arc::new(g), stats);
         }
         Self { by_rule, totals }
     }
@@ -176,6 +197,26 @@ mod tests {
         assert_eq!(t.total_entries, 3);
         assert_eq!(t.covered_entries, 2);
         assert!((t.ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_run_matches_repeated_observe() {
+        let mut runs = CoverageCounters::new();
+        let mut seq = CoverageCounters::new();
+        for (data, covered, n) in [("referral", true, 5u64), ("psychiatry", false, 2)] {
+            let rule = Arc::new(g(data));
+            runs.observe_run(&rule, covered, n);
+            for _ in 0..n {
+                seq.observe(&rule, covered);
+            }
+        }
+        assert_eq!(runs.totals(), seq.totals());
+        assert_eq!(runs.distinct(), seq.distinct());
+        let mut a = runs.export();
+        let mut b = seq.export();
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a, b);
     }
 
     #[test]

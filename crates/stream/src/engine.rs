@@ -1,31 +1,44 @@
-//! The streaming engine: bounded-channel ingestion across shard workers
-//! with epoch-barrier snapshots.
+//! The streaming engine: block-based bounded-channel ingestion across
+//! shard workers with epoch-barrier snapshots.
 //!
 //! ```text
-//!  ingest(entry) ──┬─ hash(ground rule) ─▶ shard 0 ─ cache ─ counters ─ window
-//!                  │                       shard 1 ─   "        "        "
-//!                  └─ optional sink        shard n ─   "        "        "
-//!                     (AuditStore)              ▲
-//!  snapshot() ── barrier message per shard ─────┘  → merged CoverageReport
+//!  ingest(entry) ──┬─ route memo ─▶ pending block ─▶ shard 0 ─ cache ─ counters
+//!                  │   (raw shape →   (flush at       shard 1 ─   "        "
+//!                  │    Arc rule +     block_size      shard n ─   "        "
+//!                  │    shard, once)   or barrier)          ▲
+//!                  └─ optional sink (AuditStore)            │
+//!  snapshot() ── flush partial blocks + barrier per shard ──┘ → merged report
 //! ```
 //!
-//! The producer side is `&mut self`, so every entry sent before a
-//! `snapshot()` call sits ahead of the barrier in each shard's FIFO
-//! channel — the merged state is a consistent cut of the stream without
-//! pausing ingestion globally.
+//! Entries accumulate into one pending [`EntryBlock`] per shard and ship
+//! whole — one channel send, one queue-depth gauge write, and one
+//! journal append per *block*, so channel synchronization is amortized
+//! across `block_size` rows instead of paid per row. The producer side
+//! is `&mut self`, and every barrier (snapshot, checkpoint, policy
+//! refresh, drain, shutdown) flushes partial blocks before enqueueing
+//! the control message, so a barrier still observes exactly the entries
+//! ingested before it — a consistent cut of the stream without pausing
+//! ingestion globally, and one whose contents are invariant to the
+//! configured block size.
+//!
+//! Checkpoints operate on block boundaries: the journal is appended
+//! block-at-a-time after a successful send, a checkpoint barrier is
+//! emitted only right after a block flush, and recovery replays the
+//! journal re-chunked into blocks — so a replacement worker walks the
+//! same entry sequence the dead one did.
 
+use crate::block::{BlockStorage, EntryBlock};
 use crate::cache::CacheStats;
 use crate::config::StreamConfig;
 use crate::counters::{merge_reports, StreamTotals};
 use crate::fault::FaultPlan;
 use crate::obs::StreamObs;
+use crate::route::RouteMemo;
 use crate::shard::{run_shard, ShardCheckpoint, ShardMsg, ShardState};
 use crate::window::{merge_windows, WindowSnapshot};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use prima_audit::{AuditEntry, AuditStore};
 use prima_model::{CoverageReport, GroundRule, Policy, PolicyMatcher};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -88,25 +101,37 @@ pub struct StreamSnapshot {
 pub struct StreamEngine {
     senders: Vec<Option<Sender<ShardMsg>>>,
     handles: Vec<Option<JoinHandle<()>>>,
+    /// One partially-filled block per shard, flushed at `block_size`
+    /// entries or at the next barrier, whichever comes first.
+    pending: Vec<EntryBlock>,
     /// Entries successfully sent per shard; without recovery, a shard
     /// found dead forfeits its whole count (such workers die before
     /// consuming anything, via [`crate::FaultPlan::dropped`], so the
     /// queue *is* the loss).
     sent: Vec<u64>,
+    /// Memoized raw-shape → `(Arc<GroundRule>, shard)` routing.
+    routes: RouteMemo,
     matcher: Arc<PolicyMatcher>,
     epoch: u64,
     window_secs: Option<i64>,
-    channel_capacity: usize,
+    /// Channel capacity in *blocks* (config capacity ÷ block size).
+    block_capacity: usize,
+    block_size: usize,
+    /// Cleared block buffers coming back from the workers; drained
+    /// before allocating a fresh buffer for the next pending block.
+    recycle_tx: Sender<BlockStorage>,
+    recycle_rx: Receiver<BlockStorage>,
     /// Live copy of the fault plan; recovery disarms a shard's script
     /// when it respawns the worker, so each injected fault fires once.
     faults: FaultPlan,
     checkpoint_interval: Option<u64>,
     /// Latest checkpoint per shard (recovery mode only).
     checkpoints: Vec<Option<ShardCheckpoint>>,
-    /// Per-shard `(time, rule)` journal of entries accepted since the
+    /// Per-shard `(time, rule)` journal of entries shipped since the
     /// shard's last checkpoint — exactly what a replacement worker must
-    /// replay on top of the checkpoint to reach the present.
-    journal: Vec<Vec<(i64, GroundRule)>>,
+    /// replay on top of the checkpoint to reach the present. Appended
+    /// block-at-a-time, after the block's send succeeds.
+    journal: Vec<Vec<(i64, Arc<GroundRule>)>>,
     since_checkpoint: Vec<u64>,
     recoveries: u64,
     sink: Option<AuditStore>,
@@ -123,17 +148,23 @@ impl StreamEngine {
     pub fn start(config: StreamConfig, matcher: PolicyMatcher) -> Self {
         let matcher = Arc::new(matcher);
         let obs = StreamObs::new(&config.metrics, config.tracer.clone(), config.shards);
+        let block_size = config.block_size.max(1);
+        let block_capacity = (config.channel_capacity / block_size).max(1);
+        let (recycle_tx, recycle_rx) = bounded(config.shards * (block_capacity + 2));
         let mut senders = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
-            let (tx, rx) = bounded(config.channel_capacity);
+            let (tx, rx) = bounded(block_capacity);
             let m = Arc::clone(&matcher);
             let window_secs = config.window_secs;
             let faults = config.faults.clone();
             let shard_obs = obs.shards[shard].clone();
+            let recycle = recycle_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("prima-stream-{shard}"))
-                .spawn(move || run_shard(shard, rx, m, window_secs, faults, None, shard_obs))
+                .spawn(move || {
+                    run_shard(shard, rx, m, window_secs, faults, None, shard_obs, recycle);
+                })
                 .expect("spawn shard worker");
             senders.push(Some(tx));
             handles.push(Some(handle));
@@ -142,11 +173,18 @@ impl StreamEngine {
         Self {
             senders,
             handles,
+            pending: (0..shards)
+                .map(|_| EntryBlock::with_capacity(block_size))
+                .collect(),
             sent: vec![0; shards],
+            routes: RouteMemo::new(shards),
             matcher,
             epoch: 0,
             window_secs: config.window_secs,
-            channel_capacity: config.channel_capacity,
+            block_capacity,
+            block_size,
+            recycle_tx,
+            recycle_rx,
             faults: config.faults,
             checkpoint_interval: config.checkpoint_interval,
             checkpoints: vec![None; shards],
@@ -179,30 +217,31 @@ impl StreamEngine {
         self.senders.len()
     }
 
-    /// Routes one entry to its owning shard (blocking when the shard's
-    /// bounded channel is full — backpressure, not buffering). With
-    /// recovery armed, a send that hits a dead shard triggers an
-    /// immediate respawn-and-replay and the entry is retried, so nothing
+    /// The configured block size (entries per shipped block).
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Grounds and routes one entry into its shard's pending block,
+    /// shipping the block when it reaches `block_size` (a full channel
+    /// then blocks the producer — backpressure, not buffering). With
+    /// recovery armed, a flush that hits a dead shard triggers an
+    /// immediate respawn-and-replay and the block is retried, so nothing
     /// is lost.
     pub fn ingest(&mut self, entry: &AuditEntry) -> IngestOutcome {
-        let ground = match entry.to_ground_rule() {
-            Ok(g) => g,
-            Err(_) => {
-                self.poisoned += 1;
-                self.obs.poisoned.inc();
-                return IngestOutcome::Poisoned;
-            }
+        let Some((ground, shard)) = self.routes.resolve(entry) else {
+            self.poisoned += 1;
+            self.obs.poisoned.inc();
+            return IngestOutcome::Poisoned;
         };
-        let shard = self.shard_of(&ground);
-        let mut delivered = self.try_send(shard, entry.time, &ground);
-        if !delivered && self.checkpoint_interval.is_some() {
-            self.recover(shard);
-            delivered = self.try_send(shard, entry.time, &ground);
-        }
-        if !delivered {
-            self.refused += 1;
-            self.obs.lost.inc();
-            return IngestOutcome::Lost;
+        if self.senders[shard].is_none() {
+            if self.checkpoint_interval.is_some() {
+                self.recover(shard);
+            } else {
+                self.refused += 1;
+                self.obs.lost.inc();
+                return IngestOutcome::Lost;
+            }
         }
         if let Some(sink) = &self.sink {
             // The sink is append-only and idempotent per call; a
@@ -210,49 +249,121 @@ impl StreamEngine {
             // a stream condition, so surface it loudly.
             sink.append(entry).expect("audit sink append");
         }
-        self.sent[shard] += 1;
         self.ingested += 1;
-        self.obs.ingested.inc();
-        if let Some(interval) = self.checkpoint_interval {
-            self.journal[shard].push((entry.time, ground));
-            self.since_checkpoint[shard] += 1;
-            if self.since_checkpoint[shard] >= interval {
-                self.checkpoint_shard(shard);
-            }
+        self.pending[shard].push(entry.time, ground);
+        if self.pending[shard].len() >= self.block_size {
+            self.flush_shard(shard);
         }
         IngestOutcome::Accepted
     }
 
-    /// One send attempt; a disconnect marks the shard dead.
-    fn try_send(&mut self, shard: usize, time: i64, ground: &GroundRule) -> bool {
-        let Some(tx) = self.senders[shard].as_ref() else {
-            return false;
-        };
-        let msg = ShardMsg::Entry {
-            time,
-            ground: ground.clone(),
-        };
-        if tx.send(msg).is_ok() {
-            // Post-send channel occupancy: the closest cheap proxy for
-            // "how far behind is this worker".
-            self.obs.queue_depth[shard].set(tx.len() as f64);
-            true
-        } else {
-            self.senders[shard] = None;
-            false
+    /// Ships `shard`'s pending block, if any. All barrier paths call
+    /// this first, so control messages always land on block boundaries.
+    fn flush_shard(&mut self, shard: usize) {
+        if self.pending[shard].is_empty() {
+            return;
         }
+        let storage = self
+            .recycle_rx
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.block_size));
+        let block = std::mem::replace(&mut self.pending[shard], EntryBlock::from_storage(storage));
+        self.ship(shard, block);
+    }
+
+    /// Delivers one block, recovering-and-retrying once if the shard is
+    /// found dead and recovery is armed; otherwise the block is forfeit.
+    fn ship(&mut self, shard: usize, block: EntryBlock) {
+        let entries = block.len() as u64;
+        // `ingested` counts acceptance; the metric is bumped here, once
+        // per block, and barriers flush first — so the counter has
+        // caught up by the time any snapshot reads it.
+        self.obs.ingested.add(entries);
+        // Journal the block *before* the send consumes it, but append
+        // only after the send succeeds: a failed send triggers recovery,
+        // whose replay must not include the very block being retried.
+        let backup = self
+            .checkpoint_interval
+            .is_some()
+            .then(|| block.entries().to_vec());
+        match self.send_block(shard, block) {
+            Ok(()) => self.settle(shard, entries, backup),
+            Err(block) => {
+                if self.checkpoint_interval.is_some() {
+                    self.recover(shard);
+                    match self.send_block(shard, block) {
+                        Ok(()) => self.settle(shard, entries, backup),
+                        Err(_) => self.forfeit(entries),
+                    }
+                } else {
+                    self.forfeit(entries);
+                }
+            }
+        }
+    }
+
+    /// One send attempt; a disconnect marks the shard dead and hands the
+    /// block back.
+    fn send_block(&mut self, shard: usize, block: EntryBlock) -> Result<(), EntryBlock> {
+        let Some(tx) = self.senders[shard].as_ref() else {
+            return Err(block);
+        };
+        let entries = block.len();
+        match tx.send(ShardMsg::Block(block)) {
+            Ok(()) => {
+                // Post-send channel occupancy (in blocks): the closest
+                // cheap proxy for "how far behind is this worker",
+                // updated once per flush rather than once per entry.
+                self.obs.queue_depth[shard].set(tx.len() as f64);
+                self.obs.blocks_flushed.inc();
+                self.obs.block_fill.observe(entries as f64);
+                Ok(())
+            }
+            Err(crossbeam::channel::SendError(msg)) => {
+                self.senders[shard] = None;
+                match msg {
+                    ShardMsg::Block(block) => Err(block),
+                    _ => unreachable!("send_block only ships blocks"),
+                }
+            }
+        }
+    }
+
+    /// Post-delivery bookkeeping for one block of `entries` entries.
+    fn settle(&mut self, shard: usize, entries: u64, backup: Option<Vec<(i64, Arc<GroundRule>)>>) {
+        self.sent[shard] += entries;
+        if let Some(journaled) = backup {
+            self.journal[shard].extend(journaled);
+            self.since_checkpoint[shard] += entries;
+            if self.since_checkpoint[shard] >= self.checkpoint_interval.unwrap_or(u64::MAX) {
+                self.checkpoint_shard(shard);
+            }
+        }
+    }
+
+    /// Counts a whole undeliverable block as lost.
+    fn forfeit(&mut self, entries: u64) {
+        self.refused += entries;
+        self.obs.lost.add(entries);
     }
 
     /// Waits for a barrier reply without risking a hang. A worker that
     /// crashes *after* the barrier message was enqueued leaves the
     /// message — and the reply sender inside it — buffered in a queue
-    /// the engine's own sender keeps alive, so a blocking `recv()`
-    /// would never see a disconnect. Instead, short waits alternate
-    /// with a worker-liveness check, with one final non-blocking look
-    /// after the worker exits (it may have replied just before dying).
+    /// the engine's own sender keeps alive, so a plain blocking `recv()`
+    /// would never see a disconnect. Instead the wait is a sequence of
+    /// long blocking strides (a condvar park, not a poll — checkpoint
+    /// waits no longer burn a core) with a worker-liveness check
+    /// between strides as the effective deadline: a finished worker
+    /// gets one final non-blocking look (it may have replied just
+    /// before dying), a live worker's reply is guaranteed eventually by
+    /// channel FIFO, so no wall-clock cutoff is needed — or safe, since
+    /// declaring a live-but-slow worker dead would trigger a wrongful
+    /// recovery.
     fn await_reply<T>(&self, shard: usize, reply_rx: &Receiver<T>) -> Option<T> {
+        const STRIDE: Duration = Duration::from_millis(50);
         loop {
-            match reply_rx.recv_timeout(Duration::from_millis(1)) {
+            match reply_rx.recv_timeout(STRIDE) {
                 Ok(v) => return Some(v),
                 Err(RecvTimeoutError::Disconnected) => return None,
                 Err(RecvTimeoutError::Timeout) => {
@@ -272,6 +383,8 @@ impl StreamEngine {
     /// entry sent before it (same-FIFO ordering), after which the
     /// journal up to the barrier is no longer needed. A shard found dead
     /// at the barrier is recovered instead; its journal stays armed.
+    /// Callers ensure the shard's pending block was flushed first, so
+    /// checkpoints always sit on block boundaries.
     fn checkpoint_shard(&mut self, shard: usize) {
         // The span and histogram cover the whole barrier round trip,
         // including a recovery taken in its place.
@@ -312,11 +425,11 @@ impl StreamEngine {
     }
 
     /// Respawns a dead shard worker, seeds it from its last checkpoint,
-    /// and replays the journal of entries accepted since — the
-    /// replacement ends up in the exact state the dead worker would have
-    /// reached, including its decision-cache books. The shard's fault
-    /// script is disarmed first so an injected crash fires once rather
-    /// than killing every replacement.
+    /// and replays the journal of entries accepted since — re-chunked
+    /// into blocks, so the replacement ends up in the exact state the
+    /// dead worker would have reached, including its decision-cache
+    /// books. The shard's fault script is disarmed first so an injected
+    /// crash fires once rather than killing every replacement.
     fn recover(&mut self, shard: usize) {
         let _span = self
             .obs
@@ -330,16 +443,17 @@ impl StreamEngine {
             let _ = h.join();
         }
         self.faults.clear_shard(shard);
-        let (tx, rx) = bounded(self.channel_capacity);
+        let (tx, rx) = bounded(self.block_capacity);
         let m = Arc::clone(&self.matcher);
         let window_secs = self.window_secs;
         let faults = self.faults.clone();
         let seed = self.checkpoints[shard].clone();
         let seed_epoch = seed.as_ref().map_or(0, |c| c.epoch);
         let shard_obs = self.obs.shards[shard].clone();
+        let recycle = self.recycle_tx.clone();
         let handle = std::thread::Builder::new()
             .name(format!("prima-stream-{shard}-r{}", self.recoveries))
-            .spawn(move || run_shard(shard, rx, m, window_secs, faults, seed, shard_obs))
+            .spawn(move || run_shard(shard, rx, m, window_secs, faults, seed, shard_obs, recycle))
             .expect("respawn shard worker");
         // The checkpoint may predate a policy refresh the dead worker
         // never installed; re-broadcast the current matcher before the
@@ -350,8 +464,8 @@ impl StreamEngine {
                 matcher: Arc::clone(&self.matcher),
             });
         }
-        for (time, ground) in self.journal[shard].clone() {
-            let _ = tx.send(ShardMsg::Entry { time, ground });
+        for chunk in self.journal[shard].chunks(self.block_size) {
+            let _ = tx.send(ShardMsg::Block(EntryBlock::from_entries(chunk.to_vec())));
         }
         self.senders[shard] = Some(tx);
         self.handles[shard] = Some(handle);
@@ -370,12 +484,6 @@ impl StreamEngine {
             .count()
     }
 
-    fn shard_of(&self, g: &GroundRule) -> usize {
-        let mut hasher = DefaultHasher::new();
-        g.hash(&mut hasher);
-        (hasher.finish() % self.senders.len() as u64) as usize
-    }
-
     /// One snapshot barrier on `shard`; a disconnect marks it dead.
     fn barrier(&mut self, shard: usize) -> Option<ShardState> {
         let (reply_tx, reply_rx) = bounded(1);
@@ -391,9 +499,10 @@ impl StreamEngine {
         state
     }
 
-    /// Barrier `shard`, recovering-and-retrying once if it is found dead
-    /// and recovery is armed.
+    /// Flush `shard`'s pending block, then barrier it, recovering-and-
+    /// retrying once if it is found dead and recovery is armed.
     fn barrier_or_recover(&mut self, shard: usize) -> Option<ShardState> {
+        self.flush_shard(shard);
         if let Some(state) = self.barrier(shard) {
             return Some(state);
         }
@@ -404,11 +513,12 @@ impl StreamEngine {
         None
     }
 
-    /// Takes a consistent cut: a barrier message is enqueued behind all
-    /// previously ingested entries on every live shard, and the replies
-    /// are merged into one [`StreamSnapshot`]. With recovery armed, a
-    /// shard found dead at the barrier is respawned from its checkpoint
-    /// and replayed first, so the cut reflects every accepted entry.
+    /// Takes a consistent cut: each shard's partial block is flushed,
+    /// then a barrier message is enqueued behind it on every live shard,
+    /// and the replies are merged into one [`StreamSnapshot`]. With
+    /// recovery armed, a shard found dead at the barrier is respawned
+    /// from its checkpoint and replayed first, so the cut reflects every
+    /// accepted entry.
     pub fn snapshot(&mut self) -> StreamSnapshot {
         let window_duration = self.window_duration();
         let mut states = Vec::new();
@@ -441,7 +551,7 @@ impl StreamEngine {
         }
         let window = window_duration.and_then(|d| merge_windows(d, windows));
         // A dead shard's queue is forfeit: everything sent to it counts
-        // as lost, alongside sends it refused outright.
+        // as lost, alongside blocks it refused outright.
         let queue_lost: u64 = health
             .iter()
             .zip(&self.sent)
@@ -467,9 +577,10 @@ impl StreamEngine {
         self.window_secs
     }
 
-    /// Waits until every live shard has consumed its queue (the same
-    /// barrier mechanism as [`Self::snapshot`], with the state replies
-    /// discarded). Returns the number of live shards that confirmed.
+    /// Flushes pending blocks and waits until every live shard has
+    /// consumed its queue (the same barrier mechanism as
+    /// [`Self::snapshot`], with the state replies discarded). Returns
+    /// the number of live shards that confirmed.
     pub fn drain(&mut self) -> usize {
         let mut confirmed = 0;
         for shard in 0..self.senders.len() {
@@ -480,11 +591,15 @@ impl StreamEngine {
         confirmed
     }
 
-    /// Installs a refined policy: bumps the epoch, re-indexes under the
-    /// same vocabulary, and broadcasts the new matcher to every live
-    /// shard (each clears its decision cache and re-labels its
-    /// counters).
+    /// Installs a refined policy: flushes pending blocks (they classify
+    /// under the epoch they were ingested in), bumps the epoch,
+    /// re-indexes under the same vocabulary, and broadcasts the new
+    /// matcher to every live shard (each clears its decision cache and
+    /// re-labels its counters).
     pub fn refresh_policy(&mut self, policy: &Policy) {
+        for shard in 0..self.senders.len() {
+            self.flush_shard(shard);
+        }
         self.epoch += 1;
         let matcher = Arc::new(PolicyMatcher::with_shared_vocab(
             policy,
@@ -530,6 +645,9 @@ impl StreamEngine {
     }
 
     fn stop(&mut self) {
+        for shard in 0..self.senders.len() {
+            self.flush_shard(shard);
+        }
         for sender in self.senders.iter_mut() {
             if let Some(tx) = sender.take() {
                 let _ = tx.send(ShardMsg::Shutdown);
@@ -593,6 +711,33 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_is_identical_across_block_sizes() {
+        let trail: Vec<AuditEntry> = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+        ]
+        .iter()
+        .cycle()
+        .take(25)
+        .enumerate()
+        .map(|(i, (d, p, a))| entry(i as i64, d, p, a))
+        .collect();
+        let mut baseline = engine(StreamConfig::with_shards(2).block_size(1));
+        baseline.ingest_all(&trail);
+        let want = baseline.shutdown();
+        for block_size in [3, 7, 64] {
+            let mut eng = engine(StreamConfig::with_shards(2).block_size(block_size));
+            eng.ingest_all(&trail);
+            let got = eng.shutdown();
+            assert_eq!(got.coverage, want.coverage, "block_size {block_size}");
+            assert_eq!(got.totals, want.totals);
+            assert_eq!(got.cache, want.cache, "hit/miss books are invariant too");
+            assert_eq!(got.processed, want.processed);
+        }
+    }
+
+    #[test]
     fn poisoned_entries_are_counted_not_fatal() {
         let mut eng = engine(StreamConfig::with_shards(1));
         let bad = entry(1, "", "treatment", "nurse");
@@ -608,8 +753,11 @@ mod tests {
 
     #[test]
     fn dropped_shard_degrades_without_deadlock() {
+        // Small blocks so the death is discovered mid-stream and later
+        // ingests for the dead shard are refused outright.
         let config = StreamConfig::with_shards(2)
             .channel_capacity(4)
+            .block_size(4)
             .faults(FaultPlan::dropped(0));
         let mut eng = engine(config);
         // Enough distinct shapes that both shards get traffic.
@@ -628,10 +776,14 @@ mod tests {
             }
         }
         let snap = eng.shutdown();
-        // The dead worker may consume a few buffered sends' slots before
-        // the disconnect is visible, so `lost` can exceed the refused
+        // Entries buffered or queued before the disconnect became
+        // visible are forfeit too, so `lost` can exceed the refused
         // count — but the books must balance exactly.
         assert!(snap.lost >= refused, "queue of the dead shard is forfeit");
+        assert!(
+            refused > 0,
+            "the dead shard refuses entries once found dead"
+        );
         assert!(snap.lost > 0, "some shapes must hash to the dead shard");
         assert_eq!(
             snap.health
@@ -645,8 +797,11 @@ mod tests {
 
     #[test]
     fn slow_shard_applies_backpressure_but_completes() {
+        // Two-entry blocks over a two-entry channel: one block in
+        // flight, so the producer stalls against the sleeping worker.
         let config = StreamConfig::with_shards(1)
             .channel_capacity(2)
+            .block_size(2)
             .faults(FaultPlan::slow(0, Duration::from_millis(1)));
         let mut eng = engine(config);
         for i in 0..20 {
@@ -710,8 +865,10 @@ mod tests {
     #[test]
     fn recovery_replays_crashed_shard_bit_for_bit() {
         // Same traffic through a fault-free engine and a recovery-armed
-        // engine whose shard 0 crashes mid-stream: the final snapshots
-        // must agree exactly (coverage, totals, cache books, processed).
+        // engine whose shard 0 crashes mid-stream — mid-block, since the
+        // crash point is not a multiple of the block size: the final
+        // snapshots must agree exactly (coverage, totals, cache books,
+        // processed).
         let shapes = [
             ("referral", "treatment", "nurse"),
             ("psychiatry", "treatment", "nurse"),
@@ -720,9 +877,14 @@ mod tests {
             ("referral", "registration", "nurse"),
             ("prescription", "treatment", "nurse"),
         ];
-        let mut clean = engine(StreamConfig::with_shards(2).checkpoint_every(5));
+        let mut clean = engine(
+            StreamConfig::with_shards(2)
+                .block_size(4)
+                .checkpoint_every(5),
+        );
         let mut faulty = engine(
             StreamConfig::with_shards(2)
+                .block_size(4)
                 .checkpoint_every(5)
                 .faults(FaultPlan::none().with_crash_after(0, 7)),
         );
@@ -747,6 +909,7 @@ mod tests {
         let mut eng = engine(
             StreamConfig::with_shards(2)
                 .channel_capacity(4)
+                .block_size(4)
                 .checkpoint_every(4)
                 .faults(FaultPlan::dropped(0)),
         );
@@ -777,6 +940,7 @@ mod tests {
         let mut eng = engine(
             StreamConfig::with_shards(2)
                 .channel_capacity(2)
+                .block_size(2)
                 .checkpoint_every(8)
                 .faults(
                     FaultPlan::none()
@@ -879,6 +1043,14 @@ mod tests {
         assert_eq!(hits, snap.cache.hits);
         assert_eq!(misses, snap.cache.misses);
         assert_eq!(hits + misses, snap.processed);
+
+        // Every accepted entry traveled in some flushed block.
+        assert!(value("prima_stream_blocks_flushed_total") >= 1);
+        let fills = registry.histograms("prima_stream_block_fill_entries");
+        assert_eq!(
+            fills[0].1.sum as u64, snap.ingested,
+            "block fills sum to ingested"
+        );
 
         // Checkpoints at interval 3 over 12 entries: at least one barrier
         // landed in the timing histogram.

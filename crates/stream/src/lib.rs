@@ -3,14 +3,19 @@
 //!
 //! The batch pipeline (mine → prune → review) recomputes coverage from
 //! the full trail each round. This crate keeps coverage *standing*: audit
-//! events flow through bounded channels to hash-partitioned shard
-//! workers, each entry is classified once against a memoized rule-match
-//! decision cache, and per-pattern counters make every
+//! events are grounded once through a routing memo, accumulated into
+//! per-shard [`EntryBlock`]s, and shipped block-at-a-time over bounded
+//! channels to hash-partitioned shard workers — amortizing channel
+//! synchronization, cache probes, and metric updates across the block.
+//! Inside a shard, runs of identical rules are classified with a single
+//! memoized decision-cache probe, and per-pattern counters make every
 //! [`prima_model::CoverageReport`] delta O(1) per entry. An
 //! epoch-barrier [`StreamEngine::snapshot`] produces the same report,
 //! bit for bit, that `prima_model::compute_coverage` would compute over
-//! the accumulated trail — plus trailing-window per-pattern stats ready
-//! to feed `PrimaSystem::run_round_windowed`.
+//! the accumulated trail — partial blocks are flushed before every
+//! barrier, so block size never changes what a snapshot observes — plus
+//! trailing-window per-pattern stats ready to feed
+//! `PrimaSystem::run_round_windowed`.
 //!
 //! Fault tolerance is explicit and testable: poisoned entries (no ground
 //! rule) are counted and skipped, a dead shard degrades the pipeline
@@ -29,20 +34,25 @@
 //! `prima_obs::MetricsRegistry` (disabled, and effectively free, by
 //! default).
 
+pub mod block;
 pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod fault;
+pub mod loadbench;
 pub mod obs;
+mod route;
 pub mod shard;
 pub mod window;
 
+pub use block::{BlockStorage, EntryBlock};
 pub use cache::{CacheStats, DecisionCache};
-pub use config::StreamConfig;
+pub use config::{StreamConfig, DEFAULT_BLOCK_SIZE};
 pub use counters::{CoverageCounters, PatternStats, StreamTotals};
 pub use engine::{IngestOutcome, ShardHealth, StreamEngine, StreamSnapshot};
 pub use fault::FaultPlan;
+pub use loadbench::{run_stream_bench, StreamBenchConfig, StreamBenchReport};
 pub use obs::ShardObs;
 pub use shard::ShardCheckpoint;
 pub use window::{SlidingWindow, WindowSnapshot};

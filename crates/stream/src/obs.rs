@@ -14,12 +14,18 @@
 //! | `prima_stream_poisoned_total` | counter | unclassifiable entries skipped |
 //! | `prima_stream_lost_total` | counter | entries refused by a dead shard |
 //! | `prima_stream_recoveries_total` | counter | workers respawned from a checkpoint |
-//! | `prima_stream_queue_depth{shard}` | gauge | entries waiting in a shard's channel |
+//! | `prima_stream_blocks_flushed_total` | counter | entry blocks shipped to shards |
+//! | `prima_stream_block_fill_entries` | histogram | entries per flushed block |
+//! | `prima_stream_queue_depth{shard}` | gauge | blocks waiting in a shard's channel |
 //! | `prima_stream_processed_total{shard}` | counter | entries a worker consumed |
 //! | `prima_stream_cache_hits_total{shard}` | counter | memoized verdicts served |
 //! | `prima_stream_cache_misses_total{shard}` | counter | full subsumption probes run |
 //! | `prima_stream_checkpoint_seconds` | histogram | checkpoint barrier round trips |
 //! | `prima_stream_recovery_seconds` | histogram | respawn-and-replay durations |
+//!
+//! Counters on the block path are bumped once per *block* (`Counter::add`
+//! with the block's entry count), never per entry, so instrumentation
+//! cost is amortized the same way the channel traffic is.
 
 use prima_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 
@@ -48,6 +54,8 @@ pub(crate) struct StreamObs {
     pub poisoned: Counter,
     pub lost: Counter,
     pub recoveries: Counter,
+    pub blocks_flushed: Counter,
+    pub block_fill: Histogram,
     pub checkpoint_seconds: Histogram,
     pub recovery_seconds: Histogram,
     /// Per-shard channel depth gauges, indexed by shard.
@@ -79,6 +87,17 @@ impl StreamObs {
                 "prima_stream_recoveries_total",
                 "Shard workers respawned from a checkpoint.",
             ),
+            blocks_flushed: registry.counter(
+                "prima_stream_blocks_flushed_total",
+                "Entry blocks shipped into shard channels.",
+            ),
+            block_fill: registry.histogram_with(
+                "prima_stream_block_fill_entries",
+                "Entries carried per flushed block (partial blocks come \
+                 from barrier flushes).",
+                &[],
+                &[1.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0],
+            ),
             checkpoint_seconds: registry.histogram(
                 "prima_stream_checkpoint_seconds",
                 "Checkpoint barrier round-trip durations.",
@@ -91,7 +110,7 @@ impl StreamObs {
                 .map(|i| {
                     registry.gauge_with(
                         "prima_stream_queue_depth",
-                        "Entries waiting in a shard's bounded channel.",
+                        "Blocks waiting in a shard's bounded channel.",
                         &[("shard", &i.to_string())],
                     )
                 })

@@ -1,0 +1,187 @@
+//! Producer-side grounding-and-routing memo.
+//!
+//! Grounding an entry (`AuditEntry::to_ground_rule`) normalizes three
+//! attribute/value pairs — six fresh string allocations plus a sort —
+//! and hashing the result picks the owning shard. An audit trail repeats
+//! the same few hundred `(data, purpose, authorized)` shapes millions of
+//! times, so the engine memoizes the *raw* (pre-normalization) shape →
+//! `(Arc<GroundRule>, shard)` once and answers every repeat with two
+//! `Arc` bumps and zero allocations.
+//!
+//! Lookups hash the raw strings without building a key (an FNV-1a pass
+//! over the bytes) and confirm candidates with full string equality, so
+//! hash collisions cannot mis-route. Only successful groundings are
+//! memoized — unclassifiable shapes stay rare and re-fail each time —
+//! and the memo is size-capped so adversarial cardinality cannot balloon
+//! the producer.
+
+use prima_audit::AuditEntry;
+use prima_model::GroundRule;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Raw shapes memoized at most (distinct `(data, purpose, authorized)`
+/// triples; real trails have a few hundred).
+const ROUTE_MEMO_CAP: usize = 65_536;
+
+#[derive(Debug)]
+struct Route {
+    data: String,
+    purpose: String,
+    authorized: String,
+    ground: Arc<GroundRule>,
+    shard: u32,
+}
+
+/// Memoized raw-shape → `(ground rule, shard)` resolver.
+#[derive(Debug)]
+pub(crate) struct RouteMemo {
+    shards: usize,
+    /// FNV-1a of the raw triple → candidate routes (collision bucket).
+    buckets: HashMap<u64, Vec<Route>>,
+    routes: usize,
+}
+
+impl RouteMemo {
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            buckets: HashMap::new(),
+            routes: 0,
+        }
+    }
+
+    /// Grounds `entry` and picks its owning shard, memoizing the result.
+    /// `None` means the entry does not form a ground rule (poisoned).
+    pub fn resolve(&mut self, entry: &AuditEntry) -> Option<(Arc<GroundRule>, usize)> {
+        let key = raw_key(&entry.data, &entry.purpose, &entry.authorized);
+        if let Some(bucket) = self.buckets.get(&key) {
+            for route in bucket {
+                if route.data == entry.data
+                    && route.purpose == entry.purpose
+                    && route.authorized == entry.authorized
+                {
+                    return Some((Arc::clone(&route.ground), route.shard as usize));
+                }
+            }
+        }
+        let ground = Arc::new(entry.to_ground_rule().ok()?);
+        let shard = shard_of(&ground, self.shards);
+        if self.routes < ROUTE_MEMO_CAP {
+            self.buckets.entry(key).or_default().push(Route {
+                data: entry.data.clone(),
+                purpose: entry.purpose.clone(),
+                authorized: entry.authorized.clone(),
+                ground: Arc::clone(&ground),
+                shard: shard as u32,
+            });
+            self.routes += 1;
+        }
+        Some((ground, shard))
+    }
+
+    /// Distinct raw shapes memoized.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+}
+
+/// Hash partitioning of ground rules across shards (the same
+/// `DefaultHasher` scheme the row-at-a-time engine used, so shard
+/// ownership is unchanged across the block refactor).
+pub(crate) fn shard_of(g: &GroundRule, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    g.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// FNV-1a over the raw triple with field separators, so
+/// `("ab", "c")` and `("a", "bc")` hash differently.
+fn raw_key(data: &str, purpose: &str, authorized: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for chunk in [data, purpose, authorized] {
+        for &b in chunk.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xff; // field separator (never a UTF-8 continuation value)
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(data: &str, purpose: &str, authorized: &str) -> AuditEntry {
+        AuditEntry::regular(1, "u1", data, purpose, authorized)
+    }
+
+    #[test]
+    fn repeats_share_one_ground_allocation() {
+        let mut memo = RouteMemo::new(4);
+        let (g1, s1) = memo
+            .resolve(&entry("referral", "treatment", "nurse"))
+            .unwrap();
+        let (g2, s2) = memo
+            .resolve(&entry("referral", "treatment", "nurse"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&g1, &g2), "memo returns the shared Arc");
+        assert_eq!(s1, s2);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn memo_agrees_with_direct_grounding_and_sharding() {
+        let mut memo = RouteMemo::new(4);
+        for (d, p, a) in [
+            ("referral", "treatment", "nurse"),
+            ("Referral ", "Treatment", "NURSE"), // normalizes to the same rule
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+        ] {
+            let e = entry(d, p, a);
+            let (g, s) = memo.resolve(&e).unwrap();
+            let direct = e.to_ground_rule().unwrap();
+            assert_eq!(*g, direct);
+            assert_eq!(s, shard_of(&direct, 4));
+        }
+    }
+
+    #[test]
+    fn raw_variants_memoize_separately_but_ground_identically() {
+        let mut memo = RouteMemo::new(2);
+        let (g1, _) = memo
+            .resolve(&entry("referral", "treatment", "nurse"))
+            .unwrap();
+        let (g2, _) = memo
+            .resolve(&entry("REFERRAL", "treatment", "nurse"))
+            .unwrap();
+        assert_eq!(memo.len(), 2, "raw shapes differ");
+        assert_eq!(*g1, *g2, "normalized rules agree");
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        // ("ab","c","x") vs ("a","bc","x"): same concatenated bytes,
+        // different shapes — the separator in the raw key plus the full
+        // string compare keep them in distinct memo slots.
+        let mut memo = RouteMemo::new(2);
+        let (g1, _) = memo.resolve(&entry("ab", "c", "x")).unwrap();
+        let (g2, _) = memo.resolve(&entry("a", "bc", "x")).unwrap();
+        assert_eq!(memo.len(), 2);
+        assert_ne!(*g1, *g2);
+    }
+
+    #[test]
+    fn poisoned_entries_resolve_to_none() {
+        let mut memo = RouteMemo::new(2);
+        assert!(memo.resolve(&entry("", "treatment", "nurse")).is_none());
+    }
+}

@@ -1,11 +1,18 @@
 //! Shard workers.
 //!
 //! Each shard owns a disjoint subset of the distinct ground rules (hash
-//! partitioning, decided by the engine) and runs a plain
-//! receive-classify-count loop. Control messages ride the same FIFO
-//! channel as entries, so a `Snapshot` barrier observes exactly the
-//! entries sent before it — a consistent cut without stopping the world.
+//! partitioning, decided by the engine) and consumes whole
+//! [`EntryBlock`]s: one channel recv per block, then a tight loop over
+//! thread-local state. Inside a block, consecutive entries carrying the
+//! *same* `Arc<GroundRule>` (detected by pointer identity — free, and
+//! the common case since trails arrive bursty) are classified with one
+//! decision-cache probe and counted with one counter bump, with the
+//! hit/miss books charged exactly as per-entry probing would have.
+//! Control messages ride the same FIFO channel as blocks, so a
+//! `Snapshot` barrier observes exactly the entries sent before it — a
+//! consistent cut without stopping the world.
 
+use crate::block::{BlockStorage, EntryBlock};
 use crate::cache::{CacheStats, DecisionCache};
 use crate::counters::{CoverageCounters, PatternStats};
 use crate::fault::FaultPlan;
@@ -18,13 +25,9 @@ use std::sync::Arc;
 /// Messages a shard worker consumes.
 #[derive(Debug)]
 pub enum ShardMsg {
-    /// One classified-to-be entry: event time plus its ground rule.
-    Entry {
-        /// Event time (epoch seconds) of the access.
-        time: i64,
-        /// The access as a ground rule.
-        ground: GroundRule,
-    },
+    /// A block of grounded entries: `(event time, ground rule)` pairs in
+    /// ingestion order.
+    Block(EntryBlock),
     /// Epoch barrier: reply with a state snapshot on `reply`.
     Snapshot {
         /// Channel the snapshot is sent back on.
@@ -32,7 +35,8 @@ pub enum ShardMsg {
     },
     /// Durability barrier: reply with a full state export on `reply`.
     /// Because it rides the same FIFO channel, the checkpoint covers
-    /// exactly the entries sent before it.
+    /// exactly the entries sent before it. The engine only emits this
+    /// at block boundaries, so a checkpoint never splits a block.
     Checkpoint {
         /// Channel the checkpoint is sent back on.
         reply: Sender<ShardCheckpoint>,
@@ -92,7 +96,10 @@ pub struct ShardState {
 
 /// Runs one shard worker until `Shutdown`, channel disconnect, or an
 /// injected crash. `seed` restores a checkpointed state (recovery
-/// respawn); `None` starts fresh at epoch 0.
+/// respawn); `None` starts fresh at epoch 0. Drained block buffers are
+/// offered back on `recycle` (best-effort) so the engine can reuse the
+/// allocations.
+#[allow(clippy::too_many_arguments)]
 pub fn run_shard(
     shard: usize,
     rx: Receiver<ShardMsg>,
@@ -101,6 +108,7 @@ pub fn run_shard(
     faults: FaultPlan,
     seed: Option<ShardCheckpoint>,
     obs: ShardObs,
+    recycle: Sender<BlockStorage>,
 ) {
     if faults.is_dropped(shard) {
         // Simulated crash: exit before consuming anything, so the
@@ -117,7 +125,7 @@ pub fn run_shard(
                 // Replaying the retained events in order rebuilds the
                 // same deque and watermark the checkpoint captured.
                 for (time, g) in events {
-                    w.observe(time, &g);
+                    w.observe(time, &Arc::new(g));
                 }
             }
             (
@@ -138,29 +146,67 @@ pub fn run_shard(
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Entry { time, ground } => {
-                if let Some(delay) = slow {
-                    std::thread::sleep(delay);
+            ShardMsg::Block(block) => {
+                let entries = block.entries();
+                let n = entries.len();
+                let mut hits = 0u64;
+                let mut misses = 0u64;
+                let mut done = 0u64;
+                let mut crashed = false;
+                let mut i = 0;
+                while i < n {
+                    let ground = &entries[i].1;
+                    // Extend the run while the next entry shares the
+                    // same rule allocation. A value-equal rule under a
+                    // different Arc just starts a new run, whose probe
+                    // is a memo hit — the books come out identical.
+                    let mut j = i + 1;
+                    while j < n && Arc::ptr_eq(&entries[j].1, ground) {
+                        j += 1;
+                    }
+                    if let Some(limit) = crash_after {
+                        // The injected crash fires after the worker's
+                        // `limit`-th entry — possibly mid-run, mid-block.
+                        let remaining = limit.saturating_sub(processed_here) as usize;
+                        if remaining >= 1 && remaining <= j - i {
+                            j = i + remaining;
+                            crashed = true;
+                        }
+                    }
+                    let run = (j - i) as u64;
+                    if let Some(delay) = slow {
+                        for _ in 0..run {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    let (covered, run_hits, run_misses) = cache.classify_run(&matcher, ground, run);
+                    hits += run_hits;
+                    misses += run_misses;
+                    counters.observe_run(ground, covered, run);
+                    if let Some(w) = window.as_mut() {
+                        for (time, g) in &entries[i..j] {
+                            w.observe(*time, g);
+                        }
+                    }
+                    processed += run;
+                    processed_here += run;
+                    done += run;
+                    if crashed {
+                        break;
+                    }
+                    i = j;
                 }
-                let (covered, hit) = cache.classify_traced(&matcher, &ground);
-                if hit {
-                    obs.cache_hits.inc();
-                } else {
-                    obs.cache_misses.inc();
-                }
-                counters.observe(&ground, covered);
-                if let Some(w) = window.as_mut() {
-                    w.observe(time, &ground);
-                }
-                processed += 1;
-                processed_here += 1;
-                obs.processed.inc();
-                if crash_after == Some(processed_here) {
-                    // Simulated mid-stream crash: abandon in-memory state
-                    // and anything still queued, exactly like a real
-                    // worker death.
+                // One metrics flush per block, not per entry.
+                obs.processed.add(done);
+                obs.cache_hits.add(hits);
+                obs.cache_misses.add(misses);
+                if crashed {
+                    // Simulated mid-block crash: abandon in-memory state,
+                    // the rest of this block, and anything still queued,
+                    // exactly like a real worker death.
                     return;
                 }
+                let _ = recycle.try_send(block.into_storage());
             }
             ShardMsg::Snapshot { reply } => {
                 let state = ShardState {
@@ -217,43 +263,51 @@ mod tests {
         Arc::new(PolicyMatcher::new(&policy, &figure_1()))
     }
 
-    fn g(data: &str) -> GroundRule {
-        GroundRule::of(&[
+    fn g(data: &str) -> Arc<GroundRule> {
+        Arc::new(GroundRule::of(&[
             ("data", data),
             ("purpose", "treatment"),
             ("authorized", "nurse"),
-        ])
+        ]))
     }
 
-    #[test]
-    fn worker_classifies_and_snapshots() {
+    fn block(entries: &[(i64, &Arc<GroundRule>)]) -> ShardMsg {
+        let mut b = EntryBlock::with_capacity(entries.len());
+        for (t, g) in entries {
+            b.push(*t, Arc::clone(g));
+        }
+        ShardMsg::Block(b)
+    }
+
+    fn spawn_worker(
+        faults: FaultPlan,
+        window_secs: Option<i64>,
+        seed: Option<ShardCheckpoint>,
+    ) -> (Sender<ShardMsg>, std::thread::JoinHandle<()>) {
         let (tx, rx) = bounded(16);
+        let (recycle_tx, _recycle_rx) = bounded(16);
         let handle = std::thread::spawn(move || {
             run_shard(
                 0,
                 rx,
                 matcher_for("referral"),
-                Some(60),
-                FaultPlan::none(),
-                None,
+                window_secs,
+                faults,
+                seed,
                 ShardObs::disabled(),
+                recycle_tx,
             );
         });
-        tx.send(ShardMsg::Entry {
-            time: 10,
-            ground: g("referral"),
-        })
-        .unwrap();
-        tx.send(ShardMsg::Entry {
-            time: 11,
-            ground: g("referral"),
-        })
-        .unwrap();
-        tx.send(ShardMsg::Entry {
-            time: 12,
-            ground: g("psychiatry"),
-        })
-        .unwrap();
+        (tx, handle)
+    }
+
+    #[test]
+    fn worker_classifies_and_snapshots() {
+        let (tx, handle) = spawn_worker(FaultPlan::none(), Some(60), None);
+        let referral = g("referral");
+        let psych = g("psychiatry");
+        tx.send(block(&[(10, &referral), (11, &referral), (12, &psych)]))
+            .unwrap();
         let (reply_tx, reply_rx) = bounded(1);
         tx.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
         let state = reply_rx.recv().unwrap();
@@ -268,24 +322,32 @@ mod tests {
     }
 
     #[test]
+    fn value_equal_rules_under_distinct_arcs_keep_the_same_books() {
+        // Same rule via two Arc allocations: the run detector sees two
+        // runs, but the second probe is a memo hit — the hit/miss books
+        // are exactly what per-entry probing would have recorded.
+        let (tx, handle) = spawn_worker(FaultPlan::none(), None, None);
+        let a = g("referral");
+        let b = g("referral");
+        assert!(!Arc::ptr_eq(&a, &b));
+        tx.send(block(&[(1, &a), (2, &a), (3, &b), (4, &b)]))
+            .unwrap();
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
+        let state = reply_rx.recv().unwrap();
+        assert_eq!(state.processed, 4);
+        assert_eq!(state.cache.misses, 1);
+        assert_eq!(state.cache.hits, 3);
+        assert_eq!(state.totals.covered_entries, 4);
+        tx.send(ShardMsg::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn policy_update_relabels_history() {
-        let (tx, rx) = bounded(16);
-        let handle = std::thread::spawn(move || {
-            run_shard(
-                0,
-                rx,
-                matcher_for("referral"),
-                None,
-                FaultPlan::none(),
-                None,
-                ShardObs::disabled(),
-            );
-        });
-        tx.send(ShardMsg::Entry {
-            time: 1,
-            ground: g("psychiatry"),
-        })
-        .unwrap();
+        let (tx, handle) = spawn_worker(FaultPlan::none(), None, None);
+        let psych = g("psychiatry");
+        tx.send(block(&[(1, &psych)])).unwrap();
         tx.send(ShardMsg::UpdatePolicy {
             epoch: 1,
             matcher: matcher_for("psychiatry"),
@@ -303,6 +365,7 @@ mod tests {
     #[test]
     fn dropped_shard_exits_immediately() {
         let (tx, rx) = bounded::<ShardMsg>(4);
+        let (recycle_tx, _recycle_rx) = bounded(4);
         let handle = std::thread::spawn(move || {
             run_shard(
                 2,
@@ -312,6 +375,7 @@ mod tests {
                 FaultPlan::dropped(2),
                 None,
                 ShardObs::disabled(),
+                recycle_tx,
             );
         });
         handle.join().unwrap();
@@ -320,28 +384,46 @@ mod tests {
     }
 
     #[test]
-    fn crash_after_abandons_queue_mid_stream() {
-        let (tx, rx) = bounded::<ShardMsg>(16);
+    fn crash_after_fires_mid_block_and_abandons_the_rest() {
+        // 5 entries in one block, crash after 2: the worker must die
+        // part-way through the block without processing entries 3–5.
+        let (tx, handle) = spawn_worker(FaultPlan::none().with_crash_after(0, 2), None, None);
+        let referral = g("referral");
+        tx.send(block(&[
+            (0, &referral),
+            (1, &referral),
+            (2, &referral),
+            (3, &referral),
+            (4, &referral),
+        ]))
+        .unwrap();
+        handle.join().unwrap();
+        assert!(tx.send(ShardMsg::Shutdown).is_err(), "worker is dead");
+    }
+
+    #[test]
+    fn drained_blocks_come_back_on_the_recycle_channel() {
+        let (tx, rx) = bounded(16);
+        let (recycle_tx, recycle_rx) = bounded::<BlockStorage>(16);
         let handle = std::thread::spawn(move || {
             run_shard(
                 0,
                 rx,
                 matcher_for("referral"),
                 None,
-                FaultPlan::none().with_crash_after(0, 2),
+                FaultPlan::none(),
                 None,
                 ShardObs::disabled(),
+                recycle_tx,
             );
         });
-        for t in 0..5 {
-            tx.send(ShardMsg::Entry {
-                time: t,
-                ground: g("referral"),
-            })
-            .unwrap();
-        }
+        let referral = g("referral");
+        tx.send(block(&[(1, &referral), (2, &referral)])).unwrap();
+        tx.send(ShardMsg::Shutdown).unwrap();
         handle.join().unwrap();
-        assert!(tx.send(ShardMsg::Shutdown).is_err(), "worker is dead");
+        let storage = recycle_rx.try_recv().expect("buffer recycled");
+        assert!(storage.is_empty());
+        assert!(storage.capacity() >= 2);
     }
 
     #[test]
@@ -350,25 +432,11 @@ mod tests {
         // the checkpoint: the replacement's snapshot must match what the
         // original would have reported — counters, cache books, window,
         // and processed count.
-        let (tx, rx) = bounded(16);
-        let handle = std::thread::spawn(move || {
-            run_shard(
-                0,
-                rx,
-                matcher_for("referral"),
-                Some(60),
-                FaultPlan::none(),
-                None,
-                ShardObs::disabled(),
-            );
-        });
-        for (t, d) in [(10, "referral"), (11, "referral"), (12, "psychiatry")] {
-            tx.send(ShardMsg::Entry {
-                time: t,
-                ground: g(d),
-            })
+        let (tx, handle) = spawn_worker(FaultPlan::none(), Some(60), None);
+        let referral = g("referral");
+        let psych = g("psychiatry");
+        tx.send(block(&[(10, &referral), (11, &referral), (12, &psych)]))
             .unwrap();
-        }
         let (ck_tx, ck_rx) = bounded(1);
         tx.send(ShardMsg::Checkpoint { reply: ck_tx }).unwrap();
         let ckpt = ck_rx.recv().unwrap();
@@ -376,18 +444,7 @@ mod tests {
         tx.send(ShardMsg::Shutdown).unwrap();
         handle.join().unwrap();
 
-        let (tx2, rx2) = bounded(16);
-        let handle2 = std::thread::spawn(move || {
-            run_shard(
-                0,
-                rx2,
-                matcher_for("referral"),
-                Some(60),
-                FaultPlan::none(),
-                Some(ckpt),
-                ShardObs::disabled(),
-            );
-        });
+        let (tx2, handle2) = spawn_worker(FaultPlan::none(), Some(60), Some(ckpt));
         let (reply_tx, reply_rx) = bounded(1);
         tx2.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
         let state = reply_rx.recv().unwrap();
@@ -397,12 +454,9 @@ mod tests {
         assert_eq!(state.cache.hits, 1, "hit/miss books survive recovery");
         assert_eq!(state.cache.misses, 2);
         assert_eq!(state.window.as_ref().unwrap().len(), 3);
-        // A replayed shape is a cache hit, as it would have been.
-        tx2.send(ShardMsg::Entry {
-            time: 13,
-            ground: g("referral"),
-        })
-        .unwrap();
+        // A replayed shape is a cache hit, as it would have been — even
+        // though the restored memo holds a different Arc allocation.
+        tx2.send(block(&[(13, &g("referral"))])).unwrap();
         let (reply_tx, reply_rx) = bounded(1);
         tx2.send(ShardMsg::Snapshot { reply: reply_tx }).unwrap();
         assert_eq!(reply_rx.recv().unwrap().cache.hits, 2);

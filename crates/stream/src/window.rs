@@ -14,12 +14,15 @@
 use prima_audit::TrainingWindow;
 use prima_model::GroundRule;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// One shard's trailing-window tracker.
+/// One shard's trailing-window tracker. Events are retained as shared
+/// `Arc<GroundRule>`s (the form blocks ship them in), so recording one
+/// is a reference bump rather than a rule clone.
 #[derive(Debug)]
 pub struct SlidingWindow {
     duration: i64,
-    recent: VecDeque<(i64, GroundRule)>,
+    recent: VecDeque<(i64, Arc<GroundRule>)>,
     watermark: i64,
 }
 
@@ -35,9 +38,9 @@ impl SlidingWindow {
 
     /// Records one event and prunes everything older than the local
     /// trailing window.
-    pub fn observe(&mut self, time: i64, g: &GroundRule) {
+    pub fn observe(&mut self, time: i64, g: &Arc<GroundRule>) {
         self.watermark = self.watermark.max(time);
-        self.recent.push_back((time, g.clone()));
+        self.recent.push_back((time, Arc::clone(g)));
         let cutoff = self.watermark.saturating_sub(self.duration);
         while let Some((t, _)) = self.recent.front() {
             if *t <= cutoff {
@@ -53,9 +56,13 @@ impl SlidingWindow {
         self.watermark
     }
 
-    /// The retained `(time, rule)` pairs, oldest first.
+    /// The retained `(time, rule)` pairs, oldest first (deep-cloned for
+    /// checkpoint/snapshot exports, which outlive the shared arcs).
     pub fn export(&self) -> Vec<(i64, GroundRule)> {
-        self.recent.iter().cloned().collect()
+        self.recent
+            .iter()
+            .map(|(t, g)| (*t, (**g).clone()))
+            .collect()
     }
 
     /// Window duration in seconds.
@@ -127,12 +134,16 @@ mod tests {
         ])
     }
 
+    fn ag(data: &str) -> Arc<GroundRule> {
+        Arc::new(g(data))
+    }
+
     #[test]
     fn observe_prunes_behind_local_watermark() {
         let mut w = SlidingWindow::new(10);
-        w.observe(100, &g("a"));
-        w.observe(105, &g("b"));
-        w.observe(120, &g("c")); // cutoff 110: drops 100 and 105
+        w.observe(100, &ag("a"));
+        w.observe(105, &ag("b"));
+        w.observe(120, &ag("c")); // cutoff 110: drops 100 and 105
         assert_eq!(w.watermark(), 120);
         let kept: Vec<i64> = w.export().iter().map(|(t, _)| *t).collect();
         assert_eq!(kept, vec![120]);
@@ -141,8 +152,8 @@ mod tests {
     #[test]
     fn out_of_order_events_do_not_regress_watermark() {
         let mut w = SlidingWindow::new(10);
-        w.observe(100, &g("a"));
-        w.observe(95, &g("b")); // late but in-window
+        w.observe(100, &ag("a"));
+        w.observe(95, &ag("b")); // late but in-window
         assert_eq!(w.watermark(), 100);
         assert_eq!(w.export().len(), 2);
     }

@@ -47,6 +47,7 @@ fn run_seed(seed: u64) {
     let sink = AuditStore::new("chaos-sink");
     let stream_config = StreamConfig::with_shards(shards)
         .channel_capacity(8)
+        .block_size(1 + (seed % 13) as usize)
         .checkpoint_every(4 + (seed % 9))
         .faults(faults);
     let mut engine = StreamEngine::start(
@@ -89,6 +90,86 @@ fn run_seed(seed: u64) {
         snap.totals.total_entries as usize, weighted.total_entries,
         "seed {seed}: total-entry totals diverged"
     );
+}
+
+/// Mid-block death: the block size is larger than the crash point, so
+/// the worker dies partway through a shipped block and the tail of that
+/// block is abandoned. Recovery must replay exactly the journaled
+/// suffix — nothing duplicated, nothing dropped — which the batch
+/// oracle verifies entry by entry: a duplicate inflates
+/// `total_entries`, a drop deflates it, and either diverges from the
+/// fault-free computation.
+fn run_seed_mid_block_crash(seed: u64) {
+    let scenario = Scenario::community_hospital();
+    let sim = scenario.simulator();
+    let config = SimConfig {
+        seed,
+        n_entries: 300,
+        ..SimConfig::default()
+    };
+    let labeled = sim.generate(&config);
+
+    let shards = 2 + (seed % 3) as usize; // 2..=4
+    let crashed = (seed % shards as u64) as usize;
+    // Crash after 3..=13 entries into a 32-entry block: always mid-block.
+    let crash_after = 3 + (seed % 11);
+    let faults = FaultPlan::none().with_crash_after(crashed, crash_after);
+
+    let sink = AuditStore::new("chaos-mid-block");
+    let stream_config = StreamConfig::with_shards(shards)
+        .channel_capacity(64)
+        .block_size(32)
+        .checkpoint_every(5 + (seed % 7))
+        .faults(faults);
+    let mut engine = StreamEngine::start(
+        stream_config,
+        PolicyMatcher::new(&scenario.policy, &scenario.vocab),
+    )
+    .with_sink(sink.clone());
+
+    for l in &labeled {
+        assert_eq!(
+            engine.ingest(&l.entry),
+            IngestOutcome::Accepted,
+            "seed {seed}: recovery must accept every entry"
+        );
+    }
+    let snap = engine.shutdown();
+
+    assert!(
+        snap.recoveries >= 1,
+        "seed {seed}: the mid-block crash must have fired"
+    );
+    assert_eq!(snap.lost, 0, "seed {seed}: no entry forfeited");
+    assert_eq!(snap.processed, labeled.len() as u64, "seed {seed}");
+    assert_eq!(
+        snap.health,
+        vec![ShardHealth::Live; shards],
+        "seed {seed}: the crashed shard ends alive again"
+    );
+
+    let batch = compute_coverage(&scenario.policy, &sink.to_policy(), &scenario.vocab).unwrap();
+    assert_eq!(snap.coverage, batch, "seed {seed}: set coverage diverged");
+    let weighted = CoverageEngine::default().entry_coverage(
+        &scenario.policy,
+        &sink.ground_rules(),
+        &scenario.vocab,
+    );
+    assert_eq!(
+        snap.totals.covered_entries as usize, weighted.covered_entries,
+        "seed {seed}: covered-entry totals diverged (duplicate or drop)"
+    );
+    assert_eq!(
+        snap.totals.total_entries as usize, weighted.total_entries,
+        "seed {seed}: total-entry totals diverged (duplicate or drop)"
+    );
+}
+
+#[test]
+fn mid_block_crash_matrix() {
+    for seed in SEEDS {
+        run_seed_mid_block_crash(seed);
+    }
 }
 
 #[test]

@@ -202,6 +202,54 @@ proptest! {
         prop_assert_eq!(snap.processed, n_entries as u64);
     }
 
+    /// Block-size invariance: barriers flush partial blocks before any
+    /// snapshot, so the *same* trail through block sizes 1
+    /// (row-at-a-time), a small prime, a mid-range power of two, one
+    /// straddling the trail length (forcing a final partial flush), and
+    /// one larger than the whole trail must produce identical coverage,
+    /// identical entry-weighted totals, and identical cache hit/miss
+    /// books.
+    #[test]
+    fn snapshot_is_invariant_to_block_size(
+        rule_picks in collection::vec(0..POLICY_POOL.len(), 0..6),
+        entry_picks in collection::vec(
+            (0..DATA.len(), 0..PURPOSE.len(), 0..AUTH.len(), 0..4usize),
+            1..120,
+        ),
+        shards in 1..5usize,
+    ) {
+        let vocab = figure_1();
+        let policy = policy_from_picks(&rule_picks);
+        let entries: Vec<AuditEntry> = entry_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| entry_from_pick(i, pick))
+            .collect();
+
+        let run = |block_size: usize| {
+            let config = StreamConfig::with_shards(shards)
+                .channel_capacity(16)
+                .block_size(block_size);
+            let mut engine =
+                StreamEngine::start(config, PolicyMatcher::new(&policy, &vocab));
+            engine.ingest_all(&entries);
+            engine.shutdown()
+        };
+
+        let baseline = run(1);
+        let straddling = (entries.len() * 2 / 3).max(2);
+        for block_size in [7, 64, straddling, 4096] {
+            let snap = run(block_size);
+            prop_assert_eq!(&snap.coverage, &baseline.coverage,
+                "block_size {}", block_size);
+            prop_assert_eq!(&snap.totals, &baseline.totals);
+            prop_assert_eq!(&snap.cache, &baseline.cache,
+                "hit/miss books are invariant too (block_size {})", block_size);
+            prop_assert_eq!(snap.processed, baseline.processed);
+            prop_assert_eq!(snap.lost, 0);
+        }
+    }
+
     /// Recovery oracle: with checkpointing armed, a run that loses one
     /// shard at startup AND crashes another mid-stream must still end
     /// bit-for-bit equal to the fault-free batch computation — nothing
@@ -216,6 +264,7 @@ proptest! {
         shards in 2..5usize,
         crash_at in 1..20u64,
         interval in 1..16u64,
+        block in 1..24usize,
     ) {
         let vocab = figure_1();
         let policy = policy_from_picks(&rule_picks);
@@ -231,6 +280,7 @@ proptest! {
             .with_crash_after(1, crash_at);
         let config = StreamConfig::with_shards(shards)
             .channel_capacity(8)
+            .block_size(block)
             .checkpoint_every(interval)
             .faults(faults);
         let mut engine = StreamEngine::start(config, PolicyMatcher::new(&policy, &vocab))

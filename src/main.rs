@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         Some("refine") => cmd_refine(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("stream-bench") => cmd_stream_bench(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -79,7 +80,12 @@ fn print_usage() {
               an elevated break-the-glass rate; gates graceful degradation\n      \
               (SRV-011 shedding, SRV-012 deadlines, emergency certainty)\n    \
            [--suite]                  full sweep: load at workers=1 and =4 plus\n      \
-              the surge run, written as one aggregate report (BENCH_serve.json)"
+              the surge run, written as one aggregate report (BENCH_serve.json)\n  \
+         stream-bench                 shard-scaling ingest benchmark (prima-stream)\n    \
+           [--smoke] [--entries N] [--seed S] [--block-size N] [--capacity N]\n    \
+           [--passes N] [--out FILE]  (ladders 1/2/4/8 shards over the hospital\n      \
+              trail; writes the gate report as JSON and exits non-zero when an\n      \
+              acceptance gate — scaling floor, throughput, hit rate — fails)"
     );
 }
 
@@ -445,6 +451,75 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("serve-bench acceptance gate(s) failed".to_string())
+    }
+}
+
+fn cmd_stream_bench(args: &[String]) -> Result<(), String> {
+    use prima::stream::{run_stream_bench, StreamBenchConfig};
+    let flags = parse_flags(
+        args,
+        &[
+            "smoke",
+            "entries",
+            "seed",
+            "block-size",
+            "capacity",
+            "passes",
+            "out",
+        ],
+    )?;
+    let mut config = if flags.contains_key("smoke") {
+        StreamBenchConfig::smoke()
+    } else {
+        StreamBenchConfig::default()
+    };
+    flag_num(&flags, "entries", &mut config.trail_len)?;
+    flag_num(&flags, "seed", &mut config.seed)?;
+    flag_num(&flags, "block-size", &mut config.block_size)?;
+    flag_num(&flags, "capacity", &mut config.channel_capacity)?;
+    flag_num(&flags, "passes", &mut config.passes)?;
+
+    println!(
+        "stream-bench: {} entr(ies) over shard widths {:?}, block size {}, \
+         capacity {}, best of {} pass(es) ({} mode)",
+        config.trail_len,
+        config.widths,
+        config.block_size,
+        config.channel_capacity,
+        config.passes,
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let report = run_stream_bench(config);
+    for w in &report.widths {
+        println!(
+            "  {} shard(s): {:.0} entries/s, hit rate {:.2}%",
+            w.shards,
+            w.entries_per_sec,
+            w.cache_hit_rate * 100.0
+        );
+    }
+    println!(
+        "scaling {:.2}x wide-over-narrow (floor {:.2} at {} core(s)); \
+         metrics overhead {:.2}%",
+        report.scaling_ratio(),
+        prima::stream::loadbench::scaling_floor(report.cores),
+        report.cores,
+        report.overhead_pct()
+    );
+    for (gate, ok) in report.gates() {
+        println!("gate {gate}: {}", if ok { "pass" } else { "FAIL" });
+    }
+
+    if let Some(path) = flags.get("out") {
+        let text = serde_json::to_string_pretty(&report.to_json())
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("report written to {path}");
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("stream-bench acceptance gate(s) failed".to_string())
     }
 }
 
