@@ -20,13 +20,22 @@
 //! | `prima_coverage_completeness_lower` | gauge | lower bound on true coverage |
 //! | `prima_coverage_completeness_upper` | gauge | upper bound on true coverage |
 
-use prima_obs::{Counter, Gauge, Histogram, MetricsRegistry, PipelineReport, Tracer};
+use prima_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, PipelineReport, SloEngine, SloSpec,
+    Tracer,
+};
 
 /// The histogram family holding per-stage round timings.
 pub const STAGE_METRIC: &str = "prima_round_stage_seconds";
 
 /// Pipeline stages recorded into [`STAGE_METRIC`], in execution order.
 pub const STAGES: [&str; 5] = ["filter", "mine", "prune", "propose", "coverage"];
+
+/// The refinement loop's service-level objective: at most this fraction
+/// of rounds may run (or defer) with the trail's completeness lower
+/// bound under the system's floor — sustained federation blindness is an
+/// incident, not noise.
+const COMPLETENESS_SLO_OBJECTIVE: f64 = 0.05;
 
 /// Metrics and tracing for one [`crate::PrimaSystem`].
 ///
@@ -36,6 +45,13 @@ pub const STAGES: [&str; 5] = ["filter", "mine", "prune", "propose", "coverage"]
 pub struct SystemObs {
     registry: MetricsRegistry,
     tracer: Tracer,
+    /// Black-box ring the round incidents (gate rejections, deferred
+    /// rounds) dump — the tracer's own recorder, so dumps replay the
+    /// spans leading up to the incident.
+    flight: FlightRecorder,
+    /// Multi-window burn rates over the refinement loop's objectives
+    /// (`prima_slo_*` gauges; see [`SloEngine`]).
+    slo: SloEngine,
     pub(crate) rounds_total: Counter,
     pub(crate) deferred_total: Counter,
     pub(crate) patterns_useful_total: Counter,
@@ -51,6 +67,13 @@ impl SystemObs {
     /// Live observability over a fresh registry and tracer.
     pub fn enabled() -> Self {
         Self::over(MetricsRegistry::new(), Tracer::new())
+    }
+
+    /// Live observability whose tracer feeds `flight` — the round
+    /// incidents (gate rejections, deferred rounds) then dump a replay
+    /// of the spans leading up to them.
+    pub fn flight_enabled(flight: FlightRecorder) -> Self {
+        Self::over(MetricsRegistry::new(), Tracer::configured(None, flight))
     }
 
     /// No-op observability — the default wired into every system.
@@ -103,6 +126,19 @@ impl SystemObs {
                 stage("propose"),
                 stage("coverage"),
             ],
+            flight: tracer.flight(),
+            slo: {
+                let slo = if registry.is_enabled() {
+                    SloEngine::new(&registry)
+                } else {
+                    SloEngine::disabled()
+                };
+                slo.track(SloSpec::new(
+                    "coverage_completeness",
+                    COMPLETENESS_SLO_OBJECTIVE,
+                ));
+                slo
+            },
             registry,
             tracer,
         }
@@ -121,6 +157,25 @@ impl SystemObs {
     /// The shared tracer (drain it for the JSONL span log).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The flight recorder the round incidents dump (disabled unless the
+    /// tracer was built over one, e.g. via [`SystemObs::flight_enabled`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The refinement loop's SLO engine (burn rates over the
+    /// completeness objective).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// Records one incident: a black-box dump named `trigger`, marking
+    /// `trace_id`'s spans in the replay (0 when no single trace is to
+    /// blame).
+    pub(crate) fn incident(&self, trigger: &str, trace_id: u64) {
+        self.flight.dump(trigger, trace_id);
     }
 
     /// Per-stage latency profile of every round so far.

@@ -437,10 +437,13 @@ impl PrimaSystem {
     ) -> Result<RoundRecord, MiningError> {
         let round = self.history.len() + 1;
         self.last_gate_diagnostics.clear();
+        // A round is one trace: nested stage spans (refine, propose,
+        // coverage) inherit this root thread-locally, and incident dumps
+        // mark its trace in the flight-recorder replay.
         let mut round_span = self
             .obs
             .tracer()
-            .span("round.run")
+            .root_span("round.run")
             .with_field("round", round)
             .with_field("entries", entries.len());
         let rules: Vec<prima_model::GroundRule> = entries
@@ -471,6 +474,11 @@ impl PrimaSystem {
                         .span("round.deferred")
                         .with_field("completeness", health.completeness()),
                 );
+                // A blind round is an incident: keep its trace and dump
+                // the black box so the spans leading up to it replay.
+                round_span.mark_interesting();
+                self.obs
+                    .incident("round_deferred", round_span.context().trace_id);
                 (0, 0, 0, 0, 0)
             } else {
                 let mine_span = self.obs.tracer().span("round.refine");
@@ -546,7 +554,22 @@ impl PrimaSystem {
         self.obs.coverage_ratio.set(after);
         self.obs.completeness_lower.set(bound.lower);
         self.obs.completeness_upper.set(bound.upper);
+        // SLO: the fraction of rounds running blind (trail completeness
+        // under the floor) feeds the multi-window burn rates.
+        self.obs
+            .slo()
+            .record("coverage_completeness", f64::from(deferred), 1.0);
         round_span.field("coverage", format!("{after:.4}"));
+        if !self.last_gate_diagnostics.is_empty() {
+            // The safety gate refused at least one candidate this round:
+            // always keep the trace, and dump the black box with this
+            // round's trace marked (the nested stage spans have already
+            // closed into the ring).
+            round_span.field("gate_rejections", self.last_gate_diagnostics.len());
+            round_span.mark_interesting();
+            self.obs
+                .incident("gate_rejected", round_span.context().trace_id);
+        }
 
         let record = RoundRecord {
             round,
@@ -681,6 +704,43 @@ mod tests {
         assert!(diags[0].is_error());
         // Coverage stays at the paper's starting 30%.
         assert!((record.entry_coverage_after - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_rejection_dumps_the_flight_recorder_with_the_rounds_trace() {
+        use prima_model::{Rule, StoreTag};
+        use prima_obs::FlightRecorder;
+        let envelope = Policy::with_rules(
+            StoreTag::Named("envelope".into()),
+            vec![Rule::of(&[
+                ("data", "demographic"),
+                ("purpose", "billing"),
+                ("authorized", "administrative-staff"),
+            ])],
+        );
+        let flight = FlightRecorder::new(128);
+        let mut sys = system_with_table_1()
+            .with_safety_envelope(envelope)
+            .with_observability(SystemObs::flight_enabled(flight.clone()));
+        sys.run_round(ReviewMode::AutoAccept).unwrap();
+        assert_eq!(sys.last_gate_diagnostics().len(), 1);
+
+        // The rejection dumped the black box: the trigger names it, the
+        // round's own trace is marked, and the nested stage spans that
+        // led up to the rejection replay from the ring.
+        let dump = flight.last_dump().expect("gate rejection dumped");
+        assert_eq!(dump.trigger, "gate_rejected");
+        assert_ne!(dump.trace_id, 0, "the round was traced");
+        assert!(
+            dump.records
+                .iter()
+                .any(|r| r.trace_id == dump.trace_id && r.name == "round.refine"),
+            "dump replays the round's refine stage: {:?}",
+            dump.records
+        );
+        assert!(dump.to_jsonl().contains("\"marked\":true"));
+        // The SLO engine saw a healthy (non-deferred) round.
+        assert!(!sys.obs().slo().is_breached("coverage_completeness"));
     }
 
     #[test]

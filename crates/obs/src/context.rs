@@ -1,0 +1,61 @@
+//! Trace context: the two numbers that let a trace survive a hop.
+//!
+//! Spans parent thread-locally; the moment work crosses a thread or a
+//! channel (a `DecisionRequest` entering the serve worker pool, an
+//! `EntryBlock` shipped to a stream shard), the thread-local stack is
+//! gone and a naïve span on the far side becomes an orphan root. A
+//! [`TraceContext`] is the portable remainder: the trace the work
+//! belongs to and the span to parent under. Stamp it onto the message at
+//! the hop's near side ([`crate::SpanGuard::context`]), carry it across,
+//! and restore it on the far side ([`crate::Tracer::span_in`]) — the
+//! far-side spans then parent correctly end-to-end.
+//!
+//! The context is two `u64`s — `Copy`, wire-friendly (both serialize as
+//! plain integers), and zero is the universal "no trace" value, so a
+//! request that never passed an instrumented admission point costs
+//! nothing downstream.
+
+/// A trace's identity across thread and channel hops: which trace the
+/// work belongs to, and which span to parent restored spans under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceContext {
+    /// Trace id, unique per tracer (1-based; 0 means "untraced").
+    pub trace_id: u64,
+    /// Span id of the hop's near side — the parent for spans restored on
+    /// the far side (0: parent directly under the trace root).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The "no trace" context: both ids zero. Restoring it is free and
+    /// produces ordinary thread-locally parented spans.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+    };
+
+    /// A context from raw ids (e.g. read back off a wire message).
+    pub fn new(trace_id: u64, parent_span: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span,
+        }
+    }
+
+    /// True when this context names a real trace.
+    pub fn is_some(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_default_and_not_some() {
+        assert_eq!(TraceContext::default(), TraceContext::NONE);
+        assert!(!TraceContext::NONE.is_some());
+        assert!(TraceContext::new(3, 0).is_some());
+    }
+}

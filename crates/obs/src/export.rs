@@ -153,16 +153,16 @@ pub fn metrics_jsonl(registry: &MetricsRegistry) -> String {
     for family in registry.gather() {
         for sample in &family.samples {
             let mut line = String::from("{");
-            push_json_str(&mut line, "metric", &family.name);
+            push_json_field(&mut line, "metric", &family.name);
             line.push(',');
-            push_json_str(&mut line, "kind", family.kind.as_str());
+            push_json_field(&mut line, "kind", family.kind.as_str());
             line.push(',');
             line.push_str("\"labels\":{");
             for (i, (k, v)) in sample.labels.iter().enumerate() {
                 if i > 0 {
                     line.push(',');
                 }
-                push_json_str(&mut line, k, v);
+                push_json_field(&mut line, k, v);
             }
             line.push('}');
             match &sample.value {
@@ -200,29 +200,34 @@ pub fn metrics_jsonl(registry: &MetricsRegistry) -> String {
 }
 
 /// Renders drained spans as JSON lines, one span per line:
-/// `{"span": name, "id": .., "parent": .., "start_us": ..,
+/// `{"span": name, "id": .., "parent": .., "trace": .., "start_us": ..,
 /// "duration_us": .., "fields": {...}}`.
 pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
     let mut out = String::new();
     for span in spans {
-        let mut line = String::from("{");
-        push_json_str(&mut line, "span", &span.name);
-        let _ = write!(
-            line,
-            ",\"id\":{},\"parent\":{},\"start_us\":{},\"duration_us\":{},\"fields\":{{",
-            span.id, span.parent, span.start_us, span.duration_us
-        );
-        for (i, (k, v)) in span.fields.iter().enumerate() {
-            if i > 0 {
-                line.push(',');
-            }
-            push_json_str(&mut line, k, v);
-        }
-        line.push_str("}}");
-        out.push_str(&line);
+        span_record_json_into(&mut out, span);
         out.push('\n');
     }
     out
+}
+
+/// Renders one span record as a JSON object (no trailing newline) —
+/// shared between [`spans_jsonl`] and the flight-recorder dump.
+pub(crate) fn span_record_json_into(out: &mut String, span: &SpanRecord) {
+    out.push('{');
+    push_json_field(out, "span", &span.name);
+    let _ = write!(
+        out,
+        ",\"id\":{},\"parent\":{},\"trace\":{},\"start_us\":{},\"duration_us\":{},\"fields\":{{",
+        span.id, span.parent, span.trace_id, span.start_us, span.duration_us
+    );
+    for (i, (k, v)) in span.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_field(out, k, v);
+    }
+    out.push_str("}}");
 }
 
 fn json_number(v: f64) -> String {
@@ -233,7 +238,14 @@ fn json_number(v: f64) -> String {
     }
 }
 
-fn push_json_str(out: &mut String, key: &str, value: &str) {
+/// Appends a bare JSON string (quoted, escaped) — no key.
+pub(crate) fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    escape_json_into(out, value);
+    out.push('"');
+}
+
+fn push_json_field(out: &mut String, key: &str, value: &str) {
     out.push('"');
     escape_json_into(out, key);
     out.push_str("\":\"");
@@ -331,5 +343,90 @@ mod tests {
         let r = MetricsRegistry::disabled();
         assert!(prometheus(&r).is_empty());
         assert!(metrics_jsonl(&r).is_empty());
+    }
+
+    /// Adversarial field values must survive a round trip through a
+    /// real JSON parser — the hand-rendered escaping is only correct if
+    /// an independent decoder recovers the exact original strings.
+    #[test]
+    fn spans_jsonl_adversarial_values_round_trip_through_a_real_parser() {
+        let adversarial = [
+            ("quotes", "say \"hi\" then \"bye\""),
+            ("backslashes", "C:\\path\\to\\file \\\\server\\share \\"),
+            ("newlines", "line one\nline two\r\nline three"),
+            ("tabs_and_controls", "a\tb\u{0}c\u{1b}d\u{7}e"),
+            ("non_ascii", "Krankenhaus-Datenschutz: 病歴 — ürün ✓ 🏥"),
+            ("mixed", "a\"b\\c\nd\te\u{1}f«g»"),
+            ("empty", ""),
+            ("json_lookalike", "{\"k\":[1,2,{\"n\":null}]}"),
+        ];
+        let t = Tracer::new();
+        {
+            let mut s = t.root_span("adv\"ersarial.\\span\nname");
+            for (k, v) in &adversarial {
+                s.field(k, v);
+            }
+        }
+        let out = spans_jsonl(&t.drain());
+        let line = out.lines().next().unwrap();
+        let parsed =
+            serde_json::parse_value(line).expect("hand-rendered span line must be valid JSON");
+        assert_eq!(
+            lookup(&parsed, "span").as_str().unwrap(),
+            "adv\"ersarial.\\span\nname"
+        );
+        assert!(lookup(&parsed, "trace").as_u64().unwrap() > 0);
+        let fields = lookup(&parsed, "fields").as_map().unwrap();
+        assert_eq!(fields.len(), adversarial.len());
+        for (k, v) in &adversarial {
+            let got = fields
+                .iter()
+                .find(|(fk, _)| fk == k)
+                .map(|(_, fv)| fv.as_str().unwrap());
+            assert_eq!(got, Some(*v), "field {k} must round-trip exactly");
+        }
+    }
+
+    /// Map lookup on the shim's insertion-ordered JSON object.
+    fn lookup<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+        v.as_map()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key}"))
+    }
+
+    #[test]
+    fn metrics_jsonl_adversarial_labels_round_trip_through_a_real_parser() {
+        let r = MetricsRegistry::new();
+        r.counter_with(
+            "adv_total",
+            "h",
+            &[("path", "a\\b\"c\nd\te\u{2}f"), ("site", "儿科 «icu»")],
+        )
+        .inc();
+        let out = metrics_jsonl(&r);
+        let parsed = serde_json::parse_value(out.lines().next().unwrap()).expect("valid JSON");
+        let labels = lookup(&parsed, "labels");
+        assert_eq!(
+            lookup(labels, "path").as_str().unwrap(),
+            "a\\b\"c\nd\te\u{2}f"
+        );
+        assert_eq!(lookup(labels, "site").as_str().unwrap(), "儿科 «icu»");
+    }
+
+    #[test]
+    fn flight_dump_jsonl_parses_line_by_line() {
+        let fr = crate::FlightRecorder::new(4);
+        let t = Tracer::configured(None, fr.clone());
+        {
+            let mut s = t.root_span("serve.decide");
+            s.field("deny", "SRV-010 \"panic\"\n");
+        }
+        let dump = fr.dump("worker_panic", 1).unwrap();
+        for line in dump.to_jsonl().lines() {
+            serde_json::parse_value(line).expect("every dump line must parse");
+        }
     }
 }

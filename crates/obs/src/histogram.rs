@@ -217,6 +217,26 @@ impl HistogramSnapshot {
         Some(*self.bounds.last().expect("non-empty bounds"))
     }
 
+    /// The observations recorded between `earlier` and `self` — the
+    /// per-tick slice an SLO window consumes from a cumulative
+    /// histogram. Counts subtract saturating (a restarted histogram
+    /// yields zeros, not wraparound); `None` when the layouts differ.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> Option<HistogramSnapshot> {
+        if self.bounds != earlier.bounds {
+            return None;
+        }
+        Some(HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            sum: (self.sum - earlier.sum).max(0.0),
+        })
+    }
+
     /// Largest bucket upper bound with at least one observation — the
     /// histogram's resolution-limited "max". `None` when empty.
     pub fn max_edge(&self) -> Option<f64> {
@@ -351,6 +371,25 @@ mod tests {
 
         let nan = Histogram::live(&[f64::NAN, f64::INFINITY]);
         assert_eq!(nan.snapshot().bounds, DEFAULT_LATENCY_BUCKETS.to_vec());
+    }
+
+    #[test]
+    fn delta_isolates_the_new_observations() {
+        let h = hist(&[1.0, 2.0]);
+        h.observe(0.5);
+        let before = h.snapshot();
+        h.observe(1.5);
+        h.observe(9.0);
+        let d = h.snapshot().delta(&before).unwrap();
+        assert_eq!(d.counts, vec![0, 1, 1]);
+        assert_eq!(d.count(), 2);
+        assert!((d.sum - 10.5).abs() < 1e-12);
+        // Layout mismatch refuses rather than misattributes.
+        assert!(before.delta(&hist(&[1.0, 3.0]).snapshot()).is_none());
+        // A "restart" (earlier ahead of now) saturates to zero.
+        let z = before.delta(&h.snapshot()).unwrap();
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.sum, 0.0);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Flight recorder: a black box for the decision path.
+//!
+//! Traces answer "what happened to this request"; the flight recorder
+//! answers "what was the system doing *just before it broke*". It is a
+//! fixed-size ring of the most recent span/event records — every span
+//! that closes is written in, **before** sampling, so the black box sees
+//! the traffic the sampler threw away. When an incident fires (worker
+//! panic, breaker open, degraded-mode entry, safety-gate rejection) the
+//! ring is snapshotted into a [`FlightDump`], the triggering trace is
+//! marked, and the dump is kept for `ServeHealth` / the `prima
+//! flight-dump` CLI to surface as JSONL.
+//!
+//! The workspace forbids `unsafe`, so "lock-free" here means *lock-free
+//! progress for writers as a group*: an atomic cursor hands each writer
+//! its own slot, and each slot is guarded by its own tiny mutex that is
+//! only ever contended when the ring wraps onto a slot mid-write —
+//! writers never queue behind one another on a shared lock.
+
+use crate::trace::SpanRecord;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Dumps retained for post-hoc inspection before the oldest is forgotten.
+const MAX_DUMPS: usize = 8;
+
+/// A snapshot of the flight-recorder ring at the moment of an incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// What fired the dump (e.g. `worker_panic`, `breaker_open`,
+    /// `degraded`, `gate_rejected`).
+    pub trigger: String,
+    /// Trace id of the request that triggered the incident (0 when the
+    /// incident is not tied to one trace, e.g. breaker-open).
+    pub trace_id: u64,
+    /// Ring contents, oldest first.
+    pub records: Vec<SpanRecord>,
+}
+
+impl FlightDump {
+    /// Renders the dump as JSONL: one header line (`trigger`,
+    /// `trace_id`, `records`) followed by one line per record in the
+    /// span-export shape, with `"marked":true` on records belonging to
+    /// the triggering trace.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"flight_dump\":");
+        crate::export::push_json_str(&mut out, &self.trigger);
+        out.push_str(",\"trace\":");
+        out.push_str(&self.trace_id.to_string());
+        out.push_str(",\"records\":");
+        out.push_str(&self.records.len().to_string());
+        out.push_str("}\n");
+        for r in &self.records {
+            crate::export::span_record_json_into(&mut out, r);
+            if self.trace_id != 0 && r.trace_id == self.trace_id {
+                debug_assert!(out.ends_with('}'));
+                out.pop();
+                out.push_str(",\"marked\":true}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct RingCore {
+    origin: Instant,
+    cursor: AtomicU64,
+    slots: Vec<Mutex<Option<(u64, SpanRecord)>>>,
+    dumps: Mutex<VecDeque<FlightDump>>,
+    dump_count: AtomicU64,
+}
+
+/// Handle to a shared flight-recorder ring. `Clone` shares the ring;
+/// the default handle is disabled and free.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder(Option<Arc<RingCore>>);
+
+impl FlightRecorder {
+    /// A live recorder retaining the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder(Some(Arc::new(RingCore {
+            origin: Instant::now(),
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            dumps: Mutex::new(VecDeque::new()),
+            dump_count: AtomicU64::new(0),
+        })))
+    }
+
+    /// A disabled recorder: every operation is a no-op costing a branch.
+    pub fn disabled() -> Self {
+        FlightRecorder(None)
+    }
+
+    /// True when this handle writes into a live ring.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Writes one finished span record into the ring (called by the
+    /// tracer before sampling, so the black box sees dropped traffic).
+    pub fn record(&self, record: &SpanRecord) {
+        let Some(core) = &self.0 else { return };
+        let seq = core.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % core.slots.len() as u64) as usize;
+        if let Ok(mut s) = core.slots[slot].lock() {
+            *s = Some((seq, record.clone()));
+        }
+    }
+
+    /// Writes a free-standing event (no span) into the ring — a
+    /// zero-duration record timed off the ring's own clock. Used for
+    /// incident breadcrumbs like supervisor ticks and state changes.
+    pub fn note(&self, name: &str, fields: &[(&str, String)]) {
+        let Some(core) = &self.0 else { return };
+        let record = SpanRecord {
+            id: 0,
+            parent: 0,
+            trace_id: 0,
+            name: name.to_string(),
+            start_us: core.origin.elapsed().as_micros() as u64,
+            duration_us: 0,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.record(&record);
+    }
+
+    /// Snapshots the ring into a [`FlightDump`] (oldest record first),
+    /// marks `trace_id` as the triggering trace, and retains the dump
+    /// for [`FlightRecorder::last_dump`]. Returns the dump.
+    pub fn dump(&self, trigger: &str, trace_id: u64) -> Option<FlightDump> {
+        let core = self.0.as_ref()?;
+        let mut records: Vec<(u64, SpanRecord)> = core
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().ok().and_then(|g| g.clone()))
+            .collect();
+        records.sort_by_key(|(seq, _)| *seq);
+        let dump = FlightDump {
+            trigger: trigger.to_string(),
+            trace_id,
+            records: records.into_iter().map(|(_, r)| r).collect(),
+        };
+        core.dump_count.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut dumps) = core.dumps.lock() {
+            dumps.push_back(dump.clone());
+            while dumps.len() > MAX_DUMPS {
+                dumps.pop_front();
+            }
+        }
+        Some(dump)
+    }
+
+    /// The most recent dump, if any incident has fired.
+    pub fn last_dump(&self) -> Option<FlightDump> {
+        let core = self.0.as_ref()?;
+        core.dumps.lock().ok()?.back().cloned()
+    }
+
+    /// All retained dumps, oldest first (bounded; oldest are forgotten).
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        match &self.0 {
+            Some(core) => core
+                .dumps
+                .lock()
+                .map(|d| d.iter().cloned().collect())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total incidents that have fired a dump (including forgotten ones).
+    pub fn dump_count(&self) -> u64 {
+        match &self.0 {
+            Some(core) => core.dump_count.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, id: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            trace_id,
+            name: name.into(),
+            start_us: id,
+            duration_us: 1,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let fr = FlightRecorder::disabled();
+        fr.record(&span(1, 1, "a"));
+        fr.note("tick", &[]);
+        assert!(fr.dump("panic", 1).is_none());
+        assert!(fr.last_dump().is_none());
+        assert_eq!(fr.dump_count(), 0);
+        assert!(!fr.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_capacity_records_in_order() {
+        let fr = FlightRecorder::new(4);
+        for i in 1..=10u64 {
+            fr.record(&span(0, i, "s"));
+        }
+        let dump = fr.dump("test", 0).unwrap();
+        let ids: Vec<u64> = dump.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10], "last 4, oldest first");
+    }
+
+    #[test]
+    fn dump_marks_the_triggering_trace_in_jsonl() {
+        let fr = FlightRecorder::new(8);
+        fr.record(&span(7, 1, "victim"));
+        fr.record(&span(9, 2, "bystander"));
+        let dump = fr.dump("worker_panic", 7).unwrap();
+        let jsonl = dump.to_jsonl();
+        let mut lines = jsonl.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"flight_dump\":\"worker_panic\""));
+        assert!(header.contains("\"trace\":7"));
+        let victim = lines.find(|l| l.contains("victim")).unwrap();
+        assert!(victim.contains("\"marked\":true"));
+        assert!(!jsonl
+            .lines()
+            .find(|l| l.contains("bystander"))
+            .unwrap()
+            .contains("marked"));
+    }
+
+    #[test]
+    fn notes_land_in_the_ring_and_dumps_are_retained() {
+        let fr = FlightRecorder::new(8);
+        fr.note("supervisor.tick", &[("tick", "3".into())]);
+        let d1 = fr.dump("breaker_open", 0).unwrap();
+        assert_eq!(d1.records.len(), 1);
+        assert_eq!(d1.records[0].name, "supervisor.tick");
+        fr.dump("degraded", 0);
+        assert_eq!(fr.dump_count(), 2);
+        assert_eq!(fr.last_dump().unwrap().trigger, "degraded");
+        assert_eq!(fr.dumps().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let fr = FlightRecorder::new(8);
+        let other = fr.clone();
+        other.record(&span(1, 1, "a"));
+        assert_eq!(fr.dump("t", 0).unwrap().records.len(), 1);
+        assert_eq!(other.dump_count(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Tail-based trace sampling.
+//!
+//! At serving rates (400k+ decisions/s) retaining every span would turn
+//! the tracer's stripe buffers into the system's largest allocation.
+//! Head sampling (flip a coin at the root) is cheap but blind — the
+//! traces worth keeping are exactly the ones you cannot predict at
+//! admission: denials, sheds, deadline expiries, emergencies, and slow
+//! outliers. Tail sampling buffers a trace's spans until its *root*
+//! closes, then decides with the whole trace in hand:
+//!
+//! * **Interesting traces are kept 100%.** A trace is interesting when
+//!   any of its spans was [`crate::SpanGuard::mark_interesting`]-ed, or
+//!   any span ran at least [`SamplePolicy::latency_threshold_us`].
+//! * **The rest keep 1-in-[`SamplePolicy::keep_every`]**, dropped before
+//!   they ever hit the stripe buffers.
+//!
+//! Spans can legitimately finish *after* their root closed — a stream
+//! shard processes a block after the producer's root span (which closes
+//! at channel send) is long gone. The sampler therefore remembers recent
+//! verdicts in a bounded FIFO map: late spans of a kept trace are still
+//! emitted, late spans of a dropped trace still vanish. Every bound in
+//! here sheds toward *keeping* (an overflowing pending trace is flushed
+//! as kept, never silently discarded), so sampling can lose boring
+//! traces but never invents a gap in an interesting one.
+
+use crate::trace::SpanRecord;
+use std::collections::{HashMap, VecDeque};
+
+/// Spans buffered across all pending (root-still-open) traces before the
+/// oldest pending trace is force-flushed as kept.
+const MAX_PENDING_SPANS: usize = 8_192;
+
+/// Keep/drop verdicts remembered for late spans before the oldest
+/// verdict is forgotten.
+const MAX_DECIDED: usize = 4_096;
+
+/// What the tail sampler keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePolicy {
+    /// Keep one in this many *uninteresting* traces (1 = keep all).
+    pub keep_every: u64,
+    /// Any span running at least this long (µs) makes its whole trace
+    /// interesting; `u64::MAX` disables the latency class.
+    pub latency_threshold_us: u64,
+}
+
+impl SamplePolicy {
+    /// Keep every trace (the policy equivalent of no sampling).
+    pub fn keep_all() -> Self {
+        Self::keep_1_in(1)
+    }
+
+    /// Keep 1-in-`n` uninteresting traces (interesting ones always).
+    pub fn keep_1_in(n: u64) -> Self {
+        Self {
+            keep_every: n.max(1),
+            latency_threshold_us: u64::MAX,
+        }
+    }
+
+    /// Builder: traces containing a span at least this slow (µs) are
+    /// always kept.
+    pub fn with_latency_threshold_us(mut self, us: u64) -> Self {
+        self.latency_threshold_us = us;
+        self
+    }
+}
+
+impl Default for SamplePolicy {
+    fn default() -> Self {
+        Self::keep_all()
+    }
+}
+
+/// Running totals of the sampler's keep/drop decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleStats {
+    /// Traces flushed to the stripe buffers.
+    pub kept_traces: u64,
+    /// Traces dropped whole.
+    pub dropped_traces: u64,
+    /// Spans dropped (members of dropped traces, incl. late arrivals).
+    pub dropped_spans: u64,
+}
+
+#[derive(Debug)]
+struct PendingTrace {
+    spans: Vec<SpanRecord>,
+    interesting: bool,
+}
+
+/// Per-tracer sampling state, behind one mutex in the tracer core. The
+/// hot path (span close) takes it once per span — acceptable because the
+/// alternative is that span landing in a stripe buffer forever.
+#[derive(Debug)]
+pub(crate) struct SamplerState {
+    policy: SamplePolicy,
+    pending: HashMap<u64, PendingTrace>,
+    pending_order: VecDeque<u64>,
+    pending_spans: usize,
+    decided: HashMap<u64, bool>,
+    decided_order: VecDeque<u64>,
+    uninteresting_seen: u64,
+    stats: SampleStats,
+}
+
+impl SamplerState {
+    pub(crate) fn new(policy: SamplePolicy) -> Self {
+        Self {
+            policy,
+            pending: HashMap::new(),
+            pending_order: VecDeque::new(),
+            pending_spans: 0,
+            decided: HashMap::new(),
+            decided_order: VecDeque::new(),
+            uninteresting_seen: 0,
+            stats: SampleStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> SampleStats {
+        self.stats
+    }
+
+    /// Routes one finished span: returns the records that should land in
+    /// the stripe buffers *now* (empty while buffering or dropping).
+    pub(crate) fn route(
+        &mut self,
+        record: SpanRecord,
+        is_root: bool,
+        marked: bool,
+    ) -> Vec<SpanRecord> {
+        let trace_id = record.trace_id;
+        let interesting = marked || record.duration_us >= self.policy.latency_threshold_us;
+        if let Some(&keep) = self.decided.get(&trace_id) {
+            // Late span of an already-decided trace: follow the verdict.
+            if keep {
+                return vec![record];
+            }
+            self.stats.dropped_spans += 1;
+            return Vec::new();
+        }
+        if is_root {
+            let buffered = self.take_pending(trace_id);
+            let trace_interesting = interesting || buffered.as_ref().is_some_and(|p| p.interesting);
+            let keep = trace_interesting || {
+                self.uninteresting_seen += 1;
+                self.policy.keep_every <= 1 || self.uninteresting_seen % self.policy.keep_every == 1
+            };
+            self.remember(trace_id, keep);
+            let mut spans = buffered.map_or_else(Vec::new, |p| p.spans);
+            spans.push(record);
+            if keep {
+                self.stats.kept_traces += 1;
+                spans
+            } else {
+                self.stats.dropped_traces += 1;
+                self.stats.dropped_spans += spans.len() as u64;
+                Vec::new()
+            }
+        } else {
+            // Root still open (or verdict already forgotten): buffer.
+            let entry = self.pending.entry(trace_id).or_insert_with(|| {
+                self.pending_order.push_back(trace_id);
+                PendingTrace {
+                    spans: Vec::new(),
+                    interesting: false,
+                }
+            });
+            entry.interesting |= interesting;
+            entry.spans.push(record);
+            self.pending_spans += 1;
+            self.overflow_oldest()
+        }
+    }
+
+    fn take_pending(&mut self, trace_id: u64) -> Option<PendingTrace> {
+        let taken = self.pending.remove(&trace_id);
+        if let Some(p) = &taken {
+            self.pending_spans -= p.spans.len();
+            self.pending_order.retain(|id| *id != trace_id);
+        }
+        taken
+    }
+
+    /// Keeps the pending pool bounded: the oldest pending trace is
+    /// flushed *as kept* (lossless bias — the bound sheds boring memory
+    /// pressure, it must never manufacture a hole in a trace).
+    fn overflow_oldest(&mut self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        while self.pending_spans > MAX_PENDING_SPANS {
+            let Some(oldest) = self.pending_order.front().copied() else {
+                break;
+            };
+            if let Some(p) = self.take_pending(oldest) {
+                self.remember(oldest, true);
+                self.stats.kept_traces += 1;
+                out.extend(p.spans);
+            }
+        }
+        out
+    }
+
+    fn remember(&mut self, trace_id: u64, keep: bool) {
+        if self.decided.insert(trace_id, keep).is_none() {
+            self.decided_order.push_back(trace_id);
+        }
+        while self.decided_order.len() > MAX_DECIDED {
+            if let Some(old) = self.decided_order.pop_front() {
+                self.decided.remove(&old);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, id: u64, duration_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            trace_id,
+            name: "t".into(),
+            start_us: id,
+            duration_us,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keep_all_policy_passes_everything_through() {
+        let mut s = SamplerState::new(SamplePolicy::keep_all());
+        assert!(s.route(span(1, 2, 5), false, false).is_empty(), "buffered");
+        let out = s.route(span(1, 1, 5), true, false);
+        assert_eq!(out.len(), 2, "buffered child + root flush together");
+        assert_eq!(s.stats().kept_traces, 1);
+    }
+
+    #[test]
+    fn one_in_n_keeps_first_of_each_stride() {
+        let mut s = SamplerState::new(SamplePolicy::keep_1_in(10));
+        let mut kept = 0;
+        for trace in 1..=20u64 {
+            if !s.route(span(trace, trace * 10, 1), true, false).is_empty() {
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 2, "1-in-10 over 20 boring traces");
+        assert_eq!(s.stats().dropped_traces, 18);
+    }
+
+    #[test]
+    fn marked_and_slow_traces_are_always_kept() {
+        let mut s =
+            SamplerState::new(SamplePolicy::keep_1_in(1_000).with_latency_threshold_us(100));
+        assert!(!s.route(span(1, 1, 1), true, true).is_empty(), "marked");
+        assert!(!s.route(span(2, 2, 500), true, false).is_empty(), "slow");
+        // A slow *child* makes the whole trace interesting.
+        assert!(s.route(span(3, 31, 500), false, false).is_empty());
+        assert_eq!(s.route(span(3, 30, 1), true, false).len(), 2);
+        assert_eq!(s.stats().kept_traces, 3);
+    }
+
+    #[test]
+    fn late_spans_follow_the_verdict() {
+        let mut s = SamplerState::new(SamplePolicy::keep_1_in(2));
+        // Trace 1: first uninteresting → kept. Trace 2: dropped.
+        assert!(!s.route(span(1, 1, 1), true, false).is_empty());
+        assert!(s.route(span(2, 2, 1), true, false).is_empty());
+        assert_eq!(s.route(span(1, 3, 1), false, false).len(), 1, "late keep");
+        assert!(s.route(span(2, 4, 1), false, false).is_empty(), "late drop");
+        assert_eq!(s.stats().dropped_spans, 2);
+    }
+
+    #[test]
+    fn pending_overflow_flushes_oldest_as_kept() {
+        let mut s = SamplerState::new(SamplePolicy::keep_1_in(1_000));
+        // Orphan spans (roots never close) across two traces; overflow
+        // must flush the *older* trace, intact.
+        let mut flushed = Vec::new();
+        for i in 0..=MAX_PENDING_SPANS as u64 {
+            let trace = if i < 10 { 1 } else { 2 };
+            flushed.extend(s.route(span(trace, i + 1, 1), false, false));
+        }
+        assert!(!flushed.is_empty(), "overflow flushed something");
+        assert!(flushed.iter().all(|r| r.trace_id == 1), "oldest trace");
+        assert_eq!(flushed.len(), 10, "flushed whole, not truncated");
+        // Its late spans now follow the remembered keep verdict.
+        assert_eq!(s.route(span(1, 99_999, 1), false, false).len(), 1);
+    }
+}

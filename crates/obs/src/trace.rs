@@ -1,19 +1,43 @@
-//! Structured span tracing.
+//! Structured span tracing with cross-hop trace propagation.
 //!
 //! A [`Tracer`] issues [`SpanGuard`]s: a guard records its start on
 //! creation, collects key/value fields while alive, and on drop writes a
 //! timed [`SpanRecord`] — parented to whatever span was active on the
 //! same thread when it started — into one of the tracer's striped
 //! buffers. Each thread hashes to its own stripe, so the mutex a worker
-//! takes at span end is essentially uncontended ("lock-free-ish"): the
-//! hot path is a push onto a pre-hashed `Vec`. Draining locks every
-//! stripe once and hands back the records sorted by start time, ready
-//! for [`crate::export::spans_jsonl`].
+//! takes at span end is essentially uncontended: the hot path is a push
+//! onto a pre-hashed `Vec`. Draining locks every stripe once and hands
+//! back the records sorted by start time, ready for
+//! [`crate::export::spans_jsonl`].
+//!
+//! **Traces.** [`Tracer::root_span`] opens a span with a fresh trace id;
+//! nested spans inherit it thread-locally. When work crosses a thread or
+//! channel, stamp [`SpanGuard::context`] onto the message and restore it
+//! on the far side with [`Tracer::span_in`] — the far-side spans then
+//! parent under the near side and carry the same trace id, so the whole
+//! request is one connected tree. Spans opened with plain
+//! [`Tracer::span`] outside any trace carry trace id 0 ("untraced") and
+//! bypass sampling entirely.
+//!
+//! **Sampling.** A tracer built with [`Tracer::with_sampling`] (or
+//! [`Tracer::configured`]) routes traced spans through a tail sampler
+//! ([`crate::SamplePolicy`]): traces are buffered until their root
+//! closes, interesting ones (marked via [`SpanGuard::mark_interesting`]
+//! or slower than the policy threshold) are kept 100%, the rest keep
+//! 1-in-N — dropped before they ever hit the stripe buffers.
+//!
+//! **Flight recorder.** A tracer built with [`Tracer::configured`]
+//! writes every finished span into the shared
+//! [`crate::FlightRecorder`] *before* sampling, so the black box sees
+//! even the traffic the sampler drops.
 //!
 //! Span names are dotted lowercase paths (`round.mine`,
-//! `stream.checkpoint`, `federation.sync`); fields carry the dimensions
-//! a metric label would (`shard`, `source`, `rows`).
+//! `stream.checkpoint`, `serve.decide`); fields carry the dimensions a
+//! metric label would (`shard`, `source`, `verdict`).
 
+use crate::context::TraceContext;
+use crate::ring::FlightRecorder;
+use crate::sampler::{SamplePolicy, SampleStats, SamplerState};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -27,8 +51,10 @@ const STRIPES: usize = 16;
 pub struct SpanRecord {
     /// Span id, unique within the tracer (1-based; 0 means "no span").
     pub id: u64,
-    /// Id of the enclosing span on the same thread, 0 at the root.
+    /// Id of the enclosing span, 0 at a root.
     pub parent: u64,
+    /// Trace this span belongs to (0 = untraced).
+    pub trace_id: u64,
     /// Dotted lowercase span name.
     pub name: String,
     /// Microseconds since the tracer was created.
@@ -46,14 +72,18 @@ struct TracerCore {
     tracer_id: u64,
     origin: Instant,
     next_span: AtomicU64,
+    next_trace: AtomicU64,
     stripes: Vec<Mutex<Vec<SpanRecord>>>,
+    sampler: Option<Mutex<SamplerState>>,
+    flight: FlightRecorder,
 }
 
 static NEXT_TRACER: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// Stack of `(tracer_id, span_id)` for the spans open on this thread.
-    static ACTIVE: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of `(tracer_id, span_id, trace_id)` for the spans open on
+    /// this thread.
+    static ACTIVE: RefCell<Vec<(u64, u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A shared span recorder; `Clone` shares the buffers. A tracer from
@@ -62,13 +92,27 @@ thread_local! {
 pub struct Tracer(Option<Arc<TracerCore>>);
 
 impl Tracer {
-    /// A live tracer with its clock origin at "now".
+    /// A live tracer with its clock origin at "now", keeping every span.
     pub fn new() -> Self {
+        Self::configured(None, FlightRecorder::disabled())
+    }
+
+    /// A live tracer that tail-samples traced spans under `policy`.
+    pub fn with_sampling(policy: SamplePolicy) -> Self {
+        Self::configured(Some(policy), FlightRecorder::disabled())
+    }
+
+    /// A live tracer with the full v2 surface: optional tail sampling
+    /// plus a flight recorder that sees every span pre-sampling.
+    pub fn configured(policy: Option<SamplePolicy>, flight: FlightRecorder) -> Self {
         Self(Some(Arc::new(TracerCore {
             tracer_id: NEXT_TRACER.fetch_add(1, Ordering::Relaxed),
             origin: Instant::now(),
             next_span: AtomicU64::new(1),
+            next_trace: AtomicU64::new(1),
             stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            sampler: policy.map(|p| Mutex::new(SamplerState::new(p))),
+            flight,
         })))
     }
 
@@ -82,27 +126,91 @@ impl Tracer {
         self.0.is_some()
     }
 
-    /// Opens a span; it records itself when the guard drops.
+    /// The flight recorder this tracer feeds (disabled when none).
+    pub fn flight(&self) -> FlightRecorder {
+        match &self.0 {
+            Some(core) => core.flight.clone(),
+            None => FlightRecorder::disabled(),
+        }
+    }
+
+    /// The tail sampler's running keep/drop totals (zeros when this
+    /// tracer does not sample).
+    pub fn sample_stats(&self) -> SampleStats {
+        self.0
+            .as_ref()
+            .and_then(|core| core.sampler.as_ref())
+            .map(|s| s.lock().expect("sampler mutex").stats())
+            .unwrap_or_default()
+    }
+
+    /// Opens a span parented to whatever span of this tracer is active
+    /// on the current thread (inheriting its trace id); it records
+    /// itself when the guard drops.
     pub fn span(&self, name: &str) -> SpanGuard {
         let Some(core) = &self.0 else {
             return SpanGuard { state: None };
         };
         let id = core.next_span.fetch_add(1, Ordering::Relaxed);
-        let parent = ACTIVE.with(|stack| {
+        let (parent, trace_id) = ACTIVE.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let parent = stack
+            let inherited = stack
                 .iter()
                 .rev()
-                .find(|(t, _)| *t == core.tracer_id)
-                .map_or(0, |(_, s)| *s);
-            stack.push((core.tracer_id, id));
-            parent
+                .find(|(t, _, _)| *t == core.tracer_id)
+                .map_or((0, 0), |&(_, s, tr)| (s, tr));
+            stack.push((core.tracer_id, id, inherited.1));
+            inherited
         });
+        self.open(core, id, parent, trace_id, false, name)
+    }
+
+    /// Opens a span that **starts a new trace**: it gets a fresh trace
+    /// id, no parent, and is the span whose close triggers the tail
+    /// sampler's keep/drop decision. Nested spans inherit the trace.
+    pub fn root_span(&self, name: &str) -> SpanGuard {
+        let Some(core) = &self.0 else {
+            return SpanGuard { state: None };
+        };
+        let id = core.next_span.fetch_add(1, Ordering::Relaxed);
+        let trace_id = core.next_trace.fetch_add(1, Ordering::Relaxed);
+        ACTIVE.with(|stack| stack.borrow_mut().push((core.tracer_id, id, trace_id)));
+        self.open(core, id, 0, trace_id, true, name)
+    }
+
+    /// Opens a span **restored from a hop**: it joins `ctx`'s trace,
+    /// parented under the hop's near side, regardless of what is active
+    /// on this thread. Restoring [`TraceContext::NONE`] behaves exactly
+    /// like [`Tracer::span`], so untraced work costs nothing extra.
+    pub fn span_in(&self, name: &str, ctx: TraceContext) -> SpanGuard {
+        if !ctx.is_some() {
+            return self.span(name);
+        }
+        let Some(core) = &self.0 else {
+            return SpanGuard { state: None };
+        };
+        let id = core.next_span.fetch_add(1, Ordering::Relaxed);
+        ACTIVE.with(|stack| stack.borrow_mut().push((core.tracer_id, id, ctx.trace_id)));
+        self.open(core, id, ctx.parent_span, ctx.trace_id, false, name)
+    }
+
+    fn open(
+        &self,
+        core: &Arc<TracerCore>,
+        id: u64,
+        parent: u64,
+        trace_id: u64,
+        is_root: bool,
+        name: &str,
+    ) -> SpanGuard {
         SpanGuard {
             state: Some(OpenSpan {
                 core: Arc::clone(core),
                 id,
                 parent,
+                trace_id,
+                is_root,
+                interesting: false,
                 name: name.to_string(),
                 start_us: core.origin.elapsed().as_micros() as u64,
                 started: Instant::now(),
@@ -131,6 +239,9 @@ struct OpenSpan {
     core: Arc<TracerCore>,
     id: u64,
     parent: u64,
+    trace_id: u64,
+    is_root: bool,
+    interesting: bool,
     name: String,
     start_us: u64,
     started: Instant,
@@ -156,6 +267,26 @@ impl SpanGuard {
         self.field(key, value);
         self
     }
+
+    /// Marks this span's whole trace as interesting: the tail sampler
+    /// keeps it 100% regardless of the 1-in-N policy. Call for denials,
+    /// sheds, deadline expiries, emergencies, gate rejections.
+    pub fn mark_interesting(&mut self) {
+        if let Some(open) = &mut self.state {
+            open.interesting = true;
+        }
+    }
+
+    /// The portable [`TraceContext`] for handing this span's trace
+    /// across a thread or channel hop: the far side restores it with
+    /// [`Tracer::span_in`] and parents under this span.
+    /// [`TraceContext::NONE`] for disabled tracers and untraced spans.
+    pub fn context(&self) -> TraceContext {
+        match &self.state {
+            Some(open) if open.trace_id != 0 => TraceContext::new(open.trace_id, open.id),
+            _ => TraceContext::NONE,
+        }
+    }
 }
 
 impl Drop for SpanGuard {
@@ -169,7 +300,7 @@ impl Drop for SpanGuard {
             // scopes); remove the exact entry rather than popping blind.
             if let Some(pos) = stack
                 .iter()
-                .rposition(|&(t, s)| t == open.core.tracer_id && s == open.id)
+                .rposition(|&(t, s, _)| t == open.core.tracer_id && s == open.id)
             {
                 stack.remove(pos);
             }
@@ -177,16 +308,32 @@ impl Drop for SpanGuard {
         let record = SpanRecord {
             id: open.id,
             parent: open.parent,
+            trace_id: open.trace_id,
             name: open.name,
             start_us: open.start_us,
             duration_us: open.started.elapsed().as_micros() as u64,
             fields: open.fields,
         };
+        // The black box sees everything, before sampling.
+        open.core.flight.record(&record);
+        let to_push: Vec<SpanRecord> =
+            match &open.core.sampler {
+                // Untraced spans bypass sampling: they have no root to
+                // decide them, and are always few (checkpoints, syncs).
+                Some(sampler) if record.trace_id != 0 => sampler
+                    .lock()
+                    .expect("sampler mutex")
+                    .route(record, open.is_root, open.interesting),
+                _ => vec![record],
+            };
+        if to_push.is_empty() {
+            return;
+        }
         let stripe = current_stripe();
         open.core.stripes[stripe]
             .lock()
             .expect("tracer stripe")
-            .push(record);
+            .extend(to_push);
     }
 }
 
@@ -213,6 +360,7 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].name, "round.mine");
         assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[0].trace_id, 0, "plain span outside a trace");
         assert_eq!(
             spans[0].fields,
             vec![("patterns".to_string(), "3".to_string())]
@@ -268,8 +416,14 @@ mod tests {
         assert!(!t.is_enabled());
         let mut s = t.span("x");
         s.field("k", "v");
+        s.mark_interesting();
+        assert_eq!(s.context(), TraceContext::NONE);
         drop(s);
+        drop(t.root_span("y"));
+        drop(t.span_in("z", TraceContext::new(1, 2)));
         assert!(t.drain().is_empty());
+        assert_eq!(t.sample_stats(), SampleStats::default());
+        assert!(!t.flight().is_enabled());
     }
 
     #[test]
@@ -296,5 +450,191 @@ mod tests {
         let sibling = spans.iter().find(|s| s.name == "sibling").unwrap();
         let inner = spans.iter().find(|s| s.name == "inner").unwrap();
         assert_eq!(sibling.parent, inner.id, "inner was still open");
+    }
+
+    #[test]
+    fn root_span_starts_a_trace_that_children_inherit() {
+        let t = Tracer::new();
+        {
+            let root = t.root_span("serve.decide");
+            let _child = t.span("serve.lookup");
+            assert!(root.context().is_some());
+        }
+        let spans = t.drain();
+        let root = spans.iter().find(|s| s.name == "serve.decide").unwrap();
+        let child = spans.iter().find(|s| s.name == "serve.lookup").unwrap();
+        assert_ne!(root.trace_id, 0);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent, root.id);
+        assert_eq!(root.parent, 0);
+        // A second root gets a distinct trace.
+        drop(t.root_span("serve.decide"));
+        let next = t.drain();
+        assert_ne!(next[0].trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn span_in_restores_parent_and_trace_across_a_thread_hop() {
+        let t = Tracer::new();
+        let ctx;
+        {
+            let root = t.root_span("serve.decide");
+            ctx = root.context();
+        }
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            let restored = t2.span_in("serve.worker", ctx);
+            assert_eq!(restored.context().trace_id, ctx.trace_id);
+            let _nested = t2.span_in("serve.engine", restored.context());
+        })
+        .join()
+        .unwrap();
+        let spans = t.drain();
+        let root = spans.iter().find(|s| s.name == "serve.decide").unwrap();
+        let worker = spans.iter().find(|s| s.name == "serve.worker").unwrap();
+        let engine = spans.iter().find(|s| s.name == "serve.engine").unwrap();
+        assert_eq!(worker.trace_id, root.trace_id);
+        assert_eq!(worker.parent, root.id, "far side parents under near side");
+        assert_eq!(engine.parent, worker.id);
+        assert_eq!(engine.trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn span_in_none_behaves_like_a_plain_span() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("outer");
+            let _restored = t.span_in("inner", TraceContext::NONE);
+        }
+        let spans = t.drain();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.trace_id, 0);
+    }
+
+    /// Satellite regression net: two tracers interleave on the same
+    /// threads *and* hand contexts across a hop; neither may mis-parent
+    /// into the other's stack, and each restored span must join its own
+    /// tracer's trace.
+    #[test]
+    fn interleaved_tracers_with_cross_thread_hops_stay_separate() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        let (ctx_a, ctx_b);
+        {
+            let root_a = a.root_span("a.root");
+            let root_b = b.root_span("b.root");
+            ctx_a = root_a.context();
+            ctx_b = root_b.context();
+            // Interleaved children on the origin thread.
+            let _child_b = b.span("b.child");
+            let _child_a = a.span("a.child");
+        }
+        let (a2, b2) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            // Restore in swapped order relative to creation, interleaved
+            // with plain spans of the *other* tracer.
+            let rb = b2.span_in("b.far", ctx_b);
+            let _plain_a = a2.span("a.noise");
+            let ra = a2.span_in("a.far", ctx_a);
+            let _nested_b = b2.span_in("b.far.nested", rb.context());
+            drop(ra);
+        })
+        .join()
+        .unwrap();
+        let sa = a.drain();
+        let sb = b.drain();
+        let a_root = sa.iter().find(|s| s.name == "a.root").unwrap();
+        let b_root = sb.iter().find(|s| s.name == "b.root").unwrap();
+        // Every a-span is in a's trace, parented inside a's tree.
+        for s in &sa {
+            match s.name.as_str() {
+                "a.root" => assert_eq!(s.parent, 0),
+                "a.child" => {
+                    assert_eq!(s.parent, a_root.id);
+                    assert_eq!(s.trace_id, a_root.trace_id);
+                }
+                "a.far" => {
+                    assert_eq!(s.parent, a_root.id);
+                    assert_eq!(s.trace_id, a_root.trace_id);
+                }
+                "a.noise" => assert_eq!(s.trace_id, 0, "no a-trace on that thread"),
+                other => panic!("unexpected a-span {other}"),
+            }
+        }
+        let b_far = sb.iter().find(|s| s.name == "b.far").unwrap();
+        for s in &sb {
+            match s.name.as_str() {
+                "b.root" => assert_eq!(s.parent, 0),
+                "b.child" => {
+                    assert_eq!(s.parent, b_root.id);
+                    assert_eq!(s.trace_id, b_root.trace_id);
+                }
+                "b.far" => {
+                    assert_eq!(s.parent, b_root.id);
+                    assert_eq!(s.trace_id, b_root.trace_id);
+                }
+                "b.far.nested" => {
+                    assert_eq!(s.parent, b_far.id);
+                    assert_eq!(s.trace_id, b_root.trace_id);
+                }
+                other => panic!("unexpected b-span {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_drops_boring_traces_and_keeps_marked_ones() {
+        let t = Tracer::with_sampling(SamplePolicy::keep_1_in(1_000));
+        for i in 0..10 {
+            let mut root = t.root_span("serve.decide");
+            let _child = t.span("serve.lookup");
+            if i == 3 {
+                root.mark_interesting();
+            }
+        }
+        let spans = t.drain();
+        // Trace 1 (first of the 1-in-1000 stride) and the marked trace 4.
+        let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace_id).collect();
+        assert_eq!(traces.len(), 2, "first-of-stride + marked");
+        assert_eq!(spans.len(), 4, "both kept traces are whole");
+        let stats = t.sample_stats();
+        assert_eq!(stats.kept_traces, 2);
+        assert_eq!(stats.dropped_traces, 8);
+        assert_eq!(stats.dropped_spans, 16);
+    }
+
+    #[test]
+    fn untraced_spans_bypass_the_sampler() {
+        let t = Tracer::with_sampling(SamplePolicy::keep_1_in(1_000_000));
+        drop(t.span("stream.checkpoint"));
+        drop(t.span("federation.sync"));
+        assert_eq!(t.drain().len(), 2, "trace id 0 is never sampled away");
+    }
+
+    #[test]
+    fn late_hop_spans_follow_a_kept_trace_after_root_closed() {
+        let t = Tracer::with_sampling(SamplePolicy::keep_1_in(1));
+        let ctx = {
+            let root = t.root_span("stream.block");
+            root.context()
+        }; // root closes here — the shard span below arrives "late"
+        drop(t.span_in("stream.shard.block", ctx));
+        let spans = t.drain();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.trace_id == ctx.trace_id));
+    }
+
+    #[test]
+    fn flight_recorder_sees_spans_the_sampler_drops() {
+        let flight = FlightRecorder::new(16);
+        let t = Tracer::configured(Some(SamplePolicy::keep_1_in(1_000)), flight.clone());
+        drop(t.root_span("kept.decide")); // first of stride: kept
+        drop(t.root_span("dropped.decide")); // dropped by sampler
+        assert_eq!(t.drain().len(), 1, "sampler kept one");
+        let dump = flight.dump("test", 0).unwrap();
+        assert_eq!(dump.records.len(), 2, "black box saw both");
+        assert!(t.flight().is_enabled());
     }
 }

@@ -86,6 +86,13 @@ pub struct DecisionRequest {
     /// occupying a worker.
     #[serde(default)]
     pub deadline_us: Option<u64>,
+    /// Trace id stamped at admission (0 = untraced); carried across the
+    /// worker-pool hop so far-side spans join the admission trace.
+    #[serde(default)]
+    pub trace_id: u64,
+    /// Span id of the admission-side span, the parent for worker spans.
+    #[serde(default)]
+    pub trace_span: u64,
 }
 
 impl DecisionRequest {
@@ -99,6 +106,8 @@ impl DecisionRequest {
             consent: consent.into(),
             priority: Priority::Bulk,
             deadline_us: None,
+            trace_id: 0,
+            trace_span: 0,
         }
     }
 
@@ -114,6 +123,21 @@ impl DecisionRequest {
         self.deadline_us = Some(us);
         self
     }
+
+    /// Stamps a [`prima_obs::TraceContext`] onto the request so spans on
+    /// the far side of the worker-pool hop parent under the admission
+    /// span. The service does this automatically at admission.
+    pub fn with_trace(mut self, ctx: prima_obs::TraceContext) -> Self {
+        self.trace_id = ctx.trace_id;
+        self.trace_span = ctx.parent_span;
+        self
+    }
+
+    /// The trace context stamped onto this request
+    /// ([`prima_obs::TraceContext::NONE`] when untraced).
+    pub fn trace_context(&self) -> prima_obs::TraceContext {
+        prima_obs::TraceContext::new(self.trace_id, self.trace_span)
+    }
 }
 
 /// The scheduling lane of a [`DecisionRequest`]. Under overload the
@@ -127,6 +151,16 @@ pub enum Priority {
     Bulk,
     /// Break-the-glass / emergency traffic: bypasses the shedder.
     Emergency,
+}
+
+impl Priority {
+    /// Stable lowercase label for span fields and metric labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Bulk => "bulk",
+            Priority::Emergency => "emergency",
+        }
+    }
 }
 
 /// Why a request (or one column of a rewrite) was denied. Codes are
@@ -263,6 +297,10 @@ pub struct DecisionReply {
     pub rewritten_query: Option<String>,
     /// The [`prima_model::Policy::revision`] the decision was made under.
     pub policy_revision: u64,
+    /// True when the verdict came from the decision cache (provenance
+    /// for the trace root: a cached decision skipped the matcher).
+    #[serde(default)]
+    pub cached: bool,
 }
 
 /// An HDB query-rewrite request: a multi-column read of one table.
@@ -413,17 +451,20 @@ mod tests {
     fn wire_types_roundtrip_as_json() {
         let req = DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted")
             .emergency()
-            .with_deadline_us(2_500);
+            .with_deadline_us(2_500)
+            .with_trace(prima_obs::TraceContext::new(42, 7));
         let back: DecisionRequest =
             serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
         assert_eq!(back, req);
         assert_eq!(back.priority, Priority::Emergency);
         assert_eq!(back.deadline_us, Some(2_500));
+        assert_eq!(back.trace_context(), prima_obs::TraceContext::new(42, 7));
 
         let reply = DecisionReply {
             verdict: Verdict::Deny(DenyReason::UnknownRole),
             rewritten_query: None,
             policy_revision: 7,
+            cached: false,
         };
         let back: DecisionReply =
             serde_json::from_str(&serde_json::to_string(&reply).unwrap()).unwrap();

@@ -22,7 +22,7 @@
 use crate::api::DecisionRequest;
 use crate::service::{PolicyService, ServeConfig, Transport};
 use prima_model::Rule;
-use prima_obs::{MetricsRegistry, Tracer};
+use prima_obs::{FlightRecorder, MetricsRegistry, SamplePolicy, Tracer};
 use prima_vocab::{ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
 use prima_workload::{Scenario, ZipfPopulation};
 use rand::rngs::StdRng;
@@ -31,6 +31,26 @@ use serde_json::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Tail-sampling policy of the instrumented bench: every interesting
+/// trace (denials, shed, deadline-expired, emergency) is kept, plus
+/// 1-in-this-many of the boring ones.
+const BENCH_KEEP_EVERY: u64 = 1_024;
+
+/// Traces containing a span at least this slow (µs) are always kept.
+const BENCH_SLOW_TRACE_US: u64 = 1_000;
+
+/// The tracer the instrumented bench (and its calibration passes) runs
+/// under: tail sampling plus a live flight recorder.
+fn bench_tracer() -> Tracer {
+    Tracer::configured(
+        Some(
+            SamplePolicy::keep_1_in(BENCH_KEEP_EVERY)
+                .with_latency_threshold_us(BENCH_SLOW_TRACE_US),
+        ),
+        FlightRecorder::new(256),
+    )
+}
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -59,6 +79,9 @@ pub struct LoadConfig {
     /// Smoke mode: relaxes the throughput gate (CI machines vary); the
     /// correctness and hit-rate gates still apply.
     pub smoke: bool,
+    /// Interleaved calibration passes per side (baseline vs
+    /// instrumented) for the instrumentation-overhead measurement.
+    pub overhead_passes: usize,
 }
 
 impl Default for LoadConfig {
@@ -77,6 +100,7 @@ impl Default for LoadConfig {
             promote_every: 250_000,
             coherence_sample: 1_000,
             smoke: false,
+            overhead_passes: 3,
         }
     }
 }
@@ -133,6 +157,16 @@ pub struct LoadReport {
     pub coherence_skipped: u64,
     /// Audited replies that disagreed with the oracle (must be 0).
     pub coherence_mismatches: u64,
+    /// Best uninstrumented calibration throughput (no metrics, no
+    /// tracer) over the interleaved overhead passes.
+    pub baseline_qps: f64,
+    /// Best fully-instrumented calibration throughput (metrics + tail
+    /// sampling + flight recorder) over the same passes.
+    pub instrumented_qps: f64,
+    /// Traces the tail sampler kept during the measured run.
+    pub traces_kept: u64,
+    /// Traces the tail sampler dropped whole during the measured run.
+    pub traces_dropped: u64,
 }
 
 impl LoadReport {
@@ -158,8 +192,20 @@ impl LoadReport {
             && self.p99_us > 0.0
     }
 
-    /// The acceptance gates. Throughput is only gated in full mode —
-    /// smoke runs on shared CI hardware measure correctness, not speed.
+    /// Slowdown of the instrumented calibration run relative to the
+    /// uninstrumented baseline, in percent (negative = noise in the
+    /// instrumented side's favour).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.baseline_qps <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.instrumented_qps / self.baseline_qps) * 100.0
+        }
+    }
+
+    /// The acceptance gates. Throughput and instrumentation overhead are
+    /// only gated in full mode — smoke runs on shared CI hardware
+    /// measure correctness, not speed.
     pub fn gates(&self) -> Vec<(&'static str, bool)> {
         let mut gates = vec![
             ("coherent", self.coherent()),
@@ -170,6 +216,10 @@ impl LoadReport {
         if !self.config.smoke {
             gates.push(("throughput_ge_100k", self.decisions_per_sec >= 100_000.0));
             gates.push(("population_ge_1m", self.config.principals >= 1_000_000));
+            gates.push((
+                "instrumentation_overhead_lt_5pct",
+                self.overhead_pct() < 5.0,
+            ));
         }
         gates
     }
@@ -243,6 +293,23 @@ impl LoadReport {
                     ("mismatches".into(), Value::U64(self.coherence_mismatches)),
                 ]),
             ),
+            (
+                "instrumentation".into(),
+                Value::Map(vec![
+                    ("baseline_qps".into(), Value::F64(self.baseline_qps)),
+                    ("instrumented_qps".into(), Value::F64(self.instrumented_qps)),
+                    ("overhead_pct".into(), Value::F64(self.overhead_pct())),
+                    (
+                        "sampling".into(),
+                        Value::Map(vec![
+                            ("keep_every".into(), Value::U64(BENCH_KEEP_EVERY)),
+                            ("slow_trace_us".into(), Value::U64(BENCH_SLOW_TRACE_US)),
+                            ("traces_kept".into(), Value::U64(self.traces_kept)),
+                            ("traces_dropped".into(), Value::U64(self.traces_dropped)),
+                        ]),
+                    ),
+                ]),
+            ),
             ("gates".into(), Value::Map(gates)),
         ])
     }
@@ -266,40 +333,143 @@ fn promotion_pool(scenario: &Scenario) -> Vec<Rule> {
         .collect()
 }
 
+/// The Zipf-shaped request generator, shared by the measured run and
+/// the overhead-calibration passes so both sides do identical work.
+struct Workload {
+    population: ZipfPopulation,
+    roles: Vec<String>,
+    ops: Vec<String>,
+    purposes: Vec<String>,
+    op_skew: ZipfPopulation,
+    purpose_skew: ZipfPopulation,
+}
+
+impl Workload {
+    fn of(scenario: &Scenario, config: &LoadConfig) -> Arc<Self> {
+        // Ground leaves of each decision dimension, by name.
+        let leaves = |attr: &str| -> Vec<String> {
+            let t = scenario.vocab.attribute(attr).expect("scenario attribute");
+            t.all_leaves()
+                .iter()
+                .map(|&id| t.name(id).to_string())
+                .collect()
+        };
+        let roles = leaves(ATTR_AUTHORIZED);
+        let ops = leaves(ATTR_DATA);
+        let purposes = leaves(ATTR_PURPOSE);
+        // Access categories and purposes are heavily skewed too (a
+        // ward's day is referrals and vitals, not one-off audit pulls);
+        // the skew is what concentrates the decision-key working set and
+        // lets the cache earn its hit rate against invalidation churn.
+        let op_skew = ZipfPopulation::new(ops.len(), 1.8);
+        let purpose_skew = ZipfPopulation::new(purposes.len(), 1.8);
+        Arc::new(Self {
+            population: ZipfPopulation::new(config.principals, config.zipf),
+            roles,
+            ops,
+            purposes,
+            op_skew,
+            purpose_skew,
+        })
+    }
+
+    fn request(&self, rng: &mut StdRng) -> DecisionRequest {
+        let rank = self.population.sample(rng);
+        // Role is a stable property of the principal.
+        let role = &self.roles[rank % self.roles.len()];
+        let op = &self.ops[self.op_skew.sample(rng)];
+        let purpose = &self.purposes[self.purpose_skew.sample(rng)];
+        // Realistic consent mix, including malformed tokens the service
+        // must absorb structurally.
+        let p: f64 = rng.gen();
+        let consent = if p < 0.90 {
+            "granted"
+        } else if p < 0.95 {
+            "opted-out"
+        } else if p < 0.99 {
+            "unspecified"
+        } else {
+            "malformed-⚠"
+        };
+        DecisionRequest::new(
+            &ZipfPopulation::principal_name(rank),
+            role,
+            op,
+            purpose,
+            consent,
+        )
+    }
+}
+
+/// One overhead-calibration pass: a fresh service (no promoter, no
+/// coherence auditing) absorbs `requests` workload decisions; returns
+/// the sustained QPS. The instrumented side runs the full observability
+/// stack — live metrics, tail-sampled tracer, flight recorder — the
+/// baseline runs none of it; everything else is identical.
+fn calibration_pass(
+    config: &LoadConfig,
+    scenario: &Scenario,
+    workload: &Arc<Workload>,
+    requests: usize,
+    instrumented: bool,
+) -> f64 {
+    let mut serve = ServeConfig::new()
+        .workers(config.workers)
+        .cache_shards(config.cache_shards)
+        .queue_capacity(config.clients * 4);
+    if instrumented {
+        serve = serve.metrics(MetricsRegistry::new()).tracer(bench_tracer());
+    }
+    let service = PolicyService::start(serve, &scenario.policy, &scenario.vocab);
+    let clients_n = config.clients.max(1);
+    let per_client = requests / clients_n;
+    let batch = config.batch.max(1);
+    let start = Instant::now();
+    let clients: Vec<_> = (0..clients_n)
+        .map(|c| {
+            let transport = service.handle();
+            let workload = Arc::clone(workload);
+            let seed = config.seed ^ (0xCA11_B8A7 + c as u64);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sent = 0usize;
+                while sent < per_client {
+                    let n = batch.min(per_client - sent);
+                    let reqs = (0..n).map(|_| workload.request(&mut rng)).collect();
+                    transport.decide_batch(reqs).expect("service up");
+                    sent += n;
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("calibration client");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    service.shutdown();
+    (per_client * clients_n) as f64 / elapsed.max(1e-9)
+}
+
 /// Runs the load benchmark and returns the measured report.
 pub fn run_load(config: LoadConfig) -> LoadReport {
     let scenario = Scenario::community_hospital();
     let registry = MetricsRegistry::new();
+    // The measured run is the *instrumented* configuration: the report's
+    // throughput includes live metrics and the tail-sampled tracer, and
+    // the overhead gate proves that costs <5% against a bare baseline.
+    let tracer = bench_tracer();
     let service = PolicyService::start(
         ServeConfig::new()
             .workers(config.workers)
             .cache_shards(config.cache_shards)
             .queue_capacity(config.clients * 4)
             .metrics(registry.clone())
-            .tracer(Tracer::disabled()),
+            .tracer(tracer.clone()),
         &scenario.policy,
         &scenario.vocab,
     );
 
-    // Ground leaves of each decision dimension, by name.
-    let leaves = |attr: &str| -> Vec<String> {
-        let t = scenario.vocab.attribute(attr).expect("scenario attribute");
-        t.all_leaves()
-            .iter()
-            .map(|&id| t.name(id).to_string())
-            .collect()
-    };
-    let roles = Arc::new(leaves(ATTR_AUTHORIZED));
-    let ops = Arc::new(leaves(ATTR_DATA));
-    let purposes = Arc::new(leaves(ATTR_PURPOSE));
-
-    let population = Arc::new(ZipfPopulation::new(config.principals, config.zipf));
-    // Access categories and purposes are heavily skewed too (a ward's
-    // day is referrals and vitals, not one-off audit pulls); the skew is
-    // what concentrates the decision-key working set and lets the cache
-    // earn its hit rate against invalidation churn.
-    let op_skew = Arc::new(ZipfPopulation::new(ops.len(), 1.8));
-    let purpose_skew = Arc::new(ZipfPopulation::new(purposes.len(), 1.8));
+    let workload = Workload::of(&scenario, &config);
     let engine = Arc::clone(service.engine());
 
     // The promoter replays the refinement loop while clients run: one
@@ -341,10 +511,7 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
         .map(|c| {
             let transport = service.handle();
             let engine = Arc::clone(&engine);
-            let population = Arc::clone(&population);
-            let (roles, ops, purposes) =
-                (Arc::clone(&roles), Arc::clone(&ops), Arc::clone(&purposes));
-            let (op_skew, purpose_skew) = (Arc::clone(&op_skew), Arc::clone(&purpose_skew));
+            let workload = Arc::clone(&workload);
             let quota = per_client + if c == 0 { remainder } else { 0 };
             let batch = config.batch.max(1);
             let sample_every = config.coherence_sample;
@@ -359,34 +526,8 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
                 let mut sent = 0usize;
                 while sent < quota {
                     let n = batch.min(quota - sent);
-                    let reqs: Vec<DecisionRequest> = (0..n)
-                        .map(|_| {
-                            let rank = population.sample(&mut rng);
-                            // Role is a stable property of the principal.
-                            let role = &roles[rank % roles.len()];
-                            let op = &ops[op_skew.sample(&mut rng)];
-                            let purpose = &purposes[purpose_skew.sample(&mut rng)];
-                            // Realistic consent mix, including malformed
-                            // tokens the service must absorb structurally.
-                            let p: f64 = rng.gen();
-                            let consent = if p < 0.90 {
-                                "granted"
-                            } else if p < 0.95 {
-                                "opted-out"
-                            } else if p < 0.99 {
-                                "unspecified"
-                            } else {
-                                "malformed-⚠"
-                            };
-                            DecisionRequest::new(
-                                &ZipfPopulation::principal_name(rank),
-                                role,
-                                op,
-                                purpose,
-                                consent,
-                            )
-                        })
-                        .collect();
+                    let reqs: Vec<DecisionRequest> =
+                        (0..n).map(|_| workload.request(&mut rng)).collect();
                     let replies = transport
                         .decide_batch(reqs.clone())
                         .expect("service up for the whole run");
@@ -434,6 +575,31 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
     obs.qps.set(qps);
     let latency = obs.decision_latency.snapshot();
     let snapshot = service.shutdown();
+    let samples = tracer.sample_stats();
+
+    // Interleaved A/B calibration for the overhead gate: alternate bare
+    // and instrumented passes (best-of-N each) so thermal / scheduler
+    // drift hits both sides equally rather than biasing whichever ran
+    // last.
+    let calib_requests = (config.requests / 10).clamp(20_000, 500_000);
+    let mut baseline_qps = 0.0f64;
+    let mut instrumented_qps = 0.0f64;
+    for _ in 0..config.overhead_passes.max(3) {
+        baseline_qps = baseline_qps.max(calibration_pass(
+            &config,
+            &scenario,
+            &workload,
+            calib_requests,
+            false,
+        ));
+        instrumented_qps = instrumented_qps.max(calibration_pass(
+            &config,
+            &scenario,
+            &workload,
+            calib_requests,
+            true,
+        ));
+    }
 
     LoadReport {
         elapsed_secs: elapsed,
@@ -451,6 +617,10 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
         coherence_checked: checked,
         coherence_skipped: skipped,
         coherence_mismatches: mismatches,
+        baseline_qps,
+        instrumented_qps,
+        traces_kept: samples.kept_traces,
+        traces_dropped: samples.dropped_traces,
         config,
     }
 }

@@ -312,7 +312,7 @@ impl DecisionEngine {
         if use_cache {
             if let Some(verdict) = self.cache.lookup(&key) {
                 self.obs.cache_hits.inc();
-                return self.reply(req, verdict, self.policy_revision());
+                return self.reply(req, verdict, self.policy_revision(), true);
             }
             self.obs.cache_misses.inc();
         }
@@ -342,7 +342,7 @@ impl DecisionEngine {
         if use_cache && !self.is_degraded() && !self.installs_held() {
             self.cache.insert(key, stamp, verdict);
         }
-        self.reply(req, verdict, revision)
+        self.reply(req, verdict, revision, false)
     }
 
     fn deny(&self, reason: DenyReason) -> DecisionReply {
@@ -350,10 +350,17 @@ impl DecisionEngine {
             verdict: Verdict::Deny(reason),
             rewritten_query: None,
             policy_revision: self.policy_revision(),
+            cached: false,
         }
     }
 
-    fn reply(&self, req: &DecisionRequest, verdict: Verdict, revision: u64) -> DecisionReply {
+    fn reply(
+        &self,
+        req: &DecisionRequest,
+        verdict: Verdict,
+        revision: u64,
+        cached: bool,
+    ) -> DecisionReply {
         let rewritten_query = match verdict {
             Verdict::Allow => Some(format!(
                 "SELECT {} FROM records WHERE purpose = '{}' -- role {}",
@@ -365,6 +372,7 @@ impl DecisionEngine {
             verdict,
             rewritten_query,
             policy_revision: revision,
+            cached,
         }
     }
 
@@ -396,6 +404,8 @@ impl DecisionEngine {
                 consent: req.consent.clone(),
                 priority: crate::api::Priority::Bulk,
                 deadline_us: None,
+                trace_id: 0,
+                trace_span: 0,
             });
             match decision.verdict {
                 Verdict::Allow => served.push(column.clone()),
@@ -479,8 +489,10 @@ mod tests {
         let r1 = e.decide(&req("nurse", "referral", "treatment", "granted"));
         assert_eq!(r1.verdict, Verdict::Allow);
         assert!(r1.rewritten_query.is_some());
+        assert!(!r1.cached, "first decision probes the matcher");
         let r2 = e.decide(&req("nurse", "referral", "treatment", "granted"));
         assert_eq!(r2.verdict, Verdict::Allow);
+        assert!(r2.cached, "second decision is a cache hit");
         let s = e.cache_stats();
         assert_eq!((s.hits, s.misses), (1, 1));
     }

@@ -22,12 +22,15 @@
 //! | `prima_serve_install_failures_total` | counter | policy installs rejected (validation or hold) |
 //! | `prima_serve_breaker_open_total` | counter | service-level breaker openings (crash loops) |
 //! | `prima_serve_degraded` | gauge | 1 while serving degraded (pinned last-known-good) |
+//! | `prima_serve_flight_dumps_total` | counter | flight-recorder dumps triggered |
+//! | `prima_slo_burn_rate{slo,window}` | gauge | SLO burn rate per window (via [`prima_obs::SloEngine`]) |
+//! | `prima_slo_breached{slo}` | gauge | 1 while both windows burn past the factor |
 //!
 //! The latency histogram uses sub-microsecond buckets: a cache hit is a
 //! hash probe under an uncontended mutex and lands well below the 1µs
 //! floor of the pipeline-wide default buckets.
 
-use prima_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
+use prima_obs::{Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, Tracer};
 
 /// Decision-latency bucket upper bounds, 50ns–10ms. Cache hits cluster
 /// in the sub-µs range; misses (full matcher probe) in the µs range.
@@ -75,13 +78,23 @@ pub struct ServeObs {
     /// 1 while the engine serves degraded from the pinned
     /// last-known-good snapshot, 0 otherwise.
     pub degraded: Gauge,
+    /// Flight-recorder dumps triggered by incidents.
+    pub flight_dumps: Counter,
     /// Span source for install/coherence events.
     pub tracer: Tracer,
+    /// Black-box ring the incident paths dump (disabled by default).
+    pub flight: FlightRecorder,
 }
 
 impl ServeObs {
     /// Registers the catalog on `registry`, emitting spans to `tracer`.
     pub fn over(registry: &MetricsRegistry, tracer: Tracer) -> Self {
+        Self::with_flight(registry, tracer, FlightRecorder::disabled())
+    }
+
+    /// [`ServeObs::over`] plus a live flight recorder for the incident
+    /// paths (worker panic, breaker open, degraded entry) to dump.
+    pub fn with_flight(registry: &MetricsRegistry, tracer: Tracer, flight: FlightRecorder) -> Self {
         Self {
             decisions: registry.counter(
                 "prima_serve_decisions_total",
@@ -147,7 +160,20 @@ impl ServeObs {
                 "prima_serve_degraded",
                 "1 while serving degraded from the pinned last-known-good policy",
             ),
+            flight_dumps: registry.counter(
+                "prima_serve_flight_dumps_total",
+                "Flight-recorder dumps triggered by incidents",
+            ),
             tracer,
+            flight,
+        }
+    }
+
+    /// Dumps the flight recorder for an incident and counts it; a no-op
+    /// when no recorder is attached.
+    pub fn incident(&self, trigger: &str, trace_id: u64) {
+        if self.flight.dump(trigger, trace_id).is_some() {
+            self.flight_dumps.inc();
         }
     }
 
@@ -187,7 +213,22 @@ mod tests {
         let obs = ServeObs::disabled();
         obs.decisions.inc();
         obs.decision_latency.observe(1.0);
+        obs.incident("worker_panic", 3);
         assert_eq!(obs.decisions.get(), 0);
         assert_eq!(obs.decision_latency.snapshot().count(), 0);
+        assert_eq!(obs.flight_dumps.get(), 0, "no recorder, no dump");
+    }
+
+    #[test]
+    fn incident_dumps_and_counts_when_a_recorder_is_attached() {
+        let registry = MetricsRegistry::new();
+        let flight = FlightRecorder::new(16);
+        let obs = ServeObs::with_flight(&registry, Tracer::disabled(), flight.clone());
+        obs.flight.note("breadcrumb", &[]);
+        obs.incident("breaker_open", 0);
+        assert_eq!(obs.flight_dumps.get(), 1);
+        let dump = flight.last_dump().unwrap();
+        assert_eq!(dump.trigger, "breaker_open");
+        assert_eq!(dump.records.len(), 1);
     }
 }

@@ -58,7 +58,9 @@ use parking_lot::Mutex;
 use prima_audit::{BreakerConfig, BreakerState, CircuitBreaker};
 use prima_hdb::ColumnMap;
 use prima_model::Policy;
-use prima_obs::{MetricsRegistry, Tracer};
+use prima_obs::{
+    FlightRecorder, MetricsRegistry, SloEngine, SloHealth, SloSpec, SpanGuard, Tracer,
+};
 use prima_vocab::Vocabulary;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -89,6 +91,7 @@ pub struct ServeConfig {
     panic_token: Option<Arc<str>>,
     metrics: MetricsRegistry,
     tracer: Tracer,
+    flight: Option<FlightRecorder>,
     columns: Option<ColumnMap>,
 }
 
@@ -113,6 +116,7 @@ impl Default for ServeConfig {
             panic_token: None,
             metrics: MetricsRegistry::disabled(),
             tracer: Tracer::disabled(),
+            flight: None,
             columns: None,
         }
     }
@@ -214,6 +218,15 @@ impl ServeConfig {
         self
     }
 
+    /// Attaches a flight recorder for the incident paths (worker panic,
+    /// breaker open, degraded entry) to dump. Defaults to the tracer's
+    /// own recorder (see [`Tracer::configured`]), so a traced service
+    /// gets black-box dumps without extra wiring.
+    pub fn flight(mut self, recorder: FlightRecorder) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+
     /// Installs a column→category schema map for rewrite requests.
     pub fn columns(mut self, map: ColumnMap) -> Self {
         self.columns = Some(map);
@@ -305,12 +318,30 @@ pub struct InProcessTransport {
     shed_threshold: Option<usize>,
 }
 
+/// Attaches decision provenance to the root span of a traced request:
+/// the verdict (and structured deny code), the policy revision that
+/// answered, and whether the cache did. Denied decisions are marked
+/// interesting so tail-based sampling always keeps them.
+fn finish_root(root: &mut SpanGuard, reply: &DecisionReply) {
+    root.field("policy_revision", reply.policy_revision);
+    root.field("cached", reply.cached);
+    match &reply.verdict {
+        Verdict::Allow => root.field("verdict", "allow"),
+        Verdict::Deny(reason) => {
+            root.field("verdict", "deny");
+            root.field("deny_code", reason.code());
+            root.mark_interesting();
+        }
+    }
+}
+
 impl InProcessTransport {
     fn deny(&self, reason: DenyReason) -> DecisionReply {
         DecisionReply {
             verdict: Verdict::Deny(reason),
             rewritten_query: None,
             policy_revision: self.engine.policy_revision(),
+            cached: false,
         }
     }
 
@@ -362,13 +393,25 @@ enum Rejected {
 }
 
 impl Transport for InProcessTransport {
-    fn decide(&self, req: DecisionRequest) -> Result<DecisionReply, ServeError> {
+    fn decide(&self, mut req: DecisionRequest) -> Result<DecisionReply, ServeError> {
         let admitted = Instant::now();
+        // The trace starts at admission: the root span owns the whole
+        // client-observed latency, and its context rides the request
+        // through the queue so the worker span parents under it.
+        let mut root = self.engine.obs().tracer.root_span("serve.decide");
+        req = req.with_trace(root.context());
+        root.field("priority", req.priority.label());
+        if req.priority == Priority::Emergency {
+            // Break-the-glass is always interesting to the tail sampler.
+            root.mark_interesting();
+        }
         // Enqueue-time deadline check: a zero (or already-spent) budget
         // never enters the queue.
         if req.deadline_us == Some(0) {
             self.engine.obs().deadline_expired.inc();
-            return Ok(self.deny(DenyReason::DeadlineExceeded));
+            let reply = self.deny(DenyReason::DeadlineExceeded);
+            finish_root(&mut root, &reply);
+            return Ok(reply);
         }
         let (tx, rx) = bounded(1);
         let priority = req.priority;
@@ -377,20 +420,44 @@ impl Transport for InProcessTransport {
             job: Job::Decide(req, tx),
         };
         match self.admit(priority, env) {
-            Ok(()) => rx.recv().map_err(|_| ServeError::Closed),
-            Err(Rejected::Shed) => Ok(self.shed()),
+            Ok(()) => {
+                let reply = rx.recv().map_err(|_| ServeError::Closed)?;
+                finish_root(&mut root, &reply);
+                Ok(reply)
+            }
+            Err(Rejected::Shed) => {
+                let reply = self.shed();
+                finish_root(&mut root, &reply);
+                Ok(reply)
+            }
             Err(Rejected::Closed) => Err(ServeError::Closed),
         }
     }
 
-    fn decide_batch(&self, reqs: Vec<DecisionRequest>) -> Result<Vec<DecisionReply>, ServeError> {
+    fn decide_batch(
+        &self,
+        mut reqs: Vec<DecisionRequest>,
+    ) -> Result<Vec<DecisionReply>, ServeError> {
         let admitted = Instant::now();
+        // One root span covers the batch; every member is stamped with
+        // its context so per-request worker spans share the trace.
+        let mut root = self.engine.obs().tracer.root_span("serve.decide_batch");
+        let ctx = root.context();
+        for req in &mut reqs {
+            req.trace_id = ctx.trace_id;
+            req.trace_span = ctx.parent_span;
+        }
+        root.field("batch", reqs.len());
         // A batch rides the emergency lane iff any member is emergency.
         let priority = if reqs.iter().any(|r| r.priority == Priority::Emergency) {
             Priority::Emergency
         } else {
             Priority::Bulk
         };
+        root.field("priority", priority.label());
+        if priority == Priority::Emergency {
+            root.mark_interesting();
+        }
         let n = reqs.len();
         let (tx, rx) = bounded(1);
         let env = Envelope {
@@ -398,8 +465,17 @@ impl Transport for InProcessTransport {
             job: Job::DecideBatch(reqs, tx),
         };
         match self.admit(priority, env) {
-            Ok(()) => rx.recv().map_err(|_| ServeError::Closed),
-            Err(Rejected::Shed) => Ok((0..n).map(|_| self.shed()).collect()),
+            Ok(()) => {
+                let replies = rx.recv().map_err(|_| ServeError::Closed)?;
+                if replies.iter().any(|r| !matches!(r.verdict, Verdict::Allow)) {
+                    root.mark_interesting();
+                }
+                Ok(replies)
+            }
+            Err(Rejected::Shed) => {
+                root.mark_interesting();
+                Ok((0..n).map(|_| self.shed()).collect())
+            }
             Err(Rejected::Closed) => Err(ServeError::Closed),
         }
     }
@@ -496,6 +572,11 @@ pub struct ServeHealth {
     pub queued_bulk: usize,
     /// Emergency-lane depth at sampling time.
     pub queued_emergency: usize,
+    /// Burn-rate roll-up of the serving SLOs (p99 latency, shed rate,
+    /// worker-panic rate), clocked on supervision ticks.
+    pub slo: SloHealth,
+    /// Flight-recorder dumps triggered by incidents since start.
+    pub flight_dumps: u64,
 }
 
 impl ServeHealth {
@@ -527,22 +608,44 @@ pub struct PolicyService {
     supervisor: Option<JoinHandle<()>>,
     workers_configured: usize,
     shed_threshold: Option<usize>,
+    slo: SloEngine,
 }
 
 /// Processes one decision; returns the reply, or `None` when the job
 /// panicked (the panic is already counted and the worker must restart).
-fn decide_one(ctx: &WorkerCtx, admitted: Instant, req: &DecisionRequest) -> Option<DecisionReply> {
+fn decide_one(
+    ctx: &WorkerCtx,
+    admitted: Instant,
+    req: &DecisionRequest,
+    batched: bool,
+) -> Option<DecisionReply> {
     let obs = ctx.engine.obs();
+    // Restore the admission-side trace context: the worker span parents
+    // under the `serve.decide` root even though it runs on a pool thread
+    // on the far side of the queue hop. Batch members share their
+    // batch's worker span instead (one span per channel hop, not one per
+    // request — the instrumentation-overhead gate depends on it) and
+    // only materialize a per-request span for an interesting outcome.
+    let mut span = (!batched).then(|| {
+        let mut s = obs.tracer.span_in("serve.worker", req.trace_context());
+        s.field("queue_wait_us", admitted.elapsed().as_micros());
+        s
+    });
     let deny = |reason| DecisionReply {
         verdict: Verdict::Deny(reason),
         rewritten_query: None,
         policy_revision: ctx.engine.policy_revision(),
+        cached: false,
     };
     // Age-based shedding: stale bulk work is not worth a worker.
     if req.priority == Priority::Bulk {
         if let Some(max_age) = ctx.max_queue_age {
             if admitted.elapsed() > max_age {
                 obs.shed.inc();
+                let s = span
+                    .get_or_insert_with(|| obs.tracer.span_in("serve.worker", req.trace_context()));
+                s.field("outcome", "aged_out");
+                s.mark_interesting();
                 return Some(deny(DenyReason::Overloaded));
             }
         }
@@ -556,6 +659,9 @@ fn decide_one(ctx: &WorkerCtx, admitted: Instant, req: &DecisionRequest) -> Opti
     // ever be reported late.
     if deadline.is_some_and(|d| Instant::now() + ctx.decision_delay >= d) {
         obs.deadline_expired.inc();
+        let s = span.get_or_insert_with(|| obs.tracer.span_in("serve.worker", req.trace_context()));
+        s.field("outcome", "deadline_at_dequeue");
+        s.mark_interesting();
         return Some(deny(DenyReason::DeadlineExceeded));
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -576,6 +682,10 @@ fn decide_one(ctx: &WorkerCtx, admitted: Instant, req: &DecisionRequest) -> Opti
             // answered honestly as expired, never as a late Allow.
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 obs.deadline_expired.inc();
+                let s = span
+                    .get_or_insert_with(|| obs.tracer.span_in("serve.worker", req.trace_context()));
+                s.field("outcome", "deadline_at_reply");
+                s.mark_interesting();
                 return Some(deny(DenyReason::DeadlineExceeded));
             }
             if req.priority == Priority::Emergency {
@@ -585,6 +695,14 @@ fn decide_one(ctx: &WorkerCtx, admitted: Instant, req: &DecisionRequest) -> Opti
         }
         Err(_) => {
             obs.worker_panics.inc();
+            let s =
+                span.get_or_insert_with(|| obs.tracer.span_in("serve.worker", req.trace_context()));
+            s.field("outcome", "panic");
+            s.mark_interesting();
+            // Close the span *before* dumping so the panicking
+            // request's own span is in the black box it triggers.
+            drop(span);
+            obs.incident("worker_panic", req.trace_id);
             None
         }
     }
@@ -594,7 +712,7 @@ fn decide_one(ctx: &WorkerCtx, admitted: Instant, req: &DecisionRequest) -> Opti
 /// job panicked. Replies to dead clients are silently discarded.
 fn process(ctx: &WorkerCtx, env: Envelope) -> bool {
     match env.job {
-        Job::Decide(req, reply) => match decide_one(ctx, env.admitted, &req) {
+        Job::Decide(req, reply) => match decide_one(ctx, env.admitted, &req, false) {
             Some(out) => {
                 let _ = reply.send(out);
                 false
@@ -605,11 +723,25 @@ fn process(ctx: &WorkerCtx, env: Envelope) -> bool {
                     verdict: Verdict::Deny(DenyReason::Internal),
                     rewritten_query: None,
                     policy_revision: ctx.engine.policy_revision(),
+                    cached: false,
                 });
                 true
             }
         },
         Job::DecideBatch(reqs, reply) => {
+            // One worker span covers the whole batch (its members were
+            // all stamped with the same admission context).
+            let batch_ctx = reqs
+                .first()
+                .map(|r| r.trace_context())
+                .unwrap_or(prima_obs::TraceContext::NONE);
+            let mut batch_span = ctx
+                .engine
+                .obs()
+                .tracer
+                .span_in("serve.worker_batch", batch_ctx);
+            batch_span.field("batch", reqs.len());
+            batch_span.field("queue_wait_us", env.admitted.elapsed().as_micros());
             let mut crashed = false;
             let mut out = Vec::with_capacity(reqs.len());
             for req in &reqs {
@@ -621,17 +753,20 @@ fn process(ctx: &WorkerCtx, env: Envelope) -> bool {
                         verdict: Verdict::Deny(DenyReason::Internal),
                         rewritten_query: None,
                         policy_revision: ctx.engine.policy_revision(),
+                        cached: false,
                     });
                     continue;
                 }
-                match decide_one(ctx, env.admitted, req) {
+                match decide_one(ctx, env.admitted, req, true) {
                     Some(r) => out.push(r),
                     None => {
                         crashed = true;
+                        batch_span.mark_interesting();
                         out.push(DecisionReply {
                             verdict: Verdict::Deny(DenyReason::Internal),
                             rewritten_query: None,
                             policy_revision: ctx.engine.policy_revision(),
+                            cached: false,
                         });
                     }
                 }
@@ -712,13 +847,74 @@ fn spawn_worker(index: usize, generation: u64, ctx: WorkerCtx) -> JoinHandle<Wor
 /// ticks (a logical round clock, like the federation breaker), so its
 /// behaviour is a function of the configured interval, not wall-clock
 /// noise.
+/// How slow a per-tick p99 decision latency may be before the tick
+/// counts against the `decision_p99` SLO budget (seconds).
+const SLO_P99_TARGET_SECONDS: f64 = 1e-3;
+
+/// Per-tick SLO accounting state: the previous tick's counter values,
+/// so each supervision tick feeds the burn-rate windows a delta.
+struct SloTicker {
+    decisions: u64,
+    shed: u64,
+    panics: u64,
+    latency: prima_obs::HistogramSnapshot,
+}
+
+impl SloTicker {
+    fn new(obs: &ServeObs) -> Self {
+        Self {
+            decisions: obs.decisions.get(),
+            shed: obs.shed.get(),
+            panics: obs.worker_panics.get(),
+            latency: obs.decision_latency.snapshot(),
+        }
+    }
+
+    /// Feeds one supervision tick into the burn-rate windows.
+    fn tick(&mut self, obs: &ServeObs, slo: &SloEngine) {
+        let decisions = obs.decisions.get();
+        let shed = obs.shed.get();
+        let panics = obs.worker_panics.get();
+        let d_dec = decisions.saturating_sub(self.decisions) as f64;
+        let d_shed = shed.saturating_sub(self.shed) as f64;
+        let d_panics = panics.saturating_sub(self.panics) as f64;
+        // Shed rate: shed admissions never reach the decisions counter,
+        // so offered load this tick is decided + shed.
+        slo.record("shed_rate", d_shed, d_dec + d_shed);
+        // Panic rate: a panicked request is abandoned before the
+        // decisions counter, so it joins the denominator explicitly.
+        slo.record("worker_panic_rate", d_panics, d_dec + d_panics);
+        // Latency: a tick is bad when its own p99 (the delta histogram,
+        // not the lifetime one) exceeds the target.
+        let latency = obs.decision_latency.snapshot();
+        if let Some(this_tick) = latency.delta(&self.latency) {
+            let (bad, total) = if this_tick.count() == 0 {
+                (0.0, 0.0) // quiet tick still ages the windows
+            } else {
+                match this_tick.quantile(0.99) {
+                    Some(p99) if p99 > SLO_P99_TARGET_SECONDS => (1.0, 1.0),
+                    _ => (0.0, 1.0),
+                }
+            };
+            slo.record("decision_p99", bad, total);
+        }
+        self.decisions = decisions;
+        self.shed = shed;
+        self.panics = panics;
+        self.latency = latency;
+    }
+}
+
 fn supervisor_loop(
     shared: Arc<SupervisorShared>,
     ctx: WorkerCtx,
     interval: Duration,
     obs: ServeObs,
+    slo: SloEngine,
 ) {
     let mut tick = 0u64;
+    let mut slo_ticker = SloTicker::new(&obs);
+    let mut was_degraded = ctx.engine.is_degraded();
     while !shared.shutting_down.load(Ordering::Acquire) {
         std::thread::sleep(interval);
         tick += 1;
@@ -770,10 +966,22 @@ fn supervisor_loop(
             obs.breaker_open.inc();
             let mut span = obs.tracer.span("serve.breaker_open");
             span.field("tick", tick);
+            drop(span);
+            // The crash loop is exactly when the recent past matters:
+            // dump the black box before the evidence is overwritten.
+            obs.incident("breaker_open", 0);
         }
         // Installs are held (and the cache is read-only) until the
         // breaker proves the pool stable again.
         ctx.engine.hold_installs(after != BreakerState::Closed);
+        // Degraded-mode *entry* (a failed install pinned last-known-good)
+        // is an incident; staying degraded is not.
+        let degraded = ctx.engine.is_degraded();
+        if degraded && !was_degraded {
+            obs.incident("degraded", 0);
+        }
+        was_degraded = degraded;
+        slo_ticker.tick(&obs, &slo);
     }
 }
 
@@ -781,7 +989,20 @@ impl PolicyService {
     /// Builds the engine over `policy`/`vocab` and starts the supervised
     /// worker pool.
     pub fn start(config: ServeConfig, policy: &Policy, vocab: &Vocabulary) -> Self {
-        let obs = ServeObs::over(&config.metrics, config.tracer.clone());
+        // The incident recorder: an explicit one wins, otherwise the
+        // tracer's own (so a traced service dumps the spans it records).
+        let flight = config
+            .flight
+            .clone()
+            .unwrap_or_else(|| config.tracer.flight());
+        let obs = ServeObs::with_flight(&config.metrics, config.tracer.clone(), flight);
+        // The serving SLOs (burn-rate windows are clocked on supervision
+        // ticks): p99 decision latency under 1ms, at most 5% of offered
+        // load shed, at most 0.1% of requests lost to worker panics.
+        let slo = SloEngine::new(&config.metrics);
+        slo.track(SloSpec::new("decision_p99", 0.01));
+        slo.track(SloSpec::new("shed_rate", 0.05));
+        slo.track(SloSpec::new("worker_panic_rate", 0.001));
         let engine = Arc::new(DecisionEngine::new(
             policy,
             Arc::new(vocab.clone()),
@@ -814,11 +1035,12 @@ impl PolicyService {
         let supervisor = {
             let shared = Arc::clone(&sup);
             let obs = obs.clone();
+            let slo = slo.clone();
             let interval = config.supervision_interval;
             let ctx = ctx.clone();
             std::thread::Builder::new()
                 .name("prima-serve-supervisor".into())
-                .spawn(move || supervisor_loop(shared, ctx, interval, obs))
+                .spawn(move || supervisor_loop(shared, ctx, interval, obs, slo))
                 .expect("spawn serve supervisor")
         };
         Self {
@@ -832,6 +1054,7 @@ impl PolicyService {
             supervisor: Some(supervisor),
             workers_configured: config.workers,
             shed_threshold: config.shed_threshold,
+            slo,
         }
     }
 
@@ -857,6 +1080,17 @@ impl PolicyService {
     /// The shared engine (for installs and uncached oracle probes).
     pub fn engine(&self) -> &Arc<DecisionEngine> {
         &self.engine
+    }
+
+    /// The serving-SLO burn-rate engine (dashboards, tests).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// The flight recorder the incident paths dump into (disabled unless
+    /// configured via [`ServeConfig::flight`] or a recording tracer).
+    pub fn flight(&self) -> FlightRecorder {
+        self.engine.obs().flight.clone()
     }
 
     /// Installs a new policy snapshot; every worker's next decision sees
@@ -917,6 +1151,8 @@ impl PolicyService {
             deadline_expired: obs.deadline_expired.get(),
             queued_bulk: self.bulk_rx.len(),
             queued_emergency: self.emergency_rx.len(),
+            slo: self.slo.health(),
+            flight_dumps: obs.flight.dump_count(),
         }
     }
 

@@ -18,7 +18,7 @@
 
 use prima_audit::{BreakerConfig, BreakerState};
 use prima_model::Rule;
-use prima_obs::MetricsRegistry;
+use prima_obs::{FlightRecorder, MetricsRegistry, SamplePolicy, Tracer};
 use prima_serve::{
     DecisionRequest, DenyReason, FaultyTransport, PolicyService, ServeConfig, ServeError,
     Transport, TransportFaults, Verdict,
@@ -106,6 +106,11 @@ impl RequestSpace {
 /// wedging it.
 fn chaos_round(seed: u64) {
     let scenario = Scenario::community_hospital();
+    // The black box rides along: a tail-sampled tracer whose flight
+    // recorder the incident paths (worker panic, breaker open, degraded
+    // entry) dump automatically.
+    let flight = FlightRecorder::new(512);
+    let tracer = Tracer::configured(Some(SamplePolicy::keep_1_in(64)), flight.clone());
     let service = PolicyService::start(
         ServeConfig::new()
             .workers(3)
@@ -117,7 +122,8 @@ fn chaos_round(seed: u64) {
                 failure_threshold: 3,
                 cooldown_rounds: 5,
             })
-            .metrics(MetricsRegistry::new()),
+            .metrics(MetricsRegistry::new())
+            .tracer(tracer),
         &scenario.policy,
         &scenario.vocab,
     );
@@ -223,6 +229,12 @@ fn chaos_round(seed: u64) {
         mid.worker_restarts > 0,
         "supervisor never respawned a worker (seed {seed})"
     );
+    // … and the incidents dumped the flight recorder as they happened
+    // (worker panics, breaker openings, degraded entries all trigger).
+    assert!(
+        mid.flight_dumps > 0,
+        "incidents never dumped the flight recorder (seed {seed})"
+    );
 
     // … and once faults cease, the service must recover to full health.
     let deadline = Instant::now() + Duration::from_secs(20);
@@ -254,6 +266,35 @@ fn chaos_round(seed: u64) {
             Verdict::Deny(DenyReason::Internal | DenyReason::Overloaded)
         ),
         "recovered service still failing (seed {seed}): {reply:?}"
+    );
+    // Black-box postmortem: one last seeded panic on the quiet service,
+    // then read the dump it must have produced — the most recent dump is
+    // deterministically this panic's, and it carries the panicking
+    // request's own worker span (the triggering trace, marked in JSONL).
+    let boom = DecisionRequest {
+        principal: PANIC_TOKEN.into(),
+        ..space.sample(&mut StdRng::seed_from_u64(seed))
+    };
+    let reply = service.handle().decide(boom).expect("service up");
+    assert_eq!(
+        reply.verdict,
+        Verdict::Deny(DenyReason::Internal),
+        "seeded panic answers fail-closed (seed {seed})"
+    );
+    let dump = flight.last_dump().expect("panic dumped the black box");
+    assert_eq!(dump.trigger, "worker_panic", "seed {seed}");
+    assert_ne!(dump.trace_id, 0, "panicking request was traced");
+    assert!(
+        dump.records.iter().any(|r| {
+            r.trace_id == dump.trace_id
+                && r.name == "serve.worker"
+                && r.fields.iter().any(|(k, v)| k == "outcome" && v == "panic")
+        }),
+        "dump lacks the panicking worker span (seed {seed})"
+    );
+    assert!(
+        dump.to_jsonl().contains("\"marked\":true"),
+        "triggering trace is marked in the JSONL replay (seed {seed})"
     );
     service.shutdown();
 }

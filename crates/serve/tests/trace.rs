@@ -1,0 +1,287 @@
+//! End-to-end trace connectivity through the real worker pool.
+//!
+//! The contract under test (DESIGN.md §9): a decision admitted through
+//! [`InProcessTransport`] — admission → queue → worker → reply — yields
+//! **one connected trace**: a single `serve.decide` root, every span
+//! reachable from it by parent edges, no orphan roots, and the decision
+//! provenance (verdict, deny code, policy revision, cache hit/miss)
+//! attached to the root. The worker span runs on a pool thread on the
+//! far side of a channel hop, so this is exactly the cross-thread
+//! restoration path `TraceContext` exists for.
+
+use prima_model::{Policy, Rule, StoreTag};
+use prima_obs::{FlightRecorder, MetricsRegistry, SamplePolicy, SpanRecord, Tracer};
+use prima_serve::{DecisionRequest, PolicyService, ServeConfig, Transport, Verdict};
+use prima_vocab::{Vocabulary, ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+fn fixture() -> (Policy, Vocabulary) {
+    let vocab = Vocabulary::builder()
+        .attribute(ATTR_DATA)
+        .category("clinical", &["referral", "lab-result"])
+        .attribute(ATTR_PURPOSE)
+        .category("care", &["treatment"])
+        .attribute(ATTR_AUTHORIZED)
+        .category("staff", &["nurse", "physician"])
+        .build()
+        .expect("test vocabulary");
+    let policy = Policy::with_rules(
+        StoreTag::PolicyStore,
+        vec![Rule::of(&[
+            (ATTR_DATA, "referral"),
+            (ATTR_PURPOSE, "treatment"),
+            (ATTR_AUTHORIZED, "nurse"),
+        ])],
+    );
+    (policy, vocab)
+}
+
+fn allow_req() -> DecisionRequest {
+    DecisionRequest::new("p-1", "nurse", "referral", "treatment", "granted")
+}
+
+fn deny_req() -> DecisionRequest {
+    DecisionRequest::new("p-2", "physician", "lab-result", "treatment", "granted")
+}
+
+/// Groups spans by trace id (dropping untraced records) and verifies
+/// each group is one connected tree: exactly one root, every span
+/// reachable from it along parent edges.
+fn connected_traces(spans: &[SpanRecord]) -> HashMap<u64, Vec<&SpanRecord>> {
+    let mut traces: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for span in spans.iter().filter(|s| s.trace_id != 0) {
+        traces.entry(span.trace_id).or_default().push(span);
+    }
+    for (trace_id, members) in &traces {
+        let roots: Vec<_> = members.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(
+            roots.len(),
+            1,
+            "trace {trace_id} must have exactly one root, got {roots:?}"
+        );
+        let ids: HashSet<u64> = members.iter().map(|s| s.id).collect();
+        // Parent edges all land inside the trace (no orphans)…
+        for span in members {
+            assert!(
+                span.parent == 0 || ids.contains(&span.parent),
+                "span {} ({}) in trace {trace_id} has a dangling parent {}",
+                span.id,
+                span.name,
+                span.parent
+            );
+        }
+        // …and every span is reachable from the root.
+        let mut reached: HashSet<u64> = HashSet::from([roots[0].id]);
+        loop {
+            let before = reached.len();
+            for span in members {
+                if reached.contains(&span.parent) {
+                    reached.insert(span.id);
+                }
+            }
+            if reached.len() == before {
+                break;
+            }
+        }
+        assert_eq!(
+            reached.len(),
+            members.len(),
+            "trace {trace_id} is not fully reachable from its root"
+        );
+    }
+    traces
+}
+
+fn field<'a>(span: &'a SpanRecord, key: &str) -> Option<&'a str> {
+    span.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn a_pooled_decision_yields_one_connected_trace_with_provenance() {
+    let (policy, vocab) = fixture();
+    let tracer = Tracer::new();
+    let service = PolicyService::start(
+        ServeConfig::new()
+            .workers(2)
+            .metrics(MetricsRegistry::new())
+            .tracer(tracer.clone()),
+        &policy,
+        &vocab,
+    );
+    let handle = service.handle();
+    assert!(handle.decide(allow_req()).unwrap().verdict.is_allow()); // miss
+    assert!(handle.decide(allow_req()).unwrap().verdict.is_allow()); // hit
+    let denied = handle.decide(deny_req()).unwrap();
+    assert!(!denied.verdict.is_allow());
+    service.shutdown();
+
+    let spans = tracer.drain();
+    let traces = connected_traces(&spans);
+    assert_eq!(traces.len(), 3, "three decisions, three traces");
+    let mut saw_cached = 0;
+    let mut saw_denied = 0;
+    for members in traces.values() {
+        let root = members
+            .iter()
+            .find(|s| s.parent == 0)
+            .expect("connected_traces verified a root");
+        assert_eq!(root.name, "serve.decide");
+        // Provenance on the root span.
+        assert!(
+            field(root, "verdict").is_some(),
+            "verdict missing: {root:?}"
+        );
+        assert!(
+            field(root, "policy_revision").is_some(),
+            "policy_revision missing: {root:?}"
+        );
+        assert!(field(root, "cached").is_some(), "cached missing: {root:?}");
+        if field(root, "cached") == Some("true") {
+            saw_cached += 1;
+        }
+        if field(root, "verdict") == Some("deny") {
+            saw_denied += 1;
+            assert_eq!(field(root, "deny_code"), Some("SRV-001"));
+        }
+        // The worker span crossed the queue hop and parented under the
+        // admission root.
+        let worker = members
+            .iter()
+            .find(|s| s.name == "serve.worker")
+            .expect("worker span joined the trace");
+        assert_eq!(worker.parent, root.id, "worker parents under admission");
+        assert!(field(worker, "queue_wait_us").is_some());
+    }
+    assert_eq!(saw_cached, 1, "exactly one decision was a cache hit");
+    assert_eq!(saw_denied, 1, "exactly one decision was denied");
+}
+
+#[test]
+fn tail_sampling_keeps_the_denied_trace_and_drops_the_boring_ones() {
+    let (policy, vocab) = fixture();
+    // 1-in-1000 of the boring traffic: of 20 allow traces only the
+    // stride-opening first survives, while the denial is always kept.
+    let tracer = Tracer::with_sampling(SamplePolicy::keep_1_in(1000));
+    let service = PolicyService::start(
+        ServeConfig::new().workers(1).tracer(tracer.clone()),
+        &policy,
+        &vocab,
+    );
+    let handle = service.handle();
+    for _ in 0..20 {
+        assert!(handle.decide(allow_req()).unwrap().verdict.is_allow());
+    }
+    assert!(!handle.decide(deny_req()).unwrap().verdict.is_allow());
+    service.shutdown();
+
+    let spans = tracer.drain();
+    let traces = connected_traces(&spans);
+    assert_eq!(
+        traces.len(),
+        2,
+        "the 1-in-N sample plus the denied trace survive"
+    );
+    let denied: Vec<_> = traces
+        .values()
+        .filter(|members| {
+            let root = members.iter().find(|s| s.parent == 0).unwrap();
+            field(root, "verdict") == Some("deny")
+        })
+        .collect();
+    assert_eq!(denied.len(), 1, "the denied trace is always kept");
+    // The kept trace is still complete: the worker span survived too.
+    assert!(denied[0].iter().any(|s| s.name == "serve.worker"));
+    let stats = tracer.sample_stats();
+    assert_eq!(stats.kept_traces, 2);
+    assert_eq!(stats.dropped_traces, 19);
+}
+
+#[test]
+fn a_worker_panic_dumps_the_flight_recorder_with_the_triggering_trace() {
+    let (policy, vocab) = fixture();
+    let flight = FlightRecorder::new(128);
+    let tracer = Tracer::configured(None, flight.clone());
+    let service = PolicyService::start(
+        ServeConfig::new()
+            .workers(1)
+            .panic_token("☠-trace")
+            .supervision_interval(Duration::from_millis(1))
+            .metrics(MetricsRegistry::new())
+            .tracer(tracer.clone()),
+        &policy,
+        &vocab,
+    );
+    let handle = service.handle();
+    // Some healthy context first, so the ring has history to dump.
+    for _ in 0..3 {
+        assert!(handle.decide(allow_req()).unwrap().verdict.is_allow());
+    }
+    let boom = DecisionRequest::new("☠-trace", "nurse", "referral", "treatment", "granted");
+    let reply = handle.decide(boom).unwrap();
+    assert!(matches!(reply.verdict, Verdict::Deny(_)), "fail-closed");
+
+    let dump = flight.last_dump().expect("panic triggered a dump");
+    assert_eq!(dump.trigger, "worker_panic");
+    assert_ne!(dump.trace_id, 0, "the panicking request was traced");
+    let triggering: Vec<_> = dump
+        .records
+        .iter()
+        .filter(|r| r.trace_id == dump.trace_id)
+        .collect();
+    assert!(
+        triggering
+            .iter()
+            .any(|r| r.name == "serve.worker" && field(r, "outcome") == Some("panic")),
+        "dump contains the panicking request's worker span: {triggering:?}"
+    );
+    // The dump is also surfaced through health and JSONL.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while service.health().flight_dumps == 0 {
+        assert!(Instant::now() < deadline, "dump never surfaced in health");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let jsonl = dump.to_jsonl();
+    assert!(jsonl.lines().next().unwrap().contains("worker_panic"));
+    assert!(jsonl.contains("\"marked\":true"), "triggering trace marked");
+    service.shutdown();
+}
+
+#[test]
+fn slo_burn_rates_reflect_a_sustained_shed_storm() {
+    let (policy, vocab) = fixture();
+    // Threshold 0: every bulk request is shed at admission, a 100% bad
+    // fraction against the 5% shed objective.
+    let service = PolicyService::start(
+        ServeConfig::new()
+            .workers(1)
+            .shed_threshold(0)
+            .supervision_interval(Duration::from_millis(1))
+            .metrics(MetricsRegistry::new()),
+        &policy,
+        &vocab,
+    );
+    let handle = service.handle();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        for _ in 0..50 {
+            let reply = handle.decide(allow_req()).unwrap();
+            assert!(!reply.verdict.is_allow(), "threshold 0 sheds everything");
+        }
+        let health = service.health();
+        if health.slo.breached >= 1 {
+            assert!(health.slo.tracked >= 3, "serving SLOs are tracked");
+            assert!(health.slo.worst_short_burn > 2.0);
+            assert!(service.slo().is_breached("shed_rate"));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shed storm never breached the SLO: {health:?}"
+        );
+    }
+    service.shutdown();
+}

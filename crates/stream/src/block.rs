@@ -16,6 +16,7 @@
 //! allocator.
 
 use prima_model::GroundRule;
+use prima_obs::TraceContext;
 use std::sync::Arc;
 
 /// The backing storage of an [`EntryBlock`] — what travels back through
@@ -26,6 +27,11 @@ pub type BlockStorage = Vec<(i64, Arc<GroundRule>)>;
 #[derive(Debug, Default)]
 pub struct EntryBlock {
     entries: BlockStorage,
+    /// Trace of the flush that shipped this block; stamped by the engine
+    /// right before the channel send so the shard worker's span joins
+    /// the same trace across the thread hop ([`TraceContext::NONE`] when
+    /// the engine is untraced).
+    trace: TraceContext,
 }
 
 impl EntryBlock {
@@ -33,18 +39,37 @@ impl EntryBlock {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             entries: Vec::with_capacity(capacity),
+            trace: TraceContext::NONE,
         }
     }
 
     /// A block over recycled storage (cleared, allocation kept).
     pub fn from_storage(mut storage: BlockStorage) -> Self {
         storage.clear();
-        Self { entries: storage }
+        Self {
+            entries: storage,
+            trace: TraceContext::NONE,
+        }
     }
 
     /// A block pre-filled with `entries` (recovery replay).
     pub fn from_entries(entries: BlockStorage) -> Self {
-        Self { entries }
+        Self {
+            entries,
+            trace: TraceContext::NONE,
+        }
+    }
+
+    /// Stamps the shipping flush's trace context onto the block (the
+    /// near side of the channel hop).
+    pub fn stamp(&mut self, ctx: TraceContext) {
+        self.trace = ctx;
+    }
+
+    /// The trace this block travels under ([`TraceContext::NONE`] when
+    /// untraced).
+    pub fn trace(&self) -> TraceContext {
+        self.trace
     }
 
     /// Appends one grounded entry.

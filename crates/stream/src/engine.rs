@@ -273,8 +273,16 @@ impl StreamEngine {
 
     /// Delivers one block, recovering-and-retrying once if the shard is
     /// found dead and recovery is armed; otherwise the block is forfeit.
-    fn ship(&mut self, shard: usize, block: EntryBlock) {
+    fn ship(&mut self, shard: usize, mut block: EntryBlock) {
         let entries = block.len() as u64;
+        // One trace per shipped block: the root covers the flush and
+        // send; the context stamped onto the block lets the shard
+        // worker's span join the same trace on the far side of the
+        // channel hop.
+        let mut root = self.obs.tracer.root_span("stream.block");
+        root.field("shard", shard);
+        root.field("entries", entries);
+        block.stamp(root.context());
         // `ingested` counts acceptance; the metric is bumped here, once
         // per block, and barriers flush first — so the counter has
         // caught up by the time any snapshot reads it.
@@ -289,13 +297,19 @@ impl StreamEngine {
         match self.send_block(shard, block) {
             Ok(()) => self.settle(shard, entries, backup),
             Err(block) => {
+                // A dead shard at delivery time is always worth a trace.
+                root.mark_interesting();
                 if self.checkpoint_interval.is_some() {
                     self.recover(shard);
                     match self.send_block(shard, block) {
                         Ok(()) => self.settle(shard, entries, backup),
-                        Err(_) => self.forfeit(entries),
+                        Err(_) => {
+                            root.field("outcome", "forfeit");
+                            self.forfeit(entries);
+                        }
                     }
                 } else {
+                    root.field("outcome", "forfeit");
                     self.forfeit(entries);
                 }
             }
@@ -1083,6 +1097,66 @@ mod tests {
         let rec = registry.histograms("prima_stream_recovery_seconds");
         assert_eq!(rec[0].1.count(), snap.recoveries, "one timing per respawn");
         assert!(tracer.drain().iter().any(|s| s.name == "stream.recover"));
+    }
+
+    #[test]
+    fn a_shipped_block_yields_one_connected_trace_across_the_shard_hop() {
+        use prima_obs::{MetricsRegistry, Tracer};
+        use std::collections::HashMap;
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::new();
+        let mut eng = engine(
+            StreamConfig::with_shards(2)
+                .block_size(4)
+                .observability(registry, tracer.clone()),
+        );
+        let shapes = [
+            ("referral", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("address", "billing", "clerk"),
+        ];
+        for (i, (d, p, a)) in shapes.iter().cycle().take(24).enumerate() {
+            assert_eq!(
+                eng.ingest(&entry(i as i64, d, p, a)),
+                IngestOutcome::Accepted
+            );
+        }
+        eng.shutdown();
+
+        // Group the traced spans: each shipped block must form one
+        // connected trace — a `stream.block` root on the producer thread
+        // and a `stream.shard.block` span from the worker thread,
+        // parented under it via the context stamped on the block.
+        let spans = tracer.drain();
+        let mut traces: HashMap<u64, Vec<&prima_obs::SpanRecord>> = HashMap::new();
+        for span in spans.iter().filter(|s| s.trace_id != 0) {
+            traces.entry(span.trace_id).or_default().push(span);
+        }
+        assert!(!traces.is_empty(), "shipped blocks were traced");
+        let mut hops = 0usize;
+        for (trace_id, members) in &traces {
+            let roots: Vec<_> = members.iter().filter(|s| s.parent == 0).collect();
+            assert_eq!(roots.len(), 1, "trace {trace_id} has exactly one root");
+            let root = roots[0];
+            assert_eq!(root.name, "stream.block");
+            for span in members {
+                assert!(
+                    span.parent == 0 || span.parent == root.id,
+                    "span {} in trace {trace_id} dangles off parent {}",
+                    span.name,
+                    span.parent
+                );
+            }
+            if let Some(worker) = members.iter().find(|s| s.name == "stream.shard.block") {
+                assert_eq!(worker.parent, root.id, "shard span parents under the flush");
+                assert!(
+                    worker.fields.iter().any(|(k, _)| k == "entries"),
+                    "shard span carries its entry count"
+                );
+                hops += 1;
+            }
+        }
+        assert!(hops > 0, "at least one shard hop joined its block's trace");
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub struct ShardObs {
     pub cache_hits: Counter,
     /// Decision-cache verdicts that ran the full probe.
     pub cache_misses: Counter,
+    /// The engine's tracer, cloned into the worker so per-block shard
+    /// spans join the trace the shipping flush stamped on the block.
+    pub tracer: Tracer,
 }
 
 impl ShardObs {
@@ -132,6 +135,7 @@ impl StreamObs {
                         "prima_stream_cache_misses_total",
                         "Decision-cache lookups that ran the full probe.",
                     ),
+                    tracer: tracer.clone(),
                 })
                 .collect(),
             tracer,

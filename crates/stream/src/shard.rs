@@ -147,6 +147,11 @@ pub fn run_shard(
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Block(block) => {
+                // Far side of the channel hop: restore the trace the
+                // engine stamped at flush time, so this span parents
+                // under the shipping `stream.block` root.
+                let mut span = obs.tracer.span_in("stream.shard.block", block.trace());
+                span.field("shard", shard);
                 let entries = block.entries();
                 let n = entries.len();
                 let mut hits = 0u64;
@@ -200,10 +205,14 @@ pub fn run_shard(
                 obs.processed.add(done);
                 obs.cache_hits.add(hits);
                 obs.cache_misses.add(misses);
+                span.field("entries", done);
                 if crashed {
                     // Simulated mid-block crash: abandon in-memory state,
                     // the rest of this block, and anything still queued,
-                    // exactly like a real worker death.
+                    // exactly like a real worker death. The partial span
+                    // is worth keeping whatever the sampler thinks.
+                    span.field("outcome", "crash");
+                    span.mark_interesting();
                     return;
                 }
                 let _ = recycle.try_send(block.into_storage());

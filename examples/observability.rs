@@ -164,5 +164,42 @@ fn main() {
         spans.len(),
         jsonl.len()
     );
+
+    // 9. Cross-thread trace parenting: a root span opened here hands its
+    //    `TraceContext` across a thread hop, and the child span opened on
+    //    the far side via `span_in` must land in the same trace, parented
+    //    to the root — the exact mechanism serve workers and stream
+    //    shards use to keep one request one trace.
+    let root = tracer.root_span("example.handoff");
+    let ctx = root.context();
+    let far_tracer = tracer.clone();
+    std::thread::spawn(move || {
+        let mut child = far_tracer.span_in("example.far_side", ctx);
+        child.field("hop", 1u64);
+    })
+    .join()
+    .expect("far-side thread joins cleanly");
+    drop(root);
+    let handoff = tracer.drain();
+    let root_span = handoff
+        .iter()
+        .find(|s| s.name == "example.handoff")
+        .expect("root span was recorded");
+    let far_span = handoff
+        .iter()
+        .find(|s| s.name == "example.far_side")
+        .expect("far-side span was recorded");
+    assert_eq!(
+        far_span.trace_id, root_span.trace_id,
+        "thread hop must stay inside the root's trace"
+    );
+    assert_eq!(
+        far_span.parent, root_span.id,
+        "far-side span must be parented to the root across the hop"
+    );
+    println!(
+        "cross-thread handoff: trace {} connects {} -> {}",
+        root_span.trace_id, root_span.name, far_span.name
+    );
     println!("\nall observability assertions passed");
 }

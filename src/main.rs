@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("stream-bench") => cmd_stream_bench(&args[1..]),
+        Some("flight-dump") => cmd_flight_dump(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -85,7 +86,11 @@ fn print_usage() {
            [--smoke] [--entries N] [--seed S] [--block-size N] [--capacity N]\n    \
            [--passes N] [--out FILE]  (ladders 1/2/4/8 shards over the hospital\n      \
               trail; writes the gate report as JSON and exits non-zero when an\n      \
-              acceptance gate — scaling floor, throughput, hit rate — fails)"
+              acceptance gate — scaling floor, throughput, hit rate — fails)\n  \
+         flight-dump                  demonstrate the flight recorder end to end\n    \
+           [--requests N] [--out FILE]  (serves N traced decisions, injects one\n      \
+              worker panic, and writes the black-box dump — the span ring with\n      \
+              the panicking request's trace marked — as JSONL)"
     );
 }
 
@@ -521,6 +526,105 @@ fn cmd_stream_bench(args: &[String]) -> Result<(), String> {
     } else {
         Err("stream-bench acceptance gate(s) failed".to_string())
     }
+}
+
+/// Demonstrates the flight recorder end to end: serve traced decisions,
+/// inject one worker panic, and write the black-box dump the incident
+/// produced — the recent-span ring as JSONL with the panicking request's
+/// trace marked.
+fn cmd_flight_dump(args: &[String]) -> Result<(), String> {
+    use prima::obs::{FlightRecorder, MetricsRegistry, Tracer};
+    use prima::serve::{DecisionRequest, PolicyService, ServeConfig, Transport, Verdict};
+    use prima::vocab::{ATTR_AUTHORIZED, ATTR_DATA, ATTR_PURPOSE};
+    const PANIC_TOKEN: &str = "☠-flight";
+
+    let flags = parse_flags(args, &["requests", "out"])?;
+    let mut requests: usize = 64;
+    flag_num(&flags, "requests", &mut requests)?;
+
+    // The injected panic is the point of the exercise; silence its
+    // backtrace but leave every other panic loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker panic"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected worker panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let scenario = prima::workload::Scenario::community_hospital();
+    let flight = FlightRecorder::new(256);
+    let tracer = Tracer::configured(None, flight.clone());
+    let service = PolicyService::start(
+        ServeConfig::new()
+            .workers(2)
+            .panic_token(PANIC_TOKEN)
+            .metrics(MetricsRegistry::new())
+            .tracer(tracer),
+        &scenario.policy,
+        &scenario.vocab,
+    );
+    let handle = service.handle();
+
+    // Healthy context first, so the ring has history for the dump to
+    // replay: one request per (role, op, purpose) leaf combination.
+    let leaf = |attr: &str| -> Vec<String> {
+        let t = scenario.vocab.attribute(attr).expect("scenario attribute");
+        t.all_leaves()
+            .iter()
+            .map(|&id| t.name(id).to_string())
+            .collect()
+    };
+    let (roles, ops, purposes) = (leaf(ATTR_AUTHORIZED), leaf(ATTR_DATA), leaf(ATTR_PURPOSE));
+    for i in 0..requests {
+        let req = DecisionRequest::new(
+            &format!("p-{i}"),
+            &roles[i % roles.len()],
+            &ops[i % ops.len()],
+            &purposes[i % purposes.len()],
+            "granted",
+        );
+        handle
+            .decide(req)
+            .map_err(|e| format!("service failed mid-run: {e:?}"))?;
+    }
+    // The incident: a request whose principal is the panic token crashes
+    // its worker; the supervisor dumps the black box with this request's
+    // trace marked, and the client still gets a fail-closed denial.
+    let boom = DecisionRequest::new(PANIC_TOKEN, &roles[0], &ops[0], &purposes[0], "granted");
+    let reply = handle
+        .decide(boom)
+        .map_err(|e| format!("service failed on the seeded panic: {e:?}"))?;
+    if !matches!(reply.verdict, Verdict::Deny(_)) {
+        return Err("seeded panic did not fail closed".to_string());
+    }
+    let dump = flight
+        .last_dump()
+        .ok_or("the worker panic produced no flight dump")?;
+    service.shutdown();
+
+    println!(
+        "flight dump: trigger={}, trace={}, {} span record(s) in the ring",
+        dump.trigger,
+        dump.trace_id,
+        dump.records.len()
+    );
+    let jsonl = dump.to_jsonl();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("cannot write '{path}': {e}"))?;
+            println!("dump (JSONL) written to {path}");
+        }
+        None => print!("{jsonl}"),
+    }
+    Ok(())
 }
 
 fn flag_num<T: std::str::FromStr>(
